@@ -1,0 +1,117 @@
+//! Microbenchmarks of the recording hardware's critical paths (A4):
+//! signature insert/probe, chunk-packet encode/decode, varint codecs.
+//!
+//! These are the operations a real MRR performs on every memory access
+//! and every chunk termination; their software cost bounds how fast the
+//! simulator can record.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qr_common::{varint, Cycle, LineAddr, ThreadId};
+use quickrec_core::signature::Signature;
+use quickrec_core::{ChunkPacket, Encoding, TerminationReason};
+use std::hint::black_box;
+
+fn packets(n: usize) -> Vec<ChunkPacket> {
+    let mut ts = 0u64;
+    (0..n)
+        .map(|i| {
+            ts += 3 + (i as u64 % 29);
+            ChunkPacket {
+                tid: ThreadId((i % 4) as u32),
+                core: qr_common::CoreId((i % 4) as u8),
+                icount: (i as u64 * 131) % 10_000,
+                timestamp: Cycle(ts),
+                rsw: (i % 4) as u8,
+                reason: TerminationReason::ALL[i % TerminationReason::ALL.len()],
+            }
+        })
+        .collect()
+}
+
+fn bench_signature(c: &mut Criterion) {
+    let mut group = c.benchmark_group("signature");
+    for bits in [512u32, 2048, 8192] {
+        group.throughput(Throughput::Elements(1024));
+        group.bench_function(format!("insert-1k/{bits}b"), |b| {
+            b.iter_batched(
+                || Signature::new(bits, 2),
+                |mut sig| {
+                    for i in 0..1024u32 {
+                        sig.insert(LineAddr(i.wrapping_mul(2654435761)));
+                    }
+                    sig
+                },
+                BatchSize::SmallInput,
+            );
+        });
+        group.bench_function(format!("probe-1k/{bits}b"), |b| {
+            let mut sig = Signature::new(bits, 2);
+            for i in 0..256u32 {
+                sig.insert(LineAddr(i));
+            }
+            b.iter(|| {
+                let mut hits = 0u32;
+                for i in 0..1024u32 {
+                    hits += sig.maybe_contains(black_box(LineAddr(i))) as u32;
+                }
+                hits
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_encoding(c: &mut Criterion) {
+    let ps = packets(4096);
+    let mut group = c.benchmark_group("encoding");
+    group.throughput(Throughput::Elements(ps.len() as u64));
+    for enc in Encoding::ALL {
+        group.bench_function(format!("encode/{}", enc.name()), |b| {
+            b.iter(|| enc.encode_stream(black_box(&ps)));
+        });
+        let bytes = enc.encode_stream(&ps);
+        group.bench_function(format!("decode/{}", enc.name()), |b| {
+            b.iter(|| Encoding::decode_stream(black_box(&bytes)).expect("valid stream"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_varint(c: &mut Criterion) {
+    let values: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (i % 40)).collect();
+    let mut group = c.benchmark_group("varint");
+    group.throughput(Throughput::Elements(values.len() as u64));
+    group.bench_function("write", |b| {
+        b.iter(|| {
+            let mut buf = Vec::with_capacity(values.len() * 5);
+            for &v in &values {
+                varint::write_u64(&mut buf, black_box(v));
+            }
+            buf
+        });
+    });
+    let mut buf = Vec::new();
+    for &v in &values {
+        varint::write_u64(&mut buf, v);
+    }
+    group.bench_function("read", |b| {
+        b.iter(|| {
+            let mut off = 0;
+            let mut sum = 0u64;
+            while off < buf.len() {
+                let (v, n) = varint::read_u64(&buf[off..]).expect("valid");
+                sum = sum.wrapping_add(v);
+                off += n;
+            }
+            sum
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_signature, bench_encoding, bench_varint
+}
+criterion_main!(benches);

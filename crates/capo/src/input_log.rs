@@ -1,0 +1,291 @@
+//! The input log: every nondeterministic input of a recorded execution.
+//!
+//! Capo3 logs what the kernel hands the program — syscall results and
+//! the data it copies into user memory — plus signal delivery points and
+//! nondeterministic instruction results. Events whose *global position*
+//! matters (syscalls with memory effects, signals) carry a timestamp
+//! from the same clock that stamps chunks, so the replayer can merge
+//! them into one timeline; per-thread-local values (`rdtsc`, `rdrand`)
+//! are plain FIFO queues.
+
+use qr_common::{varint, Cycle, QrError, Result, ThreadId, VirtAddr};
+use qr_cpu::NondetKind;
+use qr_os::SyscallRecord;
+use std::collections::BTreeMap;
+
+/// A timestamped input event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InputEvent {
+    /// A completed syscall (result + kernel writes to user memory).
+    Syscall {
+        /// Global position.
+        ts: Cycle,
+        /// What to inject at replay.
+        record: SyscallRecord,
+    },
+    /// A SIGUSR delivery to `tid` (immediately after that thread's chunk
+    /// with the same boundary).
+    Signal {
+        /// Global position.
+        ts: Cycle,
+        /// Target thread.
+        tid: ThreadId,
+    },
+}
+
+impl InputEvent {
+    /// The event's global timestamp.
+    pub fn ts(&self) -> Cycle {
+        match self {
+            InputEvent::Syscall { ts, .. } | InputEvent::Signal { ts, .. } => *ts,
+        }
+    }
+
+    /// The thread the event belongs to.
+    pub fn tid(&self) -> ThreadId {
+        match self {
+            InputEvent::Syscall { record, .. } => record.tid,
+            InputEvent::Signal { tid, .. } => *tid,
+        }
+    }
+}
+
+/// All recorded inputs of one execution.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct InputLog {
+    events: Vec<InputEvent>,
+    nondet: BTreeMap<ThreadId, Vec<(NondetKind, u32)>>,
+}
+
+impl InputLog {
+    /// Creates an empty log.
+    pub fn new() -> InputLog {
+        InputLog::default()
+    }
+
+    /// Appends a timestamped event. Events must arrive in nondecreasing
+    /// timestamp order (the recorder produces them that way).
+    pub fn push_event(&mut self, event: InputEvent) {
+        debug_assert!(
+            self.events.last().is_none_or(|last| last.ts() <= event.ts()),
+            "input events must be appended in timestamp order"
+        );
+        self.events.push(event);
+    }
+
+    /// Appends a nondeterministic-instruction value for `tid`.
+    pub fn push_nondet(&mut self, tid: ThreadId, kind: NondetKind, value: u32) {
+        self.nondet.entry(tid).or_default().push((kind, value));
+    }
+
+    /// Timestamped events in order.
+    pub fn events(&self) -> &[InputEvent] {
+        &self.events
+    }
+
+    /// Per-thread nondeterministic values in program order.
+    pub fn nondet_for(&self, tid: ThreadId) -> &[(NondetKind, u32)] {
+        self.nondet.get(&tid).map_or(&[], Vec::as_slice)
+    }
+
+    /// Total count of nondeterministic values.
+    pub fn nondet_count(&self) -> usize {
+        self.nondet.values().map(Vec::len).sum()
+    }
+
+    /// Serialized size in bytes (the "input log size" metric).
+    pub fn byte_size(&self) -> usize {
+        self.to_bytes().len()
+    }
+
+    /// Serializes the log.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        varint::write_u64(&mut out, self.events.len() as u64);
+        for ev in &self.events {
+            match ev {
+                InputEvent::Syscall { ts, record } => {
+                    out.push(0);
+                    varint::write_u64(&mut out, ts.0);
+                    varint::write_u64(&mut out, record.tid.0 as u64);
+                    varint::write_u64(&mut out, record.number as u64);
+                    varint::write_u64(&mut out, record.result as u64);
+                    varint::write_u64(&mut out, record.writes.len() as u64);
+                    for (addr, data) in &record.writes {
+                        varint::write_u64(&mut out, addr.0 as u64);
+                        varint::write_u64(&mut out, data.len() as u64);
+                        out.extend_from_slice(data);
+                    }
+                }
+                InputEvent::Signal { ts, tid } => {
+                    out.push(1);
+                    varint::write_u64(&mut out, ts.0);
+                    varint::write_u64(&mut out, tid.0 as u64);
+                }
+            }
+        }
+        varint::write_u64(&mut out, self.nondet.len() as u64);
+        for (tid, values) in &self.nondet {
+            varint::write_u64(&mut out, tid.0 as u64);
+            varint::write_u64(&mut out, values.len() as u64);
+            for (kind, value) in values {
+                out.push(match kind {
+                    NondetKind::Rdtsc => 0,
+                    NondetKind::Rdrand => 1,
+                });
+                varint::write_u64(&mut out, *value as u64);
+            }
+        }
+        out
+    }
+
+    /// Deserializes a log produced by [`InputLog::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::LogDecode`] on malformed input.
+    pub fn from_bytes(buf: &[u8]) -> Result<InputLog> {
+        let mut off = 0usize;
+        let next_u64 = |buf: &[u8], off: &mut usize| -> Result<u64> {
+            let (v, n) = varint::read_u64(&buf[*off..])?;
+            *off += n;
+            Ok(v)
+        };
+        let mut log = InputLog::new();
+        let num_events = next_u64(buf, &mut off)?;
+        for _ in 0..num_events {
+            let tag = *buf.get(off).ok_or_else(|| QrError::LogDecode("truncated event".into()))?;
+            off += 1;
+            match tag {
+                0 => {
+                    let ts = Cycle(next_u64(buf, &mut off)?);
+                    let tid = ThreadId(next_u64(buf, &mut off)? as u32);
+                    let number = next_u64(buf, &mut off)? as u32;
+                    let result = next_u64(buf, &mut off)? as u32;
+                    let num_writes = next_u64(buf, &mut off)?;
+                    let mut writes = Vec::with_capacity(num_writes as usize);
+                    for _ in 0..num_writes {
+                        let addr = VirtAddr(next_u64(buf, &mut off)? as u32);
+                        let len = next_u64(buf, &mut off)? as usize;
+                        let end = off
+                            .checked_add(len)
+                            .filter(|&e| e <= buf.len())
+                            .ok_or_else(|| QrError::LogDecode("truncated write payload".into()))?;
+                        writes.push((addr, buf[off..end].to_vec()));
+                        off = end;
+                    }
+                    log.events.push(InputEvent::Syscall {
+                        ts,
+                        record: SyscallRecord { tid, number, result, writes },
+                    });
+                }
+                1 => {
+                    let ts = Cycle(next_u64(buf, &mut off)?);
+                    let tid = ThreadId(next_u64(buf, &mut off)? as u32);
+                    log.events.push(InputEvent::Signal { ts, tid });
+                }
+                other => {
+                    return Err(QrError::LogDecode(format!("unknown input event tag {other}")))
+                }
+            }
+        }
+        let num_threads = next_u64(buf, &mut off)?;
+        for _ in 0..num_threads {
+            let tid = ThreadId(next_u64(buf, &mut off)? as u32);
+            let count = next_u64(buf, &mut off)?;
+            let mut values = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let tag =
+                    *buf.get(off).ok_or_else(|| QrError::LogDecode("truncated nondet".into()))?;
+                off += 1;
+                let kind = match tag {
+                    0 => NondetKind::Rdtsc,
+                    1 => NondetKind::Rdrand,
+                    other => {
+                        return Err(QrError::LogDecode(format!("unknown nondet tag {other}")))
+                    }
+                };
+                values.push((kind, next_u64(buf, &mut off)? as u32));
+            }
+            log.nondet.insert(tid, values);
+        }
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> InputLog {
+        let mut log = InputLog::new();
+        log.push_event(InputEvent::Syscall {
+            ts: Cycle(10),
+            record: SyscallRecord {
+                tid: ThreadId(0),
+                number: 11,
+                result: 16,
+                writes: vec![(VirtAddr(0x1000), vec![1, 2, 3])],
+            },
+        });
+        log.push_event(InputEvent::Signal { ts: Cycle(20), tid: ThreadId(1) });
+        log.push_event(InputEvent::Syscall {
+            ts: Cycle(30),
+            record: SyscallRecord { tid: ThreadId(1), number: 8, result: 99, writes: vec![] },
+        });
+        log.push_nondet(ThreadId(0), NondetKind::Rdtsc, 77);
+        log.push_nondet(ThreadId(0), NondetKind::Rdrand, 88);
+        log.push_nondet(ThreadId(2), NondetKind::Rdrand, 5);
+        log
+    }
+
+    #[test]
+    fn round_trips_through_bytes() {
+        let log = sample();
+        let bytes = log.to_bytes();
+        assert_eq!(InputLog::from_bytes(&bytes).unwrap(), log);
+        assert_eq!(log.byte_size(), bytes.len());
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = sample().to_bytes();
+        for cut in [1usize, 5, bytes.len() / 2, bytes.len() - 1] {
+            assert!(InputLog::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn nondet_queues_are_per_thread_fifo() {
+        let log = sample();
+        assert_eq!(
+            log.nondet_for(ThreadId(0)),
+            &[(NondetKind::Rdtsc, 77), (NondetKind::Rdrand, 88)]
+        );
+        assert_eq!(log.nondet_for(ThreadId(1)), &[]);
+        assert_eq!(log.nondet_count(), 3);
+    }
+
+    #[test]
+    fn event_accessors() {
+        let log = sample();
+        assert_eq!(log.events()[0].ts(), Cycle(10));
+        assert_eq!(log.events()[0].tid(), ThreadId(0));
+        assert_eq!(log.events()[1].tid(), ThreadId(1));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "timestamp order")]
+    fn out_of_order_events_are_rejected_in_debug() {
+        let mut log = InputLog::new();
+        log.push_event(InputEvent::Signal { ts: Cycle(10), tid: ThreadId(0) });
+        log.push_event(InputEvent::Signal { ts: Cycle(5), tid: ThreadId(0) });
+    }
+
+    #[test]
+    fn empty_log_round_trips() {
+        let log = InputLog::new();
+        assert_eq!(InputLog::from_bytes(&log.to_bytes()).unwrap(), log);
+    }
+}

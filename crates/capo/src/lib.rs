@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Capo3 — the software stack that manages the recording hardware.
+//!
+//! The QuickRec paper's central finding is that the *hardware* records
+//! multithreaded executions nearly for free, while the *software stack*
+//! (Capo3, built into a modified Linux kernel) costs about 13% on
+//! average. This crate is that stack for the simulated platform:
+//!
+//! - [`sphere::ReplaySphere`] groups the threads being recorded,
+//! - [`session::RecordingSession`] runs a program under the kernel while
+//!   driving the recorder bank: it terminates chunks at syscalls, traps,
+//!   context switches and conflicts; virtualizes the per-core recorder
+//!   units as threads migrate; services the CMEM drain interrupt; and
+//!   assembles the chunk log,
+//! - [`input_log::InputLog`] captures every nondeterministic input —
+//!   syscall results, copy_to_user payloads, signal delivery points,
+//!   `rdtsc`/`rdrand` values — with global timestamps where ordering
+//!   matters,
+//! - [`overhead::OverheadModel`] charges the RSM's costs (interception,
+//!   log copying, drain interrupts, recorder save/restore) to the cores
+//!   that incur them, producing the overhead breakdown the paper reports.
+//!
+//! The output is a [`recording::Recording`]: logs + metadata sufficient
+//! for `qr-replay` to reproduce the execution exactly.
+
+pub mod input_log;
+pub mod overhead;
+pub mod recording;
+pub mod session;
+pub mod sphere;
+
+pub use input_log::{InputEvent, InputLog};
+pub use overhead::{OverheadBreakdown, OverheadModel};
+pub use recording::{Recording, RecordingConfig, RecordingMode};
+pub use session::{record, RecordingSession};
+pub use sphere::ReplaySphere;

@@ -1,0 +1,123 @@
+//! The RSM cost model and overhead accounting.
+//!
+//! Recording overhead has two origins in QuickRec:
+//!
+//! 1. **Hardware**: the core stalls only when the CBUF is full — measured
+//!    directly by `quickrec-core` and reported as negligible.
+//! 2. **Software** (the dominant part, ~13% mean in the paper): the
+//!    replay-sphere manager intercepting every syscall, copying input-log
+//!    payloads, servicing CMEM drain interrupts, and saving/restoring the
+//!    recorder on context switches.
+//!
+//! The per-event costs below are *calibrated* so the workload-suite mean
+//! lands near the paper's reported overhead; the per-workload variation
+//! is then emergent from each workload's event rates (see DESIGN.md).
+
+/// Cycles the replay-sphere manager charges per event class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OverheadModel {
+    /// Extra cycles per intercepted syscall (entry + bookkeeping + exit).
+    pub syscall_intercept_cycles: u64,
+    /// Extra cycles per byte appended to the input log.
+    pub input_copy_cycles_per_byte: u64,
+    /// Fixed cycles per CMEM drain interrupt.
+    pub drain_base_cycles: u64,
+    /// Cycles per byte copied out of CMEM.
+    pub drain_cycles_per_byte: u64,
+    /// Cycles to save/restore recorder state at a context switch.
+    pub mrr_switch_cycles: u64,
+    /// Cycles per signal delivery interception.
+    pub signal_intercept_cycles: u64,
+}
+
+impl Default for OverheadModel {
+    fn default() -> Self {
+        // Calibrated (see DESIGN.md and experiment E5) so the reference
+        // workload suite lands near the paper's ~13% mean software
+        // overhead; the per-workload spread is then emergent from each
+        // workload's syscall, context-switch and log-drain rates.
+        OverheadModel {
+            syscall_intercept_cycles: 680,
+            input_copy_cycles_per_byte: 2,
+            drain_base_cycles: 2_500,
+            drain_cycles_per_byte: 1,
+            mrr_switch_cycles: 500,
+            signal_intercept_cycles: 500,
+        }
+    }
+}
+
+/// Where recording time went, in cycles.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OverheadBreakdown {
+    /// Syscall interception.
+    pub syscall_cycles: u64,
+    /// Input-log copying.
+    pub copy_cycles: u64,
+    /// CMEM drain interrupts.
+    pub drain_cycles: u64,
+    /// Recorder save/restore at context switches.
+    pub switch_cycles: u64,
+    /// Signal interception.
+    pub signal_cycles: u64,
+    /// Hardware CBUF stalls (the only non-software source).
+    pub hw_stall_cycles: u64,
+}
+
+impl OverheadBreakdown {
+    /// Total software-stack cycles.
+    pub fn software_total(&self) -> u64 {
+        self.syscall_cycles
+            + self.copy_cycles
+            + self.drain_cycles
+            + self.switch_cycles
+            + self.signal_cycles
+    }
+
+    /// Total cycles including hardware stalls.
+    pub fn total(&self) -> u64 {
+        self.software_total() + self.hw_stall_cycles
+    }
+
+    /// `(label, cycles)` rows for experiment output, largest first.
+    pub fn rows(&self) -> Vec<(&'static str, u64)> {
+        let mut rows = vec![
+            ("syscall-intercept", self.syscall_cycles),
+            ("input-log-copy", self.copy_cycles),
+            ("cmem-drain", self.drain_cycles),
+            ("mrr-switch", self.switch_cycles),
+            ("signal-intercept", self.signal_cycles),
+            ("hw-cbuf-stall", self.hw_stall_cycles),
+        ];
+        rows.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_add_up() {
+        let b = OverheadBreakdown {
+            syscall_cycles: 10,
+            copy_cycles: 20,
+            drain_cycles: 30,
+            switch_cycles: 40,
+            signal_cycles: 5,
+            hw_stall_cycles: 7,
+        };
+        assert_eq!(b.software_total(), 105);
+        assert_eq!(b.total(), 112);
+    }
+
+    #[test]
+    fn rows_are_sorted_descending() {
+        let b = OverheadBreakdown { drain_cycles: 100, syscall_cycles: 50, ..Default::default() };
+        let rows = b.rows();
+        assert_eq!(rows[0], ("cmem-drain", 100));
+        assert_eq!(rows[1], ("syscall-intercept", 50));
+        assert!(rows.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}

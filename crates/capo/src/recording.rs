@@ -1,0 +1,321 @@
+//! Recording configuration and the recording artifact.
+
+use crate::input_log::InputLog;
+use crate::overhead::{OverheadBreakdown, OverheadModel};
+use qr_common::{QrError, Result};
+use qr_cpu::CpuConfig;
+use qr_mem::TsoMode;
+use qr_os::OsConfig;
+use quickrec_core::{ChunkLog, MrrConfig, RecorderStats};
+
+/// How much of the recording stack is active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecordingMode {
+    /// Hardware and the full Capo3 software stack (costs charged). The
+    /// default, and the only mode that produces replay-complete logs
+    /// with realistic overhead accounting.
+    #[default]
+    Full,
+    /// Recording hardware only: chunks are produced and drained by DMA,
+    /// but no software costs are charged (the paper's hardware-overhead
+    /// measurement).
+    HardwareOnly,
+}
+
+/// Everything a recording run needs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecordingConfig {
+    /// Machine configuration.
+    pub cpu: CpuConfig,
+    /// Kernel configuration.
+    pub os: OsConfig,
+    /// Recorder-hardware configuration.
+    pub mrr: MrrConfig,
+    /// RSM cost model.
+    pub overhead: OverheadModel,
+    /// Stack activation mode.
+    pub mode: RecordingMode,
+}
+
+impl RecordingConfig {
+    /// Validates all component configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first component's [`QrError::InvalidConfig`].
+    pub fn validate(&self) -> Result<()> {
+        self.cpu.validate()?;
+        self.os.validate()?;
+        self.mrr.validate()
+    }
+
+    /// Convenience: a config with `cores` cores, everything else default.
+    pub fn with_cores(cores: usize) -> RecordingConfig {
+        RecordingConfig {
+            cpu: CpuConfig { num_cores: cores, ..CpuConfig::default() },
+            ..RecordingConfig::default()
+        }
+    }
+}
+
+/// Metadata binding a recording to the binary and platform that produced
+/// it (the replayer refuses mismatches).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordingMeta {
+    /// Digest of the recorded program image.
+    pub program_fingerprint: u64,
+    /// TSO mode in effect (determines replay drain rules).
+    pub tso_mode: TsoMode,
+    /// Full machine configuration (replay must match it).
+    pub cpu: CpuConfig,
+    /// Full kernel configuration (stack layout must match).
+    pub os: OsConfig,
+}
+
+/// The artifact of one recorded execution.
+#[derive(Debug, Clone)]
+pub struct Recording {
+    /// The memory (chunk) log.
+    pub chunks: ChunkLog,
+    /// The input log.
+    pub inputs: InputLog,
+    /// Provenance and platform metadata.
+    pub meta: RecordingMeta,
+    /// Makespan in cycles (max per-core count).
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub instructions: u64,
+    /// Console output of the recorded run.
+    pub console: Vec<u8>,
+    /// Main thread's exit code.
+    pub exit_code: u32,
+    /// Architectural-outcome digest (memory + console + exit codes).
+    pub fingerprint: u64,
+    /// Recorder-hardware statistics.
+    pub recorder_stats: RecorderStats,
+    /// Where the recording overhead went.
+    pub overhead: OverheadBreakdown,
+}
+
+impl RecordingMeta {
+    const MAGIC: &'static [u8; 4] = b"QRM1";
+
+    /// Serializes the metadata (plus the scalar outcome fields passed in)
+    /// to a self-contained byte blob.
+    fn to_bytes(&self, outcome: &RecordingOutcomeFields) -> Vec<u8> {
+        use qr_common::varint::write_u64 as w;
+        let mut out = Vec::new();
+        out.extend_from_slice(Self::MAGIC);
+        w(&mut out, self.program_fingerprint);
+        out.push(match self.tso_mode {
+            TsoMode::DrainAtChunk => 0,
+            TsoMode::Rsw => 1,
+        });
+        // Machine configuration.
+        w(&mut out, self.cpu.num_cores as u64);
+        w(&mut out, self.cpu.drain_interval);
+        w(&mut out, self.cpu.mem.l1_sets as u64);
+        w(&mut out, self.cpu.mem.l1_ways as u64);
+        w(&mut out, self.cpu.mem.store_buffer_entries as u64);
+        w(&mut out, self.cpu.mem.miss_penalty);
+        w(&mut out, self.cpu.mem.intervention_penalty);
+        w(&mut out, self.cpu.mem.hit_cycles);
+        // Kernel configuration.
+        w(&mut out, self.os.quantum_cycles);
+        w(&mut out, self.os.stack_bytes as u64);
+        w(&mut out, self.os.stack_guard_bytes as u64);
+        w(&mut out, self.os.syscall_base_cycles);
+        w(&mut out, self.os.copy_cycles_per_byte);
+        w(&mut out, self.os.context_switch_cycles);
+        w(&mut out, self.os.input_seed);
+        w(&mut out, self.os.max_instructions);
+        // Outcome scalars.
+        w(&mut out, outcome.cycles);
+        w(&mut out, outcome.instructions);
+        w(&mut out, outcome.exit_code as u64);
+        w(&mut out, outcome.fingerprint);
+        w(&mut out, outcome.console.len() as u64);
+        out.extend_from_slice(&outcome.console);
+        out
+    }
+
+    // Sequential field-by-field decode reads clearer than a giant
+    // struct literal here.
+    #[allow(clippy::field_reassign_with_default)]
+    fn from_bytes(buf: &[u8]) -> Result<(RecordingMeta, RecordingOutcomeFields)> {
+        use qr_common::varint::read_u64;
+        if buf.len() < 4 || &buf[..4] != Self::MAGIC {
+            return Err(QrError::LogDecode("bad recording-meta magic".into()));
+        }
+        let mut off = 4usize;
+        let next = |buf: &[u8], off: &mut usize| -> Result<u64> {
+            let (v, n) = read_u64(&buf[*off..])?;
+            *off += n;
+            Ok(v)
+        };
+        let program_fingerprint = next(buf, &mut off)?;
+        let tso_mode = match buf.get(off) {
+            Some(0) => TsoMode::DrainAtChunk,
+            Some(1) => TsoMode::Rsw,
+            _ => return Err(QrError::LogDecode("bad tso mode".into())),
+        };
+        off += 1;
+        let mut cpu = CpuConfig::default();
+        cpu.num_cores = next(buf, &mut off)? as usize;
+        cpu.drain_interval = next(buf, &mut off)?;
+        cpu.mem.tso_mode = tso_mode;
+        cpu.mem.l1_sets = next(buf, &mut off)? as u32;
+        cpu.mem.l1_ways = next(buf, &mut off)? as u32;
+        cpu.mem.store_buffer_entries = next(buf, &mut off)? as usize;
+        cpu.mem.miss_penalty = next(buf, &mut off)?;
+        cpu.mem.intervention_penalty = next(buf, &mut off)?;
+        cpu.mem.hit_cycles = next(buf, &mut off)?;
+        let mut os = OsConfig::default();
+        os.quantum_cycles = next(buf, &mut off)?;
+        os.stack_bytes = next(buf, &mut off)? as u32;
+        os.stack_guard_bytes = next(buf, &mut off)? as u32;
+        os.syscall_base_cycles = next(buf, &mut off)?;
+        os.copy_cycles_per_byte = next(buf, &mut off)?;
+        os.context_switch_cycles = next(buf, &mut off)?;
+        os.input_seed = next(buf, &mut off)?;
+        os.max_instructions = next(buf, &mut off)?;
+        let cycles = next(buf, &mut off)?;
+        let instructions = next(buf, &mut off)?;
+        let exit_code = next(buf, &mut off)? as u32;
+        let fingerprint = next(buf, &mut off)?;
+        let console_len = next(buf, &mut off)? as usize;
+        let end = off
+            .checked_add(console_len)
+            .filter(|&e| e <= buf.len())
+            .ok_or_else(|| QrError::LogDecode("truncated console".into()))?;
+        let console = buf[off..end].to_vec();
+        Ok((
+            RecordingMeta { program_fingerprint, tso_mode, cpu, os },
+            RecordingOutcomeFields { cycles, instructions, exit_code, fingerprint, console },
+        ))
+    }
+}
+
+/// Scalar outcome fields persisted alongside the metadata.
+struct RecordingOutcomeFields {
+    cycles: u64,
+    instructions: u64,
+    exit_code: u32,
+    fingerprint: u64,
+    console: Vec<u8>,
+}
+
+impl Recording {
+    /// Memory-log bytes per 1000 recorded instructions — the paper's
+    /// log-generation-rate metric (E1), under the configured encoding.
+    pub fn log_bytes_per_kilo_instruction(&self, encoding: quickrec_core::Encoding) -> f64 {
+        if self.instructions == 0 {
+            return 0.0;
+        }
+        let bytes = self.chunks.to_bytes(encoding).len() as f64;
+        bytes * 1000.0 / self.instructions as f64
+    }
+
+    /// File names used by [`Recording::save`] within the target directory.
+    pub const META_FILE: &'static str = "meta.qrm";
+    /// Chunk-log file name.
+    pub const CHUNKS_FILE: &'static str = "chunks.qrl";
+    /// Input-log file name.
+    pub const INPUTS_FILE: &'static str = "inputs.qrl";
+
+    /// Persists the recording into `dir` (created if missing) as three
+    /// files: metadata, the chunk log (in the encoding of `encoding`) and
+    /// the input log.
+    ///
+    /// Recorder statistics and the overhead breakdown are measurement
+    /// artifacts and are not persisted; [`Recording::load`] returns them
+    /// zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] wrapping any I/O failure.
+    pub fn save(&self, dir: &std::path::Path, encoding: quickrec_core::Encoding) -> Result<()> {
+        let io = |e: std::io::Error| QrError::Execution { detail: format!("saving recording: {e}") };
+        std::fs::create_dir_all(dir).map_err(io)?;
+        let outcome = RecordingOutcomeFields {
+            cycles: self.cycles,
+            instructions: self.instructions,
+            exit_code: self.exit_code,
+            fingerprint: self.fingerprint,
+            console: self.console.clone(),
+        };
+        std::fs::write(dir.join(Self::META_FILE), self.meta.to_bytes(&outcome)).map_err(io)?;
+        std::fs::write(dir.join(Self::CHUNKS_FILE), self.chunks.to_bytes(encoding)).map_err(io)?;
+        std::fs::write(dir.join(Self::INPUTS_FILE), self.inputs.to_bytes()).map_err(io)?;
+        Ok(())
+    }
+
+    /// Loads a recording previously written by [`Recording::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] for I/O failures and
+    /// [`QrError::LogDecode`] for malformed files.
+    pub fn load(dir: &std::path::Path) -> Result<Recording> {
+        let io = |e: std::io::Error| QrError::Execution { detail: format!("loading recording: {e}") };
+        let (meta, outcome) =
+            RecordingMeta::from_bytes(&std::fs::read(dir.join(Self::META_FILE)).map_err(io)?)?;
+        let chunks =
+            ChunkLog::from_bytes(&std::fs::read(dir.join(Self::CHUNKS_FILE)).map_err(io)?)?;
+        let inputs =
+            InputLog::from_bytes(&std::fs::read(dir.join(Self::INPUTS_FILE)).map_err(io)?)?;
+        let recording = Recording {
+            chunks,
+            inputs,
+            meta,
+            cycles: outcome.cycles,
+            instructions: outcome.instructions,
+            console: outcome.console,
+            exit_code: outcome.exit_code,
+            fingerprint: outcome.fingerprint,
+            recorder_stats: RecorderStats::default(),
+            overhead: crate::overhead::OverheadBreakdown::default(),
+        };
+        recording.check_consistency()?;
+        Ok(recording)
+    }
+
+    /// Validates internal consistency (chunk instruction counts vs. the
+    /// retired total; monotonic timestamps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::LogDecode`] describing the inconsistency.
+    pub fn check_consistency(&self) -> Result<()> {
+        self.chunks.replay_schedule()?;
+        let chunk_instructions = self.chunks.total_instructions();
+        if chunk_instructions > self.instructions {
+            return Err(QrError::LogDecode(format!(
+                "chunks cover {chunk_instructions} instructions but only {} retired",
+                self.instructions
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        RecordingConfig::default().validate().unwrap();
+        assert_eq!(RecordingConfig::with_cores(2).cpu.num_cores, 2);
+    }
+
+    #[test]
+    fn invalid_component_is_caught() {
+        let mut cfg = RecordingConfig::default();
+        cfg.mrr.cbuf_entries = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = RecordingConfig::default();
+        cfg.os.quantum_cycles = 0;
+        assert!(cfg.validate().is_err());
+    }
+}

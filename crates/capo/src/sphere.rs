@@ -1,0 +1,86 @@
+//! Replay spheres.
+//!
+//! Capo3 organizes recorded execution into *replay spheres*: the set of
+//! threads recorded (and later replayed) together, isolated from the
+//! rest of the system. This reproduction runs one program per machine,
+//! so a sphere covers every thread of that program; the type still
+//! exists to carry sphere identity and lifecycle through the logs and
+//! the API, as in Capo3.
+
+use qr_common::ThreadId;
+
+/// Lifecycle of a sphere.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SphereState {
+    /// Recording in progress.
+    Recording,
+    /// Recording finished; logs are complete.
+    Closed,
+}
+
+/// One replay sphere: the recorded thread group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySphere {
+    id: u32,
+    state: SphereState,
+    threads: Vec<ThreadId>,
+}
+
+impl ReplaySphere {
+    /// Opens a sphere.
+    pub fn new(id: u32) -> ReplaySphere {
+        ReplaySphere { id, state: SphereState::Recording, threads: Vec::new() }
+    }
+
+    /// Sphere identifier.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Current state.
+    pub fn state(&self) -> SphereState {
+        self.state
+    }
+
+    /// Adds a thread to the sphere (spawn inside the sphere).
+    pub fn add_thread(&mut self, tid: ThreadId) {
+        if !self.threads.contains(&tid) {
+            self.threads.push(tid);
+        }
+    }
+
+    /// Threads recorded in this sphere, in creation order.
+    pub fn threads(&self) -> &[ThreadId] {
+        &self.threads
+    }
+
+    /// Whether the sphere records `tid`.
+    pub fn contains(&self, tid: ThreadId) -> bool {
+        self.threads.contains(&tid)
+    }
+
+    /// Closes the sphere (teardown).
+    pub fn close(&mut self) {
+        self.state = SphereState::Closed;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_membership() {
+        let mut s = ReplaySphere::new(1);
+        assert_eq!(s.state(), SphereState::Recording);
+        s.add_thread(ThreadId(0));
+        s.add_thread(ThreadId(1));
+        s.add_thread(ThreadId(0)); // duplicate ignored
+        assert_eq!(s.threads(), &[ThreadId(0), ThreadId(1)]);
+        assert!(s.contains(ThreadId(1)));
+        assert!(!s.contains(ThreadId(9)));
+        s.close();
+        assert_eq!(s.state(), SphereState::Closed);
+        assert_eq!(s.id(), 1);
+    }
+}

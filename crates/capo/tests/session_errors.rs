@@ -1,0 +1,87 @@
+//! Recording-session failure paths: bad configurations, runaway guests
+//! and deadlocks must surface as typed errors, never as hangs or panics.
+
+use qr_capo::{record, RecordingConfig};
+use qr_common::QrError;
+use qr_isa::{abi, Asm, Reg};
+
+#[test]
+fn invalid_configuration_is_rejected_before_running() {
+    let mut a = Asm::new();
+    a.halt();
+    let program = a.finish().unwrap();
+    let mut cfg = RecordingConfig::with_cores(0);
+    assert!(matches!(record(program.clone(), cfg.clone()), Err(QrError::InvalidConfig(_))));
+    cfg = RecordingConfig::with_cores(2);
+    cfg.mrr.read_sig_bits = 48;
+    assert!(matches!(record(program, cfg), Err(QrError::InvalidConfig(_))));
+}
+
+#[test]
+fn runaway_guest_hits_the_instruction_budget() {
+    let mut a = Asm::new();
+    a.label("spin");
+    a.jmp("spin");
+    let mut cfg = RecordingConfig::with_cores(1);
+    cfg.os.max_instructions = 5_000;
+    match record(a.finish().unwrap(), cfg) {
+        Err(QrError::BudgetExceeded { executed }) => assert!(executed > 5_000),
+        other => panic!("expected budget error, got {other:?}"),
+    }
+}
+
+#[test]
+fn recorded_deadlock_is_reported() {
+    let mut a = Asm::new();
+    a.data_word("never", &[0]);
+    a.movi_u(Reg::R0, abi::SYS_FUTEX_WAIT);
+    a.movi_sym(Reg::R1, "never");
+    a.movi(Reg::R2, 0);
+    a.syscall();
+    a.halt();
+    match record(a.finish().unwrap(), RecordingConfig::with_cores(2)) {
+        Err(QrError::Execution { detail }) => assert!(detail.contains("deadlock")),
+        other => panic!("expected deadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn guest_faults_are_recorded_not_fatal() {
+    // A crashing guest still yields a complete, replayable recording.
+    let mut a = Asm::new();
+    a.movi_u(Reg::R1, 0x9000_0000);
+    a.ld(Reg::R2, Reg::R1, 0); // unmapped -> fault -> thread killed
+    a.halt();
+    let program = a.finish().unwrap();
+    let recording = record(program.clone(), RecordingConfig::with_cores(1)).unwrap();
+    assert_eq!(recording.exit_code, 0xdead_0000);
+    qr_replay::replay_and_verify(&program, &recording).unwrap();
+}
+
+#[test]
+fn overhead_accounting_is_internally_consistent() {
+    let spec = qr_workloads::suite::find("water").unwrap();
+    let program = (spec.build)(3, qr_workloads::Scale::Test).unwrap();
+    let recording = record(program, RecordingConfig::with_cores(2)).unwrap();
+    let o = &recording.overhead;
+    assert_eq!(
+        o.software_total(),
+        o.syscall_cycles + o.copy_cycles + o.drain_cycles + o.switch_cycles + o.signal_cycles
+    );
+    assert!(o.total() >= o.software_total());
+    assert!(o.total() < recording.cycles, "overhead is a fraction of the run");
+}
+
+#[test]
+fn hardware_only_and_full_mode_share_logs_shape() {
+    // The two modes record the same program; their logs may differ in
+    // detail (timing-dependent interleaving) but both must replay.
+    let spec = qr_workloads::suite::find("fft").unwrap();
+    let program = (spec.build)(2, qr_workloads::Scale::Test).unwrap();
+    for mode in [qr_capo::RecordingMode::Full, qr_capo::RecordingMode::HardwareOnly] {
+        let cfg = RecordingConfig { mode, ..RecordingConfig::with_cores(2) };
+        let recording = record(program.clone(), cfg).unwrap();
+        qr_replay::replay_and_verify(&program, &recording)
+            .unwrap_or_else(|e| panic!("{mode:?}: {e}"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Workspace-wide error type.
+
+use std::fmt;
+
+/// Convenient result alias used across the workspace.
+pub type Result<T> = std::result::Result<T, QrError>;
+
+/// Errors produced anywhere in the QuickRec-RS stack.
+///
+/// Each variant carries enough context to diagnose the failure without a
+/// debugger; the `Display` form is a single lowercase sentence per the API
+/// guidelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum QrError {
+    /// Assembling a program failed (unknown label, bad operand, …).
+    Assemble(String),
+    /// The interpreter hit an instruction or state it cannot execute.
+    Execution {
+        /// Human-readable cause.
+        detail: String,
+    },
+    /// A guest memory access was outside the mapped address space.
+    MemoryFault {
+        /// Offending address.
+        addr: u32,
+        /// What the access was trying to do.
+        detail: String,
+    },
+    /// A configuration value was rejected.
+    InvalidConfig(String),
+    /// Decoding a recorded log failed.
+    LogDecode(String),
+    /// Replay diverged from the recorded execution.
+    ReplayDivergence(String),
+    /// The requested operation is not supported in the current mode.
+    Unsupported(String),
+    /// The simulation exceeded its instruction budget (likely livelock).
+    BudgetExceeded {
+        /// Instructions executed before giving up.
+        executed: u64,
+    },
+}
+
+impl fmt::Display for QrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QrError::Assemble(msg) => write!(f, "assembly failed: {msg}"),
+            QrError::Execution { detail } => write!(f, "execution error: {detail}"),
+            QrError::MemoryFault { addr, detail } => {
+                write!(f, "memory fault at {addr:#010x}: {detail}")
+            }
+            QrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            QrError::LogDecode(msg) => write!(f, "log decode failed: {msg}"),
+            QrError::ReplayDivergence(msg) => write!(f, "replay diverged: {msg}"),
+            QrError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
+            QrError::BudgetExceeded { executed } => {
+                write!(f, "instruction budget exceeded after {executed} instructions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = QrError::MemoryFault { addr: 0x10, detail: "store to unmapped page".into() };
+        let s = e.to_string();
+        assert!(s.contains("0x00000010"));
+        assert!(s.contains("store to unmapped"));
+        assert!(s.chars().next().unwrap().is_lowercase());
+    }
+
+    #[test]
+    fn error_trait_object_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<QrError>();
+        let boxed: Box<dyn std::error::Error + Send + Sync> = Box::new(QrError::Assemble("x".into()));
+        assert!(boxed.to_string().contains("assembly failed"));
+    }
+
+    #[test]
+    fn variants_round_trip_through_display() {
+        for e in [
+            QrError::Assemble("bad label".into()),
+            QrError::Execution { detail: "div by zero".into() },
+            QrError::InvalidConfig("cores must be > 0".into()),
+            QrError::LogDecode("truncated packet".into()),
+            QrError::ReplayDivergence("ic mismatch".into()),
+            QrError::Unsupported("rsw replay".into()),
+            QrError::BudgetExceeded { executed: 42 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Deterministic state fingerprinting.
+//!
+//! Record/replay validation compares the *architectural outcome* of two
+//! executions: final memory image, per-thread register files, console
+//! output and exit codes. A [`Fingerprint`] folds all of that into one
+//! 64-bit digest using FNV-1a with explicit domain separation, so a
+//! divergence anywhere in the state changes the digest with high
+//! probability.
+//!
+//! The hash is *not* cryptographic; it only needs to be fast, portable and
+//! deterministic across runs and platforms.
+//!
+//! # Example
+//!
+//! ```
+//! use qr_common::Fingerprint;
+//!
+//! let mut a = Fingerprint::new();
+//! a.field("mem", &[1, 2, 3]);
+//! let mut b = Fingerprint::new();
+//! b.field("mem", &[1, 2, 4]);
+//! assert_ne!(a.digest(), b.digest());
+//! ```
+
+use std::fmt;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Incremental FNV-1a digest over labelled fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprint {
+    /// Creates an empty fingerprint.
+    pub fn new() -> Self {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn bytes(&mut self, data: &[u8]) -> &mut Self {
+        for &b in data {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+        self
+    }
+
+    /// Absorbs a `u32` in little-endian order.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a `u64` in little-endian order.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Absorbs a labelled field: the label, a separator, the data, and a
+    /// length suffix, so `("ab", "c")` and `("a", "bc")` hash differently.
+    pub fn field(&mut self, label: &str, data: &[u8]) -> &mut Self {
+        self.bytes(label.as_bytes());
+        self.bytes(&[0xff]);
+        self.bytes(data);
+        self.u64(data.len() as u64)
+    }
+
+    /// Final 64-bit digest.
+    pub fn digest(&self) -> u64 {
+        // One extra round of mixing so trailing zero bytes still perturb
+        // the output.
+        let mut x = self.state;
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        x ^= x >> 33;
+        x
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.digest())
+    }
+}
+
+/// Hashes a single byte slice in one call.
+pub fn hash_bytes(data: &[u8]) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.bytes(data);
+    fp.digest()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_nonempty_differ() {
+        let empty = Fingerprint::new().digest();
+        let mut f = Fingerprint::new();
+        f.bytes(&[0]);
+        assert_ne!(empty, f.digest());
+    }
+
+    #[test]
+    fn field_boundaries_are_unambiguous() {
+        let mut a = Fingerprint::new();
+        a.field("ab", b"c");
+        let mut b = Fingerprint::new();
+        b.field("a", b"bc");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn order_matters() {
+        let mut a = Fingerprint::new();
+        a.field("x", b"1").field("y", b"2");
+        let mut b = Fingerprint::new();
+        b.field("y", b"2").field("x", b"1");
+        assert_ne!(a.digest(), b.digest());
+    }
+
+    #[test]
+    fn trailing_zeroes_change_the_digest() {
+        let a = hash_bytes(&[1, 2, 3]);
+        let b = hash_bytes(&[1, 2, 3, 0]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn deterministic_across_invocations() {
+        assert_eq!(hash_bytes(b"quickrec"), hash_bytes(b"quickrec"));
+    }
+
+    #[test]
+    fn display_is_16_hex_digits() {
+        let mut f = Fingerprint::new();
+        f.field("m", &[9]);
+        let s = f.to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn integer_helpers_match_byte_encoding() {
+        let mut a = Fingerprint::new();
+        a.u32(0x0403_0201);
+        let mut b = Fingerprint::new();
+        b.bytes(&[1, 2, 3, 4]);
+        assert_eq!(a.digest(), b.digest());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Shared foundation types for the QuickRec-RS workspace.
+//!
+//! This crate holds the small, dependency-free vocabulary used by every
+//! other crate in the reproduction of *QuickRec: prototyping an Intel
+//! architecture extension for record and replay of multithreaded programs*
+//! (ISCA 2013):
+//!
+//! - strongly-typed identifiers ([`CoreId`], [`ThreadId`], [`VirtAddr`],
+//!   [`LineAddr`], …),
+//! - the workspace-wide error type ([`QrError`]),
+//! - LEB128 varint and zigzag codecs used by the chunk-packet encodings
+//!   ([`varint`]),
+//! - a deterministic, seedable hash / PRNG pair used for state
+//!   fingerprinting and signature hashing ([`fingerprint`], [`rng`]).
+//!
+//! # Example
+//!
+//! ```
+//! use qr_common::{CoreId, VirtAddr, LineAddr};
+//!
+//! let addr = VirtAddr(0x1234_5678);
+//! assert_eq!(addr.line(), LineAddr(0x1234_5678 >> 6));
+//! assert_eq!(CoreId(2).to_string(), "core2");
+//! ```
+
+pub mod error;
+pub mod fingerprint;
+pub mod ids;
+pub mod rng;
+pub mod varint;
+
+pub use error::{QrError, Result};
+pub use fingerprint::Fingerprint;
+pub use ids::{CoreId, Cycle, LineAddr, Pid, ThreadId, VirtAddr, CACHE_LINE_BYTES};
+pub use rng::SplitMix64;

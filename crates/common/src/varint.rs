@@ -1,0 +1,210 @@
+//! LEB128 varint and zigzag codecs.
+//!
+//! The chunk-packet encodings in `quickrec-core` (`Packed` and `Delta`)
+//! store instruction counts, timestamps and timestamp deltas as
+//! variable-length integers. The format is standard unsigned LEB128 with
+//! zigzag mapping for signed deltas.
+//!
+//! # Example
+//!
+//! ```
+//! use qr_common::varint;
+//!
+//! let mut buf = Vec::new();
+//! varint::write_u64(&mut buf, 300);
+//! let (value, len) = varint::read_u64(&buf).unwrap();
+//! assert_eq!((value, len), (300, 2));
+//! ```
+
+use crate::error::{QrError, Result};
+
+/// Maximum encoded length of a `u64` varint in bytes.
+pub const MAX_LEN: usize = 10;
+
+/// Appends `value` to `buf` as unsigned LEB128, returning the encoded length.
+pub fn write_u64(buf: &mut Vec<u8>, mut value: u64) -> usize {
+    let start = buf.len();
+    loop {
+        let byte = (value & 0x7f) as u8;
+        value >>= 7;
+        if value == 0 {
+            buf.push(byte);
+            break;
+        }
+        buf.push(byte | 0x80);
+    }
+    buf.len() - start
+}
+
+/// Reads an unsigned LEB128 value from the front of `buf`.
+///
+/// Returns the decoded value and the number of bytes consumed.
+///
+/// # Errors
+///
+/// Returns [`QrError::LogDecode`] if `buf` ends mid-varint or the encoding
+/// overflows 64 bits.
+pub fn read_u64(buf: &[u8]) -> Result<(u64, usize)> {
+    let mut value: u64 = 0;
+    let mut shift = 0u32;
+    for (i, &byte) in buf.iter().enumerate() {
+        if shift >= 64 {
+            return Err(QrError::LogDecode("varint overflows u64".into()));
+        }
+        let payload = (byte & 0x7f) as u64;
+        if shift == 63 && payload > 1 {
+            return Err(QrError::LogDecode("varint overflows u64".into()));
+        }
+        value |= payload << shift;
+        if byte & 0x80 == 0 {
+            return Ok((value, i + 1));
+        }
+        shift += 7;
+    }
+    Err(QrError::LogDecode("truncated varint".into()))
+}
+
+/// Zigzag-encodes a signed value so small magnitudes use few LEB128 bytes.
+pub fn zigzag(value: i64) -> u64 {
+    ((value << 1) ^ (value >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+pub fn unzigzag(value: u64) -> i64 {
+    ((value >> 1) as i64) ^ -((value & 1) as i64)
+}
+
+/// Appends a signed value as zigzag LEB128, returning the encoded length.
+pub fn write_i64(buf: &mut Vec<u8>, value: i64) -> usize {
+    write_u64(buf, zigzag(value))
+}
+
+/// Reads a zigzag LEB128 signed value from the front of `buf`.
+///
+/// # Errors
+///
+/// Propagates [`read_u64`] errors.
+pub fn read_i64(buf: &[u8]) -> Result<(i64, usize)> {
+    let (raw, len) = read_u64(buf)?;
+    Ok((unzigzag(raw), len))
+}
+
+/// Number of bytes [`write_u64`] would emit for `value`.
+pub fn encoded_len(value: u64) -> usize {
+    if value == 0 {
+        1
+    } else {
+        (64 - value.leading_zeros() as usize).div_ceil(7)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_values_take_one_byte() {
+        for v in 0..128u64 {
+            let mut buf = Vec::new();
+            assert_eq!(write_u64(&mut buf, v), 1);
+            assert_eq!(read_u64(&buf).unwrap(), (v, 1));
+        }
+    }
+
+    #[test]
+    fn boundary_values_round_trip() {
+        for v in [127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            let len = write_u64(&mut buf, v);
+            assert_eq!(len, encoded_len(v), "encoded_len matches actual for {v}");
+            assert_eq!(read_u64(&buf).unwrap(), (v, len));
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let mut buf = Vec::new();
+        write_u64(&mut buf, u64::MAX);
+        for cut in 0..buf.len() {
+            assert!(read_u64(&buf[..cut]).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn overlong_encoding_is_an_error() {
+        // 11 continuation bytes cannot fit in a u64.
+        let buf = [0x80u8; 10]
+            .iter()
+            .copied()
+            .chain(std::iter::once(0x01))
+            .collect::<Vec<_>>();
+        assert!(read_u64(&buf).is_err());
+    }
+
+    #[test]
+    fn zigzag_maps_small_magnitudes_to_small_codes() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+        for v in [-1_000_000i64, -1, 0, 1, 42, i64::MIN, i64::MAX] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+    }
+
+    #[test]
+    fn signed_round_trip() {
+        for v in [i64::MIN, -300, -1, 0, 1, 300, i64::MAX] {
+            let mut buf = Vec::new();
+            let len = write_i64(&mut buf, v);
+            assert_eq!(read_i64(&buf).unwrap(), (v, len));
+        }
+    }
+
+    #[test]
+    fn sequential_decode_consumes_exact_lengths() {
+        let values = [0u64, 1, 127, 128, 99999, u64::MAX];
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_u64(&mut buf, v);
+        }
+        let mut off = 0;
+        for &v in &values {
+            let (got, len) = read_u64(&buf[off..]).unwrap();
+            assert_eq!(got, v);
+            off += len;
+        }
+        assert_eq!(off, buf.len());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn u64_round_trips(v in any::<u64>()) {
+            let mut buf = Vec::new();
+            let len = write_u64(&mut buf, v);
+            prop_assert_eq!(len, encoded_len(v));
+            prop_assert_eq!(read_u64(&buf).unwrap(), (v, len));
+        }
+
+        #[test]
+        fn i64_round_trips(v in any::<i64>()) {
+            let mut buf = Vec::new();
+            let len = write_i64(&mut buf, v);
+            prop_assert_eq!(read_i64(&buf).unwrap(), (v, len));
+        }
+
+        #[test]
+        fn decode_never_reads_past_terminator(v in any::<u64>(), junk in any::<Vec<u8>>()) {
+            let mut buf = Vec::new();
+            let len = write_u64(&mut buf, v);
+            buf.extend_from_slice(&junk);
+            prop_assert_eq!(read_u64(&buf).unwrap(), (v, len));
+        }
+    }
+}

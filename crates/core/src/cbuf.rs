@@ -1,0 +1,184 @@
+//! The per-core chunk buffer (CBUF).
+//!
+//! Terminated chunks queue in a small hardware buffer; a DMA engine moves
+//! one packet to the CMEM region every `drain_cycles` cycles of core
+//! time. If the buffer is full when a chunk terminates, the core stalls
+//! for one DMA period while the oldest packet is forced out — the only
+//! way the recording hardware slows the processor down, and the quantity
+//! experiment A2 sweeps.
+//!
+//! Drive the model with [`Cbuf::advance`] (elapsed core cycles), push
+//! packets with [`Cbuf::push`], and collect DMA-completed packets with
+//! [`Cbuf::pop_drained`].
+
+use crate::chunk::ChunkPacket;
+use std::collections::VecDeque;
+
+/// A bounded chunk queue with a constant-rate DMA drain.
+#[derive(Debug, Clone)]
+pub struct Cbuf {
+    /// Packets waiting for the DMA engine.
+    queue: VecDeque<ChunkPacket>,
+    /// Packets the DMA has moved out, awaiting collection into CMEM.
+    ready: VecDeque<ChunkPacket>,
+    capacity: usize,
+    drain_cycles: u64,
+    /// Core cycles accumulated toward the next DMA completion.
+    elapsed: u64,
+    total_stall_cycles: u64,
+}
+
+impl Cbuf {
+    /// Creates a buffer of `capacity` packets drained at one packet per
+    /// `drain_cycles` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (validated by `MrrConfig`).
+    pub fn new(capacity: usize, drain_cycles: u64) -> Cbuf {
+        assert!(capacity > 0, "cbuf capacity must be nonzero");
+        Cbuf {
+            queue: VecDeque::with_capacity(capacity),
+            ready: VecDeque::new(),
+            capacity,
+            drain_cycles: drain_cycles.max(1),
+            elapsed: 0,
+            total_stall_cycles: 0,
+        }
+    }
+
+    /// Packets still waiting for DMA.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether no packets wait for DMA.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Advances DMA time by `cycles` of core execution, moving packets to
+    /// the ready stage as their transfers complete.
+    pub fn advance(&mut self, cycles: u64) {
+        self.elapsed += cycles;
+        while self.elapsed >= self.drain_cycles {
+            self.elapsed -= self.drain_cycles;
+            match self.queue.pop_front() {
+                Some(p) => self.ready.push_back(p),
+                None => {
+                    // Idle DMA does not bank time.
+                    self.elapsed = 0;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Pushes a terminated chunk, returning the stall cycles the core
+    /// suffered (nonzero only when the buffer was full, in which case the
+    /// core waited one DMA period for the oldest packet to leave).
+    pub fn push(&mut self, packet: ChunkPacket) -> u64 {
+        let mut stall = 0;
+        if self.queue.len() >= self.capacity {
+            stall = self.drain_cycles;
+            self.total_stall_cycles += stall;
+            let oldest = self.queue.pop_front().expect("full queue is nonempty");
+            self.ready.push_back(oldest);
+        }
+        self.queue.push_back(packet);
+        stall
+    }
+
+    /// Pops the next DMA-completed packet, if any.
+    pub fn pop_drained(&mut self) -> Option<ChunkPacket> {
+        self.ready.pop_front()
+    }
+
+    /// Forces every packet out, queued or ready (sphere teardown).
+    pub fn flush(&mut self) -> Vec<ChunkPacket> {
+        self.elapsed = 0;
+        self.ready.drain(..).chain(self.queue.drain(..)).collect()
+    }
+
+    /// Cumulative stall cycles caused by buffer pressure.
+    pub fn total_stall_cycles(&self) -> u64 {
+        self.total_stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::TerminationReason;
+    use qr_common::{CoreId, Cycle, ThreadId};
+
+    fn packet(n: u64) -> ChunkPacket {
+        ChunkPacket {
+            tid: ThreadId(0),
+            core: CoreId(0),
+            icount: n,
+            timestamp: Cycle(n),
+            rsw: 0,
+            reason: TerminationReason::Syscall,
+        }
+    }
+
+    #[test]
+    fn dma_completes_one_packet_per_period() {
+        let mut b = Cbuf::new(4, 10);
+        b.push(packet(1));
+        b.push(packet(2));
+        assert!(b.pop_drained().is_none(), "no time has passed");
+        b.advance(10);
+        assert_eq!(b.pop_drained().unwrap().icount, 1);
+        assert!(b.pop_drained().is_none());
+        b.advance(25);
+        assert_eq!(b.pop_drained().unwrap().icount, 2);
+    }
+
+    #[test]
+    fn order_is_fifo_end_to_end() {
+        let mut b = Cbuf::new(4, 1);
+        for n in 1..=4 {
+            b.push(packet(n));
+        }
+        b.advance(4);
+        let order: Vec<u64> = std::iter::from_fn(|| b.pop_drained()).map(|p| p.icount).collect();
+        assert_eq!(order, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn full_buffer_stalls_and_forces_oldest_out() {
+        let mut b = Cbuf::new(2, 7);
+        assert_eq!(b.push(packet(1)), 0);
+        assert_eq!(b.push(packet(2)), 0);
+        let stall = b.push(packet(3));
+        assert_eq!(stall, 7);
+        assert_eq!(b.total_stall_cycles(), 7);
+        // The forced packet is not lost.
+        assert_eq!(b.pop_drained().unwrap().icount, 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn idle_dma_does_not_bank_time() {
+        let mut b = Cbuf::new(4, 10);
+        b.advance(1000); // nothing queued
+        b.push(packet(1));
+        assert!(b.pop_drained().is_none(), "banked idle time must not drain instantly");
+        b.advance(10);
+        assert!(b.pop_drained().is_some());
+    }
+
+    #[test]
+    fn flush_returns_ready_then_queued() {
+        let mut b = Cbuf::new(4, 10);
+        b.push(packet(1));
+        b.advance(10);
+        b.push(packet(2));
+        let all: Vec<u64> = b.flush().into_iter().map(|p| p.icount).collect();
+        assert_eq!(all, vec![1, 2]);
+        assert!(b.is_empty());
+        assert!(b.pop_drained().is_none());
+    }
+}

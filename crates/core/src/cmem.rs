@@ -1,0 +1,139 @@
+//! The CMEM region: software-managed memory the DMA engine fills.
+//!
+//! Capo3 configures a physical memory region per replay sphere; the
+//! recording hardware appends encoded chunk packets to it and raises an
+//! interrupt when the fill level passes a threshold, at which point the
+//! replay-sphere manager copies the contents out to the user-space log.
+//! The copy cost is the dominant software overhead the paper measures.
+
+use crate::chunk::ChunkPacket;
+use crate::encoding::Encoding;
+use qr_common::Cycle;
+
+/// A bounded append-only packet region with a fill-level interrupt.
+#[derive(Debug, Clone)]
+pub struct Cmem {
+    packets: Vec<ChunkPacket>,
+    bytes: usize,
+    capacity: usize,
+    threshold: usize,
+    encoding: Encoding,
+    prev_ts: Cycle,
+    total_bytes: u64,
+    total_drains: u64,
+}
+
+impl Cmem {
+    /// Creates a region of `capacity` bytes that raises its interrupt at
+    /// `threshold` bytes, encoding packets with `encoding`.
+    pub fn new(capacity: usize, threshold: usize, encoding: Encoding) -> Cmem {
+        Cmem {
+            packets: Vec::new(),
+            bytes: 0,
+            capacity,
+            threshold,
+            encoding,
+            prev_ts: Cycle(0),
+            total_bytes: 0,
+            total_drains: 0,
+        }
+    }
+
+    /// Appends one packet, accounting its encoded size.
+    pub fn append(&mut self, packet: &ChunkPacket) {
+        let mut scratch = Vec::with_capacity(24);
+        self.encoding.encode_packet(packet, self.prev_ts, &mut scratch);
+        self.prev_ts = packet.timestamp;
+        self.bytes += scratch.len();
+        self.total_bytes += scratch.len() as u64;
+        self.packets.push(*packet);
+    }
+
+    /// Current fill level in bytes.
+    pub fn fill_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// Whether the fill level has reached the interrupt threshold (or the
+    /// region is outright full).
+    pub fn interrupt_pending(&self) -> bool {
+        self.bytes >= self.threshold.min(self.capacity)
+    }
+
+    /// Empties the region (the RSM interrupt handler), returning the
+    /// packets and the bytes they occupied.
+    pub fn drain(&mut self) -> (Vec<ChunkPacket>, usize) {
+        let bytes = std::mem::take(&mut self.bytes);
+        if !self.packets.is_empty() {
+            self.total_drains += 1;
+        }
+        (std::mem::take(&mut self.packets), bytes)
+    }
+
+    /// Total encoded bytes ever appended (the memory-log volume).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Number of nonempty drains (≈ interrupts serviced).
+    pub fn total_drains(&self) -> u64 {
+        self.total_drains
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::TerminationReason;
+    use qr_common::{CoreId, ThreadId};
+
+    fn packet(ts: u64) -> ChunkPacket {
+        ChunkPacket {
+            tid: ThreadId(0),
+            core: CoreId(0),
+            icount: 100,
+            timestamp: Cycle(ts),
+            rsw: 0,
+            reason: TerminationReason::Syscall,
+        }
+    }
+
+    #[test]
+    fn interrupt_raises_at_threshold() {
+        let mut m = Cmem::new(1000, 40, Encoding::Raw);
+        assert!(!m.interrupt_pending());
+        m.append(&packet(1)); // 20 bytes raw
+        assert!(!m.interrupt_pending());
+        m.append(&packet(2));
+        assert!(m.interrupt_pending());
+    }
+
+    #[test]
+    fn drain_resets_fill_but_keeps_totals() {
+        let mut m = Cmem::new(1000, 40, Encoding::Raw);
+        m.append(&packet(1));
+        m.append(&packet(2));
+        let (packets, bytes) = m.drain();
+        assert_eq!(packets.len(), 2);
+        assert_eq!(bytes, 40);
+        assert_eq!(m.fill_bytes(), 0);
+        assert!(!m.interrupt_pending());
+        assert_eq!(m.total_bytes(), 40);
+        assert_eq!(m.total_drains(), 1);
+        let (empty, zero) = m.drain();
+        assert!(empty.is_empty());
+        assert_eq!(zero, 0);
+        assert_eq!(m.total_drains(), 1, "empty drains are not counted");
+    }
+
+    #[test]
+    fn delta_encoding_accounts_fewer_bytes_than_raw() {
+        let mut raw = Cmem::new(1 << 20, 1 << 20, Encoding::Raw);
+        let mut delta = Cmem::new(1 << 20, 1 << 20, Encoding::Delta);
+        for ts in 1..100u64 {
+            raw.append(&packet(ts * 7));
+            delta.append(&packet(ts * 7));
+        }
+        assert!(delta.total_bytes() < raw.total_bytes());
+    }
+}

@@ -1,0 +1,123 @@
+//! Recording-hardware configuration.
+
+use crate::encoding::Encoding;
+use qr_common::{QrError, Result};
+
+/// Parameters of the per-core memory race recorder and its buffering path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MrrConfig {
+    /// Read-signature size in bits (power of two, >= 64).
+    pub read_sig_bits: u32,
+    /// Write-signature size in bits (power of two, >= 64).
+    pub write_sig_bits: u32,
+    /// Hash functions per signature.
+    pub sig_hashes: u32,
+    /// Occupancy limit in permille; a chunk terminates when either
+    /// signature passes it (false-positive pressure control).
+    pub sig_saturation_permille: u32,
+    /// Maximum user instructions per chunk (counter width).
+    pub max_chunk_icount: u64,
+    /// CBUF capacity in packets.
+    pub cbuf_entries: usize,
+    /// DMA cycles to move one packet from CBUF to CMEM (determines the
+    /// stall seen when the CBUF is full).
+    pub cbuf_drain_cycles: u64,
+    /// CMEM capacity in bytes.
+    pub cmem_capacity: usize,
+    /// CMEM fill level (bytes) at which the drain interrupt raises.
+    pub cmem_interrupt_threshold: usize,
+    /// On-disk packet encoding.
+    pub encoding: Encoding,
+    /// Track exact line sets alongside signatures to measure the
+    /// false-positive conflict rate (evaluation aid; real hardware has no
+    /// such mode).
+    pub track_exact_sets: bool,
+}
+
+impl Default for MrrConfig {
+    fn default() -> Self {
+        // Sized like the paper's prototype structures: kilobit-scale
+        // signatures, a 1 Mi-instruction chunk counter, a small CBUF and
+        // a 64 KiB CMEM drained at half occupancy.
+        MrrConfig {
+            read_sig_bits: 2048,
+            write_sig_bits: 1024,
+            sig_hashes: 2,
+            sig_saturation_permille: 500,
+            max_chunk_icount: 1 << 20,
+            cbuf_entries: 64,
+            cbuf_drain_cycles: 16,
+            // The CMEM region is scaled to the reproduction's workload
+            // sizes (the prototype used a multi-MiB region for
+            // billion-instruction runs): small enough that the drain
+            // interrupt actually fires during reference-scale recordings.
+            cmem_capacity: 4 * 1024,
+            cmem_interrupt_threshold: 1024,
+            encoding: Encoding::Delta,
+            track_exact_sets: false,
+        }
+    }
+}
+
+impl MrrConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::InvalidConfig`] describing the first violated
+    /// constraint.
+    pub fn validate(&self) -> Result<()> {
+        for (name, bits) in [("read_sig_bits", self.read_sig_bits), ("write_sig_bits", self.write_sig_bits)]
+        {
+            if bits < 64 || !bits.is_power_of_two() {
+                return Err(QrError::InvalidConfig(format!(
+                    "{name} must be a power of two >= 64, got {bits}"
+                )));
+            }
+        }
+        if self.sig_hashes == 0 || self.sig_hashes > 8 {
+            return Err(QrError::InvalidConfig("sig_hashes must be in 1..=8".into()));
+        }
+        if self.sig_saturation_permille == 0 || self.sig_saturation_permille > 1000 {
+            return Err(QrError::InvalidConfig(
+                "sig_saturation_permille must be in 1..=1000".into(),
+            ));
+        }
+        if self.max_chunk_icount == 0 {
+            return Err(QrError::InvalidConfig("max_chunk_icount must be nonzero".into()));
+        }
+        if self.cbuf_entries == 0 {
+            return Err(QrError::InvalidConfig("cbuf_entries must be nonzero".into()));
+        }
+        if self.cmem_interrupt_threshold > self.cmem_capacity {
+            return Err(QrError::InvalidConfig(
+                "cmem_interrupt_threshold exceeds cmem_capacity".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        MrrConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn each_constraint_is_enforced() {
+        let ok = MrrConfig::default;
+        assert!(MrrConfig { read_sig_bits: 48, ..ok() }.validate().is_err());
+        assert!(MrrConfig { write_sig_bits: 1000, ..ok() }.validate().is_err());
+        assert!(MrrConfig { sig_hashes: 0, ..ok() }.validate().is_err());
+        assert!(MrrConfig { sig_hashes: 9, ..ok() }.validate().is_err());
+        assert!(MrrConfig { sig_saturation_permille: 0, ..ok() }.validate().is_err());
+        assert!(MrrConfig { sig_saturation_permille: 1500, ..ok() }.validate().is_err());
+        assert!(MrrConfig { max_chunk_icount: 0, ..ok() }.validate().is_err());
+        assert!(MrrConfig { cbuf_entries: 0, ..ok() }.validate().is_err());
+        assert!(MrrConfig { cmem_interrupt_threshold: 1 << 30, ..ok() }.validate().is_err());
+    }
+}

@@ -1,0 +1,319 @@
+//! Chunk-packet log encodings.
+//!
+//! The paper evaluates how chunk packets are compressed before they are
+//! written to memory, since log footprint determines how long recording
+//! can stay on. Three formats are modeled (experiment E4 compares them):
+//!
+//! | Encoding | Layout |
+//! |---|---|
+//! | `Raw`    | fixed 20 bytes: tid u32, core u8, reason u8, rsw u8, pad, icount u32, timestamp u64 |
+//! | `Packed` | all fields as LEB128 varints |
+//! | `Delta`  | like `Packed` but the timestamp is a zigzag delta against the previous packet in the stream |
+//!
+//! Streams are self-describing: byte 0 is the encoding tag, then a varint
+//! packet count, then the packets.
+
+use crate::chunk::{ChunkPacket, TerminationReason};
+use qr_common::{varint, CoreId, Cycle, QrError, Result, ThreadId};
+
+/// On-disk chunk-packet format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Encoding {
+    /// Fixed-size 20-byte packets (the hardware's native format plus the
+    /// software thread tag).
+    Raw,
+    /// Varint-packed fields.
+    Packed,
+    /// Varint-packed fields with timestamp deltas. The default.
+    #[default]
+    Delta,
+}
+
+impl Encoding {
+    /// All encodings.
+    pub const ALL: [Encoding; 3] = [Encoding::Raw, Encoding::Packed, Encoding::Delta];
+
+    /// Stable stream tag.
+    pub fn tag(self) -> u8 {
+        match self {
+            Encoding::Raw => 0,
+            Encoding::Packed => 1,
+            Encoding::Delta => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> Option<Encoding> {
+        Encoding::ALL.into_iter().find(|e| e.tag() == tag)
+    }
+
+    /// Short name for experiment output.
+    pub fn name(self) -> &'static str {
+        match self {
+            Encoding::Raw => "raw",
+            Encoding::Packed => "packed",
+            Encoding::Delta => "delta",
+        }
+    }
+
+    /// Encodes one packet, appending to `out`. `prev_ts` is the previous
+    /// packet's timestamp in stream order (used by `Delta`).
+    pub fn encode_packet(self, packet: &ChunkPacket, prev_ts: Cycle, out: &mut Vec<u8>) {
+        match self {
+            Encoding::Raw => {
+                out.extend_from_slice(&packet.tid.0.to_le_bytes());
+                out.push(packet.core.0);
+                out.push(packet.reason.code());
+                out.push(packet.rsw);
+                out.push(0);
+                out.extend_from_slice(&(packet.icount as u32).to_le_bytes());
+                out.extend_from_slice(&packet.timestamp.0.to_le_bytes());
+            }
+            Encoding::Packed | Encoding::Delta => {
+                varint::write_u64(out, packet.tid.0 as u64);
+                out.push(packet.core.0);
+                out.push(packet.reason.code());
+                out.push(packet.rsw);
+                varint::write_u64(out, packet.icount);
+                if self == Encoding::Delta {
+                    varint::write_i64(out, packet.timestamp.0 as i64 - prev_ts.0 as i64);
+                } else {
+                    varint::write_u64(out, packet.timestamp.0);
+                }
+            }
+        }
+    }
+
+    /// Decodes one packet from the front of `buf`, returning it and the
+    /// bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::LogDecode`] on truncation or malformed fields.
+    pub fn decode_packet(self, buf: &[u8], prev_ts: Cycle) -> Result<(ChunkPacket, usize)> {
+        let truncated = || QrError::LogDecode("truncated chunk packet".into());
+        match self {
+            Encoding::Raw => {
+                if buf.len() < 20 {
+                    return Err(truncated());
+                }
+                let tid = u32::from_le_bytes(buf[0..4].try_into().expect("sized"));
+                let core = buf[4];
+                let reason = TerminationReason::from_code(buf[5])
+                    .ok_or_else(|| QrError::LogDecode(format!("bad reason code {}", buf[5])))?;
+                let rsw = buf[6];
+                let icount = u32::from_le_bytes(buf[8..12].try_into().expect("sized")) as u64;
+                let ts = u64::from_le_bytes(buf[12..20].try_into().expect("sized"));
+                Ok((
+                    ChunkPacket {
+                        tid: ThreadId(tid),
+                        core: CoreId(core),
+                        icount,
+                        timestamp: Cycle(ts),
+                        rsw,
+                        reason,
+                    },
+                    20,
+                ))
+            }
+            Encoding::Packed | Encoding::Delta => {
+                let mut off = 0usize;
+                let (tid, n) = varint::read_u64(&buf[off..])?;
+                off += n;
+                if buf.len() < off + 3 {
+                    return Err(truncated());
+                }
+                let core = buf[off];
+                let reason = TerminationReason::from_code(buf[off + 1]).ok_or_else(|| {
+                    QrError::LogDecode(format!("bad reason code {}", buf[off + 1]))
+                })?;
+                let rsw = buf[off + 2];
+                off += 3;
+                let (icount, n) = varint::read_u64(&buf[off..])?;
+                off += n;
+                let ts = if self == Encoding::Delta {
+                    let (delta, n) = varint::read_i64(&buf[off..])?;
+                    off += n;
+                    let ts = prev_ts.0 as i64 + delta;
+                    if ts < 0 {
+                        return Err(QrError::LogDecode("negative timestamp".into()));
+                    }
+                    ts as u64
+                } else {
+                    let (ts, n) = varint::read_u64(&buf[off..])?;
+                    off += n;
+                    ts
+                };
+                Ok((
+                    ChunkPacket {
+                        tid: ThreadId(tid as u32),
+                        core: CoreId(core),
+                        icount,
+                        timestamp: Cycle(ts),
+                        rsw,
+                        reason,
+                    },
+                    off,
+                ))
+            }
+        }
+    }
+
+    /// Encodes a whole stream (tag + count + packets, in the given order).
+    pub fn encode_stream(self, packets: &[ChunkPacket]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(packets.len() * 8 + 8);
+        out.push(self.tag());
+        varint::write_u64(&mut out, packets.len() as u64);
+        let mut prev = Cycle(0);
+        for p in packets {
+            self.encode_packet(p, prev, &mut out);
+            prev = p.timestamp;
+        }
+        out
+    }
+
+    /// Decodes a stream produced by [`Encoding::encode_stream`] (of any
+    /// encoding — the tag selects the codec).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::LogDecode`] on malformed input.
+    pub fn decode_stream(buf: &[u8]) -> Result<Vec<ChunkPacket>> {
+        let Some(&tag) = buf.first() else {
+            return Err(QrError::LogDecode("empty stream".into()));
+        };
+        let encoding = Encoding::from_tag(tag)
+            .ok_or_else(|| QrError::LogDecode(format!("unknown encoding tag {tag}")))?;
+        let mut off = 1usize;
+        let (count, n) = varint::read_u64(&buf[off..])?;
+        off += n;
+        if count > buf.len() as u64 * 2 {
+            return Err(QrError::LogDecode(format!("implausible packet count {count}")));
+        }
+        let mut packets = Vec::with_capacity(count as usize);
+        let mut prev = Cycle(0);
+        for _ in 0..count {
+            let (p, n) = encoding.decode_packet(&buf[off..], prev)?;
+            off += n;
+            prev = p.timestamp;
+            packets.push(p);
+        }
+        Ok(packets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packets() -> Vec<ChunkPacket> {
+        let mut out = Vec::new();
+        let mut ts = 0u64;
+        for i in 0..50u32 {
+            ts += 3 + (i as u64 % 17);
+            out.push(ChunkPacket {
+                tid: ThreadId(i % 4),
+                core: CoreId((i % 4) as u8),
+                icount: (i as u64 * 131) % 5000,
+                timestamp: Cycle(ts),
+                rsw: (i % 5) as u8,
+                reason: TerminationReason::ALL[(i as usize) % TerminationReason::ALL.len()],
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn all_encodings_round_trip() {
+        let ps = packets();
+        for enc in Encoding::ALL {
+            let buf = enc.encode_stream(&ps);
+            let back = Encoding::decode_stream(&buf).unwrap();
+            assert_eq!(back, ps, "{enc:?} failed");
+        }
+    }
+
+    #[test]
+    fn delta_beats_packed_beats_raw_on_monotonic_streams() {
+        let ps = packets();
+        let raw = Encoding::Raw.encode_stream(&ps).len();
+        let packed = Encoding::Packed.encode_stream(&ps).len();
+        let delta = Encoding::Delta.encode_stream(&ps).len();
+        assert!(packed < raw, "packed {packed} < raw {raw}");
+        assert!(delta < packed, "delta {delta} < packed {packed}");
+    }
+
+    #[test]
+    fn raw_is_exactly_20_bytes_per_packet() {
+        let ps = packets();
+        let buf = Encoding::Raw.encode_stream(&ps);
+        let header = 1 + qr_common::varint::encoded_len(ps.len() as u64);
+        assert_eq!(buf.len(), header + 20 * ps.len());
+    }
+
+    #[test]
+    fn truncated_streams_error() {
+        let ps = packets();
+        for enc in Encoding::ALL {
+            let buf = enc.encode_stream(&ps);
+            for cut in [1usize, 2, buf.len() / 2, buf.len() - 1] {
+                assert!(Encoding::decode_stream(&buf[..cut]).is_err(), "{enc:?} cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tag_and_bad_reason_error() {
+        assert!(Encoding::decode_stream(&[99, 0]).is_err());
+        let mut buf = Encoding::Raw.encode_stream(&packets()[..1]);
+        buf[2 + 5] = 77; // corrupt the reason byte of the first packet
+        assert!(Encoding::decode_stream(&buf).is_err());
+    }
+
+    #[test]
+    fn empty_stream_round_trips() {
+        for enc in Encoding::ALL {
+            let buf = enc.encode_stream(&[]);
+            assert_eq!(Encoding::decode_stream(&buf).unwrap(), vec![]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_packet() -> impl Strategy<Value = ChunkPacket> {
+        (
+            any::<u16>(),
+            0u8..8,
+            any::<u32>(),
+            any::<u32>(),
+            any::<u8>(),
+            0usize..TerminationReason::ALL.len(),
+        )
+            .prop_map(|(tid, core, icount, ts, rsw, reason)| ChunkPacket {
+                tid: ThreadId(tid as u32),
+                core: CoreId(core),
+                icount: icount as u64,
+                timestamp: Cycle(ts as u64),
+                rsw,
+                reason: TerminationReason::ALL[reason],
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn streams_round_trip(ps in proptest::collection::vec(arb_packet(), 0..64)) {
+            for enc in Encoding::ALL {
+                let buf = enc.encode_stream(&ps);
+                prop_assert_eq!(Encoding::decode_stream(&buf).unwrap(), ps.clone());
+            }
+        }
+
+        #[test]
+        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = Encoding::decode_stream(&bytes);
+        }
+    }
+}

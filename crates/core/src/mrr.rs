@@ -1,0 +1,489 @@
+//! The per-core memory race recorder (MRR) and the machine-wide bank.
+//!
+//! Each core gets one [`MrrUnit`]. While a thread of a recorded replay
+//! sphere runs in user mode, the unit accumulates the thread's current
+//! chunk: the retired-instruction counter and the read/write signatures.
+//! Remote coherence traffic is checked against the signatures; a hit
+//! terminates the chunk (the hardware "closes" it before the conflicting
+//! access is serviced, which is what makes timestamp order a legal
+//! serialization).
+//!
+//! The [`RecorderBank`] owns all units plus the CBUF→CMEM buffering path
+//! and the recorder statistics.
+
+use crate::cbuf::Cbuf;
+use crate::chunk::{ChunkPacket, TerminationReason};
+use crate::cmem::Cmem;
+use crate::config::MrrConfig;
+use crate::signature::Signature;
+use crate::stats::RecorderStats;
+use qr_common::{CoreId, Cycle, LineAddr, ThreadId};
+use std::collections::HashSet;
+
+/// Per-core recording hardware state.
+#[derive(Debug, Clone)]
+pub struct MrrUnit {
+    core: CoreId,
+    read_sig: Signature,
+    write_sig: Signature,
+    exact_read: Option<HashSet<LineAddr>>,
+    exact_write: Option<HashSet<LineAddr>>,
+    icount: u64,
+    owner: Option<ThreadId>,
+    max_chunk_icount: u64,
+    saturation_permille: u32,
+}
+
+impl MrrUnit {
+    fn new(core: CoreId, cfg: &MrrConfig) -> MrrUnit {
+        let exact = cfg.track_exact_sets;
+        MrrUnit {
+            core,
+            read_sig: Signature::new(cfg.read_sig_bits, cfg.sig_hashes),
+            write_sig: Signature::new(cfg.write_sig_bits, cfg.sig_hashes),
+            exact_read: exact.then(HashSet::new),
+            exact_write: exact.then(HashSet::new),
+            icount: 0,
+            owner: None,
+            max_chunk_icount: cfg.max_chunk_icount,
+            saturation_permille: cfg.sig_saturation_permille,
+        }
+    }
+
+    /// The core this unit instruments.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The thread currently being recorded on this core, if any.
+    pub fn owner(&self) -> Option<ThreadId> {
+        self.owner
+    }
+
+    /// Whether a chunk is currently open (recording active).
+    pub fn is_recording(&self) -> bool {
+        self.owner.is_some()
+    }
+
+    /// Instructions retired in the open chunk.
+    pub fn chunk_icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// Begins recording `tid` on this core. The previous chunk must have
+    /// been taken (or the unit never started).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a chunk is still open — the session must terminate it
+    /// first (context-switch protocol).
+    pub fn start(&mut self, tid: ThreadId) {
+        assert!(self.owner.is_none(), "start() while a chunk is open on {}", self.core);
+        debug_assert_eq!(self.icount, 0);
+        self.owner = Some(tid);
+    }
+
+    /// Counts one retired user instruction; returns `true` when the chunk
+    /// counter reached its maximum and the chunk must terminate.
+    pub fn note_retired(&mut self) -> bool {
+        debug_assert!(self.is_recording(), "retirement without an open chunk");
+        self.icount += 1;
+        self.icount >= self.max_chunk_icount
+    }
+
+    /// Adds a line to the read set; returns `true` if the signature
+    /// passed its saturation limit (chunk must terminate).
+    pub fn note_local_read(&mut self, line: LineAddr) -> bool {
+        self.read_sig.insert(line);
+        if let Some(exact) = &mut self.exact_read {
+            exact.insert(line);
+        }
+        self.read_sig.occupancy_permille() >= self.saturation_permille
+    }
+
+    /// Adds a line to the write set; returns `true` on saturation.
+    pub fn note_local_write(&mut self, line: LineAddr) -> bool {
+        self.write_sig.insert(line);
+        if let Some(exact) = &mut self.exact_write {
+            exact.insert(line);
+        }
+        self.write_sig.occupancy_permille() >= self.saturation_permille
+    }
+
+    /// Checks a remote transaction against the open chunk. Returns the
+    /// conflict kind if the chunk must terminate, plus whether the hit
+    /// was a signature false positive (only known with exact tracking).
+    ///
+    /// The `icount == 0` early-out is safe because the recording session
+    /// counts an instruction's retirement *before* it processes that
+    /// instruction's memory events, so an open chunk with zero
+    /// instructions always has empty signatures.
+    pub fn check_remote(&self, line: LineAddr, remote_is_write: bool) -> Option<(TerminationReason, bool)> {
+        if !self.is_recording() || self.icount == 0 {
+            return None;
+        }
+        if remote_is_write {
+            if self.write_sig.maybe_contains(line) {
+                let fp = self.exact_write.as_ref().is_some_and(|s| !s.contains(&line));
+                return Some((TerminationReason::ConflictWaw, fp));
+            }
+            if self.read_sig.maybe_contains(line) {
+                let fp = self.exact_read.as_ref().is_some_and(|s| !s.contains(&line));
+                return Some((TerminationReason::ConflictWar, fp));
+            }
+        } else if self.write_sig.maybe_contains(line) {
+            let fp = self.exact_write.as_ref().is_some_and(|s| !s.contains(&line));
+            return Some((TerminationReason::ConflictRaw, fp));
+        }
+        None
+    }
+
+    /// Closes the open chunk: clears the signatures and counter and
+    /// returns the packet (or `None` for an empty chunk, which emits
+    /// nothing). Recording continues with a fresh chunk for the same
+    /// owner.
+    pub fn take_chunk(&mut self, reason: TerminationReason, timestamp: Cycle, rsw: u8) -> Option<ChunkPacket> {
+        let tid = self.owner.expect("take_chunk without an owner");
+        let icount = self.icount;
+        self.icount = 0;
+        self.read_sig.clear();
+        self.write_sig.clear();
+        if let Some(s) = &mut self.exact_read {
+            s.clear();
+        }
+        if let Some(s) = &mut self.exact_write {
+            s.clear();
+        }
+        (icount > 0).then_some(ChunkPacket {
+            tid,
+            core: self.core,
+            icount,
+            timestamp,
+            rsw,
+            reason,
+        })
+    }
+
+    /// Stops recording on this core (context switch out or thread exit).
+    /// The open chunk must already have been taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if instructions are still unaccounted for.
+    pub fn stop(&mut self) -> Option<ThreadId> {
+        assert_eq!(self.icount, 0, "stop() with an open chunk on {}", self.core);
+        self.owner.take()
+    }
+}
+
+/// All recorder units of a machine plus the CBUF→CMEM buffering path.
+#[derive(Debug)]
+pub struct RecorderBank {
+    units: Vec<MrrUnit>,
+    cbufs: Vec<Cbuf>,
+    cmem: Cmem,
+    stats: RecorderStats,
+    cfg: MrrConfig,
+}
+
+impl RecorderBank {
+    /// Creates a bank for `num_cores` cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns configuration errors from [`MrrConfig::validate`].
+    pub fn new(cfg: MrrConfig, num_cores: usize) -> qr_common::Result<RecorderBank> {
+        cfg.validate()?;
+        Ok(RecorderBank {
+            units: (0..num_cores).map(|i| MrrUnit::new(CoreId(i as u8), &cfg)).collect(),
+            cbufs: (0..num_cores).map(|_| Cbuf::new(cfg.cbuf_entries, cfg.cbuf_drain_cycles)).collect(),
+            cmem: Cmem::new(cfg.cmem_capacity, cfg.cmem_interrupt_threshold, cfg.encoding),
+            stats: RecorderStats::new(num_cores),
+            cfg,
+        })
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> &MrrConfig {
+        &self.cfg
+    }
+
+    /// A unit, by core.
+    pub fn unit(&self, core: CoreId) -> &MrrUnit {
+        &self.units[core.index()]
+    }
+
+    /// Mutable unit access.
+    pub fn unit_mut(&mut self, core: CoreId) -> &mut MrrUnit {
+        &mut self.units[core.index()]
+    }
+
+    /// Cores (other than `from`) whose open chunk conflicts with a remote
+    /// transaction on `line`. The session terminates each before the
+    /// access is considered complete.
+    pub fn conflicting_cores(
+        &mut self,
+        from: CoreId,
+        line: LineAddr,
+        remote_is_write: bool,
+    ) -> Vec<(CoreId, TerminationReason)> {
+        let mut hits = Vec::new();
+        for unit in &self.units {
+            if unit.core() == from {
+                continue;
+            }
+            if let Some((reason, false_positive)) = unit.check_remote(line, remote_is_write) {
+                if false_positive {
+                    self.stats.false_positive_conflicts += 1;
+                }
+                hits.push((unit.core(), reason));
+            }
+        }
+        hits
+    }
+
+    /// Terminates the open chunk on `core`: stamps it, pushes the packet
+    /// through CBUF (possibly stalling) and accounts statistics. Returns
+    /// the packet if the chunk was nonempty, plus the stall cycles the
+    /// core suffered from CBUF backpressure.
+    ///
+    /// `timestamp` must come from the machine's global clock *at the
+    /// moment of termination*; `rsw` is the pending-store count.
+    pub fn terminate_chunk(
+        &mut self,
+        core: CoreId,
+        reason: TerminationReason,
+        timestamp: Cycle,
+        rsw: u8,
+    ) -> (Option<ChunkPacket>, u64) {
+        let Some(packet) = self.units[core.index()].take_chunk(reason, timestamp, rsw) else {
+            return (None, 0);
+        };
+        self.stats.count_chunk(&packet);
+        let stall = self.cbufs[core.index()].push(packet);
+        self.stats.cores[core.index()].cbuf_stall_cycles += stall;
+        self.collect_drained(core);
+        (Some(packet), stall)
+    }
+
+    /// Advances the CBUF DMA engine of `core` by the cycles its core just
+    /// executed, moving completed packets into CMEM. Returns the stall
+    /// cycles accumulated so far (for the caller's timing model).
+    pub fn advance(&mut self, core: CoreId, cycles: u64) {
+        self.cbufs[core.index()].advance(cycles);
+        self.collect_drained(core);
+    }
+
+    fn collect_drained(&mut self, core: CoreId) {
+        while let Some(p) = self.cbufs[core.index()].pop_drained() {
+            self.cmem.append(&p);
+        }
+    }
+
+    /// Flushes every CBUF into CMEM (sphere teardown), preserving order
+    /// per core.
+    pub fn flush_all(&mut self) {
+        for i in 0..self.cbufs.len() {
+            for p in self.cbufs[i].flush() {
+                self.cmem.append(&p);
+            }
+        }
+    }
+
+    /// Whether the CMEM fill level has passed the interrupt threshold.
+    pub fn cmem_interrupt_pending(&self) -> bool {
+        self.cmem.interrupt_pending()
+    }
+
+    /// Drains the CMEM (the RSM interrupt handler), returning the packets
+    /// moved to the software log and the bytes they occupied.
+    pub fn drain_cmem(&mut self) -> (Vec<ChunkPacket>, usize) {
+        self.cmem.drain()
+    }
+
+    /// Statistics gathered so far.
+    pub fn stats(&self) -> &RecorderStats {
+        &self.stats
+    }
+
+    /// Total hardware stall cycles charged to `core` by CBUF pressure.
+    pub fn stall_cycles(&self, core: CoreId) -> u64 {
+        self.stats.cores[core.index()].cbuf_stall_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> MrrUnit {
+        let mut u = MrrUnit::new(CoreId(0), &MrrConfig::default());
+        u.start(ThreadId(1));
+        u
+    }
+
+    #[test]
+    fn raw_conflict_remote_read_hits_write_set() {
+        let mut u = unit();
+        u.note_retired();
+        u.note_local_write(LineAddr(5));
+        let (reason, _) = u.check_remote(LineAddr(5), false).unwrap();
+        assert_eq!(reason, TerminationReason::ConflictRaw);
+    }
+
+    #[test]
+    fn war_conflict_remote_write_hits_read_set() {
+        let mut u = unit();
+        u.note_retired();
+        u.note_local_read(LineAddr(5));
+        let (reason, _) = u.check_remote(LineAddr(5), true).unwrap();
+        assert_eq!(reason, TerminationReason::ConflictWar);
+    }
+
+    #[test]
+    fn waw_takes_priority_over_war() {
+        let mut u = unit();
+        u.note_retired();
+        u.note_local_read(LineAddr(5));
+        u.note_local_write(LineAddr(5));
+        let (reason, _) = u.check_remote(LineAddr(5), true).unwrap();
+        assert_eq!(reason, TerminationReason::ConflictWaw);
+    }
+
+    #[test]
+    fn remote_read_does_not_hit_read_set() {
+        let mut u = unit();
+        u.note_retired();
+        u.note_local_read(LineAddr(5));
+        assert!(u.check_remote(LineAddr(5), false).is_none(), "read-read never conflicts");
+    }
+
+    #[test]
+    fn empty_chunk_never_conflicts_and_emits_nothing() {
+        let mut u = unit();
+        assert!(u.check_remote(LineAddr(5), true).is_none());
+        assert!(u.take_chunk(TerminationReason::Syscall, Cycle(1), 0).is_none());
+    }
+
+    #[test]
+    fn take_chunk_resets_state() {
+        let mut u = unit();
+        u.note_retired();
+        u.note_local_write(LineAddr(5));
+        let p = u.take_chunk(TerminationReason::Syscall, Cycle(9), 2).unwrap();
+        assert_eq!(p.icount, 1);
+        assert_eq!(p.timestamp, Cycle(9));
+        assert_eq!(p.rsw, 2);
+        assert_eq!(p.tid, ThreadId(1));
+        assert_eq!(u.chunk_icount(), 0);
+        assert!(u.check_remote(LineAddr(5), false).is_none(), "signatures cleared");
+        // Still recording the same owner; a fresh chunk accumulates.
+        assert!(u.is_recording());
+        u.note_retired();
+        assert_eq!(u.chunk_icount(), 1);
+    }
+
+    #[test]
+    fn ic_overflow_fires_at_limit() {
+        let cfg = MrrConfig { max_chunk_icount: 3, ..MrrConfig::default() };
+        let mut u = MrrUnit::new(CoreId(0), &cfg);
+        u.start(ThreadId(0));
+        assert!(!u.note_retired());
+        assert!(!u.note_retired());
+        assert!(u.note_retired(), "third instruction hits the limit");
+    }
+
+    #[test]
+    fn saturation_fires_when_signature_fills() {
+        let cfg = MrrConfig {
+            read_sig_bits: 64,
+            sig_saturation_permille: 400,
+            ..MrrConfig::default()
+        };
+        let mut u = MrrUnit::new(CoreId(0), &cfg);
+        u.start(ThreadId(0));
+        u.note_retired();
+        let mut fired = false;
+        for n in 0..64u32 {
+            if u.note_local_read(LineAddr(n * 977)) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "64-bit signature must saturate past 40% quickly");
+    }
+
+    #[test]
+    fn false_positives_are_detected_with_exact_tracking() {
+        let cfg = MrrConfig {
+            read_sig_bits: 64,
+            write_sig_bits: 64,
+            track_exact_sets: true,
+            sig_saturation_permille: 1000,
+            ..MrrConfig::default()
+        };
+        let mut u = MrrUnit::new(CoreId(0), &cfg);
+        u.start(ThreadId(0));
+        u.note_retired();
+        for n in 0..24u32 {
+            u.note_local_read(LineAddr(n));
+        }
+        // Scan for an address that hits the signature but not the set.
+        let fp = (1000..200_000u32).find_map(|n| {
+            u.check_remote(LineAddr(n), true).and_then(|(_, fp)| fp.then_some(n))
+        });
+        assert!(fp.is_some(), "a 64-bit signature with 24 lines must alias somewhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "start() while a chunk is open")]
+    fn double_start_panics() {
+        let mut u = unit();
+        u.start(ThreadId(2));
+    }
+
+    #[test]
+    fn bank_routes_conflicts_to_other_cores_only() {
+        let mut bank = RecorderBank::new(MrrConfig::default(), 2).unwrap();
+        bank.unit_mut(CoreId(0)).start(ThreadId(0));
+        bank.unit_mut(CoreId(1)).start(ThreadId(1));
+        bank.unit_mut(CoreId(1)).note_retired();
+        bank.unit_mut(CoreId(1)).note_local_read(LineAddr(7));
+        let hits = bank.conflicting_cores(CoreId(0), LineAddr(7), true);
+        assert_eq!(hits, vec![(CoreId(1), TerminationReason::ConflictWar)]);
+        let none = bank.conflicting_cores(CoreId(1), LineAddr(7), true);
+        assert!(none.is_empty(), "a core never conflicts with itself");
+    }
+
+    #[test]
+    fn bank_terminate_accounts_and_buffers() {
+        let mut bank = RecorderBank::new(MrrConfig::default(), 1).unwrap();
+        bank.unit_mut(CoreId(0)).start(ThreadId(0));
+        bank.unit_mut(CoreId(0)).note_retired();
+        let (p, stall) = bank.terminate_chunk(CoreId(0), TerminationReason::Syscall, Cycle(5), 0);
+        let p = p.unwrap();
+        assert_eq!(stall, 0, "an empty cbuf never stalls");
+        assert_eq!(p.icount, 1);
+        assert_eq!(bank.stats().total_chunks(), 1);
+        // The packet sits in the CBUF until the DMA engine gets time.
+        let (none, _) = bank.drain_cmem();
+        assert!(none.is_empty());
+        bank.advance(CoreId(0), 1_000);
+        let (drained, bytes) = bank.drain_cmem();
+        assert_eq!(drained.len(), 1);
+        assert!(bytes > 0);
+    }
+
+    #[test]
+    fn flush_all_recovers_buffered_packets() {
+        let mut bank = RecorderBank::new(MrrConfig::default(), 2).unwrap();
+        for c in [CoreId(0), CoreId(1)] {
+            bank.unit_mut(c).start(ThreadId(c.0 as u32));
+            bank.unit_mut(c).note_retired();
+            bank.terminate_chunk(c, TerminationReason::SphereEnd, Cycle(c.0 as u64 + 1), 0);
+        }
+        bank.flush_all();
+        let (drained, _) = bank.drain_cmem();
+        assert_eq!(drained.len(), 2);
+    }
+}

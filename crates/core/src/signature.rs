@@ -1,0 +1,176 @@
+//! Hashed address signatures (Bloom-style read/write sets).
+//!
+//! The MRR cannot afford exact per-chunk address sets, so it hashes each
+//! cache-line address into `k` positions of a bit vector. Membership
+//! queries may report false positives — which only cause extra, safe
+//! chunk terminations — never false negatives, which would lose a
+//! dependency. The signature-size/chunk-length trade-off is one of the
+//! design points the ablation benches sweep (experiment A1).
+
+use qr_common::LineAddr;
+
+/// A Bloom-style signature over cache-line addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Signature {
+    bits: Vec<u64>,
+    num_bits: u32,
+    hashes: u32,
+    inserted: u32,
+    set_bits: u32,
+}
+
+impl Signature {
+    /// Creates an empty signature of `num_bits` bits (power of two) probed
+    /// by `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_bits` is not a power of two or `hashes` is zero —
+    /// geometry is validated by [`crate::config::MrrConfig::validate`].
+    pub fn new(num_bits: u32, hashes: u32) -> Signature {
+        assert!(num_bits.is_power_of_two() && num_bits >= 64, "signature bits: power of two >= 64");
+        assert!(hashes > 0, "need at least one hash function");
+        Signature {
+            bits: vec![0u64; (num_bits / 64) as usize],
+            num_bits,
+            hashes,
+            inserted: 0,
+            set_bits: 0,
+        }
+    }
+
+    /// H3-style mixing: derive the i-th probe position for a line.
+    fn position(&self, line: LineAddr, i: u32) -> u32 {
+        // One round of SplitMix64 finalization per (line, i) pair: cheap
+        // and well distributed, exactly reproducible in hardware terms.
+        let mut z = (line.0 as u64).wrapping_add(0x9e37_79b9_7f4a_7c15u64.wrapping_mul(i as u64 + 1));
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z as u32) & (self.num_bits - 1)
+    }
+
+    /// Inserts a line address.
+    pub fn insert(&mut self, line: LineAddr) {
+        for i in 0..self.hashes {
+            let pos = self.position(line, i);
+            let (word, bit) = ((pos / 64) as usize, pos % 64);
+            if self.bits[word] & (1 << bit) == 0 {
+                self.bits[word] |= 1 << bit;
+                self.set_bits += 1;
+            }
+        }
+        self.inserted += 1;
+    }
+
+    /// Whether the signature may contain `line` (false positives
+    /// possible, false negatives impossible).
+    pub fn maybe_contains(&self, line: LineAddr) -> bool {
+        (0..self.hashes).all(|i| {
+            let pos = self.position(line, i);
+            self.bits[(pos / 64) as usize] & (1 << (pos % 64)) != 0
+        })
+    }
+
+    /// Clears all bits (chunk termination).
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.inserted = 0;
+        self.set_bits = 0;
+    }
+
+    /// Number of insert operations since the last clear.
+    pub fn inserted(&self) -> u32 {
+        self.inserted
+    }
+
+    /// Occupancy in permille (0..=1000) — the saturation metric the
+    /// termination logic thresholds on.
+    pub fn occupancy_permille(&self) -> u32 {
+        self.set_bits * 1000 / self.num_bits
+    }
+
+    /// Whether the signature is empty.
+    pub fn is_empty(&self) -> bool {
+        self.set_bits == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_false_negatives() {
+        let mut s = Signature::new(256, 2);
+        for n in 0..100u32 {
+            s.insert(LineAddr(n * 37));
+        }
+        for n in 0..100u32 {
+            assert!(s.maybe_contains(LineAddr(n * 37)));
+        }
+    }
+
+    #[test]
+    fn empty_signature_contains_nothing() {
+        let s = Signature::new(256, 2);
+        assert!(s.is_empty());
+        for n in 0..100u32 {
+            assert!(!s.maybe_contains(LineAddr(n)));
+        }
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut s = Signature::new(256, 2);
+        s.insert(LineAddr(1));
+        assert!(!s.is_empty());
+        assert_eq!(s.inserted(), 1);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.inserted(), 0);
+        assert_eq!(s.occupancy_permille(), 0);
+        assert!(!s.maybe_contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn occupancy_grows_with_inserts() {
+        let mut s = Signature::new(128, 2);
+        let mut last = 0;
+        for n in 0..64u32 {
+            s.insert(LineAddr(n.wrapping_mul(2654435761)));
+            assert!(s.occupancy_permille() >= last);
+            last = s.occupancy_permille();
+        }
+        assert!(last > 300, "64 double-hashed inserts should fill >30% of 128 bits");
+    }
+
+    #[test]
+    fn false_positive_rate_is_reasonable() {
+        let mut s = Signature::new(1024, 2);
+        for n in 0..64u32 {
+            s.insert(LineAddr(n));
+        }
+        let fps = (1000..3000u32).filter(|&n| s.maybe_contains(LineAddr(n))).count();
+        // 64 inserts into 1024 bits with k=2: expected fp rate ~1.3%.
+        assert!(fps < 120, "false positive rate too high: {fps}/2000");
+    }
+
+    #[test]
+    fn bigger_signatures_have_fewer_false_positives() {
+        let count = |bits: u32| {
+            let mut s = Signature::new(bits, 2);
+            for n in 0..128u32 {
+                s.insert(LineAddr(n));
+            }
+            (10_000..20_000u32).filter(|&n| s.maybe_contains(LineAddr(n))).count()
+        };
+        assert!(count(4096) < count(256));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        Signature::new(100, 2);
+    }
+}

@@ -1,0 +1,178 @@
+//! Chunk-log visualization: interleaving timelines and dependency graphs.
+//!
+//! Debugging a recorded concurrency bug usually starts with *seeing* the
+//! interleaving. This module renders a [`ChunkLog`] two ways:
+//!
+//! - [`timeline`] — a per-thread lane diagram in plain text, one column
+//!   per thread, chunks in global order, sized by magnitude and labelled
+//!   with their termination reason;
+//! - [`to_dot`] — a Graphviz digraph of the chunk sequence with
+//!   program-order edges per thread and cross-thread edges at conflict
+//!   terminations (a conflict-terminated chunk's successor in global
+//!   order is, by construction, the dependent side).
+
+use crate::chunk::ChunkPacket;
+use crate::log::ChunkLog;
+use std::fmt::Write as _;
+
+/// Renders a per-thread lane timeline, at most `max_rows` chunks.
+///
+/// Each row is one chunk in global (timestamp) order; the chunk appears
+/// in its thread's lane as `<icount>:<reason>`.
+pub fn timeline(log: &ChunkLog, max_rows: usize) -> String {
+    let Ok(schedule) = log.replay_schedule() else {
+        return "(unorderable log: duplicate timestamps)".to_string();
+    };
+    let threads: Vec<_> = log.per_thread().into_keys().collect();
+    if threads.is_empty() {
+        return "(empty log)".to_string();
+    }
+    let lane_width = 16usize;
+    let mut out = String::new();
+    let _ = write!(out, "{:>10} ", "ts");
+    for tid in &threads {
+        let _ = write!(out, "{:^lane_width$}", tid.to_string());
+    }
+    out.push('\n');
+    let _ = write!(out, "{:->10}-", "");
+    for _ in &threads {
+        let _ = write!(out, "{:-<lane_width$}", "");
+    }
+    out.push('\n');
+    for packet in schedule.iter().take(max_rows) {
+        let _ = write!(out, "{:>10} ", packet.timestamp.0);
+        for tid in &threads {
+            if *tid == packet.tid {
+                let cell = format!("{}:{}", packet.icount, packet.reason.label());
+                let _ = write!(out, "{:^lane_width$}", cell);
+            } else {
+                let _ = write!(out, "{:^lane_width$}", "·");
+            }
+        }
+        out.push('\n');
+    }
+    if schedule.len() > max_rows {
+        let _ = writeln!(out, "... ({} more chunks)", schedule.len() - max_rows);
+    }
+    out
+}
+
+fn node_name(packet: &ChunkPacket) -> String {
+    format!("c{}_{}", packet.tid.0, packet.timestamp.0)
+}
+
+/// Renders the chunk schedule as a Graphviz digraph.
+///
+/// Solid edges are per-thread program order; dashed red edges connect
+/// each conflict-terminated chunk to the globally next chunk (the access
+/// that cut it). Pipe the output through `dot -Tsvg` to draw it.
+pub fn to_dot(log: &ChunkLog, max_chunks: usize) -> String {
+    let Ok(schedule) = log.replay_schedule() else {
+        return "digraph chunks {}".to_string();
+    };
+    let shown: Vec<_> = schedule.iter().take(max_chunks).collect();
+    let mut out = String::from("digraph chunks {\n  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n");
+    for packet in &shown {
+        let _ = writeln!(
+            out,
+            "  {} [label=\"{}\\nic={} ts={}\\n{}\"{}];",
+            node_name(packet),
+            packet.tid,
+            packet.icount,
+            packet.timestamp.0,
+            packet.reason.label(),
+            if packet.reason.is_conflict() { ", color=red" } else { "" },
+        );
+    }
+    // Program-order edges within each thread.
+    let mut last_of_thread: std::collections::BTreeMap<u32, &ChunkPacket> = Default::default();
+    for packet in &shown {
+        if let Some(prev) = last_of_thread.insert(packet.tid.0, packet) {
+            let _ = writeln!(out, "  {} -> {};", node_name(prev), node_name(packet));
+        }
+    }
+    // Conflict edges: victim chunk -> globally next chunk.
+    for pair in shown.windows(2) {
+        if pair[0].reason.is_conflict() && pair[0].tid != pair[1].tid {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [style=dashed, color=red, constraint=false];",
+                node_name(pair[0]),
+                node_name(pair[1]),
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::TerminationReason;
+    use qr_common::{CoreId, Cycle, ThreadId};
+
+    fn log() -> ChunkLog {
+        [
+            ChunkPacket {
+                tid: ThreadId(0),
+                core: CoreId(0),
+                icount: 10,
+                timestamp: Cycle(1),
+                rsw: 0,
+                reason: TerminationReason::ConflictWar,
+            },
+            ChunkPacket {
+                tid: ThreadId(1),
+                core: CoreId(1),
+                icount: 20,
+                timestamp: Cycle(2),
+                rsw: 0,
+                reason: TerminationReason::Syscall,
+            },
+            ChunkPacket {
+                tid: ThreadId(0),
+                core: CoreId(0),
+                icount: 5,
+                timestamp: Cycle(3),
+                rsw: 0,
+                reason: TerminationReason::SphereEnd,
+            },
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn timeline_shows_one_row_per_chunk_in_order() {
+        let text = timeline(&log(), 100);
+        let rows: Vec<&str> = text.lines().collect();
+        assert_eq!(rows.len(), 5, "header + rule + 3 chunks");
+        assert!(rows[2].contains("10:war"));
+        assert!(rows[3].contains("20:syscall"));
+        assert!(rows[4].contains("5:end"));
+    }
+
+    #[test]
+    fn timeline_truncates_with_a_note() {
+        let text = timeline(&log(), 1);
+        assert!(text.contains("2 more chunks"));
+    }
+
+    #[test]
+    fn empty_log_renders_gracefully() {
+        assert_eq!(timeline(&ChunkLog::new(), 10), "(empty log)");
+        assert!(to_dot(&ChunkLog::new(), 10).starts_with("digraph"));
+    }
+
+    #[test]
+    fn dot_contains_nodes_program_edges_and_conflict_edges() {
+        let dot = to_dot(&log(), 100);
+        assert!(dot.contains("c0_1"));
+        assert!(dot.contains("c1_2"));
+        assert!(dot.contains("c0_1 -> c0_3"), "program order edge: {dot}");
+        assert!(dot.contains("c0_1 -> c1_2 [style=dashed"), "conflict edge: {dot}");
+        assert!(dot.contains("color=red"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Multicore CPU model: cores, the PIA interpreter, and the machine.
+//!
+//! A [`machine::Machine`] is the QuickIA-platform analog: `N` cores over
+//! the `qr-mem` memory hierarchy, executing one loaded [`qr_isa::Program`].
+//! The machine is *passive*: an orchestrator (the kernel in `qr-os`, the
+//! recording session in `qr-capo`, or the replayer in `qr-replay`) decides
+//! which core steps next and reacts to the returned [`step::StepOutcome`]:
+//!
+//! - syscalls and nondeterministic reads (`rdtsc`, `rdrand`) *trap* to the
+//!   orchestrator instead of being handled internally, which is what makes
+//!   record and replay symmetric — the environment supplies the values,
+//!
+//! - every step reports the retired instruction's memory events so the
+//!   recording hardware can grow its chunk signatures and detect
+//!   conflicts,
+//!
+//! - faults are reported as outcomes (the kernel kills the thread), not
+//!   simulator errors.
+//!
+//! Cores execute a [`context::CpuContext`] (register file + PC) that the
+//! kernel swaps on context switches; a core without a context is idle.
+
+pub mod context;
+pub mod core;
+pub mod machine;
+pub mod step;
+
+pub use context::CpuContext;
+pub use machine::{CpuConfig, Machine};
+pub use step::{NondetKind, StepOutcome, StepResult};

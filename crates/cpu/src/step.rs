@@ -1,0 +1,86 @@
+//! Outcomes of stepping a core.
+
+use qr_common::QrError;
+use qr_isa::Reg;
+use qr_mem::MemEvent;
+
+/// Which nondeterministic-read instruction trapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NondetKind {
+    /// `rdtsc` — cycle-counter read.
+    Rdtsc,
+    /// `rdrand` — hardware random number.
+    Rdrand,
+}
+
+/// What happened when a core stepped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StepOutcome {
+    /// An ordinary instruction retired.
+    Retired,
+    /// A `syscall` retired; the kernel must service it (arguments are in
+    /// the context's registers, the result goes in `R0`).
+    Syscall,
+    /// A nondeterministic read retired; the orchestrator must supply the
+    /// value by writing `rd` before the core steps again. During
+    /// recording the value is generated and logged; during replay it is
+    /// injected from the log.
+    Nondet {
+        /// Which instruction.
+        kind: NondetKind,
+        /// Destination register awaiting the value.
+        rd: Reg,
+    },
+    /// A `halt` retired; the context is finished.
+    Halt,
+    /// The instruction faulted (unmapped access, misalignment, division
+    /// by zero, bad PC). The PC still points at the faulting instruction;
+    /// the kernel kills or signals the thread.
+    Fault(QrError),
+    /// The core has no context to run.
+    Idle,
+}
+
+/// Full result of one step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepResult {
+    /// What happened.
+    pub outcome: StepOutcome,
+    /// Cycles the step consumed on this core.
+    pub cycles: u64,
+    /// Memory events the step produced, in order.
+    pub events: Vec<MemEvent>,
+}
+
+impl StepResult {
+    /// A step that retired normally with no memory traffic.
+    pub fn retired(cycles: u64) -> StepResult {
+        StepResult { outcome: StepOutcome::Retired, cycles, events: Vec::new() }
+    }
+
+    /// Whether an instruction actually retired (anything but `Idle` and
+    /// `Fault` counts toward the chunk's instruction count).
+    pub fn instruction_retired(&self) -> bool {
+        !matches!(self.outcome, StepOutcome::Idle | StepOutcome::Fault(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retirement_classification() {
+        assert!(StepResult::retired(1).instruction_retired());
+        let halt = StepResult { outcome: StepOutcome::Halt, cycles: 1, events: vec![] };
+        assert!(halt.instruction_retired(), "halt is a retired instruction");
+        let idle = StepResult { outcome: StepOutcome::Idle, cycles: 1, events: vec![] };
+        assert!(!idle.instruction_retired());
+        let fault = StepResult {
+            outcome: StepOutcome::Fault(QrError::Execution { detail: "x".into() }),
+            cycles: 1,
+            events: vec![],
+        };
+        assert!(!fault.instruction_retired());
+    }
+}

@@ -1,0 +1,96 @@
+//! Machine-level determinism properties: identical machines stepped
+//! identically stay identical, and a cloned (snapshotted) machine is a
+//! perfect fork of the original.
+
+use proptest::prelude::*;
+use qr_common::{CoreId, VirtAddr};
+use qr_cpu::{CpuConfig, CpuContext, Machine, StepOutcome};
+use qr_isa::{Asm, Reg};
+
+/// A little self-contained program mixing ALU, memory and atomics.
+fn program(seed: u32) -> qr_isa::Program {
+    let mut a = Asm::new();
+    a.data_word("buf", &[seed, seed ^ 0xffff, 3, 4]);
+    a.movi_sym(Reg::R1, "buf");
+    a.movi(Reg::R2, 40);
+    a.label("loop");
+    a.ld(Reg::R3, Reg::R1, 0);
+    a.muli(Reg::R3, Reg::R3, 17);
+    a.addi(Reg::R3, Reg::R3, 3);
+    a.st(Reg::R1, 4, Reg::R3);
+    a.movi(Reg::R4, 1);
+    a.fetch_add(Reg::R5, Reg::R1, Reg::R4);
+    a.addi(Reg::R2, Reg::R2, -1);
+    a.bnez(Reg::R2, "loop");
+    a.halt();
+    a.finish().unwrap()
+}
+
+fn fresh(seed: u32) -> Machine {
+    let mut m =
+        Machine::new(program(seed), CpuConfig { num_cores: 1, ..CpuConfig::default() }).unwrap();
+    let mut ctx = CpuContext::new(m.program().entry());
+    ctx.set_reg(Reg::SP, 0x2000_0000);
+    m.mem_mut().map_region(VirtAddr(0x2000_0000 - 0x1000), 0x1000).unwrap();
+    m.core_mut(CoreId(0)).swap_context(Some(ctx));
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    #[test]
+    fn identical_machines_step_identically(seed in any::<u32>(), steps in 1usize..200) {
+        let mut a = fresh(seed);
+        let mut b = fresh(seed);
+        for _ in 0..steps {
+            let ra = a.step(CoreId(0));
+            let rb = b.step(CoreId(0));
+            prop_assert_eq!(&ra, &rb);
+            if matches!(ra.outcome, StepOutcome::Halt) {
+                break;
+            }
+        }
+        prop_assert_eq!(a.core(CoreId(0)).cycles(), b.core(CoreId(0)).cycles());
+    }
+
+    #[test]
+    fn cloned_machine_forks_perfectly(seed in any::<u32>(), split in 1usize..100) {
+        
+        let mut original = fresh(seed);
+        for _ in 0..split {
+            if matches!(original.step(CoreId(0)).outcome, StepOutcome::Halt) {
+                break;
+            }
+        }
+        let mut fork = original.clone();
+        // Both continue independently and stay in lockstep.
+        for _ in 0..50 {
+            let ro = original.step(CoreId(0));
+            let rf = fork.step(CoreId(0));
+            prop_assert_eq!(&ro, &rf);
+            if matches!(ro.outcome, StepOutcome::Halt) {
+                break;
+            }
+        }
+        // Memory contents agree exactly.
+        let buf = original.program().symbol("buf").unwrap();
+        let mut mo = [0u8; 16];
+        let mut mf = [0u8; 16];
+        original.mem().memory().read_bytes(buf, &mut mo).unwrap();
+        fork.mem().memory().read_bytes(buf, &mut mf).unwrap();
+        prop_assert_eq!(mo, mf);
+    }
+
+    #[test]
+    fn fork_divergence_does_not_leak_back(seed in any::<u32>()) {
+        let mut original = fresh(seed);
+        original.step(CoreId(0));
+        let mut fork = original.clone();
+        // Mutate the fork's memory; the original must be unaffected.
+        let buf = original.program().symbol("buf").unwrap();
+        fork.mem_mut().memory_mut().write_uint(buf, 4, 0xdead_beef).unwrap();
+        let o = original.mem().memory().read_uint(buf, 4).unwrap();
+        prop_assert_ne!(o, 0xdead_beef);
+    }
+}

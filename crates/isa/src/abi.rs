@@ -1,0 +1,131 @@
+//! Guest syscall ABI shared by the kernel (`qr-os`) and the workloads.
+//!
+//! Calling convention: the syscall number goes in `R0`, arguments in
+//! `R1..=R5`, and the result comes back in `R0`. Nondeterministic results
+//! (`time`, `read`, `rand`) are what the Capo3-style input log captures
+//! during recording and injects during replay.
+
+/// Terminates the calling thread. `R1` = exit code.
+pub const SYS_EXIT: u32 = 1;
+
+/// Writes `R2` bytes from guest address `R1` to the console.
+/// Returns the number of bytes written.
+pub const SYS_WRITE: u32 = 2;
+
+/// Spawns a new thread. `R1` = entry address, `R2` = argument delivered in
+/// the new thread's `R1`. Returns the new thread id.
+pub const SYS_SPAWN: u32 = 3;
+
+/// Blocks until thread `R1` exits. Returns its exit code.
+pub const SYS_JOIN: u32 = 4;
+
+/// Futex wait: blocks while the word at address `R1` equals `R2`.
+/// Returns 0 when woken, 1 when the value already differed.
+pub const SYS_FUTEX_WAIT: u32 = 5;
+
+/// Futex wake: wakes up to `R2` threads waiting on address `R1`.
+/// Returns the number of threads woken.
+pub const SYS_FUTEX_WAKE: u32 = 6;
+
+/// Yields the processor.
+pub const SYS_YIELD: u32 = 7;
+
+/// Returns the low 32 bits of the global cycle counter. Nondeterministic:
+/// logged during recording.
+pub const SYS_TIME: u32 = 8;
+
+/// Grows the heap by `R1` bytes. Returns the previous program break.
+pub const SYS_SBRK: u32 = 9;
+
+/// Returns the calling thread's id.
+pub const SYS_GETTID: u32 = 10;
+
+/// Reads up to `R2` bytes from the synthetic input device into guest
+/// address `R1`. Returns the number of bytes read. The payload is
+/// nondeterministic and is captured by the input log (the analog of
+/// Capo3's copy_to_user logging).
+pub const SYS_READ: u32 = 11;
+
+/// Returns the number of cores in the machine.
+pub const SYS_NCORES: u32 = 12;
+
+/// Returns a hardware random number. Nondeterministic: logged.
+pub const SYS_RAND: u32 = 13;
+
+/// Installs `R1` as the handler address for the user signal (`SIGUSR`).
+/// Returns the previous handler (0 if none).
+pub const SYS_SIGACTION: u32 = 14;
+
+/// Sends `SIGUSR` to thread `R1`. Returns 0 on success, `u32::MAX` if the
+/// target does not exist or already exited.
+pub const SYS_KILL: u32 = 15;
+
+/// Returns from a signal handler to the interrupted context.
+pub const SYS_SIGRETURN: u32 = 16;
+
+/// Highest syscall number in use (for table sizing and validation).
+pub const SYS_MAX: u32 = SYS_SIGRETURN;
+
+/// Human-readable name of a syscall number, for traces and logs.
+pub fn syscall_name(number: u32) -> &'static str {
+    match number {
+        SYS_EXIT => "exit",
+        SYS_WRITE => "write",
+        SYS_SPAWN => "spawn",
+        SYS_JOIN => "join",
+        SYS_FUTEX_WAIT => "futex_wait",
+        SYS_FUTEX_WAKE => "futex_wake",
+        SYS_YIELD => "yield",
+        SYS_TIME => "time",
+        SYS_SBRK => "sbrk",
+        SYS_GETTID => "gettid",
+        SYS_READ => "read",
+        SYS_NCORES => "ncores",
+        SYS_RAND => "rand",
+        SYS_SIGACTION => "sigaction",
+        SYS_KILL => "kill",
+        SYS_SIGRETURN => "sigreturn",
+        _ => "unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_are_unique() {
+        let all = [
+            SYS_EXIT,
+            SYS_WRITE,
+            SYS_SPAWN,
+            SYS_JOIN,
+            SYS_FUTEX_WAIT,
+            SYS_FUTEX_WAKE,
+            SYS_YIELD,
+            SYS_TIME,
+            SYS_SBRK,
+            SYS_GETTID,
+            SYS_READ,
+            SYS_NCORES,
+            SYS_RAND,
+            SYS_SIGACTION,
+            SYS_KILL,
+            SYS_SIGRETURN,
+        ];
+        let mut sorted = all.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len());
+        assert_eq!(*sorted.last().unwrap(), SYS_MAX);
+    }
+
+    #[test]
+    fn names_are_defined_for_all_numbers() {
+        for n in 1..=SYS_MAX {
+            assert_ne!(syscall_name(n), "unknown", "syscall {n} should be named");
+        }
+        assert_eq!(syscall_name(0), "unknown");
+        assert_eq!(syscall_name(SYS_MAX + 1), "unknown");
+    }
+}

@@ -1,0 +1,605 @@
+//! Programmatic assembler for PIA programs.
+//!
+//! [`Asm`] is a builder that emits instructions, resolves labels (forward
+//! references included), and lays out the data segment. The SPLASH-2-style
+//! workloads in `qr-workloads` are written against this API.
+//!
+//! # Example
+//!
+//! ```
+//! use qr_isa::{Asm, Reg};
+//!
+//! let mut a = Asm::new();
+//! let counter = a.data_word("counter", &[0]);
+//! a.movi_sym(Reg::R2, "counter");
+//! a.movi(Reg::R1, 10);
+//! a.label("loop");
+//! a.ld(Reg::R3, Reg::R2, 0);
+//! a.addi(Reg::R3, Reg::R3, 1);
+//! a.st(Reg::R2, 0, Reg::R3);
+//! a.addi(Reg::R1, Reg::R1, -1);
+//! a.bnez(Reg::R1, "loop");
+//! a.halt();
+//! let program = a.finish()?;
+//! assert_eq!(program.symbol("counter").unwrap().0, counter);
+//! # Ok::<(), qr_common::QrError>(())
+//! ```
+
+use crate::instr::{AccessWidth, AluOp, BranchCond, Instr};
+use crate::program::{Program, CODE_BASE, DATA_BASE, INSTR_BYTES};
+use crate::reg::Reg;
+use qr_common::{QrError, Result};
+use std::collections::BTreeMap;
+
+/// Which field of a pending instruction a label fixup patches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FixupKind {
+    /// `Jmp`/`Call`/`Br` target field.
+    Target,
+    /// `Movi` immediate (address of a code or data symbol).
+    MoviImm,
+}
+
+#[derive(Debug, Clone)]
+struct Fixup {
+    instr_index: usize,
+    label: String,
+    kind: FixupKind,
+}
+
+/// Incremental assembler producing a [`Program`].
+///
+/// Code labels and data symbols share one namespace; `movi_sym` can
+/// materialize either kind of address into a register.
+#[derive(Debug, Clone, Default)]
+pub struct Asm {
+    name: String,
+    code: Vec<Instr>,
+    data: Vec<u8>,
+    symbols: BTreeMap<String, u32>,
+    fixups: Vec<Fixup>,
+    entry_label: Option<String>,
+}
+
+impl Asm {
+    /// Creates an empty assembler.
+    pub fn new() -> Asm {
+        Asm { name: "program".into(), ..Asm::default() }
+    }
+
+    /// Creates an empty assembler for a named program.
+    pub fn with_name(name: impl Into<String>) -> Asm {
+        Asm { name: name.into(), ..Asm::default() }
+    }
+
+    // ----- labels, symbols, layout ------------------------------------
+
+    /// Defines a code label at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined; duplicated labels are
+    /// always a bug in the generator, not input data.
+    pub fn label(&mut self, name: &str) -> &mut Asm {
+        let addr = CODE_BASE + self.code.len() as u32 * INSTR_BYTES;
+        self.define(name, addr);
+        self
+    }
+
+    /// Marks a label as the program entry point (defaults to the first
+    /// instruction).
+    pub fn entry(&mut self, label: &str) -> &mut Asm {
+        self.entry_label = Some(label.to_string());
+        self
+    }
+
+    /// Address the next emitted instruction will have.
+    pub fn here(&self) -> u32 {
+        CODE_BASE + self.code.len() as u32 * INSTR_BYTES
+    }
+
+    /// Whether a symbol (label or data) is already defined.
+    pub fn has_symbol(&self, name: &str) -> bool {
+        self.symbols.contains_key(name)
+    }
+
+    fn define(&mut self, name: &str, addr: u32) {
+        let prior = self.symbols.insert(name.to_string(), addr);
+        assert!(prior.is_none(), "symbol `{name}` defined twice");
+    }
+
+    /// Reserves and zero-fills `words` 32-bit words in the data segment
+    /// under `name`, 4-byte aligned. Returns the symbol's address.
+    pub fn data_space(&mut self, name: &str, words: usize) -> u32 {
+        self.align_data(4);
+        let addr = DATA_BASE + self.data.len() as u32;
+        self.define(name, addr);
+        self.data.extend(std::iter::repeat_n(0u8, words * 4));
+        addr
+    }
+
+    /// Emits initialized 32-bit words under `name`. Returns the address.
+    pub fn data_word(&mut self, name: &str, values: &[u32]) -> u32 {
+        self.align_data(4);
+        let addr = DATA_BASE + self.data.len() as u32;
+        self.define(name, addr);
+        for v in values {
+            self.data.extend_from_slice(&v.to_le_bytes());
+        }
+        addr
+    }
+
+    /// Emits initialized bytes under `name`. Returns the address.
+    pub fn data_bytes(&mut self, name: &str, bytes: &[u8]) -> u32 {
+        let addr = DATA_BASE + self.data.len() as u32;
+        self.define(name, addr);
+        self.data.extend_from_slice(bytes);
+        addr
+    }
+
+    /// Pads the data segment to an `align`-byte boundary (power of two).
+    pub fn align_data(&mut self, align: u32) -> &mut Asm {
+        debug_assert!(align.is_power_of_two());
+        while !(DATA_BASE + self.data.len() as u32).is_multiple_of(align) {
+            self.data.push(0);
+        }
+        self
+    }
+
+    /// Aligns the data segment to a cache-line boundary — used by the
+    /// workloads to control (or deliberately provoke) false sharing.
+    pub fn align_data_line(&mut self) -> &mut Asm {
+        self.align_data(qr_common::CACHE_LINE_BYTES)
+    }
+
+    // ----- raw emission ------------------------------------------------
+
+    /// Emits a raw instruction.
+    pub fn emit(&mut self, instr: Instr) -> &mut Asm {
+        self.code.push(instr);
+        self
+    }
+
+    fn emit_fixup(&mut self, instr: Instr, label: &str, kind: FixupKind) -> &mut Asm {
+        self.fixups.push(Fixup { instr_index: self.code.len(), label: label.to_string(), kind });
+        self.code.push(instr);
+        self
+    }
+
+    // ----- moves and ALU -----------------------------------------------
+
+    /// `rd = imm` (signed immediate, stored as a bit pattern).
+    pub fn movi(&mut self, rd: Reg, imm: i32) -> &mut Asm {
+        self.emit(Instr::Movi { rd, imm: imm as u32 })
+    }
+
+    /// `rd = imm` (unsigned immediate).
+    pub fn movi_u(&mut self, rd: Reg, imm: u32) -> &mut Asm {
+        self.emit(Instr::Movi { rd, imm })
+    }
+
+    /// `rd = address of label` (code label or data symbol; may be a
+    /// forward reference).
+    pub fn movi_sym(&mut self, rd: Reg, label: &str) -> &mut Asm {
+        self.emit_fixup(Instr::Movi { rd, imm: 0 }, label, FixupKind::MoviImm)
+    }
+
+    /// `rd = rs`.
+    pub fn mov(&mut self, rd: Reg, rs: Reg) -> &mut Asm {
+        self.emit(Instr::Mov { rd, rs })
+    }
+
+    /// Emits a register-register ALU instruction.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.emit(Instr::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// Emits a register-immediate ALU instruction.
+    pub fn alu_imm(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.emit(Instr::AluImm { op, rd, rs1, imm: imm as u32 })
+    }
+
+    // ----- memory --------------------------------------------------------
+
+    /// `rd = word at [base + offset]`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.emit(Instr::Ld { rd, base, offset, width: AccessWidth::Word })
+    }
+
+    /// `rd = zero-extended byte at [base + offset]`.
+    pub fn ldb(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.emit(Instr::Ld { rd, base, offset, width: AccessWidth::Byte })
+    }
+
+    /// `rd = zero-extended halfword at [base + offset]`.
+    pub fn ldh(&mut self, rd: Reg, base: Reg, offset: i32) -> &mut Asm {
+        self.emit(Instr::Ld { rd, base, offset, width: AccessWidth::Half })
+    }
+
+    /// `word at [base + offset] = src`.
+    pub fn st(&mut self, base: Reg, offset: i32, src: Reg) -> &mut Asm {
+        self.emit(Instr::St { src, base, offset, width: AccessWidth::Word })
+    }
+
+    /// `byte at [base + offset] = low byte of src`.
+    pub fn stb(&mut self, base: Reg, offset: i32, src: Reg) -> &mut Asm {
+        self.emit(Instr::St { src, base, offset, width: AccessWidth::Byte })
+    }
+
+    /// `halfword at [base + offset] = low half of src`.
+    pub fn sth(&mut self, base: Reg, offset: i32, src: Reg) -> &mut Asm {
+        self.emit(Instr::St { src, base, offset, width: AccessWidth::Half })
+    }
+
+    /// Atomic compare-and-swap (see [`Instr::Cas`]).
+    pub fn cas(&mut self, rd: Reg, addr: Reg, src: Reg) -> &mut Asm {
+        self.emit(Instr::Cas { rd, addr, src })
+    }
+
+    /// Atomic exchange (see [`Instr::Xchg`]).
+    pub fn xchg(&mut self, rd: Reg, addr: Reg) -> &mut Asm {
+        self.emit(Instr::Xchg { rd, addr })
+    }
+
+    /// Atomic fetch-and-add (see [`Instr::FetchAdd`]).
+    pub fn fetch_add(&mut self, rd: Reg, addr: Reg, src: Reg) -> &mut Asm {
+        self.emit(Instr::FetchAdd { rd, addr, src })
+    }
+
+    /// Full memory fence.
+    pub fn fence(&mut self) -> &mut Asm {
+        self.emit(Instr::Fence)
+    }
+
+    // ----- control flow ---------------------------------------------------
+
+    /// Unconditional jump to a label.
+    pub fn jmp(&mut self, label: &str) -> &mut Asm {
+        self.emit_fixup(Instr::Jmp { target: 0 }, label, FixupKind::Target)
+    }
+
+    /// Indirect jump through a register.
+    pub fn jr(&mut self, rs: Reg) -> &mut Asm {
+        self.emit(Instr::Jr { rs })
+    }
+
+    /// Conditional branch to a label.
+    pub fn br(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.emit_fixup(Instr::Br { cond, rs1, rs2, target: 0 }, label, FixupKind::Target)
+    }
+
+    /// `beq rs1, rs2, label`.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.br(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// `bne rs1, rs2, label`.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.br(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// `blt rs1, rs2, label` (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.br(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// `bltu rs1, rs2, label` (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.br(BranchCond::Ltu, rs1, rs2, label)
+    }
+
+    /// `bge rs1, rs2, label` (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.br(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// `bgeu rs1, rs2, label` (unsigned).
+    pub fn bgeu(&mut self, rs1: Reg, rs2: Reg, label: &str) -> &mut Asm {
+        self.br(BranchCond::Geu, rs1, rs2, label)
+    }
+
+    /// `beqz rs, label`.
+    pub fn beqz(&mut self, rs: Reg, label: &str) -> &mut Asm {
+        self.br(BranchCond::Eqz, rs, Reg::R0, label)
+    }
+
+    /// `bnez rs, label`.
+    pub fn bnez(&mut self, rs: Reg, label: &str) -> &mut Asm {
+        self.br(BranchCond::Nez, rs, Reg::R0, label)
+    }
+
+    /// Calls a labelled function (pushes the return address).
+    pub fn call(&mut self, label: &str) -> &mut Asm {
+        self.emit_fixup(Instr::Call { target: 0 }, label, FixupKind::Target)
+    }
+
+    /// Calls through a register.
+    pub fn call_r(&mut self, rs: Reg) -> &mut Asm {
+        self.emit(Instr::CallR { rs })
+    }
+
+    /// Returns from a call.
+    pub fn ret(&mut self) -> &mut Asm {
+        self.emit(Instr::Ret)
+    }
+
+    /// Pushes a register.
+    pub fn push(&mut self, rs: Reg) -> &mut Asm {
+        self.emit(Instr::Push { rs })
+    }
+
+    /// Pops into a register.
+    pub fn pop(&mut self, rd: Reg) -> &mut Asm {
+        self.emit(Instr::Pop { rd })
+    }
+
+    // ----- system ----------------------------------------------------------
+
+    /// Emits a syscall trap.
+    pub fn syscall(&mut self) -> &mut Asm {
+        self.emit(Instr::Syscall)
+    }
+
+    /// Reads the cycle counter.
+    pub fn rdtsc(&mut self, rd: Reg) -> &mut Asm {
+        self.emit(Instr::Rdtsc { rd })
+    }
+
+    /// Reads a hardware random number.
+    pub fn rdrand(&mut self, rd: Reg) -> &mut Asm {
+        self.emit(Instr::Rdrand { rd })
+    }
+
+    /// Spin-wait hint.
+    pub fn pause(&mut self) -> &mut Asm {
+        self.emit(Instr::Pause)
+    }
+
+    /// Stops the thread.
+    pub fn halt(&mut self) -> &mut Asm {
+        self.emit(Instr::Halt)
+    }
+
+    /// No operation.
+    pub fn nop(&mut self) -> &mut Asm {
+        self.emit(Instr::Nop)
+    }
+
+    // ----- convenience macros used heavily by workloads --------------------
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alu_imm(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 * rs2` (low 32 bits).
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 * imm`.
+    pub fn muli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alu_imm(AluOp::Mul, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alu_imm(AluOp::And, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 | imm`.
+    pub fn ori(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alu_imm(AluOp::Or, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::And, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Or, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 << rs2` (register shift amount).
+    pub fn shl(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Shl, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 >> rs2` (logical, register shift amount).
+    pub fn shr(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Shr, rd, rs1, rs2)
+    }
+
+    /// `rd = 1 if rs1 < rs2 (unsigned), else 0`.
+    pub fn sltu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Sltu, rd, rs1, rs2)
+    }
+
+    /// `rd = 1 if rs1 == rs2, else 0`.
+    pub fn seq(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Seq, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn shli(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alu_imm(AluOp::Shl, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn shri(&mut self, rd: Reg, rs1: Reg, imm: i32) -> &mut Asm {
+        self.alu_imm(AluOp::Shr, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 % rs2` (unsigned).
+    pub fn remu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Remu, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 / rs2` (unsigned).
+    pub fn divu(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Asm {
+        self.alu(AluOp::Divu, rd, rs1, rs2)
+    }
+
+    // ----- finish ----------------------------------------------------------
+
+    /// Resolves all fixups and produces the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Assemble`] for undefined labels and
+    /// [`QrError::InvalidConfig`] if the layout is invalid (propagated
+    /// from [`Program::new`]).
+    pub fn finish(mut self) -> Result<Program> {
+        for fixup in std::mem::take(&mut self.fixups) {
+            let addr = *self
+                .symbols
+                .get(&fixup.label)
+                .ok_or_else(|| QrError::Assemble(format!("undefined label `{}`", fixup.label)))?;
+            let instr = &mut self.code[fixup.instr_index];
+            match (fixup.kind, instr) {
+                (FixupKind::Target, Instr::Jmp { target })
+                | (FixupKind::Target, Instr::Call { target })
+                | (FixupKind::Target, Instr::Br { target, .. }) => *target = addr,
+                (FixupKind::MoviImm, Instr::Movi { imm, .. }) => *imm = addr,
+                (kind, instr) => {
+                    return Err(QrError::Assemble(format!(
+                        "internal fixup mismatch: {kind:?} on {instr:?}"
+                    )))
+                }
+            }
+        }
+        let entry = match &self.entry_label {
+            Some(label) => *self
+                .symbols
+                .get(label)
+                .ok_or_else(|| QrError::Assemble(format!("undefined entry label `{label}`")))?,
+            None => CODE_BASE,
+        };
+        if self.code.is_empty() {
+            return Err(QrError::Assemble("program has no instructions".into()));
+        }
+        Program::new(self.name.clone(), self.code, self.data, entry, self.symbols)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Asm::new();
+        a.jmp("end"); // forward
+        a.label("mid");
+        a.movi(Reg::R1, 1);
+        a.label("end");
+        a.jmp("mid"); // backward
+        a.halt();
+        let p = a.finish().unwrap();
+        match p.code()[0] {
+            Instr::Jmp { target } => assert_eq!(target, CODE_BASE + 2 * INSTR_BYTES),
+            other => panic!("{other:?}"),
+        }
+        match p.code()[2] {
+            Instr::Jmp { target } => assert_eq!(target, CODE_BASE + INSTR_BYTES),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut a = Asm::new();
+        a.jmp("nowhere");
+        a.halt();
+        match a.finish() {
+            Err(QrError::Assemble(msg)) => assert!(msg.contains("nowhere")),
+            other => panic!("expected assemble error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "defined twice")]
+    fn duplicate_label_panics() {
+        let mut a = Asm::new();
+        a.label("x");
+        a.nop();
+        a.label("x");
+    }
+
+    #[test]
+    fn data_symbols_are_aligned_and_addressable() {
+        let mut a = Asm::new();
+        a.data_bytes("msg", b"hi");
+        let w = a.data_word("w", &[7]);
+        assert_eq!(w % 4, 0, "words are 4-byte aligned");
+        a.align_data_line();
+        let arr = a.data_space("arr", 16);
+        assert_eq!(arr % 64, 0, "line alignment holds");
+        a.movi_sym(Reg::R1, "w");
+        a.halt();
+        let p = a.finish().unwrap();
+        assert_eq!(p.symbol("w").unwrap().0, w);
+        match p.code()[0] {
+            Instr::Movi { imm, .. } => assert_eq!(imm, w),
+            other => panic!("{other:?}"),
+        }
+        // Initialized word landed in the image.
+        let off = (w - DATA_BASE) as usize;
+        assert_eq!(&p.data()[off..off + 4], &7u32.to_le_bytes());
+    }
+
+    #[test]
+    fn entry_label_sets_entry_point() {
+        let mut a = Asm::new();
+        a.nop();
+        a.label("start");
+        a.halt();
+        a.entry("start");
+        let p = a.finish().unwrap();
+        assert_eq!(p.entry().0, CODE_BASE + INSTR_BYTES);
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert!(Asm::new().finish().is_err());
+    }
+
+    #[test]
+    fn movi_sym_to_code_label_works() {
+        let mut a = Asm::new();
+        a.movi_sym(Reg::R1, "fun");
+        a.halt();
+        a.label("fun");
+        a.ret();
+        let p = a.finish().unwrap();
+        match p.code()[0] {
+            Instr::Movi { imm, .. } => assert_eq!(imm, CODE_BASE + 2 * INSTR_BYTES),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn here_tracks_emission() {
+        let mut a = Asm::new();
+        assert_eq!(a.here(), CODE_BASE);
+        a.nop();
+        assert_eq!(a.here(), CODE_BASE + INSTR_BYTES);
+    }
+}

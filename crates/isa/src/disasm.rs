@@ -1,0 +1,137 @@
+//! Disassembler for PIA instructions.
+//!
+//! The output syntax is exactly what [`crate::text::assemble`] accepts, so
+//! `disassemble` → `assemble` round-trips (branch targets are printed as
+//! absolute hex addresses, which the text assembler accepts in place of
+//! labels).
+
+use crate::instr::{AccessWidth, Instr};
+use crate::program::Program;
+use std::fmt::Write as _;
+
+/// Renders one instruction in textual-assembler syntax.
+pub fn instr_to_string(instr: &Instr) -> String {
+    match *instr {
+        Instr::Nop => "nop".to_string(),
+        Instr::Movi { rd, imm } => format!("movi {rd}, {}", imm as i32),
+        Instr::Mov { rd, rs } => format!("mov {rd}, {rs}"),
+        Instr::Alu { op, rd, rs1, rs2 } => format!("{} {rd}, {rs1}, {rs2}", op.mnemonic()),
+        Instr::AluImm { op, rd, rs1, imm } => {
+            format!("{}i {rd}, {rs1}, {}", op.mnemonic(), imm as i32)
+        }
+        Instr::Ld { rd, base, offset, width } => {
+            format!("ld{} {rd}, {base}, {offset}", width_suffix(width))
+        }
+        Instr::St { src, base, offset, width } => {
+            format!("st{} {base}, {offset}, {src}", width_suffix(width))
+        }
+        Instr::Cas { rd, addr, src } => format!("cas {rd}, {addr}, {src}"),
+        Instr::Xchg { rd, addr } => format!("xchg {rd}, {addr}"),
+        Instr::FetchAdd { rd, addr, src } => format!("xadd {rd}, {addr}, {src}"),
+        Instr::Fence => "fence".to_string(),
+        Instr::Jmp { target } => format!("jmp {target:#x}"),
+        Instr::Jr { rs } => format!("jr {rs}"),
+        Instr::Br { cond, rs1, rs2, target } => {
+            use crate::instr::BranchCond;
+            match cond {
+                BranchCond::Eqz | BranchCond::Nez => {
+                    format!("{} {rs1}, {target:#x}", cond.mnemonic())
+                }
+                _ => format!("{} {rs1}, {rs2}, {target:#x}", cond.mnemonic()),
+            }
+        }
+        Instr::Call { target } => format!("call {target:#x}"),
+        Instr::CallR { rs } => format!("callr {rs}"),
+        Instr::Ret => "ret".to_string(),
+        Instr::Push { rs } => format!("push {rs}"),
+        Instr::Pop { rd } => format!("pop {rd}"),
+        Instr::Syscall => "syscall".to_string(),
+        Instr::Rdtsc { rd } => format!("rdtsc {rd}"),
+        Instr::Rdrand { rd } => format!("rdrand {rd}"),
+        Instr::Pause => "pause".to_string(),
+        Instr::Halt => "halt".to_string(),
+    }
+}
+
+fn width_suffix(width: AccessWidth) -> &'static str {
+    match width {
+        AccessWidth::Byte => "b",
+        AccessWidth::Half => "h",
+        AccessWidth::Word => "",
+    }
+}
+
+/// Disassembles a whole program into textual-assembler source, including
+/// the data segment and entry directive, such that reassembling yields an
+/// equivalent program.
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "; program: {}", program.name());
+    let _ = writeln!(out, ".entry {:#x}", program.entry().0);
+    let _ = writeln!(out, ".text");
+    for (i, instr) in program.code().iter().enumerate() {
+        let addr = program.addr_of(i);
+        let _ = writeln!(out, "  {:<40} ; {addr}", instr_to_string(instr));
+    }
+    if !program.data().is_empty() {
+        let _ = writeln!(out, ".data");
+        for chunk in program.data().chunks(16) {
+            let bytes: Vec<String> = chunk.iter().map(|b| format!("{b:#04x}")).collect();
+            let _ = writeln!(out, "  .byte {}", bytes.join(" "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::Asm;
+    use crate::reg::Reg;
+
+    #[test]
+    fn representative_forms_render() {
+        use crate::instr::{AluOp, BranchCond};
+        let cases = [
+            (Instr::Nop, "nop"),
+            (Instr::Movi { rd: Reg::R1, imm: -3i32 as u32 }, "movi r1, -3"),
+            (Instr::Alu { op: AluOp::Add, rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 }, "add r1, r2, r3"),
+            (
+                Instr::AluImm { op: AluOp::Shl, rd: Reg::R1, rs1: Reg::R1, imm: 4 },
+                "shli r1, r1, 4",
+            ),
+            (
+                Instr::Ld { rd: Reg::R2, base: Reg::R15, offset: -8, width: AccessWidth::Word },
+                "ld r2, sp, -8",
+            ),
+            (
+                Instr::St { src: Reg::R3, base: Reg::R4, offset: 0, width: AccessWidth::Byte },
+                "stb r4, 0, r3",
+            ),
+            (
+                Instr::Br { cond: BranchCond::Eqz, rs1: Reg::R5, rs2: Reg::R0, target: 0x1010 },
+                "beqz r5, 0x1010",
+            ),
+            (Instr::Jmp { target: 0x1000 }, "jmp 0x1000"),
+            (Instr::FetchAdd { rd: Reg::R1, addr: Reg::R2, src: Reg::R3 }, "xadd r1, r2, r3"),
+        ];
+        for (instr, expected) in cases {
+            assert_eq!(instr_to_string(&instr), expected);
+        }
+    }
+
+    #[test]
+    fn disassemble_contains_all_sections() {
+        let mut a = Asm::new();
+        a.data_word("x", &[1]);
+        a.movi(Reg::R1, 5);
+        a.halt();
+        let p = a.finish().unwrap();
+        let text = disassemble(&p);
+        assert!(text.contains(".entry"));
+        assert!(text.contains(".text"));
+        assert!(text.contains(".data"));
+        assert!(text.contains("movi r1, 5"));
+        assert!(text.contains(".byte"));
+    }
+}

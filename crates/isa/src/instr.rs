@@ -1,0 +1,751 @@
+//! PIA instructions and their fixed 8-byte binary encoding.
+//!
+//! Every instruction encodes as `[opcode, a, b, c, imm[0..4]]` where `a`,
+//! `b`, `c` are register numbers or sub-opcodes and `imm` is a 32-bit
+//! little-endian immediate. A fixed width keeps the fetch path of the
+//! interpreter trivial; the recording hardware never looks inside
+//! instruction encodings, only at retired-instruction counts and memory
+//! traffic, so nothing in the reproduction depends on x86-style variable
+//! length decoding.
+
+use crate::reg::Reg;
+use qr_common::{QrError, Result};
+
+/// Width of a data memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessWidth {
+    /// 1 byte, zero-extended on load.
+    Byte,
+    /// 2 bytes, zero-extended on load.
+    Half,
+    /// 4 bytes.
+    Word,
+}
+
+impl AccessWidth {
+    /// Access size in bytes.
+    pub fn bytes(self) -> u32 {
+        match self {
+            AccessWidth::Byte => 1,
+            AccessWidth::Half => 2,
+            AccessWidth::Word => 4,
+        }
+    }
+
+    fn code(self) -> u8 {
+        match self {
+            AccessWidth::Byte => 0,
+            AccessWidth::Half => 1,
+            AccessWidth::Word => 2,
+        }
+    }
+
+    fn from_code(code: u8) -> Option<AccessWidth> {
+        match code {
+            0 => Some(AccessWidth::Byte),
+            1 => Some(AccessWidth::Half),
+            2 => Some(AccessWidth::Word),
+            _ => None,
+        }
+    }
+}
+
+/// Register-register ALU operation selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication (low 32 bits).
+    Mul,
+    /// Unsigned division; division by zero traps.
+    Divu,
+    /// Unsigned remainder; division by zero traps.
+    Remu,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Logical shift left (shift amount masked to 5 bits).
+    Shl,
+    /// Logical shift right (shift amount masked to 5 bits).
+    Shr,
+    /// Arithmetic shift right (shift amount masked to 5 bits).
+    Sar,
+    /// Set `rd = 1` if `rs1 < rs2` signed, else 0.
+    Slt,
+    /// Set `rd = 1` if `rs1 < rs2` unsigned, else 0.
+    Sltu,
+    /// Set `rd = 1` if `rs1 == rs2`, else 0.
+    Seq,
+}
+
+impl AluOp {
+    /// All ALU operations, in encoding order.
+    pub const ALL: [AluOp; 14] = [
+        AluOp::Add,
+        AluOp::Sub,
+        AluOp::Mul,
+        AluOp::Divu,
+        AluOp::Remu,
+        AluOp::And,
+        AluOp::Or,
+        AluOp::Xor,
+        AluOp::Shl,
+        AluOp::Shr,
+        AluOp::Sar,
+        AluOp::Slt,
+        AluOp::Sltu,
+        AluOp::Seq,
+    ];
+
+    fn code(self) -> u8 {
+        AluOp::ALL.iter().position(|&op| op == self).unwrap() as u8
+    }
+
+    fn from_code(code: u8) -> Option<AluOp> {
+        AluOp::ALL.get(code as usize).copied()
+    }
+
+    /// Mnemonic used by the assembler and disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            AluOp::Add => "add",
+            AluOp::Sub => "sub",
+            AluOp::Mul => "mul",
+            AluOp::Divu => "divu",
+            AluOp::Remu => "remu",
+            AluOp::And => "and",
+            AluOp::Or => "or",
+            AluOp::Xor => "xor",
+            AluOp::Shl => "shl",
+            AluOp::Shr => "shr",
+            AluOp::Sar => "sar",
+            AluOp::Slt => "slt",
+            AluOp::Sltu => "sltu",
+            AluOp::Seq => "seq",
+        }
+    }
+}
+
+/// Branch condition selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `rs1 == rs2`.
+    Eq,
+    /// `rs1 != rs2`.
+    Ne,
+    /// `rs1 < rs2` signed.
+    Lt,
+    /// `rs1 < rs2` unsigned.
+    Ltu,
+    /// `rs1 >= rs2` signed.
+    Ge,
+    /// `rs1 >= rs2` unsigned.
+    Geu,
+    /// `rs1 == 0` (`rs2` ignored).
+    Eqz,
+    /// `rs1 != 0` (`rs2` ignored).
+    Nez,
+}
+
+impl BranchCond {
+    /// All branch conditions, in encoding order.
+    pub const ALL: [BranchCond; 8] = [
+        BranchCond::Eq,
+        BranchCond::Ne,
+        BranchCond::Lt,
+        BranchCond::Ltu,
+        BranchCond::Ge,
+        BranchCond::Geu,
+        BranchCond::Eqz,
+        BranchCond::Nez,
+    ];
+
+    fn code(self) -> u8 {
+        BranchCond::ALL.iter().position(|&c| c == self).unwrap() as u8
+    }
+
+    fn from_code(code: u8) -> Option<BranchCond> {
+        BranchCond::ALL.get(code as usize).copied()
+    }
+
+    /// Evaluates the condition on two operand values.
+    pub fn eval(self, a: u32, b: u32) -> bool {
+        match self {
+            BranchCond::Eq => a == b,
+            BranchCond::Ne => a != b,
+            BranchCond::Lt => (a as i32) < (b as i32),
+            BranchCond::Ltu => a < b,
+            BranchCond::Ge => (a as i32) >= (b as i32),
+            BranchCond::Geu => a >= b,
+            BranchCond::Eqz => a == 0,
+            BranchCond::Nez => a != 0,
+        }
+    }
+
+    /// Mnemonic used by the assembler and disassembler.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BranchCond::Eq => "beq",
+            BranchCond::Ne => "bne",
+            BranchCond::Lt => "blt",
+            BranchCond::Ltu => "bltu",
+            BranchCond::Ge => "bge",
+            BranchCond::Geu => "bgeu",
+            BranchCond::Eqz => "beqz",
+            BranchCond::Nez => "bnez",
+        }
+    }
+}
+
+/// Top-level opcode byte of the binary encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Opcode {
+    Nop = 0,
+    Movi = 1,
+    Mov = 2,
+    Alu = 3,
+    AluImm = 4,
+    Ld = 5,
+    St = 6,
+    Cas = 7,
+    Xchg = 8,
+    FetchAdd = 9,
+    Fence = 10,
+    Jmp = 11,
+    Jr = 12,
+    Br = 13,
+    Call = 14,
+    CallR = 15,
+    Ret = 16,
+    Push = 17,
+    Pop = 18,
+    Syscall = 19,
+    Rdtsc = 20,
+    Rdrand = 21,
+    Pause = 22,
+    Halt = 23,
+}
+
+impl Opcode {
+    fn from_byte(b: u8) -> Option<Opcode> {
+        const ALL: [Opcode; 24] = [
+            Opcode::Nop,
+            Opcode::Movi,
+            Opcode::Mov,
+            Opcode::Alu,
+            Opcode::AluImm,
+            Opcode::Ld,
+            Opcode::St,
+            Opcode::Cas,
+            Opcode::Xchg,
+            Opcode::FetchAdd,
+            Opcode::Fence,
+            Opcode::Jmp,
+            Opcode::Jr,
+            Opcode::Br,
+            Opcode::Call,
+            Opcode::CallR,
+            Opcode::Ret,
+            Opcode::Push,
+            Opcode::Pop,
+            Opcode::Syscall,
+            Opcode::Rdtsc,
+            Opcode::Rdrand,
+            Opcode::Pause,
+            Opcode::Halt,
+        ];
+        ALL.get(b as usize).copied()
+    }
+}
+
+/// Byte width of one encoded instruction.
+pub const ENCODED_BYTES: usize = 8;
+
+/// A decoded PIA instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// No operation.
+    Nop,
+    /// `rd = imm`.
+    Movi {
+        /// Destination register.
+        rd: Reg,
+        /// 32-bit immediate (bit pattern, may be interpreted signed).
+        imm: u32,
+    },
+    /// `rd = rs`.
+    Mov {
+        /// Destination register.
+        rd: Reg,
+        /// Source register.
+        rs: Reg,
+    },
+    /// `rd = rs1 <op> rs2`.
+    Alu {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand.
+        rs2: Reg,
+    },
+    /// `rd = rs1 <op> imm`.
+    AluImm {
+        /// Operation selector.
+        op: AluOp,
+        /// Destination register.
+        rd: Reg,
+        /// Left operand.
+        rs1: Reg,
+        /// Immediate right operand (bit pattern).
+        imm: u32,
+    },
+    /// `rd = mem[rs1 + offset]`, zero-extended for sub-word widths.
+    Ld {
+        /// Destination register.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i32,
+        /// Access width.
+        width: AccessWidth,
+    },
+    /// `mem[rs1 + offset] = src` (low bytes for sub-word widths).
+    St {
+        /// Value to store.
+        src: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Signed byte offset.
+        offset: i32,
+        /// Access width.
+        width: AccessWidth,
+    },
+    /// Atomic compare-and-swap on the word at `[addr]`:
+    /// if `mem == rd` then `mem = src`; `rd` receives the old value.
+    /// Full memory barrier, like `lock cmpxchg`.
+    Cas {
+        /// Expected value in, old value out.
+        rd: Reg,
+        /// Address register (word-aligned address).
+        addr: Reg,
+        /// Replacement value.
+        src: Reg,
+    },
+    /// Atomic exchange of `rd` with the word at `[addr]`. Full barrier,
+    /// like IA `xchg` with a memory operand.
+    Xchg {
+        /// Value in, old memory value out.
+        rd: Reg,
+        /// Address register (word-aligned address).
+        addr: Reg,
+    },
+    /// Atomic fetch-and-add: `rd = mem[addr]; mem[addr] += src`. Full
+    /// barrier, like `lock xadd`.
+    FetchAdd {
+        /// Receives the pre-add memory value.
+        rd: Reg,
+        /// Address register (word-aligned address).
+        addr: Reg,
+        /// Addend.
+        src: Reg,
+    },
+    /// Full memory fence: drains the store buffer.
+    Fence,
+    /// Unconditional jump to an absolute code address.
+    Jmp {
+        /// Absolute byte address of the target instruction.
+        target: u32,
+    },
+    /// Indirect jump to the address in `rs`.
+    Jr {
+        /// Register holding the target address.
+        rs: Reg,
+    },
+    /// Conditional branch to an absolute code address.
+    Br {
+        /// Condition to evaluate.
+        cond: BranchCond,
+        /// Left operand.
+        rs1: Reg,
+        /// Right operand (ignored by `Eqz`/`Nez`).
+        rs2: Reg,
+        /// Absolute byte address of the target instruction.
+        target: u32,
+    },
+    /// Pushes the return address and jumps to `target`.
+    Call {
+        /// Absolute byte address of the callee.
+        target: u32,
+    },
+    /// Pushes the return address and jumps to the address in `rs`.
+    CallR {
+        /// Register holding the callee address.
+        rs: Reg,
+    },
+    /// Pops the return address and jumps to it.
+    Ret,
+    /// `sp -= 4; mem[sp] = rs`.
+    Push {
+        /// Register to push.
+        rs: Reg,
+    },
+    /// `rd = mem[sp]; sp += 4`.
+    Pop {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// Traps to the kernel. Syscall number in `R0`, arguments in
+    /// `R1..=R5`, result in `R0` (see [`crate::abi`]).
+    Syscall,
+    /// Reads the core's cycle counter — a nondeterministic input that the
+    /// recording stack must log.
+    Rdtsc {
+        /// Destination register (low 32 bits of the counter).
+        rd: Reg,
+    },
+    /// Reads a hardware random number — nondeterministic, logged.
+    Rdrand {
+        /// Destination register.
+        rd: Reg,
+    },
+    /// Spin-wait hint; a scheduling hint only.
+    Pause,
+    /// Stops the executing thread (bare-metal programs; threads under the
+    /// kernel normally use the `exit` syscall).
+    Halt,
+}
+
+impl Instr {
+    /// Top-level opcode of this instruction.
+    pub fn opcode(&self) -> Opcode {
+        match self {
+            Instr::Nop => Opcode::Nop,
+            Instr::Movi { .. } => Opcode::Movi,
+            Instr::Mov { .. } => Opcode::Mov,
+            Instr::Alu { .. } => Opcode::Alu,
+            Instr::AluImm { .. } => Opcode::AluImm,
+            Instr::Ld { .. } => Opcode::Ld,
+            Instr::St { .. } => Opcode::St,
+            Instr::Cas { .. } => Opcode::Cas,
+            Instr::Xchg { .. } => Opcode::Xchg,
+            Instr::FetchAdd { .. } => Opcode::FetchAdd,
+            Instr::Fence => Opcode::Fence,
+            Instr::Jmp { .. } => Opcode::Jmp,
+            Instr::Jr { .. } => Opcode::Jr,
+            Instr::Br { .. } => Opcode::Br,
+            Instr::Call { .. } => Opcode::Call,
+            Instr::CallR { .. } => Opcode::CallR,
+            Instr::Ret => Opcode::Ret,
+            Instr::Push { .. } => Opcode::Push,
+            Instr::Pop { .. } => Opcode::Pop,
+            Instr::Syscall => Opcode::Syscall,
+            Instr::Rdtsc { .. } => Opcode::Rdtsc,
+            Instr::Rdrand { .. } => Opcode::Rdrand,
+            Instr::Pause => Opcode::Pause,
+            Instr::Halt => Opcode::Halt,
+        }
+    }
+
+    /// Whether this instruction may access data memory.
+    pub fn is_memory(&self) -> bool {
+        matches!(
+            self,
+            Instr::Ld { .. }
+                | Instr::St { .. }
+                | Instr::Cas { .. }
+                | Instr::Xchg { .. }
+                | Instr::FetchAdd { .. }
+                | Instr::Push { .. }
+                | Instr::Pop { .. }
+                | Instr::Call { .. }
+                | Instr::CallR { .. }
+                | Instr::Ret
+        )
+    }
+
+    /// Whether this is an atomic read-modify-write.
+    pub fn is_atomic(&self) -> bool {
+        matches!(self, Instr::Cas { .. } | Instr::Xchg { .. } | Instr::FetchAdd { .. })
+    }
+
+    /// Encodes into the fixed 8-byte format.
+    pub fn encode(&self) -> [u8; ENCODED_BYTES] {
+        let (op, a, b, c, imm) = match *self {
+            Instr::Nop => (Opcode::Nop, 0, 0, 0, 0),
+            Instr::Movi { rd, imm } => (Opcode::Movi, rd as u8, 0, 0, imm),
+            Instr::Mov { rd, rs } => (Opcode::Mov, rd as u8, rs as u8, 0, 0),
+            Instr::Alu { op, rd, rs1, rs2 } => {
+                (Opcode::Alu, rd as u8, rs1 as u8, rs2 as u8, op.code() as u32)
+            }
+            Instr::AluImm { op, rd, rs1, imm } => {
+                (Opcode::AluImm, rd as u8, rs1 as u8, op.code(), imm)
+            }
+            Instr::Ld { rd, base, offset, width } => {
+                (Opcode::Ld, rd as u8, base as u8, width.code(), offset as u32)
+            }
+            Instr::St { src, base, offset, width } => {
+                (Opcode::St, src as u8, base as u8, width.code(), offset as u32)
+            }
+            Instr::Cas { rd, addr, src } => (Opcode::Cas, rd as u8, addr as u8, src as u8, 0),
+            Instr::Xchg { rd, addr } => (Opcode::Xchg, rd as u8, addr as u8, 0, 0),
+            Instr::FetchAdd { rd, addr, src } => {
+                (Opcode::FetchAdd, rd as u8, addr as u8, src as u8, 0)
+            }
+            Instr::Fence => (Opcode::Fence, 0, 0, 0, 0),
+            Instr::Jmp { target } => (Opcode::Jmp, 0, 0, 0, target),
+            Instr::Jr { rs } => (Opcode::Jr, 0, rs as u8, 0, 0),
+            Instr::Br { cond, rs1, rs2, target } => {
+                (Opcode::Br, rs1 as u8, rs2 as u8, cond.code(), target)
+            }
+            Instr::Call { target } => (Opcode::Call, 0, 0, 0, target),
+            Instr::CallR { rs } => (Opcode::CallR, 0, rs as u8, 0, 0),
+            Instr::Ret => (Opcode::Ret, 0, 0, 0, 0),
+            Instr::Push { rs } => (Opcode::Push, 0, rs as u8, 0, 0),
+            Instr::Pop { rd } => (Opcode::Pop, rd as u8, 0, 0, 0),
+            Instr::Syscall => (Opcode::Syscall, 0, 0, 0, 0),
+            Instr::Rdtsc { rd } => (Opcode::Rdtsc, rd as u8, 0, 0, 0),
+            Instr::Rdrand { rd } => (Opcode::Rdrand, rd as u8, 0, 0, 0),
+            Instr::Pause => (Opcode::Pause, 0, 0, 0, 0),
+            Instr::Halt => (Opcode::Halt, 0, 0, 0, 0),
+        };
+        let mut out = [0u8; ENCODED_BYTES];
+        out[0] = op as u8;
+        out[1] = a;
+        out[2] = b;
+        out[3] = c;
+        out[4..8].copy_from_slice(&imm.to_le_bytes());
+        out
+    }
+
+    /// Decodes from the fixed 8-byte format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] for unknown opcodes or malformed
+    /// sub-fields (invalid register numbers, widths, conditions).
+    pub fn decode(bytes: &[u8; ENCODED_BYTES]) -> Result<Instr> {
+        let op = Opcode::from_byte(bytes[0])
+            .ok_or_else(|| exec_err(format!("unknown opcode byte {:#04x}", bytes[0])))?;
+        let a = bytes[1];
+        let b = bytes[2];
+        let c = bytes[3];
+        let imm = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+        let reg = |n: u8| Reg::from_num(n).ok_or_else(|| exec_err(format!("bad register {n}")));
+        Ok(match op {
+            Opcode::Nop => Instr::Nop,
+            Opcode::Movi => Instr::Movi { rd: reg(a)?, imm },
+            Opcode::Mov => Instr::Mov { rd: reg(a)?, rs: reg(b)? },
+            Opcode::Alu => Instr::Alu {
+                op: AluOp::from_code(imm as u8)
+                    .ok_or_else(|| exec_err(format!("bad alu op {imm}")))?,
+                rd: reg(a)?,
+                rs1: reg(b)?,
+                rs2: reg(c)?,
+            },
+            Opcode::AluImm => Instr::AluImm {
+                op: AluOp::from_code(c).ok_or_else(|| exec_err(format!("bad alu op {c}")))?,
+                rd: reg(a)?,
+                rs1: reg(b)?,
+                imm,
+            },
+            Opcode::Ld => Instr::Ld {
+                rd: reg(a)?,
+                base: reg(b)?,
+                offset: imm as i32,
+                width: AccessWidth::from_code(c)
+                    .ok_or_else(|| exec_err(format!("bad width {c}")))?,
+            },
+            Opcode::St => Instr::St {
+                src: reg(a)?,
+                base: reg(b)?,
+                offset: imm as i32,
+                width: AccessWidth::from_code(c)
+                    .ok_or_else(|| exec_err(format!("bad width {c}")))?,
+            },
+            Opcode::Cas => Instr::Cas { rd: reg(a)?, addr: reg(b)?, src: reg(c)? },
+            Opcode::Xchg => Instr::Xchg { rd: reg(a)?, addr: reg(b)? },
+            Opcode::FetchAdd => Instr::FetchAdd { rd: reg(a)?, addr: reg(b)?, src: reg(c)? },
+            Opcode::Fence => Instr::Fence,
+            Opcode::Jmp => Instr::Jmp { target: imm },
+            Opcode::Jr => Instr::Jr { rs: reg(b)? },
+            Opcode::Br => Instr::Br {
+                cond: BranchCond::from_code(c)
+                    .ok_or_else(|| exec_err(format!("bad branch cond {c}")))?,
+                rs1: reg(a)?,
+                rs2: reg(b)?,
+                target: imm,
+            },
+            Opcode::Call => Instr::Call { target: imm },
+            Opcode::CallR => Instr::CallR { rs: reg(b)? },
+            Opcode::Ret => Instr::Ret,
+            Opcode::Push => Instr::Push { rs: reg(b)? },
+            Opcode::Pop => Instr::Pop { rd: reg(a)? },
+            Opcode::Syscall => Instr::Syscall,
+            Opcode::Rdtsc => Instr::Rdtsc { rd: reg(a)? },
+            Opcode::Rdrand => Instr::Rdrand { rd: reg(a)? },
+            Opcode::Pause => Instr::Pause,
+            Opcode::Halt => Instr::Halt,
+        })
+    }
+}
+
+fn exec_err(detail: String) -> QrError {
+    QrError::Execution { detail }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_instrs() -> Vec<Instr> {
+        let mut v = vec![
+            Instr::Nop,
+            Instr::Movi { rd: Reg::R3, imm: 0xdead_beef },
+            Instr::Mov { rd: Reg::R1, rs: Reg::R2 },
+            Instr::Fence,
+            Instr::Jmp { target: 0x1040 },
+            Instr::Jr { rs: Reg::R9 },
+            Instr::Call { target: 0x2000 },
+            Instr::CallR { rs: Reg::R4 },
+            Instr::Ret,
+            Instr::Push { rs: Reg::R7 },
+            Instr::Pop { rd: Reg::R8 },
+            Instr::Syscall,
+            Instr::Rdtsc { rd: Reg::R0 },
+            Instr::Rdrand { rd: Reg::R11 },
+            Instr::Pause,
+            Instr::Halt,
+            Instr::Cas { rd: Reg::R1, addr: Reg::R2, src: Reg::R3 },
+            Instr::Xchg { rd: Reg::R5, addr: Reg::R6 },
+            Instr::FetchAdd { rd: Reg::R1, addr: Reg::R10, src: Reg::R12 },
+        ];
+        for op in AluOp::ALL {
+            v.push(Instr::Alu { op, rd: Reg::R1, rs1: Reg::R2, rs2: Reg::R3 });
+            v.push(Instr::AluImm { op, rd: Reg::R4, rs1: Reg::R5, imm: 0x1234 });
+        }
+        for width in [AccessWidth::Byte, AccessWidth::Half, AccessWidth::Word] {
+            v.push(Instr::Ld { rd: Reg::R1, base: Reg::R2, offset: -8, width });
+            v.push(Instr::St { src: Reg::R3, base: Reg::R4, offset: 1024, width });
+        }
+        for cond in BranchCond::ALL {
+            v.push(Instr::Br { cond, rs1: Reg::R1, rs2: Reg::R2, target: 0x1000 });
+        }
+        v
+    }
+
+    #[test]
+    fn encode_decode_round_trips_every_form() {
+        for instr in sample_instrs() {
+            let bytes = instr.encode();
+            let back = Instr::decode(&bytes).unwrap();
+            assert_eq!(instr, back, "round trip failed for {instr:?}");
+        }
+    }
+
+    #[test]
+    fn unknown_opcode_is_rejected() {
+        let bytes = [0xEEu8, 0, 0, 0, 0, 0, 0, 0];
+        assert!(Instr::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_register_is_rejected() {
+        let mut bytes = Instr::Mov { rd: Reg::R0, rs: Reg::R0 }.encode();
+        bytes[1] = 200;
+        assert!(Instr::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_width_is_rejected() {
+        let mut bytes =
+            Instr::Ld { rd: Reg::R0, base: Reg::R1, offset: 0, width: AccessWidth::Word }.encode();
+        bytes[3] = 9;
+        assert!(Instr::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn bad_branch_cond_is_rejected() {
+        let mut bytes = Instr::Br {
+            cond: BranchCond::Eq,
+            rs1: Reg::R0,
+            rs2: Reg::R0,
+            target: 0,
+        }
+        .encode();
+        bytes[3] = 99;
+        assert!(Instr::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn negative_offsets_survive_encoding() {
+        let i = Instr::Ld { rd: Reg::R1, base: Reg::R2, offset: -4, width: AccessWidth::Word };
+        match Instr::decode(&i.encode()).unwrap() {
+            Instr::Ld { offset, .. } => assert_eq!(offset, -4),
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn branch_cond_semantics() {
+        assert!(BranchCond::Eq.eval(5, 5));
+        assert!(!BranchCond::Eq.eval(5, 6));
+        assert!(BranchCond::Lt.eval(-1i32 as u32, 0));
+        assert!(!BranchCond::Ltu.eval(-1i32 as u32, 0));
+        assert!(BranchCond::Ge.eval(0, -1i32 as u32));
+        assert!(BranchCond::Geu.eval(u32::MAX, 0));
+        assert!(BranchCond::Eqz.eval(0, 999));
+        assert!(BranchCond::Nez.eval(1, 999));
+    }
+
+    #[test]
+    fn classification_helpers() {
+        assert!(Instr::Ld { rd: Reg::R0, base: Reg::R0, offset: 0, width: AccessWidth::Word }
+            .is_memory());
+        assert!(Instr::Ret.is_memory(), "ret pops the stack");
+        assert!(!Instr::Nop.is_memory());
+        assert!(Instr::Cas { rd: Reg::R0, addr: Reg::R1, src: Reg::R2 }.is_atomic());
+        assert!(!Instr::Fence.is_atomic());
+    }
+
+    #[test]
+    fn access_width_bytes() {
+        assert_eq!(AccessWidth::Byte.bytes(), 1);
+        assert_eq!(AccessWidth::Half.bytes(), 2);
+        assert_eq!(AccessWidth::Word.bytes(), 4);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn decode_never_panics(bytes in any::<[u8; ENCODED_BYTES]>()) {
+            let _ = Instr::decode(&bytes);
+        }
+
+        #[test]
+        fn decoded_instructions_reencode_identically(bytes in any::<[u8; ENCODED_BYTES]>()) {
+            if let Ok(instr) = Instr::decode(&bytes) {
+                // Re-encoding a decoded instruction must produce bytes that
+                // decode to the same instruction (the encoding is canonical
+                // modulo don't-care fields).
+                let re = instr.encode();
+                prop_assert_eq!(Instr::decode(&re).unwrap(), instr);
+            }
+        }
+    }
+}

@@ -1,0 +1,52 @@
+#![warn(missing_docs)]
+
+//! PIA — the *Prototype IA* instruction set used by QuickRec-RS.
+//!
+//! The QuickRec prototype (ISCA 2013) extended FPGA-emulated Pentium cores.
+//! Re-implementing x86 decode adds nothing to the record/replay questions
+//! the paper studies, so this reproduction defines a compact 32-bit
+//! IA-*like* ISA with the properties the recording hardware actually cares
+//! about:
+//!
+//! - loads/stores at byte and word granularity (conflicts are detected at
+//!   cache-line granularity by the recorder),
+//! - x86-style atomic read-modify-write instructions ([`Instr::Cas`],
+//!   [`Instr::Xchg`], [`Instr::FetchAdd`]) with full-barrier semantics,
+//! - a total-store-order memory model (stores buffer in `qr-mem`),
+//! - nondeterministic reads ([`Instr::Rdtsc`], [`Instr::Rdrand`]) that the
+//!   Capo3-style software stack must log, exactly like `rdtsc` on IA,
+//! - a `syscall` instruction that traps to the simulated kernel.
+//!
+//! The crate provides the instruction type with a fixed 8-byte binary
+//! encoding ([`instr`]), a programmatic assembler ([`asm::Asm`]), a textual
+//! assembler ([`text::assemble`]), a disassembler ([`disasm`]) and the
+//! guest syscall ABI ([`abi`]).
+//!
+//! # Example
+//!
+//! ```
+//! use qr_isa::asm::Asm;
+//! use qr_isa::reg::Reg;
+//!
+//! let mut asm = Asm::new();
+//! asm.movi(Reg::R1, 5);
+//! asm.label("loop");
+//! asm.addi(Reg::R1, Reg::R1, -1);
+//! asm.bnez(Reg::R1, "loop");
+//! asm.halt();
+//! let program = asm.finish().unwrap();
+//! assert_eq!(program.code().len(), 4);
+//! ```
+
+pub mod abi;
+pub mod asm;
+pub mod disasm;
+pub mod instr;
+pub mod program;
+pub mod reg;
+pub mod text;
+
+pub use asm::Asm;
+pub use instr::{AccessWidth, Instr, Opcode};
+pub use program::{Program, CODE_BASE, DATA_BASE, INSTR_BYTES};
+pub use reg::Reg;

@@ -1,0 +1,145 @@
+//! General-purpose registers of the PIA ISA.
+
+use std::fmt;
+
+/// One of the sixteen 32-bit general-purpose registers.
+///
+/// All registers are freely writable. By software convention [`Reg::SP`]
+/// (an alias of `R15`) holds the stack pointer — `push`, `pop`, `call` and
+/// `ret` use it implicitly — and the kernel ABI passes the syscall number
+/// in `R0` and arguments in `R1..=R5` (see [`crate::abi`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// Register 0 — syscall number / return value by ABI convention.
+    R0 = 0,
+    /// Register 1 — first syscall/function argument by convention.
+    R1 = 1,
+    /// Register 2.
+    R2 = 2,
+    /// Register 3.
+    R3 = 3,
+    /// Register 4.
+    R4 = 4,
+    /// Register 5.
+    R5 = 5,
+    /// Register 6.
+    R6 = 6,
+    /// Register 7.
+    R7 = 7,
+    /// Register 8.
+    R8 = 8,
+    /// Register 9.
+    R9 = 9,
+    /// Register 10.
+    R10 = 10,
+    /// Register 11.
+    R11 = 11,
+    /// Register 12.
+    R12 = 12,
+    /// Register 13.
+    R13 = 13,
+    /// Register 14 — frame pointer by convention.
+    R14 = 14,
+    /// Register 15 — the stack pointer.
+    R15 = 15,
+}
+
+impl Reg {
+    /// Stack-pointer alias for `R15`.
+    pub const SP: Reg = Reg::R15;
+    /// Frame-pointer alias for `R14`.
+    pub const FP: Reg = Reg::R14;
+
+    /// All registers in index order.
+    pub const ALL: [Reg; 16] = [
+        Reg::R0,
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    ];
+
+    /// Index usable for register-file arrays.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Register with the given hardware number.
+    ///
+    /// Returns `None` for numbers 16 and above.
+    pub fn from_num(n: u8) -> Option<Reg> {
+        Reg::ALL.get(n as usize).copied()
+    }
+
+    /// Parses `"r4"`, `"R4"`, `"sp"` or `"fp"`.
+    pub fn parse(text: &str) -> Option<Reg> {
+        let lower = text.to_ascii_lowercase();
+        match lower.as_str() {
+            "sp" => return Some(Reg::SP),
+            "fp" => return Some(Reg::FP),
+            _ => {}
+        }
+        let num = lower.strip_prefix('r')?.parse::<u8>().ok()?;
+        Reg::from_num(num)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reg::R15 => write!(f, "sp"),
+            other => write!(f, "r{}", *other as u8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_num_covers_exactly_sixteen() {
+        for n in 0..16 {
+            assert_eq!(Reg::from_num(n).unwrap() as u8, n);
+        }
+        assert_eq!(Reg::from_num(16), None);
+        assert_eq!(Reg::from_num(255), None);
+    }
+
+    #[test]
+    fn parse_accepts_aliases_and_case() {
+        assert_eq!(Reg::parse("sp"), Some(Reg::R15));
+        assert_eq!(Reg::parse("SP"), Some(Reg::R15));
+        assert_eq!(Reg::parse("fp"), Some(Reg::R14));
+        assert_eq!(Reg::parse("r0"), Some(Reg::R0));
+        assert_eq!(Reg::parse("R13"), Some(Reg::R13));
+        assert_eq!(Reg::parse("r16"), None);
+        assert_eq!(Reg::parse("x1"), None);
+        assert_eq!(Reg::parse(""), None);
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for r in Reg::ALL {
+            assert_eq!(Reg::parse(&r.to_string()), Some(r));
+        }
+    }
+
+    #[test]
+    fn sp_is_r15() {
+        assert_eq!(Reg::SP, Reg::R15);
+        assert_eq!(Reg::SP.to_string(), "sp");
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests across the ISA toolchain: random instruction sequences
+//! must survive encode→decode and disassemble→reassemble unchanged.
+
+use proptest::prelude::*;
+use qr_isa::instr::{AccessWidth, AluOp, BranchCond, Instr};
+use qr_isa::program::{CODE_BASE, INSTR_BYTES};
+use qr_isa::{disasm, text, Program, Reg};
+use std::collections::BTreeMap;
+
+fn arb_reg() -> impl Strategy<Value = Reg> {
+    (0u8..16).prop_map(|n| Reg::from_num(n).expect("in range"))
+}
+
+fn arb_width() -> impl Strategy<Value = AccessWidth> {
+    prop_oneof![Just(AccessWidth::Byte), Just(AccessWidth::Half), Just(AccessWidth::Word)]
+}
+
+/// A random instruction whose control-flow targets stay inside a
+/// `code_len`-instruction program (so reassembly is meaningful).
+fn arb_instr(code_len: u32) -> impl Strategy<Value = Instr> {
+    let target = (0..code_len).prop_map(|i| CODE_BASE + i * INSTR_BYTES);
+    prop_oneof![
+        Just(Instr::Nop),
+        Just(Instr::Fence),
+        Just(Instr::Ret),
+        Just(Instr::Syscall),
+        Just(Instr::Pause),
+        Just(Instr::Halt),
+        (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::Movi { rd, imm }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
+        (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }),
+        (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), any::<u32>())
+            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op: AluOp::ALL[op], rd, rs1, imm }),
+        (arb_reg(), arb_reg(), -1024i32..1024, arb_width())
+            .prop_map(|(rd, base, offset, width)| Instr::Ld { rd, base, offset, width }),
+        (arb_reg(), arb_reg(), -1024i32..1024, arb_width())
+            .prop_map(|(src, base, offset, width)| Instr::St { src, base, offset, width }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, addr, src)| Instr::Cas { rd, addr, src }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, addr)| Instr::Xchg { rd, addr }),
+        (arb_reg(), arb_reg(), arb_reg())
+            .prop_map(|(rd, addr, src)| Instr::FetchAdd { rd, addr, src }),
+        target.clone().prop_map(|target| Instr::Jmp { target }),
+        (arb_reg(),).prop_map(|(rs,)| Instr::Jr { rs }),
+        (
+            0usize..BranchCond::ALL.len(),
+            arb_reg(),
+            arb_reg(),
+            target.clone()
+        )
+            .prop_map(|(c, rs1, rs2, target)| {
+                let cond = BranchCond::ALL[c];
+                // Eqz/Nez ignore rs2; the assemblers always emit R0 there,
+                // so generate the canonical form.
+                let rs2 = if matches!(cond, BranchCond::Eqz | BranchCond::Nez) {
+                    Reg::R0
+                } else {
+                    rs2
+                };
+                Instr::Br { cond, rs1, rs2, target }
+            }),
+        target.prop_map(|target| Instr::Call { target }),
+        (arb_reg(),).prop_map(|(rs,)| Instr::CallR { rs }),
+        (arb_reg(),).prop_map(|(rs,)| Instr::Push { rs }),
+        (arb_reg(),).prop_map(|(rd,)| Instr::Pop { rd }),
+        (arb_reg(),).prop_map(|(rd,)| Instr::Rdtsc { rd }),
+        (arb_reg(),).prop_map(|(rd,)| Instr::Rdrand { rd }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    #[test]
+    fn disassemble_reassemble_preserves_programs(
+        len in 1u32..80,
+        seed_instrs in proptest::collection::vec(arb_instr(80), 1..80),
+        data in proptest::collection::vec(any::<u8>(), 0..128),
+    ) {
+        // Clamp to `len` instructions so every branch target is valid.
+        let code: Vec<Instr> = seed_instrs.into_iter().take(len as usize).collect();
+        prop_assume!(!code.is_empty());
+        let program = Program::new("prop", code, data, CODE_BASE, BTreeMap::new()).unwrap();
+        let source = disasm::disassemble(&program);
+        let back = text::assemble("prop2", &source).unwrap_or_else(|e| {
+            panic!("reassembly failed: {e}\n{source}")
+        });
+        prop_assert_eq!(back.code(), program.code());
+        prop_assert_eq!(back.data(), program.data());
+        prop_assert_eq!(back.entry(), program.entry());
+    }
+
+    #[test]
+    fn binary_encoding_round_trips(instrs in proptest::collection::vec(arb_instr(1000), 1..100)) {
+        for instr in &instrs {
+            let bytes = instr.encode();
+            prop_assert_eq!(Instr::decode(&bytes).unwrap(), *instr);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    /// The text assembler must reject or accept arbitrary input without
+    /// panicking (it is exposed to user-written files via the CLI).
+    #[test]
+    fn text_assembler_never_panics(source in "\\PC{0,400}") {
+        let _ = text::assemble("fuzz", &source);
+    }
+
+    /// Structured-looking fuzz: lines of plausible tokens.
+    #[test]
+    fn tokenish_input_never_panics(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just(".data".to_string()),
+                Just(".text".to_string()),
+                "[a-z]{1,8}:".prop_map(|s| s),
+                "(movi|ld|st|add|jmp|beq|cas|\\.word|\\.byte|\\.space|\\.align) [a-z0-9, -]{0,20}".prop_map(|s| s),
+            ],
+            0..30
+        )
+    ) {
+        let source = lines.join("\n");
+        let _ = text::assemble("fuzz", &source);
+    }
+}

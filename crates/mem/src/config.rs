@@ -1,0 +1,108 @@
+//! Memory-system configuration.
+
+use qr_common::{QrError, Result};
+
+/// How the store buffer interacts with chunk termination (see DESIGN.md,
+/// decision 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TsoMode {
+    /// Drain the store buffer before a chunk terminates. Replay is a
+    /// simple chunk-sequential execution. The default.
+    #[default]
+    DrainAtChunk,
+    /// Allow stores to remain pending across chunk boundaries; the chunk
+    /// packet records the reordered-store-window count (the paper's RSW
+    /// field). Used for the TSO statistics experiment; logs recorded in
+    /// this mode are not replayable by this reproduction.
+    Rsw,
+}
+
+/// Geometry and timing of the memory hierarchy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemConfig {
+    /// L1 sets per core (power of two).
+    pub l1_sets: u32,
+    /// L1 ways per core.
+    pub l1_ways: u32,
+    /// Store-buffer entries per core.
+    pub store_buffer_entries: usize,
+    /// Extra cycles charged for an L1 miss serviced from memory.
+    pub miss_penalty: u64,
+    /// Extra cycles when a remote cache supplies dirty data.
+    pub intervention_penalty: u64,
+    /// Cycles a hit costs beyond the base instruction cycle.
+    pub hit_cycles: u64,
+    /// TSO handling mode.
+    pub tso_mode: TsoMode,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        // Loosely modeled on the QuickIA platform's Pentium-class cores:
+        // a small L1 (32 KiB: 128 sets x 4 ways x 64 B) and a short store
+        // buffer.
+        MemConfig {
+            l1_sets: 128,
+            l1_ways: 4,
+            store_buffer_entries: 8,
+            miss_penalty: 24,
+            intervention_penalty: 8,
+            hit_cycles: 0,
+            tso_mode: TsoMode::DrainAtChunk,
+        }
+    }
+}
+
+impl MemConfig {
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::InvalidConfig`] for zero sizes or a non-power-of-
+    /// two set count.
+    pub fn validate(&self) -> Result<()> {
+        if self.l1_sets == 0 || !self.l1_sets.is_power_of_two() {
+            return Err(QrError::InvalidConfig(format!(
+                "l1_sets must be a nonzero power of two, got {}",
+                self.l1_sets
+            )));
+        }
+        if self.l1_ways == 0 {
+            return Err(QrError::InvalidConfig("l1_ways must be nonzero".into()));
+        }
+        if self.store_buffer_entries == 0 {
+            return Err(QrError::InvalidConfig("store_buffer_entries must be nonzero".into()));
+        }
+        Ok(())
+    }
+
+    /// Total L1 capacity in bytes.
+    pub fn l1_bytes(&self) -> u32 {
+        self.l1_sets * self.l1_ways * qr_common::CACHE_LINE_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_and_32k() {
+        let c = MemConfig::default();
+        c.validate().unwrap();
+        assert_eq!(c.l1_bytes(), 32 * 1024);
+        assert_eq!(c.tso_mode, TsoMode::DrainAtChunk);
+    }
+
+    #[test]
+    fn bad_geometry_is_rejected() {
+        let mut c = MemConfig { l1_sets: 100, ..MemConfig::default() };
+        assert!(c.validate().is_err(), "non power of two");
+        c.l1_sets = 0;
+        assert!(c.validate().is_err());
+        c = MemConfig { l1_ways: 0, ..MemConfig::default() };
+        assert!(c.validate().is_err());
+        c = MemConfig { store_buffer_entries: 0, ..MemConfig::default() };
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,109 @@
+//! Memory events consumed by the recording hardware model.
+//!
+//! The `MemorySystem` returns a small batch of [`MemEvent`]s with every
+//! access. The record-session orchestrator forwards them to the per-core
+//! memory-race-recorder units in `quickrec-core`: local reads/writes grow
+//! the current chunk's read/write signatures, remote bus transactions are
+//! checked against them (conflict → chunk termination), and evictions are
+//! counted for statistics.
+
+use crate::bus::BusKind;
+use qr_common::{CoreId, LineAddr, VirtAddr};
+
+/// One observable memory-system event.
+///
+/// The recorder consumes line-granular information only; the exact
+/// address/width/atomicity fields exist for replay-time analyses (the
+/// race detector in `qr-replay`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemEvent {
+    /// `core` architecturally read from `line` (load commit, including
+    /// store-buffer forwards and the read half of atomics).
+    LocalRead {
+        /// The reading core.
+        core: CoreId,
+        /// The line read.
+        line: LineAddr,
+        /// Exact byte address.
+        addr: VirtAddr,
+        /// Access width in bytes.
+        width: u8,
+        /// Whether this is the read half of an atomic RMW.
+        atomic: bool,
+    },
+    /// `core` made a store to `line` globally visible (store-buffer drain
+    /// or the write half of an atomic).
+    LocalWrite {
+        /// The writing core.
+        core: CoreId,
+        /// The line written.
+        line: LineAddr,
+        /// Exact byte address.
+        addr: VirtAddr,
+        /// Access width in bytes.
+        width: u8,
+        /// Whether this is the write half of an atomic RMW.
+        atomic: bool,
+    },
+    /// A bus transaction initiated by `from`, observed by every other
+    /// core's snoop logic (and thus by every other recorder unit).
+    BusTxn {
+        /// The initiating core.
+        from: CoreId,
+        /// The line concerned.
+        line: LineAddr,
+        /// Transaction kind.
+        kind: BusKind,
+    },
+    /// `core` evicted `line` from its L1.
+    Eviction {
+        /// The evicting core.
+        core: CoreId,
+        /// The displaced line.
+        line: LineAddr,
+        /// Whether a writeback was generated.
+        dirty: bool,
+    },
+}
+
+impl MemEvent {
+    /// The core this event originates from.
+    pub fn origin(&self) -> CoreId {
+        match *self {
+            MemEvent::LocalRead { core, .. }
+            | MemEvent::LocalWrite { core, .. }
+            | MemEvent::Eviction { core, .. } => core,
+            MemEvent::BusTxn { from, .. } => from,
+        }
+    }
+
+    /// The cache line concerned.
+    pub fn line(&self) -> LineAddr {
+        match *self {
+            MemEvent::LocalRead { line, .. }
+            | MemEvent::LocalWrite { line, .. }
+            | MemEvent::Eviction { line, .. }
+            | MemEvent::BusTxn { line, .. } => line,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_cover_all_variants() {
+        let events = [
+            MemEvent::LocalRead { core: CoreId(1), line: LineAddr(7), addr: VirtAddr(7 * 64), width: 4, atomic: false },
+            MemEvent::LocalWrite { core: CoreId(2), line: LineAddr(8), addr: VirtAddr(8 * 64), width: 4, atomic: true },
+            MemEvent::BusTxn { from: CoreId(3), line: LineAddr(9), kind: BusKind::BusRd },
+            MemEvent::Eviction { core: CoreId(0), line: LineAddr(10), dirty: true },
+        ];
+        assert_eq!(events[0].origin(), CoreId(1));
+        assert_eq!(events[1].origin(), CoreId(2));
+        assert_eq!(events[2].origin(), CoreId(3));
+        assert_eq!(events[3].origin(), CoreId(0));
+        assert_eq!(events[2].line(), LineAddr(9));
+    }
+}

@@ -1,0 +1,97 @@
+//! Memory-system counters.
+//!
+//! All counters are per-core where that makes sense; experiment harnesses
+//! aggregate them. Counters are plain data with public fields (a passive
+//! record in the C-struct spirit).
+
+/// Counters for one core's memory activity.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreMemStats {
+    /// Loads executed (including forwarded ones).
+    pub loads: u64,
+    /// Loads satisfied by store-buffer forwarding.
+    pub load_forwards: u64,
+    /// Stores issued into the store buffer.
+    pub stores: u64,
+    /// Stores drained to the cache.
+    pub drains: u64,
+    /// Load misses.
+    pub load_misses: u64,
+    /// Store (drain) misses.
+    pub store_misses: u64,
+    /// Shared→Modified upgrades.
+    pub upgrades: u64,
+    /// Lines evicted.
+    pub evictions: u64,
+    /// Dirty evictions (writebacks).
+    pub writebacks: u64,
+    /// Atomic read-modify-writes executed.
+    pub atomics: u64,
+    /// Times this core supplied dirty data to a remote request.
+    pub interventions: u64,
+    /// Full store-buffer drains forced by fences/atomics/partial overlaps.
+    pub forced_drains: u64,
+}
+
+/// Counters for the whole memory system.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Per-core counters, indexed by core id.
+    pub cores: Vec<CoreMemStats>,
+    /// Total bus transactions by kind: `[BusRd, BusRdX, BusUpgr, Writeback]`.
+    pub bus_txns: [u64; 4],
+}
+
+impl MemStats {
+    /// Creates zeroed counters for `num_cores` cores.
+    pub fn new(num_cores: usize) -> MemStats {
+        MemStats { cores: vec![CoreMemStats::default(); num_cores], bus_txns: [0; 4] }
+    }
+
+    /// Total bus transactions of all kinds.
+    pub fn total_bus_txns(&self) -> u64 {
+        self.bus_txns.iter().sum()
+    }
+
+    /// Sums a per-core field across cores.
+    pub fn total(&self, f: impl Fn(&CoreMemStats) -> u64) -> u64 {
+        self.cores.iter().map(f).sum()
+    }
+
+    pub(crate) fn bus_slot(kind: crate::bus::BusKind) -> usize {
+        match kind {
+            crate::bus::BusKind::BusRd => 0,
+            crate::bus::BusKind::BusRdX => 1,
+            crate::bus::BusKind::BusUpgr => 2,
+            crate::bus::BusKind::Writeback => 3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::BusKind;
+
+    #[test]
+    fn totals_aggregate_cores() {
+        let mut s = MemStats::new(2);
+        s.cores[0].loads = 3;
+        s.cores[1].loads = 4;
+        assert_eq!(s.total(|c| c.loads), 7);
+    }
+
+    #[test]
+    fn bus_slots_are_distinct() {
+        let slots = [
+            MemStats::bus_slot(BusKind::BusRd),
+            MemStats::bus_slot(BusKind::BusRdX),
+            MemStats::bus_slot(BusKind::BusUpgr),
+            MemStats::bus_slot(BusKind::Writeback),
+        ];
+        let mut sorted = slots.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Per-core TSO store buffer.
+//!
+//! Stores retire into a FIFO buffer and become globally visible only when
+//! they *drain*. Loads forward from the newest matching pending store.
+//! This is the mechanism behind the paper's reordered-store-window (RSW)
+//! discussion: a chunk may terminate while stores are still pending, and
+//! the recorder must either log how many (`TsoMode::Rsw`) or force a
+//! drain first (`TsoMode::DrainAtChunk`).
+
+use qr_common::VirtAddr;
+use std::collections::VecDeque;
+
+/// One pending store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingStore {
+    /// Target address (width-aligned).
+    pub addr: VirtAddr,
+    /// Access width in bytes (1, 2 or 4).
+    pub width: u32,
+    /// Value (low `width` bytes significant).
+    pub value: u32,
+}
+
+impl PendingStore {
+    fn covers(&self, addr: VirtAddr, width: u32) -> bool {
+        self.addr == addr && self.width >= width && width != 0
+    }
+
+    fn overlaps(&self, addr: VirtAddr, width: u32) -> bool {
+        let a0 = self.addr.0 as u64;
+        let a1 = a0 + self.width as u64;
+        let b0 = addr.0 as u64;
+        let b1 = b0 + width as u64;
+        a0 < b1 && b0 < a1
+    }
+}
+
+/// What a load found in the store buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ForwardResult {
+    /// No pending store overlaps the load.
+    NoMatch,
+    /// The newest overlapping store fully covers the load; forward this
+    /// value (already truncated to the load width).
+    Forward(u32),
+    /// An overlapping store only partially covers the load; the buffer
+    /// must drain before the load can complete (as on IA hardware).
+    PartialOverlap,
+}
+
+/// FIFO store buffer with load forwarding.
+#[derive(Debug, Clone, Default)]
+pub struct StoreBuffer {
+    entries: VecDeque<PendingStore>,
+    capacity: usize,
+}
+
+impl StoreBuffer {
+    /// Creates a buffer with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (validated upstream by `MemConfig`).
+    pub fn new(capacity: usize) -> StoreBuffer {
+        assert!(capacity > 0, "store buffer capacity must be nonzero");
+        StoreBuffer { entries: VecDeque::with_capacity(capacity), capacity }
+    }
+
+    /// Number of pending stores (the RSW value at a chunk boundary).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a new store would exceed capacity.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Enqueues a store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full; the memory system drains before
+    /// pushing when at capacity.
+    pub fn push(&mut self, store: PendingStore) {
+        assert!(!self.is_full(), "store buffer overflow — drain first");
+        self.entries.push_back(store);
+    }
+
+    /// Dequeues the oldest store, if any (TSO drains in program order).
+    pub fn pop_oldest(&mut self) -> Option<PendingStore> {
+        self.entries.pop_front()
+    }
+
+    /// Checks whether a load of `width` bytes at `addr` can forward.
+    pub fn forward(&self, addr: VirtAddr, width: u32) -> ForwardResult {
+        // Newest first: the youngest matching store wins.
+        for store in self.entries.iter().rev() {
+            if store.covers(addr, width) {
+                let mask = match width {
+                    1 => 0xff,
+                    2 => 0xffff,
+                    _ => u32::MAX,
+                };
+                return ForwardResult::Forward(store.value & mask);
+            }
+            if store.overlaps(addr, width) {
+                return ForwardResult::PartialOverlap;
+            }
+        }
+        ForwardResult::NoMatch
+    }
+
+    /// Iterates over pending stores oldest-first (used by drains).
+    pub fn iter(&self) -> impl Iterator<Item = &PendingStore> {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(addr: u32, width: u32, value: u32) -> PendingStore {
+        PendingStore { addr: VirtAddr(addr), width, value }
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(st(0, 4, 1));
+        sb.push(st(4, 4, 2));
+        assert_eq!(sb.pop_oldest().unwrap().value, 1);
+        assert_eq!(sb.pop_oldest().unwrap().value, 2);
+        assert!(sb.pop_oldest().is_none());
+    }
+
+    #[test]
+    fn newest_matching_store_forwards() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(st(0x100, 4, 1));
+        sb.push(st(0x100, 4, 2));
+        assert_eq!(sb.forward(VirtAddr(0x100), 4), ForwardResult::Forward(2));
+    }
+
+    #[test]
+    fn narrower_load_forwards_truncated() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(st(0x100, 4, 0xaabb_ccdd));
+        assert_eq!(sb.forward(VirtAddr(0x100), 1), ForwardResult::Forward(0xdd));
+        assert_eq!(sb.forward(VirtAddr(0x100), 2), ForwardResult::Forward(0xccdd));
+    }
+
+    #[test]
+    fn partial_overlap_forces_drain() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(st(0x100, 1, 0xee)); // byte store
+        assert_eq!(sb.forward(VirtAddr(0x100), 4), ForwardResult::PartialOverlap);
+        // Word load at a different offset overlapping the byte.
+        sb.push(st(0x204, 4, 7));
+        assert_eq!(sb.forward(VirtAddr(0x206), 2), ForwardResult::PartialOverlap);
+    }
+
+    #[test]
+    fn disjoint_stores_do_not_forward() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(st(0x100, 4, 1));
+        assert_eq!(sb.forward(VirtAddr(0x104), 4), ForwardResult::NoMatch);
+        assert_eq!(sb.forward(VirtAddr(0x0fc), 4), ForwardResult::NoMatch);
+    }
+
+    #[test]
+    fn younger_nonoverlapping_store_does_not_hide_older_match() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(st(0x100, 4, 1));
+        sb.push(st(0x200, 4, 2));
+        assert_eq!(sb.forward(VirtAddr(0x100), 4), ForwardResult::Forward(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn push_past_capacity_panics() {
+        let mut sb = StoreBuffer::new(1);
+        sb.push(st(0, 4, 1));
+        sb.push(st(4, 4, 2));
+    }
+
+    #[test]
+    fn len_tracks_rsw() {
+        let mut sb = StoreBuffer::new(8);
+        assert!(sb.is_empty());
+        sb.push(st(0, 4, 1));
+        sb.push(st(8, 4, 1));
+        assert_eq!(sb.len(), 2);
+        sb.pop_oldest();
+        assert_eq!(sb.len(), 1);
+    }
+}

@@ -1,0 +1,204 @@
+//! Property test: the full memory hierarchy (caches, store buffers,
+//! coherence) is architecturally equivalent to a flat byte array.
+//!
+//! For a single core, any sequence of loads/stores/atomics/fences/drains
+//! must observe exactly the values a plain `Vec<u8>` model produces —
+//! the caches and buffers are *performance* machinery and must never
+//! change semantics. For multiple cores, each core's loads must agree
+//! with the flat model as long as only that core writes the accessed
+//! location (cross-core value propagation is covered by the record/replay
+//! suites, which check full executions).
+
+use proptest::prelude::*;
+use qr_common::{CoreId, VirtAddr};
+use qr_mem::{MemConfig, MemorySystem};
+
+const BASE: u32 = 0x1000;
+const REGION: u32 = 0x800;
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Read { off: u32, width: u32 },
+    Write { off: u32, width: u32, value: u32 },
+    FetchAdd { off: u32, delta: u32 },
+    Cas { off: u32, expected: u32, new: u32 },
+    Fence,
+    DrainOne,
+}
+
+fn aligned(off: u32, width: u32) -> u32 {
+    (off % (REGION - 4)) / width * width
+}
+
+fn op_strategy() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        4 => (any::<u32>(), prop_oneof![Just(1u32), Just(2), Just(4)])
+            .prop_map(|(off, width)| MemOp::Read { off: aligned(off, width), width }),
+        4 => (any::<u32>(), prop_oneof![Just(1u32), Just(2), Just(4)], any::<u32>())
+            .prop_map(|(off, width, value)| MemOp::Write { off: aligned(off, width), width, value }),
+        1 => (any::<u32>(), any::<u32>())
+            .prop_map(|(off, delta)| MemOp::FetchAdd { off: aligned(off, 4), delta }),
+        1 => (any::<u32>(), any::<u32>(), any::<u32>())
+            .prop_map(|(off, expected, new)| MemOp::Cas { off: aligned(off, 4), expected, new }),
+        1 => Just(MemOp::Fence),
+        2 => Just(MemOp::DrainOne),
+    ]
+}
+
+/// Flat little-endian reference.
+struct Reference {
+    bytes: Vec<u8>,
+}
+
+impl Reference {
+    fn new() -> Reference {
+        Reference { bytes: vec![0; REGION as usize] }
+    }
+
+    fn read(&self, off: u32, width: u32) -> u32 {
+        let mut buf = [0u8; 4];
+        buf[..width as usize]
+            .copy_from_slice(&self.bytes[off as usize..(off + width) as usize]);
+        u32::from_le_bytes(buf)
+    }
+
+    fn write(&mut self, off: u32, width: u32, value: u32) {
+        let bytes = value.to_le_bytes();
+        self.bytes[off as usize..(off + width) as usize]
+            .copy_from_slice(&bytes[..width as usize]);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    #[test]
+    fn single_core_hierarchy_matches_flat_memory(
+        ops in proptest::collection::vec(op_strategy(), 1..200),
+        tiny_cache in any::<bool>(),
+        sb_entries in 1usize..8,
+    ) {
+        let cfg = MemConfig {
+            l1_sets: if tiny_cache { 2 } else { 128 },
+            l1_ways: if tiny_cache { 1 } else { 4 },
+            store_buffer_entries: sb_entries,
+            ..MemConfig::default()
+        };
+        let mut sys = MemorySystem::new(cfg, 1).unwrap();
+        sys.map_region(VirtAddr(BASE), REGION).unwrap();
+        let mut reference = Reference::new();
+        let core = CoreId(0);
+        for op in &ops {
+            match *op {
+                MemOp::Read { off, width } => {
+                    let got = sys.read(core, VirtAddr(BASE + off), width).unwrap().value;
+                    prop_assert_eq!(got, reference.read(off, width), "read at {}+{}", off, width);
+                }
+                MemOp::Write { off, width, value } => {
+                    sys.write(core, VirtAddr(BASE + off), width, value).unwrap();
+                    reference.write(off, width, value);
+                }
+                MemOp::FetchAdd { off, delta } => {
+                    let old = sys
+                        .atomic_rmw(core, VirtAddr(BASE + off), |v| v.wrapping_add(delta))
+                        .unwrap()
+                        .value;
+                    let ref_old = reference.read(off, 4);
+                    prop_assert_eq!(old, ref_old);
+                    reference.write(off, 4, ref_old.wrapping_add(delta));
+                }
+                MemOp::Cas { off, expected, new } => {
+                    let old = sys
+                        .atomic_rmw(core, VirtAddr(BASE + off), |v| {
+                            if v == expected { new } else { v }
+                        })
+                        .unwrap()
+                        .value;
+                    let ref_old = reference.read(off, 4);
+                    prop_assert_eq!(old, ref_old);
+                    if ref_old == expected {
+                        reference.write(off, 4, new);
+                    }
+                }
+                MemOp::Fence => {
+                    sys.fence(core).unwrap();
+                }
+                MemOp::DrainOne => {
+                    sys.drain_one(core).unwrap();
+                }
+            }
+        }
+        // After a final fence the flat memory must match exactly.
+        sys.fence(core).unwrap();
+        for off in (0..REGION).step_by(4) {
+            prop_assert_eq!(
+                sys.memory().read_uint(VirtAddr(BASE + off), 4).unwrap(),
+                reference.read(off, 4),
+                "final memory at {}", off
+            );
+        }
+    }
+
+    #[test]
+    fn partitioned_multicore_accesses_match_flat_memory(
+        ops_per_core in proptest::collection::vec(
+            proptest::collection::vec(op_strategy(), 1..60),
+            2..4
+        ),
+    ) {
+        // Each core works in its own sub-region: with no sharing, every
+        // core must behave like an independent flat memory.
+        let cores = ops_per_core.len();
+        let mut sys = MemorySystem::new(MemConfig::default(), cores).unwrap();
+        sys.map_region(VirtAddr(BASE), REGION * cores as u32).unwrap();
+        let mut references: Vec<Reference> = (0..cores).map(|_| Reference::new()).collect();
+        // Interleave round-robin.
+        let max_len = ops_per_core.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..max_len {
+            for (c, ops) in ops_per_core.iter().enumerate() {
+                let Some(op) = ops.get(i) else { continue };
+                let core = CoreId(c as u8);
+                let base = BASE + c as u32 * REGION;
+                let reference = &mut references[c];
+                match *op {
+                    MemOp::Read { off, width } => {
+                        let got = sys.read(core, VirtAddr(base + off), width).unwrap().value;
+                        prop_assert_eq!(got, reference.read(off, width));
+                    }
+                    MemOp::Write { off, width, value } => {
+                        sys.write(core, VirtAddr(base + off), width, value).unwrap();
+                        reference.write(off, width, value);
+                    }
+                    MemOp::FetchAdd { off, delta } => {
+                        let old = sys
+                            .atomic_rmw(core, VirtAddr(base + off), |v| v.wrapping_add(delta))
+                            .unwrap()
+                            .value;
+                        let ref_old = reference.read(off, 4);
+                        prop_assert_eq!(old, ref_old);
+                        reference.write(off, 4, ref_old.wrapping_add(delta));
+                    }
+                    MemOp::Cas { off, expected, new } => {
+                        let old = sys
+                            .atomic_rmw(core, VirtAddr(base + off), |v| {
+                                if v == expected { new } else { v }
+                            })
+                            .unwrap()
+                            .value;
+                        let ref_old = reference.read(off, 4);
+                        prop_assert_eq!(old, ref_old);
+                        if ref_old == expected {
+                            reference.write(off, 4, new);
+                        }
+                    }
+                    MemOp::Fence => {
+                        sys.fence(core).unwrap();
+                    }
+                    MemOp::DrainOne => {
+                        sys.drain_one(core).unwrap();
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Kernel configuration and base cost model.
+
+use qr_common::{QrError, Result};
+
+/// Kernel parameters, including the *baseline* costs that exist with or
+/// without recording (the Capo3 layer adds its own on top).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OsConfig {
+    /// Scheduling quantum in cycles.
+    pub quantum_cycles: u64,
+    /// Stack bytes per thread.
+    pub stack_bytes: u32,
+    /// Guard gap between stacks (left unmapped).
+    pub stack_guard_bytes: u32,
+    /// Base cycles for entering and servicing any syscall.
+    pub syscall_base_cycles: u64,
+    /// Cycles per byte copied between kernel and user space.
+    pub copy_cycles_per_byte: u64,
+    /// Cycles for a context switch (save/restore, scheduler).
+    pub context_switch_cycles: u64,
+    /// Seed for the synthetic input device and `rand` syscall.
+    pub input_seed: u64,
+    /// Upper bound on total retired instructions (livelock guard).
+    pub max_instructions: u64,
+}
+
+impl Default for OsConfig {
+    fn default() -> Self {
+        OsConfig {
+            quantum_cycles: 50_000,
+            stack_bytes: 64 * 1024,
+            stack_guard_bytes: 64 * 1024,
+            syscall_base_cycles: 150,
+            copy_cycles_per_byte: 1,
+            context_switch_cycles: 400,
+            input_seed: 0x5eed,
+            max_instructions: 500_000_000,
+        }
+    }
+}
+
+impl OsConfig {
+    /// Validates the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::InvalidConfig`] describing the first violation.
+    pub fn validate(&self) -> Result<()> {
+        if self.quantum_cycles == 0 {
+            return Err(QrError::InvalidConfig("quantum_cycles must be nonzero".into()));
+        }
+        if self.stack_bytes < 4096 {
+            return Err(QrError::InvalidConfig("stack_bytes must be at least 4096".into()));
+        }
+        if !self.stack_bytes.is_multiple_of(64) || !self.stack_guard_bytes.is_multiple_of(64) {
+            return Err(QrError::InvalidConfig("stack sizes must be line-aligned".into()));
+        }
+        if self.max_instructions == 0 {
+            return Err(QrError::InvalidConfig("max_instructions must be nonzero".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_validates() {
+        OsConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn constraints_enforced() {
+        let ok = OsConfig::default;
+        assert!(OsConfig { quantum_cycles: 0, ..ok() }.validate().is_err());
+        assert!(OsConfig { stack_bytes: 100, ..ok() }.validate().is_err());
+        assert!(OsConfig { stack_bytes: 4097, ..ok() }.validate().is_err());
+        assert!(OsConfig { max_instructions: 0, ..ok() }.validate().is_err());
+    }
+}

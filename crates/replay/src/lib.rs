@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! Deterministic replay of QuickRec recordings.
+//!
+//! The replayer consumes a [`qr_capo::Recording`] and re-executes the
+//! program so that every load observes the same value it did during
+//! recording:
+//!
+//! - **Chunk ordering.** Chunk packets and timestamped input events are
+//!   merged into one timeline by their global timestamps. Chunks execute
+//!   to completion (exactly `icount` instructions) in that order; every
+//!   cross-thread dependency forced its source chunk to terminate — and
+//!   be stamped — before the dependent access committed, so timestamp
+//!   order is a legal serialization.
+//! - **TSO reproduction.** Each thread replays with its own store
+//!   buffer. Drain points are re-derived deterministically: background
+//!   drains key on the thread's own retired-instruction counter,
+//!   instruction-triggered drains (fences, atomics, overlaps) recur
+//!   naturally, and boundary drains follow each chunk's termination
+//!   reason exactly as during recording. The packet's RSW field is
+//!   checked after every chunk — a pending-store-count mismatch is a
+//!   divergence.
+//! - **Input injection.** Syscalls are *not* re-executed: results are
+//!   injected into `R0`, kernel writes (`read` payloads) are applied to
+//!   user memory at the recorded timeline position, and structural
+//!   syscalls (`spawn`, `exit`, `sbrk`, signal management) are
+//!   re-applied from the replayed thread's own registers. `rdtsc` and
+//!   `rdrand` values come from per-thread FIFO queues.
+//!
+//! [`replay`] returns a [`ReplayOutcome`]; [`replay_and_verify`] also
+//! checks the fingerprint, console and exit code against the recording.
+
+pub mod outcome;
+pub mod races;
+pub mod replayer;
+
+pub use outcome::ReplayOutcome;
+pub use races::{Race, RaceDetector, RaceReport};
+pub use replayer::{replay, replay_and_verify, replay_with_race_detection, ReplayCheckpoint, Replayer};

@@ -1,0 +1,195 @@
+//! `barnes` — all-pairs forces plus locked cell accumulation.
+//!
+//! SPLASH-2 barnes combines a read-mostly force phase (every thread
+//! reads all particle positions) with lock-protected updates to shared
+//! tree cells. This kernel keeps both behaviours: phase 1 computes
+//! per-particle "forces" from all positions (read sharing, private
+//! writes); phase 2 folds the forces into shared cell accumulators under
+//! per-cell futex mutexes (commutative wrapping adds, so the lock
+//! acquisition order cannot change the result).
+
+use crate::runtime::{self, BARRIER, CHECKSUM, MUTEX_LOCK, MUTEX_UNLOCK};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const SEED: u64 = 0xba54_0005;
+const CELLS: usize = 8;
+/// Locks are spaced one cache line apart to avoid lock false sharing.
+const LOCK_STRIDE_WORDS: usize = 16;
+
+fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 40,
+        Scale::Small => 96,
+        Scale::Reference => 288,
+    }
+}
+
+fn initial(n: usize) -> Vec<u32> {
+    (0..n).map(|i| init_value(SEED, i)).collect()
+}
+
+fn mirror(scale: Scale) -> (Vec<u32>, Vec<u32>) {
+    let n = size(scale);
+    let pos = initial(n);
+    let mut force = vec![0u32; n];
+    for i in 0..n {
+        let mut f = 0u32;
+        for (j, &pj) in pos.iter().enumerate() {
+            if j != i {
+                f = f.wrapping_add(pj ^ pos[i].wrapping_add(j as u32));
+            }
+        }
+        force[i] = f;
+    }
+    let mut cells = vec![0u32; CELLS];
+    for (i, &f) in force.iter().enumerate() {
+        cells[i % CELLS] = cells[i % CELLS].wrapping_add(f);
+    }
+    (force, cells)
+}
+
+/// The checksum the program exits with.
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    let (force, cells) = mirror(scale);
+    runtime::checksum(&force) ^ runtime::checksum(&cells)
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let n = size(scale);
+    let mut a = Asm::with_name(format!("barnes-{}x{}", threads, n));
+    a.align_data_line();
+    a.data_word("pos", &initial(n));
+    a.align_data_line();
+    a.data_word("force", &vec![0u32; n]);
+    a.align_data_line();
+    a.data_word("cells", &[0u32; CELLS]);
+    a.align_data_line();
+    a.data_word("cell_locks", &vec![0u32; CELLS * LOCK_STRIDE_WORDS]);
+    runtime::emit_barrier_block(&mut a, "bar0", threads as u32);
+
+    runtime::emit_main_skeleton(&mut a, threads, "bn_work", |a| {
+        a.movi_sym(Reg::R1, "force");
+        a.movi(Reg::R2, n as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R6, Reg::R0);
+        a.movi_sym(Reg::R1, "cells");
+        a.movi(Reg::R2, CELLS as i32);
+        a.call(CHECKSUM);
+        a.xor(Reg::R1, Reg::R6, Reg::R0);
+    });
+
+    let seg_bounds = |a: &mut Asm| {
+        a.movi(Reg::R2, n as i32);
+        a.mul(Reg::R7, Reg::R6, Reg::R2);
+        a.movi(Reg::R3, threads as i32);
+        a.divu(Reg::R7, Reg::R7, Reg::R3);
+        a.addi(Reg::R4, Reg::R6, 1);
+        a.mul(Reg::R8, Reg::R4, Reg::R2);
+        a.divu(Reg::R8, Reg::R8, Reg::R3);
+    };
+
+    // bn_work(R1 = tid)
+    a.label("bn_work");
+    a.mov(Reg::R6, Reg::R1);
+    seg_bounds(&mut a);
+    // Phase 1: force[i] = sum over j != i of pos[j] ^ (pos[i] + j)
+    a.label("bn_i");
+    a.bgeu(Reg::R7, Reg::R8, "bn_phase2");
+    a.movi_sym(Reg::R10, "pos");
+    a.shli(Reg::R2, Reg::R7, 2);
+    a.add(Reg::R2, Reg::R10, Reg::R2);
+    a.ld(Reg::R13, Reg::R2, 0); // pos[i]
+    a.movi(Reg::R9, 0); // j
+    a.movi(Reg::R12, 0); // f
+    a.label("bn_j");
+    a.movi(Reg::R2, n as i32);
+    a.bgeu(Reg::R9, Reg::R2, "bn_j_done");
+    a.beq(Reg::R9, Reg::R7, "bn_j_next");
+    a.shli(Reg::R2, Reg::R9, 2);
+    a.add(Reg::R2, Reg::R10, Reg::R2);
+    a.ld(Reg::R3, Reg::R2, 0); // pos[j]
+    a.add(Reg::R4, Reg::R13, Reg::R9); // pos[i] + j
+    a.xor(Reg::R3, Reg::R3, Reg::R4);
+    a.add(Reg::R12, Reg::R12, Reg::R3);
+    a.label("bn_j_next");
+    a.addi(Reg::R9, Reg::R9, 1);
+    a.jmp("bn_j");
+    a.label("bn_j_done");
+    a.movi_sym(Reg::R2, "force");
+    a.shli(Reg::R3, Reg::R7, 2);
+    a.add(Reg::R2, Reg::R2, Reg::R3);
+    a.st(Reg::R2, 0, Reg::R12);
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.jmp("bn_i");
+    // Phase 2: locked accumulation into cells.
+    a.label("bn_phase2");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    seg_bounds(&mut a);
+    a.label("bn_acc");
+    a.bgeu(Reg::R7, Reg::R8, "bn_done");
+    // c = i % CELLS
+    a.movi(Reg::R2, CELLS as i32);
+    a.remu(Reg::R9, Reg::R7, Reg::R2);
+    // lock(cell_locks + c * stride)
+    a.muli(Reg::R1, Reg::R9, (LOCK_STRIDE_WORDS * 4) as i32);
+    a.movi_sym(Reg::R2, "cell_locks");
+    a.add(Reg::R1, Reg::R1, Reg::R2);
+    a.mov(Reg::R10, Reg::R1); // keep lock addr for unlock
+    a.call(MUTEX_LOCK);
+    // cells[c] += force[i]
+    a.movi_sym(Reg::R2, "force");
+    a.shli(Reg::R3, Reg::R7, 2);
+    a.add(Reg::R2, Reg::R2, Reg::R3);
+    a.ld(Reg::R4, Reg::R2, 0);
+    a.movi_sym(Reg::R2, "cells");
+    a.shli(Reg::R3, Reg::R9, 2);
+    a.add(Reg::R2, Reg::R2, Reg::R3);
+    a.ld(Reg::R5, Reg::R2, 0);
+    a.add(Reg::R5, Reg::R5, Reg::R4);
+    a.st(Reg::R2, 0, Reg::R5);
+    a.mov(Reg::R1, Reg::R10);
+    a.call(MUTEX_UNLOCK);
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.jmp("bn_acc");
+    a.label("bn_done");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_produces_nonzero_forces() {
+        let (force, cells) = mirror(Scale::Test);
+        assert!(force.iter().any(|&f| f != 0));
+        assert!(cells.iter().any(|&c| c != 0));
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 4] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! `fft` — staged butterfly network (Walsh–Hadamard transform).
+//!
+//! The SPLASH-2 FFT's defining behaviour for the recorder is its
+//! all-to-all butterfly data movement punctuated by barriers. This
+//! kernel reproduces it with the integer Walsh–Hadamard butterfly
+//! `(a, b) → (a + b, a − b)` (wrapping), applied in `log2 N` stages,
+//! twice (WHT is an involution up to the factor `N`, which wrapping
+//! arithmetic keeps exact). Pairs within a stage are disjoint, so the
+//! per-thread interleaving cannot change the result.
+
+use crate::runtime::{self, BARRIER, CHECKSUM};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const SEED: u64 = 0xff7_0001;
+
+fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 64,
+        Scale::Small => 256,
+        Scale::Reference => 4096,
+    }
+}
+
+/// Initial data shared by the program and the mirror.
+fn initial(n: usize) -> Vec<u32> {
+    (0..n).map(|i| init_value(SEED, i)).collect()
+}
+
+/// Sequential mirror of the kernel.
+fn mirror(n: usize) -> Vec<u32> {
+    let mut x = initial(n);
+    let stages = n.trailing_zeros();
+    for _pass in 0..2 {
+        for stage in 0..stages {
+            let stride = 1usize << stage;
+            for p in 0..n / 2 {
+                let i = ((p >> stage) << (stage + 1)) | (p & (stride - 1));
+                let j = i + stride;
+                let (a, b) = (x[i], x[j]);
+                x[i] = a.wrapping_add(b);
+                x[j] = a.wrapping_sub(b);
+            }
+        }
+    }
+    x
+}
+
+/// The checksum the program exits with.
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(size(scale)))
+}
+
+/// Builds the workload for `threads` threads at `scale`.
+///
+/// # Errors
+///
+/// Propagates assembler errors (none for valid parameters).
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let n = size(scale);
+    let log2n = n.trailing_zeros() as i32;
+    let mut a = Asm::with_name(format!("fft-{}x{}", threads, n));
+    a.align_data_line();
+    a.data_word("data", &initial(n));
+    runtime::emit_barrier_block(&mut a, "bar0", threads as u32);
+
+    runtime::emit_main_skeleton(&mut a, threads, "fft_work", |a| {
+        a.movi_sym(Reg::R1, "data");
+        a.movi(Reg::R2, n as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    // fft_work(R1 = tid)
+    //
+    // Pairs are split into contiguous per-thread ranges (as SPLASH-2 FFT
+    // partitions its data), so within a stage threads touch disjoint
+    // line ranges except at block boundaries — interleaved assignment
+    // would shred every chunk on false sharing.
+    a.label("fft_work");
+    a.mov(Reg::R6, Reg::R1); // tid
+    a.movi(Reg::R12, 2); // passes
+    a.label("fft_pass");
+    a.movi(Reg::R7, 0); // stage
+    a.label("fft_stage");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.movi(Reg::R8, 1);
+    a.shl(Reg::R8, Reg::R8, Reg::R7); // stride = 1 << stage
+    // p range: [tid * (n/2) / T, (tid + 1) * (n/2) / T)
+    a.movi(Reg::R2, (n / 2) as i32);
+    a.mul(Reg::R9, Reg::R6, Reg::R2);
+    a.movi(Reg::R3, threads as i32);
+    a.divu(Reg::R9, Reg::R9, Reg::R3);
+    a.addi(Reg::R4, Reg::R6, 1);
+    a.mul(Reg::R13, Reg::R4, Reg::R2);
+    a.divu(Reg::R13, Reg::R13, Reg::R3);
+    a.label("fft_pair");
+    a.bgeu(Reg::R9, Reg::R13, "fft_pair_done");
+    // i = ((p >> stage) << (stage + 1)) | (p & (stride - 1))
+    a.shr(Reg::R3, Reg::R9, Reg::R7);
+    a.addi(Reg::R4, Reg::R7, 1);
+    a.shl(Reg::R3, Reg::R3, Reg::R4);
+    a.addi(Reg::R5, Reg::R8, -1);
+    a.and(Reg::R5, Reg::R9, Reg::R5);
+    a.or(Reg::R3, Reg::R3, Reg::R5);
+    // &x[i], &x[j]
+    a.shli(Reg::R4, Reg::R3, 2);
+    a.movi_sym(Reg::R2, "data");
+    a.add(Reg::R4, Reg::R2, Reg::R4);
+    a.shli(Reg::R5, Reg::R8, 2);
+    a.add(Reg::R5, Reg::R4, Reg::R5);
+    // butterfly
+    a.ld(Reg::R2, Reg::R4, 0);
+    a.ld(Reg::R3, Reg::R5, 0);
+    a.add(Reg::R10, Reg::R2, Reg::R3);
+    a.sub(Reg::R11, Reg::R2, Reg::R3);
+    a.st(Reg::R4, 0, Reg::R10);
+    a.st(Reg::R5, 0, Reg::R11);
+    a.addi(Reg::R9, Reg::R9, 1);
+    a.jmp("fft_pair");
+    a.label("fft_pair_done");
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.movi(Reg::R2, log2n);
+    a.bltu(Reg::R7, Reg::R2, "fft_stage");
+    a.addi(Reg::R12, Reg::R12, -1);
+    a.bnez(Reg::R12, "fft_pass");
+    // Settle before main reads the data.
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wht_twice_scales_by_n() {
+        let n = 64;
+        let x0 = initial(n);
+        let x2 = mirror(n);
+        for i in 0..n {
+            assert_eq!(x2[i], x0[i].wrapping_mul(n as u32), "index {i}");
+        }
+    }
+
+    #[test]
+    fn builds_for_various_thread_counts() {
+        for t in [1, 2, 4] {
+            let p = build(t, Scale::Test).unwrap();
+            assert!(p.len() > 40);
+        }
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 3] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! `fmm` — hierarchical tree sweeps.
+//!
+//! SPLASH-2 FMM's characteristic pattern is the tree traversal: partial
+//! results flow up the hierarchy and distribute back down, with the
+//! active (and shared) working set shrinking toward the root. This
+//! kernel runs an exact analog: an up-sweep computing internal-node sums
+//! over a binary heap and a down-sweep distributing exclusive prefix
+//! values to the leaves, with threads splitting every level and a
+//! barrier between levels.
+
+use crate::runtime::{self, BARRIER, CHECKSUM};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const SEED: u64 = 0xf33d_0007;
+
+fn leaves(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 64,
+        Scale::Small => 512,
+        Scale::Reference => 8192,
+    }
+}
+
+fn initial(n: usize) -> Vec<u32> {
+    (0..n).map(|i| init_value(SEED, i)).collect()
+}
+
+/// Sequential mirror: heap-indexed up-sweep and down-sweep.
+fn mirror(scale: Scale) -> Vec<u32> {
+    let n = leaves(scale);
+    let mut up = vec![0u32; 2 * n];
+    up[n..2 * n].copy_from_slice(&initial(n));
+    let mut half = n / 2;
+    while half >= 1 {
+        for k in half..2 * half {
+            up[k] = up[2 * k].wrapping_add(up[2 * k + 1]);
+        }
+        half /= 2;
+    }
+    let mut down = vec![0u32; 2 * n];
+    down[1] = up[1]; // the root carries the global total
+    let mut start = 2;
+    while start < 2 * n {
+        for k in start..2 * start {
+            down[k] = down[k / 2];
+            if k % 2 == 1 {
+                down[k] = down[k].wrapping_add(up[k - 1]);
+            }
+        }
+        start *= 2;
+    }
+    down[n..2 * n].to_vec()
+}
+
+/// The checksum the program exits with (leaf-level down values).
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(scale))
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let n = leaves(scale);
+    let mut a = Asm::with_name(format!("fmm-{}x{}", threads, n));
+    let mut up_init = vec![0u32; 2 * n];
+    up_init[n..2 * n].copy_from_slice(&initial(n));
+    a.align_data_line();
+    a.data_word("up", &up_init);
+    a.align_data_line();
+    a.data_word("down", &vec![0u32; 2 * n]);
+    runtime::emit_barrier_block(&mut a, "bar0", threads as u32);
+
+    runtime::emit_main_skeleton(&mut a, threads, "fm_work", |a| {
+        a.movi_sym(Reg::R1, "down");
+        a.movi_u(Reg::R2, (n * 4) as u32);
+        a.add(Reg::R1, Reg::R1, Reg::R2);
+        a.movi(Reg::R2, n as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    // fm_work(R1 = tid)
+    a.label("fm_work");
+    a.mov(Reg::R6, Reg::R1);
+    // Up-sweep: half = n/2 down to 1.
+    a.movi(Reg::R7, (n / 2) as i32);
+    a.label("fm_up_level");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    // Contiguous split of [half, 2*half): k in half + [tid*half/T,
+    // (tid+1)*half/T) — r8 = k, r10 = end.
+    a.mul(Reg::R2, Reg::R6, Reg::R7);
+    a.movi(Reg::R3, threads as i32);
+    a.divu(Reg::R2, Reg::R2, Reg::R3);
+    a.add(Reg::R8, Reg::R7, Reg::R2);
+    a.addi(Reg::R4, Reg::R6, 1);
+    a.mul(Reg::R2, Reg::R4, Reg::R7);
+    a.divu(Reg::R2, Reg::R2, Reg::R3);
+    a.add(Reg::R10, Reg::R7, Reg::R2);
+    a.label("fm_up_node");
+    a.bgeu(Reg::R8, Reg::R10, "fm_up_done");
+    // up[k] = up[2k] + up[2k+1]
+    a.shli(Reg::R3, Reg::R8, 1);
+    a.shli(Reg::R3, Reg::R3, 2);
+    a.movi_sym(Reg::R4, "up");
+    a.add(Reg::R3, Reg::R3, Reg::R4);
+    a.ld(Reg::R5, Reg::R3, 0);
+    a.ld(Reg::R2, Reg::R3, 4);
+    a.add(Reg::R5, Reg::R5, Reg::R2);
+    a.shli(Reg::R3, Reg::R8, 2);
+    a.add(Reg::R3, Reg::R3, Reg::R4);
+    a.st(Reg::R3, 0, Reg::R5);
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("fm_up_node");
+    a.label("fm_up_done");
+    a.shri(Reg::R7, Reg::R7, 1);
+    a.bnez(Reg::R7, "fm_up_level");
+    // Root hand-off: thread 0 sets down[1] = up[1].
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.bnez(Reg::R6, "fm_down_start");
+    a.movi_sym(Reg::R2, "up");
+    a.ld(Reg::R3, Reg::R2, 4);
+    a.movi_sym(Reg::R2, "down");
+    a.st(Reg::R2, 4, Reg::R3);
+    a.label("fm_down_start");
+    // Down-sweep: start = 2, doubling to n.
+    a.movi(Reg::R7, 2);
+    a.label("fm_down_level");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    // Contiguous split of [start, 2*start).
+    a.mul(Reg::R2, Reg::R6, Reg::R7);
+    a.movi(Reg::R3, threads as i32);
+    a.divu(Reg::R2, Reg::R2, Reg::R3);
+    a.add(Reg::R8, Reg::R7, Reg::R2);
+    a.addi(Reg::R4, Reg::R6, 1);
+    a.mul(Reg::R2, Reg::R4, Reg::R7);
+    a.divu(Reg::R2, Reg::R2, Reg::R3);
+    a.add(Reg::R10, Reg::R7, Reg::R2);
+    a.label("fm_down_node");
+    a.bgeu(Reg::R8, Reg::R10, "fm_down_done");
+    // v = down[k/2]
+    a.shri(Reg::R3, Reg::R8, 1);
+    a.shli(Reg::R3, Reg::R3, 2);
+    a.movi_sym(Reg::R4, "down");
+    a.add(Reg::R3, Reg::R3, Reg::R4);
+    a.ld(Reg::R9, Reg::R3, 0);
+    // if k odd: v += up[k-1]
+    a.andi(Reg::R3, Reg::R8, 1);
+    a.beqz(Reg::R3, "fm_down_store");
+    a.addi(Reg::R3, Reg::R8, -1);
+    a.shli(Reg::R3, Reg::R3, 2);
+    a.movi_sym(Reg::R5, "up");
+    a.add(Reg::R3, Reg::R3, Reg::R5);
+    a.ld(Reg::R5, Reg::R3, 0);
+    a.add(Reg::R9, Reg::R9, Reg::R5);
+    a.label("fm_down_store");
+    a.shli(Reg::R3, Reg::R8, 2);
+    a.add(Reg::R3, Reg::R3, Reg::R4);
+    a.st(Reg::R3, 0, Reg::R9);
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("fm_down_node");
+    a.label("fm_down_done");
+    a.shli(Reg::R7, Reg::R7, 1);
+    a.movi(Reg::R2, (2 * n) as i32);
+    a.bltu(Reg::R7, Reg::R2, "fm_down_level");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn down_values_are_exclusive_prefix_sums() {
+        let n = leaves(Scale::Test);
+        let x = initial(n);
+        let down = mirror(Scale::Test);
+        // down[leaf i] = total + exclusive prefix of leaves (the root
+        // seeds the sweep with the global total).
+        let total: u32 = x.iter().fold(0u32, |s, &v| s.wrapping_add(v));
+        let mut prefix = 0u32;
+        for i in 0..n {
+            assert_eq!(down[i], total.wrapping_add(prefix), "leaf {i}");
+            prefix = prefix.wrapping_add(x[i]);
+        }
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 3] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! SPLASH-2-style workloads for the QuickRec reproduction.
+//!
+//! The paper evaluates recording on SPLASH-2; this crate provides nine
+//! kernels written in the PIA ISA that reproduce the synchronization and
+//! sharing patterns that drive the recorded behaviour:
+//!
+//! | Workload | Pattern (SPLASH-2 analog) |
+//! |---|---|
+//! | [`fft`]       | staged butterfly network with barriers (fft) |
+//! | [`lu`]        | blocked elimination, row-cyclic + barriers (lu) |
+//! | [`radix`]     | histogram + prefix + permute passes (radix) |
+//! | [`ocean`]     | banded Jacobi stencil iterations (ocean) |
+//! | [`barnes`]    | all-pairs forces + locked cell accumulation (barnes) |
+//! | [`water`]     | windowed pairwise interactions with ordered per-molecule locks (water) |
+//! | [`fmm`]       | tree up/down sweeps with per-level barriers (fmm) |
+//! | [`raytrace`]  | dynamic tile queue via fetch-add (raytrace) |
+//! | [`radiosity`] | mutex-protected task queue with task spawning (radiosity) |
+//! | [`cholesky`]  | dependency-driven column elimination, ready pool (cholesky) |
+//! | [`volrend`]   | ray casting through a read-shared hierarchy (volrend) |
+//!
+//! Every builder returns a [`qr_isa::Program`] whose main thread spawns
+//! `threads - 1` workers, joins them, folds the output into a 32-bit
+//! checksum and exits with it; `expected_checksum` computes the same
+//! value with a sequential Rust mirror, so a run is *self-validating*:
+//! exit code == expected checksum.
+//!
+//! All arithmetic is wrapping `u32`, and cross-thread accumulations are
+//! either partitioned (barrier phases) or commutative (wrapping adds
+//! under locks), so checksums are schedule-independent.
+
+pub mod barnes;
+pub mod cholesky;
+pub mod fft;
+pub mod fmm;
+pub mod lu;
+pub mod ocean;
+pub mod radiosity;
+pub mod radix;
+pub mod raytrace;
+pub mod runtime;
+pub mod suite;
+pub mod volrend;
+
+pub use suite::{suite, Scale, WorkloadSpec};
+
+/// Water is implemented in its own module.
+pub mod water;

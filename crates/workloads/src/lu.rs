@@ -1,0 +1,146 @@
+//! `lu` — dense elimination with row-cyclic partitioning.
+//!
+//! The SPLASH-2 LU kernel's recorder-relevant behaviour is the pivot-row
+//! broadcast: after each step `k`, every thread reads row `k` (written
+//! by its owner) while updating its own rows — a producer/consumer
+//! sharing pattern with one barrier per pivot. This kernel reproduces it
+//! with wrapping-integer elimination (`A[i][j] -= A[i][k] * A[k][j]`),
+//! rows assigned round-robin to threads.
+
+use crate::runtime::{self, BARRIER, CHECKSUM};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const SEED: u64 = 0x10_0002;
+
+fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 14,
+        Scale::Small => 28,
+        Scale::Reference => 64,
+    }
+}
+
+fn initial(n: usize) -> Vec<u32> {
+    (0..n * n).map(|i| init_value(SEED, i)).collect()
+}
+
+fn mirror(n: usize) -> Vec<u32> {
+    let mut m = initial(n);
+    for k in 0..n - 1 {
+        for i in k + 1..n {
+            let mult = m[i * n + k];
+            for j in k..n {
+                let sub = mult.wrapping_mul(m[k * n + j]);
+                m[i * n + j] = m[i * n + j].wrapping_sub(sub);
+            }
+        }
+    }
+    m
+}
+
+/// The checksum the program exits with.
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(size(scale)))
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let n = size(scale);
+    let mut a = Asm::with_name(format!("lu-{}x{}", threads, n));
+    a.align_data_line();
+    a.data_word("mat", &initial(n));
+    runtime::emit_barrier_block(&mut a, "bar0", threads as u32);
+
+    runtime::emit_main_skeleton(&mut a, threads, "lu_work", |a| {
+        a.movi_sym(Reg::R1, "mat");
+        a.movi(Reg::R2, (n * n) as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    // lu_work(R1 = tid)
+    a.label("lu_work");
+    a.mov(Reg::R6, Reg::R1);
+    a.movi(Reg::R7, 0); // k
+    a.label("lu_k");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.addi(Reg::R8, Reg::R7, 1); // i = k + 1
+    a.label("lu_i");
+    a.movi(Reg::R2, n as i32);
+    a.bgeu(Reg::R8, Reg::R2, "lu_i_done");
+    // Row owner: i % threads == tid
+    a.movi(Reg::R2, threads as i32);
+    a.remu(Reg::R3, Reg::R8, Reg::R2);
+    a.bne(Reg::R3, Reg::R6, "lu_next_i");
+    // r9 = &A[i][0], r10 = &A[k][0]
+    a.movi(Reg::R2, (n * 4) as i32);
+    a.mul(Reg::R9, Reg::R8, Reg::R2);
+    a.movi_sym(Reg::R3, "mat");
+    a.add(Reg::R9, Reg::R9, Reg::R3);
+    a.mul(Reg::R10, Reg::R7, Reg::R2);
+    a.add(Reg::R10, Reg::R10, Reg::R3);
+    // r11 = mult = A[i][k]
+    a.shli(Reg::R4, Reg::R7, 2);
+    a.add(Reg::R5, Reg::R9, Reg::R4);
+    a.ld(Reg::R11, Reg::R5, 0);
+    // j loop from k
+    a.mov(Reg::R12, Reg::R7);
+    a.label("lu_j");
+    a.movi(Reg::R2, n as i32);
+    a.bgeu(Reg::R12, Reg::R2, "lu_next_i");
+    a.shli(Reg::R2, Reg::R12, 2);
+    a.add(Reg::R3, Reg::R10, Reg::R2);
+    a.ld(Reg::R4, Reg::R3, 0); // A[k][j]
+    a.mul(Reg::R4, Reg::R4, Reg::R11);
+    a.add(Reg::R5, Reg::R9, Reg::R2);
+    a.ld(Reg::R2, Reg::R5, 0); // A[i][j]
+    a.sub(Reg::R2, Reg::R2, Reg::R4);
+    a.st(Reg::R5, 0, Reg::R2);
+    a.addi(Reg::R12, Reg::R12, 1);
+    a.jmp("lu_j");
+    a.label("lu_next_i");
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("lu_i");
+    a.label("lu_i_done");
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.movi(Reg::R2, (n - 1) as i32);
+    a.bltu(Reg::R7, Reg::R2, "lu_k");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_changes_the_matrix() {
+        let n = size(Scale::Test);
+        assert_ne!(mirror(n), initial(n));
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 2] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! `ocean` — banded Jacobi stencil.
+//!
+//! SPLASH-2 ocean is dominated by nearest-neighbour grid sharing: each
+//! thread owns a band of rows and exchanges boundary rows with its
+//! neighbours every sweep, separated by barriers. This kernel runs a
+//! five-point wrapping-integer Jacobi update over a double-buffered
+//! grid; only band-boundary rows produce cross-thread traffic, which is
+//! exactly the light-sharing profile the paper's ocean exhibits.
+
+use crate::runtime::{self, BARRIER, CHECKSUM};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const SEED: u64 = 0x0cea_0003;
+
+fn dims(scale: Scale) -> (usize, usize) {
+    // (grid side, sweeps)
+    match scale {
+        Scale::Test => (16, 4),
+        Scale::Small => (30, 6),
+        Scale::Reference => (64, 12),
+    }
+}
+
+fn initial(g: usize) -> Vec<u32> {
+    (0..g * g).map(|i| init_value(SEED, i)).collect()
+}
+
+fn step(g: usize, src: &[u32], dst: &mut [u32]) {
+    for i in 1..g - 1 {
+        for j in 1..g - 1 {
+            let sum = src[i * g + j]
+                .wrapping_add(src[(i - 1) * g + j])
+                .wrapping_add(src[(i + 1) * g + j])
+                .wrapping_add(src[i * g + j - 1])
+                .wrapping_add(src[i * g + j + 1]);
+            dst[i * g + j] = sum >> 2;
+        }
+    }
+    // Borders copy through.
+    for j in 0..g {
+        dst[j] = src[j];
+        dst[(g - 1) * g + j] = src[(g - 1) * g + j];
+    }
+    for i in 0..g {
+        dst[i * g] = src[i * g];
+        dst[i * g + g - 1] = src[i * g + g - 1];
+    }
+}
+
+fn mirror(scale: Scale) -> Vec<u32> {
+    let (g, sweeps) = dims(scale);
+    let mut a = initial(g);
+    let mut b = vec![0u32; g * g];
+    for _ in 0..sweeps {
+        step(g, &a, &mut b);
+        std::mem::swap(&mut a, &mut b);
+    }
+    a
+}
+
+/// The checksum the program exits with (the grid after an even number of
+/// sweeps lives in buffer A iff `sweeps` is even — the builder checksums
+/// the correct buffer).
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(scale))
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let (g, sweeps) = dims(scale);
+    let mut a = Asm::with_name(format!("ocean-{}x{}", threads, g));
+    a.align_data_line();
+    a.data_word("grid_a", &initial(g));
+    a.align_data_line();
+    a.data_word("grid_b", &vec![0u32; g * g]);
+    runtime::emit_barrier_block(&mut a, "bar0", threads as u32);
+
+    let final_buf = if sweeps % 2 == 0 { "grid_a" } else { "grid_b" };
+    runtime::emit_main_skeleton(&mut a, threads, "ocean_work", |a| {
+        a.movi_sym(Reg::R1, final_buf);
+        a.movi(Reg::R2, (g * g) as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    // Interior rows 1..g-1 split into contiguous bands per thread.
+    let interior = g - 2;
+
+    // ocean_work(R1 = tid)
+    a.label("ocean_work");
+    a.mov(Reg::R6, Reg::R1);
+    a.movi(Reg::R13, sweeps as i32);
+    a.movi_sym(Reg::R10, "grid_a"); // src
+    a.movi_sym(Reg::R11, "grid_b"); // dst
+    a.label("ocean_sweep");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    // Compute my band bounds from tid with a jump table-free formula:
+    // lo = 1 + tid*interior/threads; emitted per-thread via comparisons
+    // is awkward in asm, so compute numerically: r7 = lo, r12 = hi.
+    a.movi(Reg::R2, interior as i32);
+    a.mul(Reg::R7, Reg::R6, Reg::R2);
+    a.movi(Reg::R3, threads as i32);
+    a.divu(Reg::R7, Reg::R7, Reg::R3);
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.addi(Reg::R4, Reg::R6, 1);
+    a.mul(Reg::R12, Reg::R4, Reg::R2);
+    a.divu(Reg::R12, Reg::R12, Reg::R3);
+    a.addi(Reg::R12, Reg::R12, 1);
+    a.label("ocean_row");
+    a.bgeu(Reg::R7, Reg::R12, "ocean_rows_done");
+    // r8 = j = 1
+    a.movi(Reg::R8, 1);
+    a.label("ocean_col");
+    a.movi(Reg::R2, (g - 1) as i32);
+    a.bgeu(Reg::R8, Reg::R2, "ocean_cols_done");
+    // r9 = byte offset of (i, j)
+    a.movi(Reg::R2, g as i32);
+    a.mul(Reg::R9, Reg::R7, Reg::R2);
+    a.add(Reg::R9, Reg::R9, Reg::R8);
+    a.shli(Reg::R9, Reg::R9, 2);
+    // sum = src[i][j] + up + down + left + right
+    a.add(Reg::R3, Reg::R10, Reg::R9);
+    a.ld(Reg::R4, Reg::R3, 0);
+    a.ld(Reg::R5, Reg::R3, -((g * 4) as i32));
+    a.add(Reg::R4, Reg::R4, Reg::R5);
+    a.ld(Reg::R5, Reg::R3, (g * 4) as i32);
+    a.add(Reg::R4, Reg::R4, Reg::R5);
+    a.ld(Reg::R5, Reg::R3, -4);
+    a.add(Reg::R4, Reg::R4, Reg::R5);
+    a.ld(Reg::R5, Reg::R3, 4);
+    a.add(Reg::R4, Reg::R4, Reg::R5);
+    a.shri(Reg::R4, Reg::R4, 2);
+    a.add(Reg::R3, Reg::R11, Reg::R9);
+    a.st(Reg::R3, 0, Reg::R4);
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("ocean_col");
+    a.label("ocean_cols_done");
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.jmp("ocean_row");
+    a.label("ocean_rows_done");
+    // Thread 0 copies the borders through.
+    a.bnez(Reg::R6, "ocean_swap");
+    a.movi(Reg::R7, 0);
+    a.label("ocean_border");
+    a.movi(Reg::R2, g as i32);
+    a.bgeu(Reg::R7, Reg::R2, "ocean_swap");
+    // top row j=r7 and bottom row
+    a.shli(Reg::R3, Reg::R7, 2);
+    a.add(Reg::R4, Reg::R10, Reg::R3);
+    a.ld(Reg::R5, Reg::R4, 0);
+    a.add(Reg::R4, Reg::R11, Reg::R3);
+    a.st(Reg::R4, 0, Reg::R5);
+    a.movi(Reg::R2, ((g - 1) * g * 4) as i32);
+    a.add(Reg::R3, Reg::R3, Reg::R2);
+    a.add(Reg::R4, Reg::R10, Reg::R3);
+    a.ld(Reg::R5, Reg::R4, 0);
+    a.add(Reg::R4, Reg::R11, Reg::R3);
+    a.st(Reg::R4, 0, Reg::R5);
+    // left column i=r7 and right column
+    a.movi(Reg::R2, (g * 4) as i32);
+    a.mul(Reg::R3, Reg::R7, Reg::R2);
+    a.add(Reg::R4, Reg::R10, Reg::R3);
+    a.ld(Reg::R5, Reg::R4, 0);
+    a.add(Reg::R4, Reg::R11, Reg::R3);
+    a.st(Reg::R4, 0, Reg::R5);
+    a.addi(Reg::R3, Reg::R3, ((g - 1) * 4) as i32);
+    a.add(Reg::R4, Reg::R10, Reg::R3);
+    a.ld(Reg::R5, Reg::R4, 0);
+    a.add(Reg::R4, Reg::R11, Reg::R3);
+    a.st(Reg::R4, 0, Reg::R5);
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.jmp("ocean_border");
+    a.label("ocean_swap");
+    // swap src/dst
+    a.mov(Reg::R2, Reg::R10);
+    a.mov(Reg::R10, Reg::R11);
+    a.mov(Reg::R11, Reg::R2);
+    a.addi(Reg::R13, Reg::R13, -1);
+    a.bnez(Reg::R13, "ocean_sweep");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_is_stable_under_repeat() {
+        assert_eq!(mirror(Scale::Test), mirror(Scale::Test));
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 3] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

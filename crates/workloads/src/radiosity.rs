@@ -1,0 +1,254 @@
+//! `radiosity` — a mutex-protected task queue with dynamic spawning.
+//!
+//! SPLASH-2 radiosity is the suite's most irregular member: tasks are
+//! created dynamically and distributed through locked queues. This
+//! kernel reproduces that: a shared FIFO seeded with initial tasks,
+//! protected by one futex mutex; processing a task accumulates "energy"
+//! into a locked slot and may enqueue one child task (the decision and
+//! the child's value depend only on the task value, so the *set* of
+//! tasks — and, with commutative accumulation, the result — is
+//! independent of processing order).
+
+use crate::runtime::{self, CHECKSUM, MUTEX_LOCK, MUTEX_UNLOCK};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{abi, Asm, Program, Reg};
+
+const SEED: u64 = 0x4ad1_0008;
+const SLOTS: usize = 8;
+const LOCK_STRIDE_WORDS: usize = 16;
+const MAX_GEN: u32 = 3;
+
+/// Hash rounds each task spends "computing its interaction" — gives
+/// tasks a realistic compute-to-queueing ratio.
+const TASK_ROUNDS: u32 = 48;
+
+fn seeds(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 12,
+        Scale::Small => 64,
+        Scale::Reference => 512,
+    }
+}
+
+fn initial_tasks(q0: usize) -> Vec<u32> {
+    (0..q0).map(|i| init_value(SEED, i) & 0x0fff_ffff).collect()
+}
+
+fn child_of(v: u32) -> u32 {
+    let gen = v >> 28;
+    let h = (v ^ (v >> 13)).wrapping_mul(0x9e37_79b1);
+    ((gen + 1) << 28) | (h & 0x0fff_ffff)
+}
+
+fn spawns_child(v: u32) -> bool {
+    (v >> 28) < MAX_GEN && v & 1 == 0
+}
+
+fn energy_of(v: u32) -> u32 {
+    let mut z = v;
+    for _ in 0..TASK_ROUNDS {
+        z = (z ^ (z >> 11)).wrapping_mul(0x85eb_ca6b);
+    }
+    z ^ 0x27d4_eb2f
+}
+
+/// Total tasks the closure of the seed set generates (bounds the queue).
+fn mirror(scale: Scale) -> (Vec<u32>, usize) {
+    let mut queue: Vec<u32> = initial_tasks(seeds(scale));
+    let mut energy = vec![0u32; SLOTS];
+    let mut head = 0;
+    while head < queue.len() {
+        let v = queue[head];
+        head += 1;
+        let slot = (v as usize) % SLOTS;
+        energy[slot] = energy[slot].wrapping_add(energy_of(v));
+        if spawns_child(v) {
+            queue.push(child_of(v));
+        }
+    }
+    (energy, queue.len())
+}
+
+/// The checksum the program exits with.
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(scale).0)
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let q0 = seeds(scale);
+    let capacity = q0 * 4; // every task spawns at most one child, <= 4 generations
+    let (_, total_tasks) = mirror(scale);
+    assert!(total_tasks <= capacity, "queue capacity bound violated");
+    let mut a = Asm::with_name(format!("radiosity-{}x{}", threads, q0));
+    let mut queue_init = initial_tasks(q0);
+    queue_init.resize(capacity, 0);
+    a.align_data_line();
+    a.data_word("queue", &queue_init);
+    a.align_data_line();
+    // head, tail, outstanding
+    a.data_word("qmeta", &[0, q0 as u32, q0 as u32]);
+    a.align_data_line();
+    a.data_word("qlock", &[0]);
+    a.align_data_line();
+    a.data_word("energy", &[0u32; SLOTS]);
+    a.align_data_line();
+    a.data_word("slot_locks", &vec![0u32; SLOTS * LOCK_STRIDE_WORDS]);
+
+    runtime::emit_main_skeleton(&mut a, threads, "rd_work", |a| {
+        a.movi_sym(Reg::R1, "energy");
+        a.movi(Reg::R2, SLOTS as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    // rd_work(R1 = tid)
+    a.label("rd_work");
+    a.label("rd_take");
+    a.movi_sym(Reg::R1, "qlock");
+    a.call(MUTEX_LOCK);
+    a.movi_sym(Reg::R2, "qmeta");
+    a.ld(Reg::R3, Reg::R2, 0); // head
+    a.ld(Reg::R4, Reg::R2, 4); // tail
+    a.bgeu(Reg::R3, Reg::R4, "rd_empty");
+    // t = queue[head]; head += 1
+    a.movi_sym(Reg::R5, "queue");
+    a.shli(Reg::R4, Reg::R3, 2);
+    a.add(Reg::R4, Reg::R5, Reg::R4);
+    a.ld(Reg::R6, Reg::R4, 0); // task value
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.st(Reg::R2, 0, Reg::R3);
+    a.movi_sym(Reg::R1, "qlock");
+    a.call(MUTEX_UNLOCK);
+    a.jmp("rd_process");
+    a.label("rd_empty");
+    a.ld(Reg::R5, Reg::R2, 8); // outstanding
+    a.movi_sym(Reg::R1, "qlock");
+    a.call(MUTEX_UNLOCK);
+    a.bnez(Reg::R5, "rd_retry");
+    a.ret(); // no queued work and nothing outstanding: done
+    a.label("rd_retry");
+    a.movi_u(Reg::R0, abi::SYS_YIELD);
+    a.syscall();
+    a.jmp("rd_take");
+    // process task in r6
+    a.label("rd_process");
+    // Compute the task's energy *outside* the lock: TASK_ROUNDS hash
+    // iterations (the task's "interaction computation").
+    a.mov(Reg::R10, Reg::R6); // z
+    a.movi(Reg::R11, TASK_ROUNDS as i32);
+    a.label("rd_compute");
+    a.shri(Reg::R2, Reg::R10, 11);
+    a.xor(Reg::R10, Reg::R10, Reg::R2);
+    a.movi_u(Reg::R2, 0x85eb_ca6b);
+    a.mul(Reg::R10, Reg::R10, Reg::R2);
+    a.addi(Reg::R11, Reg::R11, -1);
+    a.bnez(Reg::R11, "rd_compute");
+    a.movi_u(Reg::R2, 0x27d4_eb2f);
+    a.xor(Reg::R10, Reg::R10, Reg::R2); // e
+    // energy[v % SLOTS] += e, under the slot lock
+    a.movi(Reg::R2, SLOTS as i32);
+    a.remu(Reg::R7, Reg::R6, Reg::R2); // slot
+    a.muli(Reg::R1, Reg::R7, (LOCK_STRIDE_WORDS * 4) as i32);
+    a.movi_sym(Reg::R2, "slot_locks");
+    a.add(Reg::R1, Reg::R1, Reg::R2);
+    a.mov(Reg::R8, Reg::R1); // lock addr for unlock
+    a.call(MUTEX_LOCK);
+    a.mov(Reg::R3, Reg::R10);
+    a.movi_sym(Reg::R2, "energy");
+    a.shli(Reg::R4, Reg::R7, 2);
+    a.add(Reg::R2, Reg::R2, Reg::R4);
+    a.ld(Reg::R5, Reg::R2, 0);
+    a.add(Reg::R5, Reg::R5, Reg::R3);
+    a.st(Reg::R2, 0, Reg::R5);
+    a.mov(Reg::R1, Reg::R8);
+    a.call(MUTEX_UNLOCK);
+    // spawn child? gen < MAX_GEN && even
+    a.shri(Reg::R2, Reg::R6, 28);
+    a.movi(Reg::R3, MAX_GEN as i32);
+    a.bgeu(Reg::R2, Reg::R3, "rd_finish");
+    a.andi(Reg::R3, Reg::R6, 1);
+    a.bnez(Reg::R3, "rd_finish");
+    // child = ((gen+1) << 28) | ((v ^ (v >> 13)) * 0x9E3779B1 & 0x0fffffff)
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.shli(Reg::R9, Reg::R2, 28);
+    a.shri(Reg::R3, Reg::R6, 13);
+    a.xor(Reg::R3, Reg::R6, Reg::R3);
+    a.movi_u(Reg::R2, 0x9e37_79b1);
+    a.mul(Reg::R3, Reg::R3, Reg::R2);
+    a.movi_u(Reg::R2, 0x0fff_ffff);
+    a.and(Reg::R3, Reg::R3, Reg::R2);
+    a.or(Reg::R9, Reg::R9, Reg::R3);
+    // enqueue under the queue lock; outstanding += 1
+    a.movi_sym(Reg::R1, "qlock");
+    a.call(MUTEX_LOCK);
+    a.movi_sym(Reg::R2, "qmeta");
+    a.ld(Reg::R3, Reg::R2, 4); // tail
+    a.movi_sym(Reg::R4, "queue");
+    a.shli(Reg::R5, Reg::R3, 2);
+    a.add(Reg::R4, Reg::R4, Reg::R5);
+    a.st(Reg::R4, 0, Reg::R9);
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.st(Reg::R2, 4, Reg::R3);
+    a.ld(Reg::R3, Reg::R2, 8);
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.st(Reg::R2, 8, Reg::R3);
+    a.movi_sym(Reg::R1, "qlock");
+    a.call(MUTEX_UNLOCK);
+    // finish: outstanding -= 1
+    a.label("rd_finish");
+    a.movi_sym(Reg::R1, "qlock");
+    a.call(MUTEX_LOCK);
+    a.movi_sym(Reg::R2, "qmeta");
+    a.ld(Reg::R3, Reg::R2, 8);
+    a.addi(Reg::R3, Reg::R3, -1);
+    a.st(Reg::R2, 8, Reg::R3);
+    a.movi_sym(Reg::R1, "qlock");
+    a.call(MUTEX_UNLOCK);
+    a.jmp("rd_take");
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_closure_is_bounded_and_nontrivial() {
+        let (energy, total) = mirror(Scale::Test);
+        assert!(total > seeds(Scale::Test), "some tasks must spawn children");
+        assert!(total <= seeds(Scale::Test) * 4);
+        assert!(energy.iter().any(|&e| e != 0));
+    }
+
+    #[test]
+    fn children_advance_generations() {
+        let v = 0x0000_0b0c; // even, gen 0
+        assert!(spawns_child(v));
+        let c = child_of(v);
+        assert_eq!(c >> 28, 1);
+        assert!(!spawns_child(0x3000_0000), "gen 3 never spawns");
+        assert!(!spawns_child(1), "odd tasks never spawn");
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 4] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

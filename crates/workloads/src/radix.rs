@@ -1,0 +1,221 @@
+//! `radix` — parallel LSD radix sort.
+//!
+//! Reproduces SPLASH-2 radix's three-phase structure per digit: private
+//! histograms over contiguous key segments, a serial global prefix (the
+//! key-exchange offsets), and a stable permutation into the destination
+//! buffer. The permutation writes scatter across the whole destination
+//! array, which makes radix the heaviest producer of cross-thread
+//! coherence traffic in the suite — exactly its role in the paper.
+//!
+//! Because placement order equals input order (contiguous segments,
+//! in-segment scans), the parallel sort is *stable* and its output is
+//! identical to a sequential stable sort, independent of thread count.
+
+use crate::runtime::{self, BARRIER, CHECKSUM};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const SEED: u64 = 0x4adf_0004;
+const PASSES: usize = 4;
+const BUCKETS: usize = 256;
+
+fn size(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 96,
+        Scale::Small => 384,
+        Scale::Reference => 2048,
+    }
+}
+
+fn initial(n: usize) -> Vec<u32> {
+    (0..n).map(|i| init_value(SEED, i)).collect()
+}
+
+fn mirror(scale: Scale) -> Vec<u32> {
+    let mut keys = initial(size(scale));
+    keys.sort_unstable();
+    keys
+}
+
+/// The checksum the program exits with (the sorted array's).
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(scale))
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let n = size(scale);
+    let mut a = Asm::with_name(format!("radix-{}x{}", threads, n));
+    a.align_data_line();
+    a.data_word("keys_a", &initial(n));
+    a.align_data_line();
+    a.data_word("keys_b", &vec![0u32; n]);
+    a.align_data_line();
+    a.data_word("hist", &vec![0u32; threads * BUCKETS]);
+    runtime::emit_barrier_block(&mut a, "bar0", threads as u32);
+
+    // PASSES is even, so the sorted data ends up back in keys_a.
+    runtime::emit_main_skeleton(&mut a, threads, "rx_work", |a| {
+        a.movi_sym(Reg::R1, "keys_a");
+        a.movi(Reg::R2, n as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    // Helper fragment: compute segment bounds lo -> R8, hi -> R9.
+    let seg_bounds = |a: &mut Asm| {
+        a.movi(Reg::R2, n as i32);
+        a.mul(Reg::R8, Reg::R6, Reg::R2);
+        a.movi(Reg::R3, threads as i32);
+        a.divu(Reg::R8, Reg::R8, Reg::R3);
+        a.addi(Reg::R4, Reg::R6, 1);
+        a.mul(Reg::R9, Reg::R4, Reg::R2);
+        a.divu(Reg::R9, Reg::R9, Reg::R3);
+    };
+
+    // rx_work(R1 = tid)
+    a.label("rx_work");
+    a.mov(Reg::R6, Reg::R1);
+    // r13 = &hist[tid][0]
+    a.movi(Reg::R2, (BUCKETS * 4) as i32);
+    a.mul(Reg::R13, Reg::R6, Reg::R2);
+    a.movi_sym(Reg::R3, "hist");
+    a.add(Reg::R13, Reg::R13, Reg::R3);
+    a.movi_sym(Reg::R10, "keys_a"); // src
+    a.movi_sym(Reg::R11, "keys_b"); // dst
+    a.movi(Reg::R7, 0); // pass
+    a.label("rx_pass");
+    // clear my histogram row
+    a.movi(Reg::R8, 0);
+    a.label("rx_clear");
+    a.shli(Reg::R2, Reg::R8, 2);
+    a.add(Reg::R3, Reg::R13, Reg::R2);
+    a.movi(Reg::R4, 0);
+    a.st(Reg::R3, 0, Reg::R4);
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.movi(Reg::R2, BUCKETS as i32);
+    a.bltu(Reg::R8, Reg::R2, "rx_clear");
+    // shift for this pass
+    a.shli(Reg::R12, Reg::R7, 3);
+    // histogram my segment
+    seg_bounds(&mut a);
+    a.label("rx_hist");
+    a.bgeu(Reg::R8, Reg::R9, "rx_hist_done");
+    a.shli(Reg::R2, Reg::R8, 2);
+    a.add(Reg::R3, Reg::R10, Reg::R2);
+    a.ld(Reg::R4, Reg::R3, 0);
+    a.shr(Reg::R5, Reg::R4, Reg::R12);
+    a.andi(Reg::R5, Reg::R5, 255);
+    a.shli(Reg::R5, Reg::R5, 2);
+    a.add(Reg::R5, Reg::R13, Reg::R5);
+    a.ld(Reg::R2, Reg::R5, 0);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.st(Reg::R5, 0, Reg::R2);
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("rx_hist");
+    a.label("rx_hist_done");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    // thread 0: global exclusive prefix over (digit, thread)
+    a.bnez(Reg::R6, "rx_after_prefix");
+    a.movi(Reg::R8, 0); // digit
+    a.movi(Reg::R9, 0); // running
+    a.label("rx_pfx_d");
+    a.movi(Reg::R2, BUCKETS as i32);
+    a.bgeu(Reg::R8, Reg::R2, "rx_after_prefix");
+    a.movi(Reg::R10, 0); // t (src pointer is recomputed below)
+    a.label("rx_pfx_t");
+    a.movi(Reg::R2, threads as i32);
+    a.bgeu(Reg::R10, Reg::R2, "rx_pfx_t_done");
+    a.movi(Reg::R2, (BUCKETS * 4) as i32);
+    a.mul(Reg::R3, Reg::R10, Reg::R2);
+    a.shli(Reg::R5, Reg::R8, 2);
+    a.add(Reg::R3, Reg::R3, Reg::R5);
+    a.movi_sym(Reg::R2, "hist");
+    a.add(Reg::R3, Reg::R3, Reg::R2);
+    a.ld(Reg::R5, Reg::R3, 0);
+    a.st(Reg::R3, 0, Reg::R9);
+    a.add(Reg::R9, Reg::R9, Reg::R5);
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.jmp("rx_pfx_t");
+    a.label("rx_pfx_t_done");
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("rx_pfx_d");
+    a.label("rx_after_prefix");
+    // Restore src/dst pointers (thread 0 clobbered r10).
+    a.movi_sym(Reg::R10, "keys_a");
+    a.movi_sym(Reg::R11, "keys_b");
+    a.andi(Reg::R2, Reg::R7, 1);
+    a.beqz(Reg::R2, "rx_ptrs_ok");
+    a.movi_sym(Reg::R10, "keys_b");
+    a.movi_sym(Reg::R11, "keys_a");
+    a.label("rx_ptrs_ok");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    // place my segment
+    seg_bounds(&mut a);
+    a.label("rx_place");
+    a.bgeu(Reg::R8, Reg::R9, "rx_place_done");
+    a.shli(Reg::R2, Reg::R8, 2);
+    a.add(Reg::R3, Reg::R10, Reg::R2);
+    a.ld(Reg::R4, Reg::R3, 0); // key
+    a.shr(Reg::R5, Reg::R4, Reg::R12);
+    a.andi(Reg::R5, Reg::R5, 255);
+    a.shli(Reg::R5, Reg::R5, 2);
+    a.add(Reg::R5, Reg::R13, Reg::R5);
+    a.ld(Reg::R2, Reg::R5, 0); // pos
+    a.addi(Reg::R3, Reg::R2, 1);
+    a.st(Reg::R5, 0, Reg::R3);
+    a.shli(Reg::R2, Reg::R2, 2);
+    a.add(Reg::R2, Reg::R11, Reg::R2);
+    a.st(Reg::R2, 0, Reg::R4); // dst[pos] = key
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("rx_place");
+    a.label("rx_place_done");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    // swap buffers
+    a.mov(Reg::R2, Reg::R10);
+    a.mov(Reg::R10, Reg::R11);
+    a.mov(Reg::R11, Reg::R2);
+    a.addi(Reg::R7, Reg::R7, 1);
+    a.movi(Reg::R2, PASSES as i32);
+    a.bltu(Reg::R7, Reg::R2, "rx_pass");
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_is_sorted_permutation() {
+        let sorted = mirror(Scale::Test);
+        assert!(sorted.windows(2).all(|w| w[0] <= w[1]));
+        let mut orig = initial(size(Scale::Test));
+        orig.sort_unstable();
+        assert_eq!(orig, sorted);
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 2, 3] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

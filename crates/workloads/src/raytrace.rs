@@ -1,0 +1,157 @@
+//! `raytrace` — dynamically scheduled tile rendering.
+//!
+//! SPLASH-2 raytrace distributes pixels through a shared work queue;
+//! the recorder sees mostly-independent computation punctuated by
+//! atomic queue operations. This kernel renders a deterministic
+//! integer "fractal" (a wrapping quadratic iteration per pixel) into a
+//! shared framebuffer, with tiles handed out by `fetch-add` on a shared
+//! counter — the lock-free dynamic scheduling idiom.
+
+use crate::runtime::{self, CHECKSUM};
+use crate::suite::Scale;
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const TILE: usize = 8;
+const ROUNDS: u32 = 8;
+
+fn side(scale: Scale) -> usize {
+    match scale {
+        Scale::Test => 16,
+        Scale::Small => 32,
+        Scale::Reference => 96,
+    }
+}
+
+fn pixel(x: u32, y: u32) -> u32 {
+    let c = x.wrapping_mul(131).wrapping_add(y.wrapping_mul(65537)) ^ 0x9e37_79b9;
+    let mut z = c;
+    for _ in 0..ROUNDS {
+        z = z.wrapping_mul(z).wrapping_add(c);
+    }
+    z
+}
+
+fn mirror(scale: Scale) -> Vec<u32> {
+    let w = side(scale);
+    let mut img = vec![0u32; w * w];
+    for y in 0..w {
+        for x in 0..w {
+            img[y * w + x] = pixel(x as u32, y as u32);
+        }
+    }
+    img
+}
+
+/// The checksum the program exits with.
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(scale))
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let w = side(scale);
+    assert_eq!(w % TILE, 0, "side must be a multiple of the tile size");
+    let tiles_per_row = w / TILE;
+    let num_tiles = tiles_per_row * tiles_per_row;
+    let mut a = Asm::with_name(format!("raytrace-{}x{}", threads, w));
+    a.align_data_line();
+    a.data_word("image", &vec![0u32; w * w]);
+    a.align_data_line();
+    a.data_word("next_tile", &[0]);
+
+    runtime::emit_main_skeleton(&mut a, threads, "rt_work", |a| {
+        a.movi_sym(Reg::R1, "image");
+        a.movi(Reg::R2, (w * w) as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    // rt_work(R1 = tid): loop over tiles from the shared counter.
+    a.label("rt_work");
+    a.label("rt_next");
+    a.movi_sym(Reg::R2, "next_tile");
+    a.movi(Reg::R3, 1);
+    a.fetch_add(Reg::R6, Reg::R2, Reg::R3); // r6 = my tile
+    a.movi(Reg::R2, num_tiles as i32);
+    a.bgeu(Reg::R6, Reg::R2, "rt_done");
+    // tile origin: tx = (tile % tpr) * TILE, ty = (tile / tpr) * TILE
+    a.movi(Reg::R2, tiles_per_row as i32);
+    a.remu(Reg::R7, Reg::R6, Reg::R2);
+    a.muli(Reg::R7, Reg::R7, TILE as i32); // tx
+    a.divu(Reg::R8, Reg::R6, Reg::R2);
+    a.muli(Reg::R8, Reg::R8, TILE as i32); // ty
+    // for dy in 0..TILE, dx in 0..TILE
+    a.movi(Reg::R9, 0); // dy
+    a.label("rt_dy");
+    a.movi(Reg::R10, 0); // dx
+    a.label("rt_dx");
+    // x = tx + dx, y = ty + dy
+    a.add(Reg::R11, Reg::R7, Reg::R10);
+    a.add(Reg::R12, Reg::R8, Reg::R9);
+    // c = x*131 + y*65537 ^ 0x9e3779b9
+    a.muli(Reg::R2, Reg::R11, 131);
+    a.movi_u(Reg::R3, 65537);
+    a.mul(Reg::R3, Reg::R12, Reg::R3);
+    a.add(Reg::R2, Reg::R2, Reg::R3);
+    a.movi_u(Reg::R3, 0x9e37_79b9);
+    a.xor(Reg::R2, Reg::R2, Reg::R3); // c
+    a.mov(Reg::R3, Reg::R2); // z = c
+    a.movi(Reg::R4, ROUNDS as i32);
+    a.label("rt_iter");
+    a.mul(Reg::R3, Reg::R3, Reg::R3);
+    a.add(Reg::R3, Reg::R3, Reg::R2);
+    a.addi(Reg::R4, Reg::R4, -1);
+    a.bnez(Reg::R4, "rt_iter");
+    // image[y*w + x] = z
+    a.movi(Reg::R4, w as i32);
+    a.mul(Reg::R5, Reg::R12, Reg::R4);
+    a.add(Reg::R5, Reg::R5, Reg::R11);
+    a.shli(Reg::R5, Reg::R5, 2);
+    a.movi_sym(Reg::R4, "image");
+    a.add(Reg::R5, Reg::R4, Reg::R5);
+    a.st(Reg::R5, 0, Reg::R3);
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.movi(Reg::R2, TILE as i32);
+    a.bltu(Reg::R10, Reg::R2, "rt_dx");
+    a.addi(Reg::R9, Reg::R9, 1);
+    a.movi(Reg::R2, TILE as i32);
+    a.bltu(Reg::R9, Reg::R2, "rt_dy");
+    a.jmp("rt_next");
+    a.label("rt_done");
+    // Make this thread's writes visible before main checksums.
+    a.fence();
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pixel_function_is_nontrivial() {
+        assert_ne!(pixel(0, 0), pixel(1, 0));
+        assert_ne!(pixel(0, 1), pixel(1, 0));
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 4] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

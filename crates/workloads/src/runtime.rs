@@ -1,0 +1,235 @@
+//! The assembly runtime library: mutexes, barriers, checksums, and the
+//! spawn/join skeleton shared by every workload.
+//!
+//! # Calling convention
+//!
+//! Runtime functions take arguments in `R1..=R3`, may clobber
+//! `R0..=R5`, and preserve `R6..` (they save anything else they touch on
+//! the stack). Workloads keep loop state in `R6..=R13`.
+//!
+//! # Primitives
+//!
+//! - `qr_mutex_lock` / `qr_mutex_unlock` (`R1` = &lock): a three-state
+//!   futex mutex (0 free, 1 locked, 2 contended) — no syscalls on the
+//!   uncontended path, `futex_wait`/`futex_wake` under contention.
+//! - `qr_barrier` (`R1` = &{count, generation, total}): centralized
+//!   generation-counting barrier; the last arriver resets the count,
+//!   bumps the generation and wakes everyone.
+//! - `qr_checksum` (`R1` = addr, `R2` = words) → `R0`: order-mixing
+//!   wrapping fold of a word array.
+
+use qr_isa::abi;
+use qr_isa::{Asm, Reg};
+
+/// Label of the mutex-lock function.
+pub const MUTEX_LOCK: &str = "qr_mutex_lock";
+/// Label of the mutex-unlock function.
+pub const MUTEX_UNLOCK: &str = "qr_mutex_unlock";
+/// Label of the barrier function.
+pub const BARRIER: &str = "qr_barrier";
+/// Label of the checksum function.
+pub const CHECKSUM: &str = "qr_checksum";
+
+/// Emits the runtime functions. Call once, after the program's own code
+/// (the functions are reached by `call`, never by fallthrough).
+pub fn emit_runtime(a: &mut Asm) {
+    emit_mutex(a);
+    emit_barrier(a);
+    emit_checksum(a);
+}
+
+fn emit_mutex(a: &mut Asm) {
+    // qr_mutex_lock(R1 = &lock)
+    a.label(MUTEX_LOCK);
+    a.movi(Reg::R2, 0);
+    a.movi(Reg::R3, 1);
+    a.cas(Reg::R2, Reg::R1, Reg::R3); // r2 = old
+    a.beqz(Reg::R2, "qr_mutex_lock_done");
+    a.label("qr_mutex_lock_slow");
+    // if old != 2 { old = xchg(lock, 2); if old == 0 -> acquired }
+    a.movi(Reg::R3, 2);
+    a.alu(qr_isa::instr::AluOp::Seq, Reg::R4, Reg::R2, Reg::R3);
+    a.bnez(Reg::R4, "qr_mutex_lock_wait");
+    a.mov(Reg::R2, Reg::R3);
+    a.xchg(Reg::R2, Reg::R1);
+    a.beqz(Reg::R2, "qr_mutex_lock_done");
+    a.label("qr_mutex_lock_wait");
+    // futex_wait(lock, 2)
+    a.push(Reg::R1);
+    a.movi_u(Reg::R0, abi::SYS_FUTEX_WAIT);
+    a.movi(Reg::R2, 2);
+    a.syscall();
+    a.pop(Reg::R1);
+    // old = xchg(lock, 2)
+    a.movi(Reg::R2, 2);
+    a.xchg(Reg::R2, Reg::R1);
+    a.bnez(Reg::R2, "qr_mutex_lock_wait");
+    a.label("qr_mutex_lock_done");
+    a.ret();
+
+    // qr_mutex_unlock(R1 = &lock)
+    a.label(MUTEX_UNLOCK);
+    a.movi(Reg::R2, 0);
+    a.xchg(Reg::R2, Reg::R1); // r2 = old, lock = 0
+    a.movi(Reg::R3, 2);
+    a.alu(qr_isa::instr::AluOp::Seq, Reg::R4, Reg::R2, Reg::R3);
+    a.beqz(Reg::R4, "qr_mutex_unlock_done");
+    a.movi_u(Reg::R0, abi::SYS_FUTEX_WAKE);
+    a.movi(Reg::R2, 1);
+    a.syscall();
+    a.label("qr_mutex_unlock_done");
+    a.ret();
+}
+
+fn emit_barrier(a: &mut Asm) {
+    // qr_barrier(R1 = &{count@0, gen@4, total@8})
+    //
+    // The generation word is read and written with atomics (fetch_add 0
+    // as an atomic load, xchg as an atomic store), so the barrier is
+    // data-race-free under the replay-time race detector's C11-like
+    // rules and publishes a happens-before edge from the last arriver to
+    // every waiter.
+    a.label(BARRIER);
+    // g = gen, read atomically (fetch_add 0): the generation word is an
+    // atomic location — waiters poll it with RMWs — so every access to
+    // it must be atomic to stay data-race-free.
+    a.addi(Reg::R4, Reg::R1, 4);
+    a.movi(Reg::R2, 0);
+    a.fetch_add(Reg::R2, Reg::R4, Reg::R2);
+    a.movi(Reg::R3, 1);
+    a.fetch_add(Reg::R4, Reg::R1, Reg::R3); // old count
+    a.ld(Reg::R5, Reg::R1, 8); // total
+    a.addi(Reg::R4, Reg::R4, 1);
+    a.bne(Reg::R4, Reg::R5, "qr_barrier_wait");
+    // Last arriver: reset count, publish the new generation atomically,
+    // wake.
+    a.movi(Reg::R3, 0);
+    a.st(Reg::R1, 0, Reg::R3);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.addi(Reg::R5, Reg::R1, 4);
+    a.xchg(Reg::R2, Reg::R5); // gen = g + 1 (atomic release)
+    a.push(Reg::R1);
+    a.addi(Reg::R1, Reg::R1, 4);
+    a.movi_u(Reg::R0, abi::SYS_FUTEX_WAKE);
+    a.movi(Reg::R2, 4096);
+    a.syscall();
+    a.pop(Reg::R1);
+    a.ret();
+    a.label("qr_barrier_wait");
+    // Atomic load of gen: fetch_add(&gen, 0).
+    a.addi(Reg::R4, Reg::R1, 4);
+    a.movi(Reg::R5, 0);
+    a.fetch_add(Reg::R3, Reg::R4, Reg::R5);
+    a.bne(Reg::R3, Reg::R2, "qr_barrier_exit");
+    a.push(Reg::R1);
+    a.push(Reg::R2);
+    a.addi(Reg::R1, Reg::R1, 4);
+    a.movi_u(Reg::R0, abi::SYS_FUTEX_WAIT);
+    a.syscall();
+    a.pop(Reg::R2);
+    a.pop(Reg::R1);
+    a.jmp("qr_barrier_wait");
+    a.label("qr_barrier_exit");
+    a.ret();
+}
+
+fn emit_checksum(a: &mut Asm) {
+    // qr_checksum(R1 = addr, R2 = words) -> R0
+    a.label(CHECKSUM);
+    a.movi(Reg::R0, 0);
+    a.label("qr_checksum_loop");
+    a.beqz(Reg::R2, "qr_checksum_done");
+    a.ld(Reg::R3, Reg::R1, 0);
+    // sum = rotl(sum, 1) ^ word — order-sensitive, catches permutations.
+    a.shli(Reg::R4, Reg::R0, 1);
+    a.shri(Reg::R5, Reg::R0, 31);
+    a.alu(qr_isa::instr::AluOp::Or, Reg::R4, Reg::R4, Reg::R5);
+    a.xor(Reg::R0, Reg::R4, Reg::R3);
+    a.addi(Reg::R1, Reg::R1, 4);
+    a.addi(Reg::R2, Reg::R2, -1);
+    a.jmp("qr_checksum_loop");
+    a.label("qr_checksum_done");
+    a.ret();
+}
+
+/// The Rust mirror of `qr_checksum`.
+pub fn checksum(words: &[u32]) -> u32 {
+    words.iter().fold(0u32, |sum, &w| sum.rotate_left(1) ^ w)
+}
+
+/// Emits the standard main skeleton around a per-thread work function:
+///
+/// - main spawns `threads - 1` workers at label `worker_entry` with the
+///   thread index in `R1`, calls `work_fn` itself with index 0, joins
+///   everyone, then runs `epilogue` (which must leave the checksum in
+///   `R1`) and exits with it.
+/// - the worker entry calls `work_fn` with its index and exits 0.
+///
+/// The caller provides `work_fn` (a label taking the thread index in
+/// `R1`) and emits it (plus the runtime, via [`emit_runtime`]) after this
+/// skeleton.
+pub fn emit_main_skeleton(
+    a: &mut Asm,
+    threads: usize,
+    work_fn: &str,
+    epilogue: impl FnOnce(&mut Asm),
+) {
+    assert!(threads >= 1, "need at least one thread");
+    // Spawn workers 1..threads; remember tids on the stack.
+    for i in 1..threads {
+        a.movi_u(Reg::R0, abi::SYS_SPAWN);
+        a.movi_sym(Reg::R1, "qr_worker_entry");
+        a.movi(Reg::R2, i as i32);
+        a.syscall();
+        a.push(Reg::R0);
+    }
+    // Main participates as thread 0.
+    a.movi(Reg::R1, 0);
+    a.call(work_fn);
+    // Join workers (reverse order is fine).
+    for _ in 1..threads {
+        a.pop(Reg::R1);
+        a.movi_u(Reg::R0, abi::SYS_JOIN);
+        a.syscall();
+    }
+    epilogue(a);
+    a.movi_u(Reg::R0, abi::SYS_EXIT);
+    a.syscall();
+    // Worker entry: index arrives in R1.
+    a.label("qr_worker_entry");
+    a.call(work_fn);
+    a.movi_u(Reg::R0, abi::SYS_EXIT);
+    a.movi(Reg::R1, 0);
+    a.syscall();
+}
+
+/// Emits a barrier control block (count=0, generation=0, total) and
+/// returns its address.
+pub fn emit_barrier_block(a: &mut Asm, name: &str, total: u32) -> u32 {
+    a.align_data_line();
+    a.data_word(name, &[0, 0, total])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn checksum_mirror_is_order_sensitive() {
+        assert_ne!(checksum(&[1, 2, 3]), checksum(&[3, 2, 1]));
+        assert_eq!(checksum(&[]), 0);
+        assert_eq!(checksum(&[0, 0]), 0);
+        assert_ne!(checksum(&[5]), checksum(&[6]));
+    }
+
+    #[test]
+    fn runtime_emits_without_label_collisions() {
+        let mut a = Asm::new();
+        a.halt();
+        emit_runtime(&mut a);
+        let p = a.finish().unwrap();
+        assert!(p.symbol(MUTEX_LOCK).is_some());
+        assert!(p.symbol(BARRIER).is_some());
+        assert!(p.symbol(CHECKSUM).is_some());
+    }
+}

@@ -1,0 +1,248 @@
+//! `volrend` — ray casting through a read-shared volume hierarchy.
+//!
+//! SPLASH-2 volrend renders a volume by casting rays through a
+//! precomputed octree-like hierarchy; almost all shared data is
+//! *read-only* during rendering, so the workload produces very little
+//! coherence conflict traffic — the low-log-rate contrast point of the
+//! suite. This kernel keeps that shape: a MIP pyramid built at program
+//! construction time, tiles of rays distributed by `fetch-add`, each ray
+//! marching through the pyramid with an early-out test and accumulating
+//! into a private image cell.
+
+use crate::runtime::{self, CHECKSUM};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const SEED: u64 = 0x701_000a;
+const TILE: usize = 8;
+/// Rays march this many steps through the volume.
+const STEPS: u32 = 12;
+/// Early-out threshold: marching stops when opacity saturates.
+const OPAQUE: u32 = 0xf000_0000;
+
+fn side(scale: Scale) -> usize {
+    // image side; the volume is side*side voxels (2-D "volume" keeps the
+    // integer math simple while preserving the access pattern).
+    match scale {
+        Scale::Test => 16,
+        Scale::Small => 32,
+        Scale::Reference => 80,
+    }
+}
+
+/// The base volume plus one coarser MIP level (the "hierarchy").
+fn volume(n: usize) -> (Vec<u32>, Vec<u32>) {
+    let base: Vec<u32> = (0..n * n).map(|i| init_value(SEED, i)).collect();
+    let half = n / 2;
+    let mut mip = vec![0u32; half * half];
+    for y in 0..half {
+        for x in 0..half {
+            let sum = base[(2 * y) * n + 2 * x]
+                .wrapping_add(base[(2 * y) * n + 2 * x + 1])
+                .wrapping_add(base[(2 * y + 1) * n + 2 * x])
+                .wrapping_add(base[(2 * y + 1) * n + 2 * x + 1]);
+            mip[y * half + x] = sum >> 2;
+        }
+    }
+    (base, mip)
+}
+
+fn cast_ray(n: usize, base: &[u32], mip: &[u32], px: u32, py: u32) -> u32 {
+    let half = (n / 2) as u32;
+    let nn = n as u32;
+    let mut acc = 0u32;
+    let mut x = px;
+    let mut y = py;
+    for step in 0..STEPS {
+        // Coarse test in the MIP level: skip "empty" regions.
+        let mx = (x / 2) % half;
+        let my = (y / 2) % half;
+        let coarse = mip[(my * half + mx) as usize];
+        if coarse & 0xff00_0000 != 0 {
+            let voxel = base[((y % nn) * nn + (x % nn)) as usize];
+            acc = acc.wrapping_add(voxel.rotate_left(step % 31));
+            if acc >= OPAQUE {
+                break; // early out: ray saturated
+            }
+        }
+        // March diagonally with a deterministic wobble.
+        x = x.wrapping_add(1 + (acc & 1));
+        y = y.wrapping_add(1);
+    }
+    acc
+}
+
+fn mirror(scale: Scale) -> Vec<u32> {
+    let n = side(scale);
+    let (base, mip) = volume(n);
+    let mut img = vec![0u32; n * n];
+    for py in 0..n {
+        for px in 0..n {
+            img[py * n + px] = cast_ray(n, &base, &mip, px as u32, py as u32);
+        }
+    }
+    img
+}
+
+/// The checksum the program exits with.
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(scale))
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let n = side(scale);
+    assert_eq!(n % TILE, 0, "side must be a multiple of the tile size");
+    let (base, mip) = volume(n);
+    let half = n / 2;
+    let tiles_per_row = n / TILE;
+    let num_tiles = tiles_per_row * tiles_per_row;
+    let mut a = Asm::with_name(format!("volrend-{}x{}", threads, n));
+    a.align_data_line();
+    a.data_word("vol", &base);
+    a.align_data_line();
+    a.data_word("mip", &mip);
+    a.align_data_line();
+    a.data_word("image", &vec![0u32; n * n]);
+    a.align_data_line();
+    a.data_word("next_tile", &[0]);
+
+    runtime::emit_main_skeleton(&mut a, threads, "vr_work", |a| {
+        a.movi_sym(Reg::R1, "image");
+        a.movi(Reg::R2, (n * n) as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    // vr_work(R1 = tid)
+    a.label("vr_work");
+    a.label("vr_next");
+    a.movi_sym(Reg::R2, "next_tile");
+    a.movi(Reg::R3, 1);
+    a.fetch_add(Reg::R6, Reg::R2, Reg::R3);
+    a.movi(Reg::R2, num_tiles as i32);
+    a.bgeu(Reg::R6, Reg::R2, "vr_done");
+    // tile origin
+    a.movi(Reg::R2, tiles_per_row as i32);
+    a.remu(Reg::R7, Reg::R6, Reg::R2);
+    a.muli(Reg::R7, Reg::R7, TILE as i32); // tx
+    a.divu(Reg::R8, Reg::R6, Reg::R2);
+    a.muli(Reg::R8, Reg::R8, TILE as i32); // ty
+    a.movi(Reg::R9, 0); // dy
+    a.label("vr_dy");
+    a.movi(Reg::R10, 0); // dx
+    a.label("vr_dx");
+    // ray state: x r11, y r12, acc r13, step counter on the stack
+    a.add(Reg::R11, Reg::R7, Reg::R10);
+    a.add(Reg::R12, Reg::R8, Reg::R9);
+    a.movi(Reg::R13, 0);
+    a.movi(Reg::R2, 0); // step
+    a.label("vr_step");
+    a.push(Reg::R2); // keep the step index across the body
+    // coarse = mip[((y/2) % half) * half + ((x/2) % half)]
+    a.shri(Reg::R3, Reg::R11, 1);
+    a.movi(Reg::R4, half as i32);
+    a.remu(Reg::R3, Reg::R3, Reg::R4); // mx
+    a.shri(Reg::R5, Reg::R12, 1);
+    a.remu(Reg::R5, Reg::R5, Reg::R4); // my
+    a.mul(Reg::R5, Reg::R5, Reg::R4);
+    a.add(Reg::R3, Reg::R3, Reg::R5);
+    a.shli(Reg::R3, Reg::R3, 2);
+    a.movi_sym(Reg::R4, "mip");
+    a.add(Reg::R3, Reg::R3, Reg::R4);
+    a.ld(Reg::R3, Reg::R3, 0); // coarse
+    a.movi_u(Reg::R4, 0xff00_0000);
+    a.and(Reg::R3, Reg::R3, Reg::R4);
+    a.beqz(Reg::R3, "vr_march");
+    // voxel = vol[(y % n) * n + (x % n)]
+    a.movi(Reg::R4, n as i32);
+    a.remu(Reg::R3, Reg::R12, Reg::R4);
+    a.mul(Reg::R3, Reg::R3, Reg::R4);
+    a.remu(Reg::R5, Reg::R11, Reg::R4);
+    a.add(Reg::R3, Reg::R3, Reg::R5);
+    a.shli(Reg::R3, Reg::R3, 2);
+    a.movi_sym(Reg::R4, "vol");
+    a.add(Reg::R3, Reg::R3, Reg::R4);
+    a.ld(Reg::R3, Reg::R3, 0); // voxel
+    // acc += rotl(voxel, step % 31)
+    a.pop(Reg::R2);
+    a.push(Reg::R2);
+    a.movi(Reg::R4, 31);
+    a.remu(Reg::R4, Reg::R2, Reg::R4);
+    a.shl(Reg::R5, Reg::R3, Reg::R4);
+    a.movi(Reg::R2, 32);
+    a.sub(Reg::R2, Reg::R2, Reg::R4);
+    a.andi(Reg::R2, Reg::R2, 31);
+    a.shr(Reg::R3, Reg::R3, Reg::R2);
+    a.or(Reg::R3, Reg::R5, Reg::R3);
+    a.add(Reg::R13, Reg::R13, Reg::R3);
+    // early out if acc >= OPAQUE
+    a.movi_u(Reg::R4, OPAQUE);
+    a.bgeu(Reg::R13, Reg::R4, "vr_ray_done");
+    a.label("vr_march");
+    // x += 1 + (acc & 1); y += 1
+    a.andi(Reg::R3, Reg::R13, 1);
+    a.addi(Reg::R3, Reg::R3, 1);
+    a.add(Reg::R11, Reg::R11, Reg::R3);
+    a.addi(Reg::R12, Reg::R12, 1);
+    a.pop(Reg::R2);
+    a.addi(Reg::R2, Reg::R2, 1);
+    a.movi(Reg::R3, STEPS as i32);
+    a.bltu(Reg::R2, Reg::R3, "vr_step");
+    a.push(Reg::R2); // balance the pop below
+    a.label("vr_ray_done");
+    a.pop(Reg::R2); // discard the step counter
+    // image[(ty+dy)*n + (tx+dx)] = acc
+    a.add(Reg::R2, Reg::R8, Reg::R9);
+    a.movi(Reg::R3, n as i32);
+    a.mul(Reg::R2, Reg::R2, Reg::R3);
+    a.add(Reg::R3, Reg::R7, Reg::R10);
+    a.add(Reg::R2, Reg::R2, Reg::R3);
+    a.shli(Reg::R2, Reg::R2, 2);
+    a.movi_sym(Reg::R3, "image");
+    a.add(Reg::R2, Reg::R3, Reg::R2);
+    a.st(Reg::R2, 0, Reg::R13);
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.movi(Reg::R2, TILE as i32);
+    a.bltu(Reg::R10, Reg::R2, "vr_dx");
+    a.addi(Reg::R9, Reg::R9, 1);
+    a.movi(Reg::R2, TILE as i32);
+    a.bltu(Reg::R9, Reg::R2, "vr_dy");
+    a.jmp("vr_next");
+    a.label("vr_done");
+    a.fence();
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rays_saturate_or_accumulate() {
+        let img = mirror(Scale::Test);
+        assert!(img.iter().any(|&v| v != 0), "some rays hit the volume");
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 3] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

@@ -1,0 +1,218 @@
+//! `water` — windowed pairwise interactions with ordered locks.
+//!
+//! SPLASH-2 water-nsquared updates pairs of molecules under per-molecule
+//! locks across multiple timesteps. This kernel reproduces that idiom:
+//! each step, every thread processes interactions `(i, j)` for the
+//! molecules it owns and a window of neighbours, acquiring the two
+//! molecule locks in index order (deadlock-free) and accumulating
+//! equal-and-opposite wrapping deltas; a barrier separates accumulation
+//! from integration.
+
+use crate::runtime::{self, BARRIER, CHECKSUM, MUTEX_LOCK, MUTEX_UNLOCK};
+use crate::suite::{init_value, Scale};
+use qr_common::Result;
+use qr_isa::{Asm, Program, Reg};
+
+const SEED: u64 = 0x3a7e_0006;
+const WINDOW: usize = 3;
+const LOCK_STRIDE_WORDS: usize = 16;
+const MIX: u32 = 2654435761;
+
+fn dims(scale: Scale) -> (usize, usize) {
+    // (molecules, steps)
+    match scale {
+        Scale::Test => (24, 2),
+        Scale::Small => (64, 3),
+        Scale::Reference => (256, 5),
+    }
+}
+
+fn initial(n: usize) -> Vec<u32> {
+    (0..n).map(|i| init_value(SEED, i)).collect()
+}
+
+fn mirror(scale: Scale) -> Vec<u32> {
+    let (n, steps) = dims(scale);
+    let mut pos = initial(n);
+    let mut acc = vec![0u32; n];
+    for _ in 0..steps {
+        for i in 0..n {
+            for d in 1..=WINDOW {
+                let j = (i + d) % n;
+                let delta = (pos[i] ^ pos[j]).wrapping_mul(MIX);
+                acc[i] = acc[i].wrapping_add(delta);
+                acc[j] = acc[j].wrapping_sub(delta);
+            }
+        }
+        for i in 0..n {
+            pos[i] = pos[i].wrapping_add(acc[i]);
+            acc[i] = 0;
+        }
+    }
+    pos
+}
+
+/// The checksum the program exits with.
+pub fn expected_checksum(_threads: usize, scale: Scale) -> u32 {
+    runtime::checksum(&mirror(scale))
+}
+
+/// Builds the workload.
+///
+/// # Errors
+///
+/// Propagates assembler errors.
+pub fn build(threads: usize, scale: Scale) -> Result<Program> {
+    let (n, steps) = dims(scale);
+    let mut a = Asm::with_name(format!("water-{}x{}", threads, n));
+    a.align_data_line();
+    a.data_word("pos", &initial(n));
+    a.align_data_line();
+    a.data_word("acc", &vec![0u32; n]);
+    a.align_data_line();
+    a.data_word("mol_locks", &vec![0u32; n * LOCK_STRIDE_WORDS]);
+    runtime::emit_barrier_block(&mut a, "bar0", threads as u32);
+
+    runtime::emit_main_skeleton(&mut a, threads, "wa_work", |a| {
+        a.movi_sym(Reg::R1, "pos");
+        a.movi(Reg::R2, n as i32);
+        a.call(CHECKSUM);
+        a.mov(Reg::R1, Reg::R0);
+    });
+
+    let seg_bounds = |a: &mut Asm| {
+        a.movi(Reg::R2, n as i32);
+        a.mul(Reg::R8, Reg::R6, Reg::R2);
+        a.movi(Reg::R3, threads as i32);
+        a.divu(Reg::R8, Reg::R8, Reg::R3);
+        a.addi(Reg::R4, Reg::R6, 1);
+        a.mul(Reg::R9, Reg::R4, Reg::R2);
+        a.divu(Reg::R9, Reg::R9, Reg::R3);
+    };
+
+    // wa_work(R1 = tid)
+    a.label("wa_work");
+    a.mov(Reg::R6, Reg::R1);
+    a.movi(Reg::R7, steps as i32);
+    a.label("wa_step");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    seg_bounds(&mut a);
+    a.label("wa_i");
+    a.bgeu(Reg::R8, Reg::R9, "wa_integrate");
+    a.movi(Reg::R10, 1); // d
+    a.label("wa_d");
+    // j = (i + d) % n
+    a.add(Reg::R11, Reg::R8, Reg::R10);
+    a.movi(Reg::R2, n as i32);
+    a.remu(Reg::R11, Reg::R11, Reg::R2);
+    // lock min(i,j) then max(i,j)
+    a.sltu(Reg::R2, Reg::R8, Reg::R11);
+    a.bnez(Reg::R2, "wa_order_ij");
+    a.mov(Reg::R12, Reg::R11); // first = j
+    a.mov(Reg::R13, Reg::R8); // second = i
+    a.jmp("wa_lock");
+    a.label("wa_order_ij");
+    a.mov(Reg::R12, Reg::R8);
+    a.mov(Reg::R13, Reg::R11);
+    a.label("wa_lock");
+    a.muli(Reg::R1, Reg::R12, (LOCK_STRIDE_WORDS * 4) as i32);
+    a.movi_sym(Reg::R2, "mol_locks");
+    a.add(Reg::R1, Reg::R1, Reg::R2);
+    a.call(MUTEX_LOCK);
+    a.muli(Reg::R1, Reg::R13, (LOCK_STRIDE_WORDS * 4) as i32);
+    a.movi_sym(Reg::R2, "mol_locks");
+    a.add(Reg::R1, Reg::R1, Reg::R2);
+    a.call(MUTEX_LOCK);
+    // delta = (pos[i] ^ pos[j]) * MIX
+    a.movi_sym(Reg::R2, "pos");
+    a.shli(Reg::R3, Reg::R8, 2);
+    a.add(Reg::R3, Reg::R2, Reg::R3);
+    a.ld(Reg::R4, Reg::R3, 0);
+    a.shli(Reg::R3, Reg::R11, 2);
+    a.add(Reg::R3, Reg::R2, Reg::R3);
+    a.ld(Reg::R5, Reg::R3, 0);
+    a.xor(Reg::R4, Reg::R4, Reg::R5);
+    a.movi_u(Reg::R2, MIX);
+    a.mul(Reg::R4, Reg::R4, Reg::R2);
+    // acc[i] += delta; acc[j] -= delta
+    a.movi_sym(Reg::R2, "acc");
+    a.shli(Reg::R3, Reg::R8, 2);
+    a.add(Reg::R3, Reg::R2, Reg::R3);
+    a.ld(Reg::R5, Reg::R3, 0);
+    a.add(Reg::R5, Reg::R5, Reg::R4);
+    a.st(Reg::R3, 0, Reg::R5);
+    a.shli(Reg::R3, Reg::R11, 2);
+    a.add(Reg::R3, Reg::R2, Reg::R3);
+    a.ld(Reg::R5, Reg::R3, 0);
+    a.sub(Reg::R5, Reg::R5, Reg::R4);
+    a.st(Reg::R3, 0, Reg::R5);
+    // unlock second then first
+    a.muli(Reg::R1, Reg::R13, (LOCK_STRIDE_WORDS * 4) as i32);
+    a.movi_sym(Reg::R2, "mol_locks");
+    a.add(Reg::R1, Reg::R1, Reg::R2);
+    a.call(MUTEX_UNLOCK);
+    a.muli(Reg::R1, Reg::R12, (LOCK_STRIDE_WORDS * 4) as i32);
+    a.movi_sym(Reg::R2, "mol_locks");
+    a.add(Reg::R1, Reg::R1, Reg::R2);
+    a.call(MUTEX_UNLOCK);
+    a.addi(Reg::R10, Reg::R10, 1);
+    a.movi(Reg::R2, (WINDOW + 1) as i32);
+    a.bltu(Reg::R10, Reg::R2, "wa_d");
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("wa_i");
+    // integration: barrier, then pos[i] += acc[i], acc[i] = 0
+    a.label("wa_integrate");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    seg_bounds(&mut a);
+    a.label("wa_int_i");
+    a.bgeu(Reg::R8, Reg::R9, "wa_step_done");
+    a.movi_sym(Reg::R2, "acc");
+    a.shli(Reg::R3, Reg::R8, 2);
+    a.add(Reg::R4, Reg::R2, Reg::R3);
+    a.ld(Reg::R5, Reg::R4, 0);
+    a.movi(Reg::R2, 0);
+    a.st(Reg::R4, 0, Reg::R2);
+    a.movi_sym(Reg::R2, "pos");
+    a.add(Reg::R4, Reg::R2, Reg::R3);
+    a.ld(Reg::R2, Reg::R4, 0);
+    a.add(Reg::R2, Reg::R2, Reg::R5);
+    a.st(Reg::R4, 0, Reg::R2);
+    a.addi(Reg::R8, Reg::R8, 1);
+    a.jmp("wa_int_i");
+    a.label("wa_step_done");
+    a.addi(Reg::R7, Reg::R7, -1);
+    a.bnez(Reg::R7, "wa_step");
+    a.movi_sym(Reg::R1, "bar0");
+    a.call(BARRIER);
+    a.ret();
+
+    runtime::emit_runtime(&mut a);
+    a.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mirror_moves_molecules() {
+        let (n, _) = dims(Scale::Test);
+        assert_ne!(mirror(Scale::Test), initial(n));
+    }
+
+    #[test]
+    fn native_run_matches_mirror() {
+        for t in [1, 2] {
+            let program = build(t, Scale::Test).unwrap();
+            let mut m = qr_cpu::Machine::new(
+                program,
+                qr_cpu::CpuConfig { num_cores: 2, ..qr_cpu::CpuConfig::default() },
+            )
+            .unwrap();
+            let out = qr_os::run_native(&mut m, qr_os::OsConfig::default()).unwrap();
+            assert_eq!(out.exit_code, expected_checksum(t, Scale::Test), "threads={t}");
+        }
+    }
+}

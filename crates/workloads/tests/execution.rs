@@ -1,0 +1,71 @@
+//! End-to-end workload validation: every suite member, run natively,
+//! must exit with its mirror checksum — at several thread counts — and a
+//! recorded run must replay exactly.
+
+use qr_capo::{record, RecordingConfig};
+use qr_cpu::{CpuConfig, Machine};
+use qr_os::{run_native, OsConfig};
+use qr_replay::replay_and_verify;
+use qr_workloads::{suite, Scale};
+
+fn machine(program: qr_isa::Program, cores: usize) -> Machine {
+    Machine::new(program, CpuConfig { num_cores: cores, ..CpuConfig::default() }).unwrap()
+}
+
+#[test]
+fn every_workload_validates_natively_across_thread_counts() {
+    for spec in suite() {
+        for threads in [1usize, 2, 4] {
+            let program = (spec.build)(threads, Scale::Test).unwrap();
+            let cores = threads.min(4);
+            let mut m = machine(program, cores);
+            let out = run_native(&mut m, OsConfig::default())
+                .unwrap_or_else(|e| panic!("{} t={threads}: {e}", spec.name));
+            let expected = (spec.expected)(threads, Scale::Test);
+            assert_eq!(
+                out.exit_code, expected,
+                "{} with {threads} threads: got {:#x}, expected {:#x}",
+                spec.name, out.exit_code, expected
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_count_does_not_change_results() {
+    for spec in suite() {
+        let e1 = (spec.expected)(1, Scale::Test);
+        let e4 = (spec.expected)(4, Scale::Test);
+        assert_eq!(e1, e4, "{} checksum must be thread-count independent", spec.name);
+    }
+}
+
+#[test]
+fn every_workload_records_and_replays() {
+    for spec in suite() {
+        let program = (spec.build)(4, Scale::Test).unwrap();
+        let recording = record(program.clone(), RecordingConfig::with_cores(4))
+            .unwrap_or_else(|e| panic!("{}: record: {e}", spec.name));
+        assert_eq!(
+            recording.exit_code,
+            (spec.expected)(4, Scale::Test),
+            "{}: recorded run computed the wrong checksum",
+            spec.name
+        );
+        replay_and_verify(&program, &recording)
+            .unwrap_or_else(|e| panic!("{}: replay: {e}", spec.name));
+    }
+}
+
+#[test]
+fn workloads_record_and_replay_on_fewer_cores_than_threads() {
+    for spec in suite().into_iter().take(3) {
+        let program = (spec.build)(4, Scale::Test).unwrap();
+        let mut cfg = RecordingConfig::with_cores(2);
+        cfg.os.quantum_cycles = 5_000; // force migration churn
+        let recording = record(program.clone(), cfg).unwrap();
+        assert_eq!(recording.exit_code, (spec.expected)(4, Scale::Test), "{}", spec.name);
+        replay_and_verify(&program, &recording)
+            .unwrap_or_else(|e| panic!("{}: replay: {e}", spec.name));
+    }
+}

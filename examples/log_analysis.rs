@@ -1,0 +1,63 @@
+//! Analyzing recording logs: chunk-size distributions, termination
+//! reasons, and the packet-encoding trade-off — the analyses behind the
+//! paper's log-characterization figures.
+//!
+//! ```text
+//! cargo run --release --example log_analysis [workload]
+//! ```
+
+use quickrec::{record, Encoding, RecordingConfig, TerminationReason};
+
+fn main() -> quickrec::Result<()> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "ocean".to_string());
+    let spec = quickrec::workloads::find(&name)
+        .unwrap_or_else(|| panic!("unknown workload `{name}`; try one of: fft lu radix ocean barnes water fmm raytrace radiosity"));
+    let scale = quickrec::workloads::Scale::Small;
+    let program = (spec.build)(4, scale)?;
+    let recording = record(program, RecordingConfig::with_cores(4))?;
+
+    println!("workload {name}: {} instructions, {} chunks\n", recording.instructions, recording.chunks.len());
+
+    // Chunk-size distribution.
+    println!("chunk-size distribution (instructions):");
+    for p in [10, 25, 50, 75, 90, 99, 100] {
+        println!("  p{p:<3} {:>8}", recording.chunks.chunk_size_percentile(p));
+    }
+    println!("  mean {:>8.1}", recording.recorder_stats.mean_chunk_size());
+
+    // Termination-reason breakdown.
+    println!("\nwhy chunks ended:");
+    let total = recording.chunks.len() as f64;
+    for reason in TerminationReason::ALL {
+        let count = recording.recorder_stats.chunks_by_reason[reason.code() as usize];
+        if count > 0 {
+            println!("  {:<8} {:>6}  ({:>5.1}%)", reason.label(), count, 100.0 * count as f64 / total);
+        }
+    }
+
+    // Encoding comparison.
+    println!("\nmemory-log size by encoding:");
+    for encoding in Encoding::ALL {
+        let bytes = recording.chunks.to_bytes(encoding).len();
+        println!(
+            "  {:<7} {:>8} bytes  ({:.3} B/kilo-instruction)",
+            encoding.name(),
+            bytes,
+            recording.log_bytes_per_kilo_instruction(encoding)
+        );
+    }
+
+    // Per-thread view.
+    println!("\nper-thread chunks:");
+    for (tid, chunks) in recording.chunks.per_thread() {
+        let instrs: u64 = chunks.iter().map(|c| c.icount).sum();
+        println!("  {tid}: {:>5} chunks, {:>8} instructions", chunks.len(), instrs);
+    }
+
+    // Round-trip the serialized log to prove it is self-contained.
+    let bytes = recording.chunks.to_bytes(Encoding::Delta);
+    let decoded = quickrec::ChunkLog::from_bytes(&bytes)?;
+    assert_eq!(&decoded, &recording.chunks);
+    println!("\nserialized log round-trips ({} bytes) ✓", bytes.len());
+    Ok(())
+}

@@ -1,0 +1,127 @@
+//! Time-travel debugging: step a recorded execution event by event and
+//! watch shared state evolve — then probe the timeline for the
+//! moment a lost update happened.
+//!
+//! ```text
+//! cargo run --release --example time_travel
+//! ```
+
+use qr_isa::{abi, Asm, Reg};
+use qr_replay::Replayer;
+use quickrec::{record, RecordingConfig, ThreadId};
+
+const ITERS: i32 = 200;
+
+/// The lost-update program from `race_debug`, compressed.
+fn buggy_program() -> quickrec::Result<quickrec::Program> {
+    let mut a = Asm::with_name("lost-update");
+    a.data_word("counter", &[0]);
+    a.movi_u(Reg::R0, abi::SYS_SPAWN);
+    a.movi_sym(Reg::R1, "worker");
+    a.movi(Reg::R2, 0);
+    a.syscall();
+    a.mov(Reg::R6, Reg::R0);
+    a.call("incr");
+    a.movi_u(Reg::R0, abi::SYS_JOIN);
+    a.mov(Reg::R1, Reg::R6);
+    a.syscall();
+    a.movi_u(Reg::R0, abi::SYS_EXIT);
+    a.movi_sym(Reg::R2, "counter");
+    a.ld(Reg::R1, Reg::R2, 0);
+    a.syscall();
+    a.label("worker");
+    a.call("incr");
+    a.movi_u(Reg::R0, abi::SYS_EXIT);
+    a.movi(Reg::R1, 0);
+    a.syscall();
+    a.label("incr");
+    a.movi(Reg::R7, ITERS);
+    a.movi_sym(Reg::R8, "counter");
+    a.label("again");
+    a.ld(Reg::R9, Reg::R8, 0);
+    a.addi(Reg::R9, Reg::R9, 1);
+    a.st(Reg::R8, 0, Reg::R9);
+    a.addi(Reg::R7, Reg::R7, -1);
+    a.bnez(Reg::R7, "again");
+    a.ret();
+    a.finish()
+}
+
+fn counter_at(
+    program: &quickrec::Program,
+    recording: &quickrec::Recording,
+    position: usize,
+) -> quickrec::Result<u32> {
+    let counter = program.symbol("counter").expect("counter symbol");
+    let mut replayer = Replayer::new(program, recording)?;
+    while replayer.position() < position && replayer.step_timeline()? {}
+    let bytes = replayer.inspect_memory(counter, 4)?;
+    Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+}
+
+fn main() -> quickrec::Result<()> {
+    let program = buggy_program()?;
+    let recording = record(program.clone(), RecordingConfig::with_cores(2))?;
+    let expected = 2 * ITERS as u32;
+    let lost = expected - recording.exit_code;
+    println!(
+        "recorded run finished with counter = {} ({} of {} increments lost)",
+        recording.exit_code, lost, expected
+    );
+
+    // Walk the timeline and print the counter after each chunk — the
+    // recorded interleaving, replayed event by event.
+    let counter = program.symbol("counter").expect("counter symbol");
+    let mut replayer = Replayer::new(&program, &recording)?;
+    println!("\ntimeline walk (position, next-ts, counter, main-R9, worker-R9):");
+    let mut rows = 0;
+    while replayer.step_timeline()? {
+        if rows < 12 {
+            let value = u32::from_le_bytes(
+                replayer.inspect_memory(counter, 4)?.try_into().expect("4 bytes"),
+            );
+            let regs = |tid| {
+                replayer
+                    .thread_registers(ThreadId(tid))
+                    .map(|r| r[9].to_string())
+                    .unwrap_or_else(|| "-".to_string())
+            };
+            println!(
+                "  pos {:>3}  next-ts {:>6}  counter {:>4}  r9: {:>4} / {:>4}",
+                replayer.position(),
+                replayer.next_timestamp().map(|t| t.0).unwrap_or(0),
+                value,
+                regs(0),
+                regs(1),
+            );
+            rows += 1;
+        }
+    }
+
+    // Find the first lost update: walk positions and locate the first
+    // point where the counter *decreased* across a step — a stale value
+    // overwrote a fresher one. Each probe deterministically re-replays
+    // the prefix, so the answer is stable across runs.
+    let total = Replayer::new(&program, &recording)?.timeline_len();
+    let mut prev = 0u32;
+    let mut first_loss = None;
+    for pos in 1..=total {
+        let value = counter_at(&program, &recording, pos)?;
+        if value < prev {
+            first_loss = Some((pos, prev, value));
+            break;
+        }
+        prev = value;
+    }
+    println!("\ntimeline has {total} events; probing prefixes by deterministic re-replay:");
+    match first_loss {
+        Some((pos, before, after)) => println!(
+            "first lost update pinpointed at timeline position {pos}: counter {before} -> {after}"
+        ),
+        None => println!("no lost update found (unlucky interleaving — rerun with more threads)"),
+    }
+    println!("counter after the first half: {}", counter_at(&program, &recording, total / 2)?);
+    println!("counter at the end:           {}", counter_at(&program, &recording, total)?);
+    println!("\nevery inspection above replays the same events to the same values ✓");
+    Ok(())
+}

@@ -1,0 +1,278 @@
+//! `quickrec` — command-line record/replay for PIA assembly programs.
+//!
+//! ```text
+//! quickrec run      prog.pasm [--cores N]          run natively
+//! quickrec record   prog.pasm -o DIR [--cores N] [--hw-only] [--rsw]
+//! quickrec replay   prog.pasm DIR [--races]        deterministic replay
+//! quickrec analyze  DIR                            chunk-log forensics
+//! quickrec disasm   prog.pasm                      disassemble
+//! quickrec suite    [--threads N]                  run the workload suite
+//! ```
+//!
+//! Programs are textual PIA assembly (see `qr_isa::text` for the
+//! dialect); recordings are directories of three files written by
+//! `Recording::save`.
+
+use quickrec::{record, Encoding, Recording, RecordingConfig, RecordingMode, TsoMode};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("quickrec: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(command) = args.first() else {
+        return Err(usage());
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "run" => cmd_run(rest),
+        "record" => cmd_record(rest),
+        "replay" => cmd_replay(rest),
+        "analyze" => cmd_analyze(rest),
+        "timeline" => cmd_timeline(rest),
+        "dot" => cmd_dot(rest),
+        "disasm" => cmd_disasm(rest),
+        "suite" => cmd_suite(rest),
+        "help" | "--help" | "-h" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}
+
+fn usage() -> String {
+    "usage:\n  quickrec run      <prog.pasm> [--cores N]\n  \
+     quickrec record   <prog.pasm> -o <dir> [--cores N] [--hw-only] [--rsw]\n  \
+     quickrec replay   <prog.pasm> <dir> [--races]\n  \
+     quickrec analyze  <dir>\n  \
+     quickrec timeline <dir> [--rows N]\n  \
+     quickrec dot      <dir>\n  \
+     quickrec disasm   <prog.pasm>\n  \
+     quickrec suite    [--threads N]"
+        .to_string()
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).cloned()
+}
+
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+fn positional(args: &[String]) -> Vec<&String> {
+    let mut out = Vec::new();
+    let mut skip = false;
+    for (i, a) in args.iter().enumerate() {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if a == "-o" || a == "--cores" || a == "--threads" || a == "--rows" {
+            skip = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        let _ = i;
+        out.push(a);
+    }
+    out
+}
+
+fn cores_arg(args: &[String]) -> Result<usize, String> {
+    match flag_value(args, "--cores") {
+        None => Ok(4),
+        Some(v) => v.parse().map_err(|_| format!("bad --cores value `{v}`")),
+    }
+}
+
+fn load_program(path: &str) -> Result<quickrec::Program, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let name = Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("program")
+        .to_string();
+    qr_isa::text::assemble(&name, &source).map_err(|e| e.to_string())
+}
+
+fn cmd_run(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else { return Err(usage()) };
+    let program = load_program(path)?;
+    let cores = cores_arg(args)?;
+    let out = quickrec::run_baseline(program, cores).map_err(|e| e.to_string())?;
+    print!("{}", String::from_utf8_lossy(&out.console));
+    println!(
+        "exit {} after {} instructions, {} cycles on {cores} cores",
+        out.exit_code, out.instructions, out.cycles
+    );
+    Ok(())
+}
+
+fn cmd_record(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else { return Err(usage()) };
+    let out_dir = PathBuf::from(flag_value(args, "-o").ok_or("record needs -o <dir>")?);
+    let program = load_program(path)?;
+    let mut cfg = RecordingConfig::with_cores(cores_arg(args)?);
+    if has_flag(args, "--hw-only") {
+        cfg.mode = RecordingMode::HardwareOnly;
+    }
+    if has_flag(args, "--rsw") {
+        cfg.cpu.mem.tso_mode = TsoMode::Rsw;
+    }
+    let recording = record(program, cfg).map_err(|e| e.to_string())?;
+    recording.save(&out_dir, Encoding::Delta).map_err(|e| e.to_string())?;
+    print!("{}", String::from_utf8_lossy(&recording.console));
+    println!(
+        "recorded {} instructions into {} chunks (exit {}); logs in {}",
+        recording.instructions,
+        recording.chunks.len(),
+        recording.exit_code,
+        out_dir.display()
+    );
+    println!(
+        "memory log {:.2} B/kilo-instruction, input log {} bytes, overhead {} cycles",
+        recording.log_bytes_per_kilo_instruction(Encoding::Delta),
+        recording.inputs.byte_size(),
+        recording.overhead.total(),
+    );
+    Ok(())
+}
+
+fn cmd_replay(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path, dir] = pos.as_slice() else { return Err(usage()) };
+    let program = load_program(path)?;
+    let recording = Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+    if has_flag(args, "--races") {
+        let (outcome, report) =
+            qr_replay::replay_with_race_detection(&program, &recording).map_err(|e| e.to_string())?;
+        print!("{}", String::from_utf8_lossy(&outcome.console));
+        println!(
+            "replayed {} chunks, {} inputs; exit {} — verified exact",
+            outcome.chunks_replayed, outcome.inputs_injected, outcome.exit_code
+        );
+        if report.is_empty() {
+            println!("race detector: no data races");
+        } else {
+            println!("race detector: {} racy word(s):", report.len());
+            for race in report.races() {
+                println!("  {race}");
+            }
+        }
+    } else {
+        let outcome =
+            quickrec::replay_and_verify(&program, &recording).map_err(|e| e.to_string())?;
+        print!("{}", String::from_utf8_lossy(&outcome.console));
+        println!(
+            "replayed {} chunks, {} inputs; exit {} — verified exact",
+            outcome.chunks_replayed, outcome.inputs_injected, outcome.exit_code
+        );
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [dir] = pos.as_slice() else { return Err(usage()) };
+    let recording = Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+    println!(
+        "recording: {} instructions, {} cycles, exit {}, fingerprint {:016x}",
+        recording.instructions, recording.cycles, recording.exit_code, recording.fingerprint
+    );
+    println!(
+        "platform: {} cores, tso {:?}, quantum {}",
+        recording.meta.cpu.num_cores, recording.meta.tso_mode, recording.meta.os.quantum_cycles
+    );
+    println!("\nchunks: {} total", recording.chunks.len());
+    if !recording.chunks.is_empty() {
+        for p in [50, 90, 99] {
+            println!("  p{p:<2} size {:>8}", recording.chunks.chunk_size_percentile(p));
+        }
+    }
+    let mut by_reason: Vec<(quickrec::TerminationReason, usize)> = quickrec::TerminationReason::ALL
+        .iter()
+        .map(|&r| (r, recording.chunks.packets().iter().filter(|c| c.reason == r).count()))
+        .filter(|&(_, n)| n > 0)
+        .collect();
+    by_reason.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("  termination reasons:");
+    for (reason, count) in by_reason {
+        println!("    {:<8} {count}", reason.label());
+    }
+    println!("\nper thread:");
+    for (tid, chunks) in recording.chunks.per_thread() {
+        let instrs: u64 = chunks.iter().map(|c| c.icount).sum();
+        println!("  {tid}: {} chunks, {} instructions", chunks.len(), instrs);
+    }
+    println!("\ninput events: {}", recording.inputs.events().len());
+    println!("encodings:");
+    for enc in Encoding::ALL {
+        println!("  {:<7} {:>8} bytes", enc.name(), recording.chunks.to_bytes(enc).len());
+    }
+    Ok(())
+}
+
+fn cmd_timeline(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [dir] = pos.as_slice() else { return Err(usage()) };
+    let rows: usize = match flag_value(args, "--rows") {
+        None => 60,
+        Some(v) => v.parse().map_err(|_| format!("bad --rows value `{v}`"))?,
+    };
+    let recording = Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+    print!("{}", quickrec_core::viz::timeline(&recording.chunks, rows));
+    Ok(())
+}
+
+fn cmd_dot(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [dir] = pos.as_slice() else { return Err(usage()) };
+    let recording = Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+    print!("{}", quickrec_core::viz::to_dot(&recording.chunks, 400));
+    Ok(())
+}
+
+fn cmd_disasm(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [path] = pos.as_slice() else { return Err(usage()) };
+    let program = load_program(path)?;
+    print!("{}", qr_isa::disasm::disassemble(&program));
+    Ok(())
+}
+
+fn cmd_suite(args: &[String]) -> Result<(), String> {
+    let threads: usize = match flag_value(args, "--threads") {
+        None => 4,
+        Some(v) => v.parse().map_err(|_| format!("bad --threads value `{v}`"))?,
+    };
+    println!("{:<10} {:>12} {:>10} {:>8}", "workload", "instructions", "cycles", "check");
+    for spec in quickrec::workloads::suite() {
+        let program =
+            (spec.build)(threads, quickrec::workloads::Scale::Small).map_err(|e| e.to_string())?;
+        let out = quickrec::run_baseline(program, threads).map_err(|e| e.to_string())?;
+        let ok = out.exit_code == (spec.expected)(threads, quickrec::workloads::Scale::Small);
+        println!(
+            "{:<10} {:>12} {:>10} {:>8}",
+            spec.name,
+            out.instructions,
+            out.cycles,
+            if ok { "ok" } else { "MISMATCH" }
+        );
+    }
+    Ok(())
+}

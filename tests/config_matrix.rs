@@ -1,0 +1,117 @@
+//! Record/replay across the machine-configuration matrix: every
+//! combination must stay self-validating and replay-exact, because none
+//! of these knobs is allowed to affect *correctness* — only logs and
+//! timing.
+
+use quickrec::{record, replay_and_verify, RecordingConfig, TsoMode};
+
+fn workload() -> quickrec::Program {
+    let spec = quickrec::workloads::find("radix").expect("radix exists");
+    (spec.build)(4, quickrec::workloads::Scale::Test).expect("builds")
+}
+
+fn expected() -> u32 {
+    let spec = quickrec::workloads::find("radix").expect("radix exists");
+    (spec.expected)(4, quickrec::workloads::Scale::Test)
+}
+
+fn check(cfg: RecordingConfig, label: &str) {
+    let program = workload();
+    let recording = record(program.clone(), cfg).unwrap_or_else(|e| panic!("{label}: {e}"));
+    assert_eq!(recording.exit_code, expected(), "{label}: wrong checksum");
+    replay_and_verify(&program, &recording).unwrap_or_else(|e| panic!("{label}: {e}"));
+}
+
+#[test]
+fn core_counts() {
+    for cores in 1..=4 {
+        check(RecordingConfig::with_cores(cores), &format!("cores={cores}"));
+    }
+}
+
+#[test]
+fn tso_modes_and_drain_intervals() {
+    for mode in [TsoMode::DrainAtChunk, TsoMode::Rsw] {
+        for interval in [1u64, 2, 8, 32] {
+            let mut cfg = RecordingConfig::with_cores(2);
+            cfg.cpu.mem.tso_mode = mode;
+            cfg.cpu.drain_interval = interval;
+            check(cfg, &format!("{mode:?}/interval={interval}"));
+        }
+    }
+}
+
+#[test]
+fn store_buffer_sizes() {
+    for entries in [1usize, 2, 16] {
+        let mut cfg = RecordingConfig::with_cores(2);
+        cfg.cpu.mem.store_buffer_entries = entries;
+        check(cfg, &format!("sb={entries}"));
+    }
+}
+
+#[test]
+fn tiny_caches_force_evictions() {
+    let mut cfg = RecordingConfig::with_cores(2);
+    cfg.cpu.mem.l1_sets = 2;
+    cfg.cpu.mem.l1_ways = 1;
+    check(cfg, "l1=2x1");
+}
+
+#[test]
+fn tiny_signatures_force_saturation_terminations() {
+    let mut cfg = RecordingConfig::with_cores(4);
+    cfg.mrr.read_sig_bits = 64;
+    cfg.mrr.write_sig_bits = 64;
+    cfg.mrr.sig_saturation_permille = 300;
+    let program = workload();
+    let recording = record(program.clone(), cfg).unwrap();
+    let sat = recording.recorder_stats.chunks_by_reason
+        [quickrec::TerminationReason::SigSaturation.code() as usize];
+    assert!(sat > 0, "64-bit signatures must saturate");
+    replay_and_verify(&program, &recording).unwrap();
+}
+
+#[test]
+fn tiny_chunk_limit_forces_ic_overflow() {
+    let mut cfg = RecordingConfig::with_cores(2);
+    cfg.mrr.max_chunk_icount = 50;
+    let program = workload();
+    let recording = record(program.clone(), cfg).unwrap();
+    let ovf = recording.recorder_stats.chunks_by_reason
+        [quickrec::TerminationReason::IcOverflow.code() as usize];
+    assert!(ovf > 0, "a 50-instruction cap must overflow");
+    replay_and_verify(&program, &recording).unwrap();
+}
+
+#[test]
+fn aggressive_preemption() {
+    for quantum in [500u64, 2_000, 10_000] {
+        let mut cfg = RecordingConfig::with_cores(2);
+        cfg.os.quantum_cycles = quantum;
+        check(cfg, &format!("quantum={quantum}"));
+    }
+}
+
+#[test]
+fn tiny_cbuf_and_cmem_still_record_correctly() {
+    let mut cfg = RecordingConfig::with_cores(4);
+    cfg.mrr.cbuf_entries = 1;
+    cfg.mrr.cbuf_drain_cycles = 256;
+    cfg.mrr.cmem_capacity = 256;
+    cfg.mrr.cmem_interrupt_threshold = 64;
+    let program = workload();
+    let recording = record(program.clone(), cfg).unwrap();
+    assert!(recording.overhead.hw_stall_cycles > 0, "a 1-entry CBUF must stall");
+    replay_and_verify(&program, &recording).unwrap();
+}
+
+#[test]
+fn exact_set_tracking_does_not_change_behaviour() {
+    let mut with = RecordingConfig::with_cores(2);
+    with.mrr.track_exact_sets = true;
+    let a = record(workload(), with).unwrap();
+    let b = record(workload(), RecordingConfig::with_cores(2)).unwrap();
+    assert_eq!(a.chunks, b.chunks, "exact tracking is observation-only");
+    assert_eq!(a.fingerprint, b.fingerprint);
+}

@@ -1,0 +1,237 @@
+//! Tamper matrix: perturbing any dimension of a recording must make
+//! replay *fail loudly* (divergence error or verification failure) —
+//! never silently produce a different execution that verifies.
+
+use qr_common::Cycle;
+use quickrec::{record, ChunkPacket, RecordingConfig};
+
+fn recorded() -> (quickrec::Program, quickrec::Recording) {
+    let spec = quickrec::workloads::find("barnes").expect("barnes exists");
+    let program = (spec.build)(3, quickrec::workloads::Scale::Test).expect("builds");
+    let recording = record(program.clone(), RecordingConfig::with_cores(3)).expect("records");
+    (program, recording)
+}
+
+fn assert_rejected(program: &quickrec::Program, tampered: quickrec::Recording, what: &str) {
+    assert!(
+        qr_replay::replay_and_verify(program, &tampered).is_err(),
+        "tampering with {what} must not verify"
+    );
+}
+
+fn with_packets(
+    recording: &quickrec::Recording,
+    edit: impl FnOnce(&mut Vec<ChunkPacket>),
+) -> quickrec::Recording {
+    let mut packets: Vec<ChunkPacket> = recording.chunks.packets().to_vec();
+    edit(&mut packets);
+    let mut out = recording.clone();
+    out.chunks = packets.into_iter().collect();
+    out
+}
+
+#[test]
+fn inflated_chunk_icount_is_rejected() {
+    let (program, recording) = recorded();
+    let mid = recording.chunks.len() / 2;
+    assert_rejected(
+        &program,
+        with_packets(&recording, |p| p[mid].icount += 1),
+        "a chunk's instruction count (+1)",
+    );
+}
+
+#[test]
+fn deflated_chunk_icount_is_rejected() {
+    let (program, recording) = recorded();
+    let mid = recording.chunks.len() / 2;
+    assert_rejected(
+        &program,
+        with_packets(&recording, |p| p[mid].icount = p[mid].icount.saturating_sub(1).max(1)),
+        "a chunk's instruction count (-1)",
+    );
+}
+
+#[test]
+fn dropped_chunk_is_rejected() {
+    let (program, recording) = recorded();
+    let mid = recording.chunks.len() / 2;
+    assert_rejected(&program, with_packets(&recording, |p| {
+        p.remove(mid);
+    }), "a missing chunk");
+}
+
+#[test]
+fn swapped_timestamps_are_rejected() {
+    let (program, recording) = recorded();
+    // Swap the timestamps of two adjacent same-thread chunks: the
+    // schedule reorders and replay must notice.
+    let schedule = recording.chunks.replay_schedule().unwrap();
+    let pair = schedule
+        .windows(2)
+        .find(|w| w[0].tid == w[1].tid)
+        .map(|w| (w[0].timestamp, w[1].timestamp))
+        .expect("some thread has consecutive chunks");
+    let tampered = with_packets(&recording, |p| {
+        for packet in p.iter_mut() {
+            if packet.timestamp == pair.0 {
+                packet.timestamp = pair.1;
+            } else if packet.timestamp == pair.1 {
+                packet.timestamp = pair.0;
+            }
+        }
+    });
+    assert_rejected(&program, tampered, "chunk timestamp order");
+}
+
+#[test]
+fn corrupted_rsw_is_rejected() {
+    let (program, recording) = recorded();
+    assert_rejected(
+        &program,
+        with_packets(&recording, |p| p[0].rsw = p[0].rsw.wrapping_add(3)),
+        "the reordered-store-window field",
+    );
+}
+
+#[test]
+fn wrong_thread_attribution_is_rejected() {
+    let (program, recording) = recorded();
+    let other = qr_common::ThreadId(1);
+    let mid = recording.chunks.len() / 2;
+    let tampered = with_packets(&recording, |p| {
+        if p[mid].tid == other {
+            p[mid].tid = qr_common::ThreadId(0);
+        } else {
+            p[mid].tid = other;
+        }
+    });
+    assert_rejected(&program, tampered, "a chunk's thread id");
+}
+
+#[test]
+fn duplicate_timestamp_is_rejected() {
+    let (program, recording) = recorded();
+    let tampered = with_packets(&recording, |p| {
+        let ts = p[0].timestamp;
+        p[1].timestamp = ts;
+    });
+    assert_rejected(&program, tampered, "duplicate timestamps");
+}
+
+#[test]
+fn tampered_syscall_result_is_rejected() {
+    // A program whose exit code IS a syscall result: tampering with the
+    // logged result must change the replayed outcome and fail
+    // verification. (Tampering with an architecturally *dead* result —
+    // e.g. an ignored join return value — is legitimately unobservable.)
+    use qr_isa::{abi, Asm, Reg};
+    let mut a = Asm::new();
+    a.movi_u(Reg::R0, abi::SYS_TIME);
+    a.syscall();
+    a.mov(Reg::R1, Reg::R0);
+    a.movi_u(Reg::R0, abi::SYS_EXIT);
+    a.syscall();
+    let program = a.finish().unwrap();
+    let recording = record(program.clone(), RecordingConfig::with_cores(1)).unwrap();
+    let mut log = quickrec::InputLog::new();
+    let mut flipped = false;
+    for ev in recording.inputs.events() {
+        match ev {
+            quickrec::InputEvent::Syscall { ts, record } => {
+                let mut record = record.clone();
+                if !flipped && record.number == abi::SYS_TIME {
+                    record.result ^= 0x55;
+                    flipped = true;
+                }
+                log.push_event(quickrec::InputEvent::Syscall { ts: *ts, record });
+            }
+            other => log.push_event(other.clone()),
+        }
+    }
+    assert!(flipped, "the recording contains a time record");
+    let mut tampered = recording.clone();
+    tampered.inputs = log;
+    assert_rejected(&program, tampered, "a live syscall result");
+}
+
+#[test]
+fn missing_nondet_values_are_rejected() {
+    // A program that uses rdtsc: dropping its logged value must fail.
+    use qr_isa::{abi, Asm, Reg};
+    let mut a = Asm::new();
+    a.rdtsc(Reg::R4);
+    a.movi_u(Reg::R0, abi::SYS_EXIT);
+    a.mov(Reg::R1, Reg::R4);
+    a.syscall();
+    let program = a.finish().unwrap();
+    let recording = record(program.clone(), RecordingConfig::with_cores(1)).unwrap();
+    let mut tampered = recording.clone();
+    tampered.inputs = quickrec::InputLog::new();
+    // Keep the syscall events, drop only the nondet queue.
+    for ev in recording.inputs.events() {
+        tampered.inputs.push_event(ev.clone());
+    }
+    assert!(
+        qr_replay::replay(&program, &tampered).is_err(),
+        "replay must fail when nondet values are missing"
+    );
+}
+
+#[test]
+fn mismatched_fingerprint_fails_verification() {
+    let (program, recording) = recorded();
+    let mut tampered = recording.clone();
+    tampered.fingerprint ^= 1;
+    assert!(qr_replay::replay_and_verify(&program, &tampered).is_err());
+}
+
+#[test]
+fn timestamps_in_logs_survive_cycle_wrap_arithmetic() {
+    // Shifting all timestamps by a constant preserves order — replay
+    // still works (the absolute value never matters, only the order).
+    let (program, recording) = recorded();
+    let shifted = with_packets(&recording, |p| {
+        for packet in p.iter_mut() {
+            packet.timestamp = Cycle(packet.timestamp.0 + 1_000_000);
+        }
+    });
+    // The input-event timestamps must shift equally, or ordering against
+    // syscalls breaks; rebuild them too.
+    let mut inputs = quickrec::InputLog::new();
+    for ev in recording.inputs.events() {
+        match ev {
+            quickrec::InputEvent::Syscall { ts, record } => {
+                inputs.push_event(quickrec::InputEvent::Syscall {
+                    ts: Cycle(ts.0 + 1_000_000),
+                    record: record.clone(),
+                });
+            }
+            quickrec::InputEvent::Signal { ts, tid } => {
+                inputs.push_event(quickrec::InputEvent::Signal {
+                    ts: Cycle(ts.0 + 1_000_000),
+                    tid: *tid,
+                });
+            }
+        }
+    }
+    let mut shifted = shifted;
+    shifted.inputs = inputs;
+    // Nondet queues are per-thread and unshifted.
+    for (tid, values) in quickrec::workloads::suite()
+        .iter()
+        .flat_map(|_| std::iter::empty::<(qr_common::ThreadId, Vec<u8>)>())
+    {
+        let _ = (tid, values);
+    }
+    // (nondet values live in the same InputLog; copy them over)
+    let mut final_inputs = shifted.inputs.clone();
+    for tid in 0..8u32 {
+        for &(kind, value) in recording.inputs.nondet_for(qr_common::ThreadId(tid)) {
+            final_inputs.push_nondet(qr_common::ThreadId(tid), kind, value);
+        }
+    }
+    shifted.inputs = final_inputs;
+    qr_replay::replay_and_verify(&program, &shifted)
+        .expect("uniformly shifted timestamps preserve the schedule");
+}

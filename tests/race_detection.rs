@@ -1,0 +1,142 @@
+//! End-to-end race detection on replayed recordings: properly
+//! synchronized programs report no races; deliberately racy ones report
+//! exactly the racy words, deterministically.
+
+use qr_isa::{abi, Asm, Reg};
+use qr_replay::replay_with_race_detection;
+use quickrec::{record, RecordingConfig};
+
+fn sys(a: &mut Asm, number: u32, set_args: impl FnOnce(&mut Asm)) {
+    a.movi_u(Reg::R0, number);
+    set_args(a);
+    a.syscall();
+}
+
+/// Two threads hammering a counter WITHOUT synchronization.
+fn lost_update_program() -> quickrec::Program {
+    let mut a = Asm::with_name("lost-update");
+    a.data_word("counter", &[0]);
+    sys(&mut a, abi::SYS_SPAWN, |a| {
+        a.movi_sym(Reg::R1, "loop_entry");
+        a.movi(Reg::R2, 0);
+    });
+    a.mov(Reg::R6, Reg::R0);
+    a.call("incr");
+    sys(&mut a, abi::SYS_JOIN, |a| {
+        a.mov(Reg::R1, Reg::R6);
+    });
+    sys(&mut a, abi::SYS_EXIT, |a| {
+        a.movi_sym(Reg::R2, "counter");
+        a.ld(Reg::R1, Reg::R2, 0);
+    });
+    a.label("loop_entry");
+    a.call("incr");
+    sys(&mut a, abi::SYS_EXIT, |a| {
+        a.movi(Reg::R1, 0);
+    });
+    a.label("incr");
+    a.movi(Reg::R7, 60);
+    a.movi_sym(Reg::R8, "counter");
+    a.label("again");
+    a.ld(Reg::R9, Reg::R8, 0);
+    a.addi(Reg::R9, Reg::R9, 1);
+    a.st(Reg::R8, 0, Reg::R9);
+    a.addi(Reg::R7, Reg::R7, -1);
+    a.bnez(Reg::R7, "again");
+    a.ret();
+    a.finish().unwrap()
+}
+
+/// Same counter, but incremented with the atomic `xadd`.
+fn atomic_counter_program() -> quickrec::Program {
+    let mut a = Asm::with_name("atomic-counter");
+    a.data_word("counter", &[0]);
+    sys(&mut a, abi::SYS_SPAWN, |a| {
+        a.movi_sym(Reg::R1, "loop_entry");
+        a.movi(Reg::R2, 0);
+    });
+    a.mov(Reg::R6, Reg::R0);
+    a.call("incr");
+    sys(&mut a, abi::SYS_JOIN, |a| {
+        a.mov(Reg::R1, Reg::R6);
+    });
+    sys(&mut a, abi::SYS_EXIT, |a| {
+        a.movi_sym(Reg::R2, "counter");
+        a.ld(Reg::R1, Reg::R2, 0);
+    });
+    a.label("loop_entry");
+    a.call("incr");
+    sys(&mut a, abi::SYS_EXIT, |a| {
+        a.movi(Reg::R1, 0);
+    });
+    a.label("incr");
+    a.movi(Reg::R7, 60);
+    a.movi_sym(Reg::R8, "counter");
+    a.movi(Reg::R9, 1);
+    a.label("again");
+    a.fetch_add(Reg::R10, Reg::R8, Reg::R9);
+    a.addi(Reg::R7, Reg::R7, -1);
+    a.bnez(Reg::R7, "again");
+    a.ret();
+    a.finish().unwrap()
+}
+
+#[test]
+fn lost_update_race_is_detected_on_the_counter_word() {
+    let program = lost_update_program();
+    let counter = program.symbol("counter").unwrap();
+    let recording = record(program.clone(), RecordingConfig::with_cores(2)).unwrap();
+    let (outcome, report) = replay_with_race_detection(&program, &recording).unwrap();
+    assert_eq!(outcome.exit_code, recording.exit_code);
+    assert!(!report.is_empty(), "the unsynchronized counter must race");
+    assert!(
+        report.races().iter().any(|r| r.addr == counter),
+        "the counter word must be among the racy addresses: {:?}",
+        report.races()
+    );
+}
+
+#[test]
+fn atomic_counter_is_race_free_and_loses_nothing() {
+    let program = atomic_counter_program();
+    let recording = record(program.clone(), RecordingConfig::with_cores(2)).unwrap();
+    assert_eq!(recording.exit_code, 120, "atomics lose no increments");
+    let (_, report) = replay_with_race_detection(&program, &recording).unwrap();
+    assert!(report.is_empty(), "atomic increments must not race: {:?}", report.races());
+}
+
+#[test]
+fn race_reports_are_deterministic() {
+    let program = lost_update_program();
+    let recording = record(program.clone(), RecordingConfig::with_cores(2)).unwrap();
+    let (_, a) = replay_with_race_detection(&program, &recording).unwrap();
+    let (_, b) = replay_with_race_detection(&program, &recording).unwrap();
+    assert_eq!(a, b, "same recording, same report");
+}
+
+#[test]
+fn the_synchronized_workload_suite_is_race_free() {
+    for spec in quickrec::workloads::suite() {
+        let program = (spec.build)(3, quickrec::workloads::Scale::Test).unwrap();
+        let recording = record(program.clone(), RecordingConfig::with_cores(3)).unwrap();
+        let (_, report) = replay_with_race_detection(&program, &recording).unwrap();
+        assert!(
+            report.is_empty(),
+            "{} must be race-free, found: {:?}",
+            spec.name,
+            report.races().iter().take(5).collect::<Vec<_>>()
+        );
+    }
+}
+
+#[test]
+fn races_survive_preemption_heavy_schedules() {
+    let program = lost_update_program();
+    let mut cfg = RecordingConfig::with_cores(1);
+    cfg.os.quantum_cycles = 700; // single core, aggressive switching
+    let recording = record(program.clone(), cfg).unwrap();
+    let (_, report) = replay_with_race_detection(&program, &recording).unwrap();
+    // Even on one core, the unsynchronized accesses are unordered by
+    // happens-before, so the race is still reported.
+    assert!(!report.is_empty(), "races are about ordering, not parallelism");
+}
