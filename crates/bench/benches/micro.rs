@@ -4,8 +4,11 @@
 //! These are the operations a real MRR performs on every memory access
 //! and every chunk termination; their software cost bounds how fast the
 //! simulator can record.
+//!
+//! Harness-less: a small fixed-time measurement loop (no external
+//! benchmarking crate — the container builds fully offline).
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use qr_bench::timing::Bench;
 use qr_common::{varint, Cycle, LineAddr, ThreadId};
 use quickrec_core::signature::Signature;
 use quickrec_core::{ChunkPacket, Encoding, TerminationReason};
@@ -28,90 +31,71 @@ fn packets(n: usize) -> Vec<ChunkPacket> {
         .collect()
 }
 
-fn bench_signature(c: &mut Criterion) {
-    let mut group = c.benchmark_group("signature");
+fn bench_signature(b: &mut Bench) {
     for bits in [512u32, 2048, 8192] {
-        group.throughput(Throughput::Elements(1024));
-        group.bench_function(format!("insert-1k/{bits}b"), |b| {
-            b.iter_batched(
-                || Signature::new(bits, 2),
-                |mut sig| {
-                    for i in 0..1024u32 {
-                        sig.insert(LineAddr(i.wrapping_mul(2654435761)));
-                    }
-                    sig
-                },
-                BatchSize::SmallInput,
-            );
-        });
-        group.bench_function(format!("probe-1k/{bits}b"), |b| {
+        b.run_throughput(&format!("signature/insert-1k/{bits}b"), 1024, || {
             let mut sig = Signature::new(bits, 2);
-            for i in 0..256u32 {
-                sig.insert(LineAddr(i));
+            for i in 0..1024u32 {
+                sig.insert(LineAddr(i.wrapping_mul(2654435761)));
             }
-            b.iter(|| {
-                let mut hits = 0u32;
-                for i in 0..1024u32 {
-                    hits += sig.maybe_contains(black_box(LineAddr(i))) as u32;
-                }
-                hits
-            });
+            sig
+        });
+        let mut sig = Signature::new(bits, 2);
+        for i in 0..256u32 {
+            sig.insert(LineAddr(i));
+        }
+        b.run_throughput(&format!("signature/probe-1k/{bits}b"), 1024, || {
+            let mut hits = 0u32;
+            for i in 0..1024u32 {
+                hits += sig.maybe_contains(black_box(LineAddr(i))) as u32;
+            }
+            hits
         });
     }
-    group.finish();
 }
 
-fn bench_encoding(c: &mut Criterion) {
+fn bench_encoding(b: &mut Bench) {
     let ps = packets(4096);
-    let mut group = c.benchmark_group("encoding");
-    group.throughput(Throughput::Elements(ps.len() as u64));
     for enc in Encoding::ALL {
-        group.bench_function(format!("encode/{}", enc.name()), |b| {
-            b.iter(|| enc.encode_stream(black_box(&ps)));
+        b.run_throughput(&format!("encoding/encode/{}", enc.name()), ps.len() as u64, || {
+            enc.encode_stream(black_box(&ps))
         });
         let bytes = enc.encode_stream(&ps);
-        group.bench_function(format!("decode/{}", enc.name()), |b| {
-            b.iter(|| Encoding::decode_stream(black_box(&bytes)).expect("valid stream"));
+        b.run_throughput(&format!("encoding/decode/{}", enc.name()), ps.len() as u64, || {
+            Encoding::decode_stream(black_box(&bytes)).expect("valid stream")
         });
     }
-    group.finish();
 }
 
-fn bench_varint(c: &mut Criterion) {
-    let values: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (i % 40)).collect();
-    let mut group = c.benchmark_group("varint");
-    group.throughput(Throughput::Elements(values.len() as u64));
-    group.bench_function("write", |b| {
-        b.iter(|| {
-            let mut buf = Vec::with_capacity(values.len() * 5);
-            for &v in &values {
-                varint::write_u64(&mut buf, black_box(v));
-            }
-            buf
-        });
+fn bench_varint(b: &mut Bench) {
+    let values: Vec<u64> =
+        (0..4096u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> (i % 40)).collect();
+    b.run_throughput("varint/write", values.len() as u64, || {
+        let mut buf = Vec::with_capacity(values.len() * 5);
+        for &v in &values {
+            varint::write_u64(&mut buf, black_box(v));
+        }
+        buf
     });
     let mut buf = Vec::new();
     for &v in &values {
         varint::write_u64(&mut buf, v);
     }
-    group.bench_function("read", |b| {
-        b.iter(|| {
-            let mut off = 0;
-            let mut sum = 0u64;
-            while off < buf.len() {
-                let (v, n) = varint::read_u64(&buf[off..]).expect("valid");
-                sum = sum.wrapping_add(v);
-                off += n;
-            }
-            sum
-        });
+    b.run_throughput("varint/read", values.len() as u64, || {
+        let mut off = 0;
+        let mut sum = 0u64;
+        while off < buf.len() {
+            let (v, n) = varint::read_u64(&buf[off..]).expect("valid");
+            sum = sum.wrapping_add(v);
+            off += n;
+        }
+        sum
     });
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_signature, bench_encoding, bench_varint
+fn main() {
+    let mut b = Bench::from_env();
+    bench_signature(&mut b);
+    bench_encoding(&mut b);
+    bench_varint(&mut b);
 }
-criterion_main!(benches);

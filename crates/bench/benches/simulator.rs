@@ -1,8 +1,11 @@
 //! End-to-end simulator throughput: native execution, full-stack
 //! recording, and replay of representative workloads. The metric that
 //! matters is simulated instructions per second of host time.
+//!
+//! Harness-less: a small fixed-time measurement loop (no external
+//! benchmarking crate — the container builds fully offline).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use qr_bench::timing::Bench;
 use qr_capo::{record, RecordingConfig};
 use qr_cpu::{CpuConfig, Machine};
 use qr_os::{run_native, OsConfig};
@@ -10,7 +13,7 @@ use qr_replay::replay;
 use qr_workloads::{suite, Scale};
 use std::hint::black_box;
 
-fn bench_pipeline(c: &mut Criterion) {
+fn bench_pipeline(b: &mut Bench) {
     for name in ["fft", "radix"] {
         let spec = qr_workloads::suite::find(name).expect("suite member");
         let program = (spec.build)(4, Scale::Small).expect("builds");
@@ -22,44 +25,35 @@ fn bench_pipeline(c: &mut Criterion) {
             .expect("machine");
             run_native(&mut m, OsConfig::default()).expect("runs").instructions
         };
-        let mut group = c.benchmark_group(format!("pipeline/{name}"));
-        group.throughput(Throughput::Elements(instructions));
-        group.bench_function("native", |b| {
-            b.iter(|| {
-                let mut m = Machine::new(
-                    black_box(program.clone()),
-                    CpuConfig { num_cores: 4, ..CpuConfig::default() },
-                )
-                .expect("machine");
-                run_native(&mut m, OsConfig::default()).expect("runs")
-            });
+        b.run_throughput(&format!("pipeline/{name}/native"), instructions, || {
+            let mut m = Machine::new(
+                black_box(program.clone()),
+                CpuConfig { num_cores: 4, ..CpuConfig::default() },
+            )
+            .expect("machine");
+            run_native(&mut m, OsConfig::default()).expect("runs")
         });
-        group.bench_function("record", |b| {
-            b.iter(|| record(black_box(program.clone()), RecordingConfig::with_cores(4)).expect("records"));
+        b.run_throughput(&format!("pipeline/{name}/record"), instructions, || {
+            record(black_box(program.clone()), RecordingConfig::with_cores(4)).expect("records")
         });
         let recording = record(program.clone(), RecordingConfig::with_cores(4)).expect("records");
-        group.bench_function("replay", |b| {
-            b.iter(|| replay(black_box(&program), black_box(&recording)).expect("replays"));
+        b.run_throughput(&format!("pipeline/{name}/replay"), instructions, || {
+            replay(black_box(&program), black_box(&recording)).expect("replays")
         });
-        group.finish();
     }
 }
 
-fn bench_suite_record(c: &mut Criterion) {
-    let mut group = c.benchmark_group("record-suite");
-    group.sample_size(10);
+fn bench_suite_record(b: &mut Bench) {
     for spec in suite() {
         let program = (spec.build)(4, Scale::Test).expect("builds");
-        group.bench_function(spec.name, |b| {
-            b.iter(|| record(black_box(program.clone()), RecordingConfig::with_cores(4)).expect("records"));
+        b.run(&format!("record-suite/{}", spec.name), || {
+            record(black_box(program.clone()), RecordingConfig::with_cores(4)).expect("records")
         });
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_pipeline, bench_suite_record
+fn main() {
+    let mut b = Bench::from_env();
+    bench_pipeline(&mut b);
+    bench_suite_record(&mut b);
 }
-criterion_main!(benches);

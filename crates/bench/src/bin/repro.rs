@@ -5,548 +5,62 @@
 //! ```text
 //! cargo run --release -p qr-bench --bin repro -- all
 //! cargo run --release -p qr-bench --bin repro -- e5
+//! cargo run --release -p qr-bench --bin repro -- all --serial
+//! cargo run --release -p qr-bench --bin repro -- all --jobs 4
 //! ```
+//!
+//! Experiments decompose into independent (workload, configuration)
+//! jobs that run on a scoped thread pool (see `qr_bench::runner`); the
+//! simulator is deterministic and results are rendered in submission
+//! order, so the output is byte-identical whichever mode runs it.
+//! `--serial` runs the jobs on this thread; `--jobs N` sets the worker
+//! count (default: the host's available cores).
 
-use qr_bench::{full_cfg, hw_cfg, overhead_pct, record_workload, run_native_workload, Table, CORE_HZ};
-use qr_capo::{InputEvent, RecordingConfig};
-use qr_common::Result;
-use qr_mem::TsoMode;
-use qr_replay::replay;
-use qr_workloads::{suite, Scale};
-use quickrec_core::{Encoding, MrrConfig, TerminationReason};
+use qr_bench::experiments::{render_experiments, ALL_IDS};
+use qr_bench::runner::ExecMode;
+use std::io::Write;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    let all = [
-        "t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1",
-        "a2", "a3", "a5", "a6",
-    ];
-    let selected: Vec<&str> =
-        if what == "all" { all.to_vec() } else { vec![what] };
-    for exp in selected {
-        let result = match exp {
-            "t1" => t1(),
-            "t2" => t2(),
-            "e1" => e1(),
-            "e2" => e2(),
-            "e3" => e3(),
-            "e4" => e4(),
-            "e5" => e5(),
-            "e6" => e6(),
-            "e7" => e7(),
-            "e8" => e8(),
-            "e9" => e9(),
-            "e10" => e10(),
-            "e11" => e11(),
-            "a1" => a1(),
-            "a2" => a2(),
-            "a3" => a3(),
-            "a5" => a5(),
-            "a6" => a6(),
-            other => {
-                eprintln!("unknown experiment `{other}`; known: {all:?} or `all`");
+    let mut mode = ExecMode::parallel_default();
+    let mut what: Option<String> = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--serial" => mode = ExecMode::Serial,
+            "--jobs" => {
+                let workers = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--jobs needs a positive integer");
+                        std::process::exit(2);
+                    });
+                mode = ExecMode::Parallel { workers };
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown flag `{other}`; flags: --serial, --jobs N");
                 std::process::exit(2);
             }
-        };
-        if let Err(e) = result {
-            eprintln!("experiment {exp} failed: {e}");
-            std::process::exit(1);
+            other => what = Some(other.to_string()),
         }
     }
-}
+    let what = what.unwrap_or_else(|| "all".to_string());
+    let selected: Vec<&str> = if what == "all" {
+        ALL_IDS.to_vec()
+    } else if let Some(&id) = ALL_IDS.iter().find(|&&id| id == what) {
+        vec![id]
+    } else {
+        eprintln!("unknown experiment `{what}`; known: {ALL_IDS:?} or `all`");
+        std::process::exit(2);
+    };
 
-fn heading(id: &str, title: &str, note: &str) {
-    println!("\n=== {id}: {title} ===");
-    if !note.is_empty() {
-        println!("({note})\n");
+    let (output, failure) = render_experiments(&selected, mode);
+    print!("{output}");
+    if let Some((exp, e)) = failure {
+        std::io::stdout().flush().ok();
+        eprintln!("experiment {exp} failed: {e}");
+        std::process::exit(1);
     }
 }
-
-/// T1 — platform configuration (the paper's system-parameters table).
-fn t1() -> Result<()> {
-    heading("T1", "QuickRec-RS platform configuration", "paper analog: QuickIA system parameters table");
-    let cfg = RecordingConfig::with_cores(4);
-    let mut t = Table::new(["parameter", "value"]);
-    t.row(["cores", &format!("{}", cfg.cpu.num_cores)]);
-    t.row(["ISA", "PIA (32-bit IA-like, 8-byte fixed encoding)"]);
-    t.row(["memory model", "TSO (store buffers with forwarding)"]);
-    t.row(["L1 per core", &format!("{} KiB ({} sets x {} ways x 64 B), MESI",
-        cfg.cpu.mem.l1_bytes() / 1024, cfg.cpu.mem.l1_sets, cfg.cpu.mem.l1_ways)]);
-    t.row(["store buffer", &format!("{} entries, background drain 1/{} instrs",
-        cfg.cpu.mem.store_buffer_entries, cfg.cpu.drain_interval)]);
-    t.row(["miss penalty", &format!("{} cycles (+{} dirty intervention)",
-        cfg.cpu.mem.miss_penalty, cfg.cpu.mem.intervention_penalty)]);
-    t.row(["read signature", &format!("{} bits, {} hashes", cfg.mrr.read_sig_bits, cfg.mrr.sig_hashes)]);
-    t.row(["write signature", &format!("{} bits, {} hashes", cfg.mrr.write_sig_bits, cfg.mrr.sig_hashes)]);
-    t.row(["sig saturation limit", &format!("{}%", cfg.mrr.sig_saturation_permille / 10)]);
-    t.row(["max chunk size", &format!("{} instructions", cfg.mrr.max_chunk_icount)]);
-    t.row(["CBUF", &format!("{} packets, DMA 1 packet/{} cycles", cfg.mrr.cbuf_entries, cfg.mrr.cbuf_drain_cycles)]);
-    t.row(["CMEM", &format!("{} KiB, interrupt at {} KiB",
-        cfg.mrr.cmem_capacity / 1024, cfg.mrr.cmem_interrupt_threshold / 1024)]);
-    t.row(["log encoding", cfg.mrr.encoding.name()]);
-    t.row(["OS quantum", &format!("{} cycles", cfg.os.quantum_cycles)]);
-    t.row(["RSM syscall intercept", &format!("{} cycles", cfg.overhead.syscall_intercept_cycles)]);
-    t.row(["RSM drain interrupt", &format!("{} + {}/byte cycles",
-        cfg.overhead.drain_base_cycles, cfg.overhead.drain_cycles_per_byte)]);
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// T2 — the workload suite (the paper's benchmarks table).
-fn t2() -> Result<()> {
-    heading("T2", "workload suite (SPLASH-2 analogs)", "reference-scale sizes, 4 threads");
-    let mut t = Table::new(["workload", "instructions", "sync pattern"]);
-    for spec in suite() {
-        let out = run_native_workload(&spec, 4, Scale::Reference)?;
-        t.row([spec.name, &format!("{}", out.instructions), spec.description]);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// E1 — memory-log generation rate (abstract claim: "insignificant").
-fn e1() -> Result<()> {
-    heading(
-        "E1",
-        "memory-log generation rate",
-        "paper: the rate of memory log generation is insignificant; \
-         expect ~1-5 B/kilo-instruction for regular kernels, more for irregular ones",
-    );
-    let mut t = Table::new(["workload", "chunks", "log bytes", "B/kilo-instr", "KB/s @60MHz"]);
-    let mut rates = Vec::new();
-    for spec in suite() {
-        let r = record_workload(&spec, 4, Scale::Reference, full_cfg(4))?;
-        let bytes = r.chunks.to_bytes(Encoding::Delta).len();
-        let bpki = r.log_bytes_per_kilo_instruction(Encoding::Delta);
-        let kbs = bytes as f64 / (r.cycles as f64 / CORE_HZ) / 1024.0;
-        rates.push(bpki);
-        t.row([
-            spec.name.to_string(),
-            r.chunks.len().to_string(),
-            bytes.to_string(),
-            format!("{bpki:.2}"),
-            format!("{kbs:.1}"),
-        ]);
-    }
-    print!("{}", t.render());
-    let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-    println!("mean: {mean:.2} B/kilo-instruction");
-    Ok(())
-}
-
-/// E2 — chunk-size distribution.
-fn e2() -> Result<()> {
-    heading("E2", "chunk-size distribution (instructions per chunk)", "paper analog: chunk-size characterization");
-    let mut t = Table::new(["workload", "p10", "p50", "p90", "p99", "max", "mean"]);
-    for spec in suite() {
-        let r = record_workload(&spec, 4, Scale::Reference, full_cfg(4))?;
-        t.row([
-            spec.name.to_string(),
-            r.chunks.chunk_size_percentile(10).to_string(),
-            r.chunks.chunk_size_percentile(50).to_string(),
-            r.chunks.chunk_size_percentile(90).to_string(),
-            r.chunks.chunk_size_percentile(99).to_string(),
-            r.chunks.chunk_size_percentile(100).to_string(),
-            format!("{:.0}", r.recorder_stats.mean_chunk_size()),
-        ]);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// E3 — chunk-termination reason breakdown.
-fn e3() -> Result<()> {
-    heading("E3", "why chunks terminate (% of chunks)", "paper analog: chunk-termination breakdown");
-    let mut header = vec!["workload".to_string()];
-    header.extend(TerminationReason::ALL.iter().map(|r| r.label().to_string()));
-    let mut t = Table::new(header);
-    for spec in suite() {
-        let r = record_workload(&spec, 4, Scale::Reference, full_cfg(4))?;
-        let total = r.chunks.len() as u64;
-        let mut row = vec![spec.name.to_string()];
-        for reason in TerminationReason::ALL {
-            let count = r.recorder_stats.chunks_by_reason[reason.code() as usize];
-            row.push(qr_bench::pct(count, total));
-        }
-        t.row(row);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// E4 — packet-encoding comparison.
-fn e4() -> Result<()> {
-    heading(
-        "E4",
-        "log size by packet encoding (B/kilo-instruction)",
-        "paper analog: log compression comparison; expect raw > packed > delta",
-    );
-    let mut t = Table::new(["workload", "raw", "packed", "delta", "delta vs raw"]);
-    for spec in suite() {
-        let r = record_workload(&spec, 4, Scale::Reference, full_cfg(4))?;
-        let sizes: Vec<f64> =
-            Encoding::ALL.iter().map(|&e| r.log_bytes_per_kilo_instruction(e)).collect();
-        t.row([
-            spec.name.to_string(),
-            format!("{:.2}", sizes[0]),
-            format!("{:.2}", sizes[1]),
-            format!("{:.2}", sizes[2]),
-            format!("{:.1}x", sizes[0] / sizes[2].max(1e-9)),
-        ]);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// E5 — recording overhead (abstract claims: hardware negligible,
-/// software ~13% mean).
-fn e5() -> Result<()> {
-    heading(
-        "E5",
-        "recording overhead vs native execution",
-        "paper: recording hardware has negligible overhead; the software stack costs ~13% on average",
-    );
-    let mut t = Table::new(["workload", "native cycles", "hw-only", "full stack"]);
-    let mut overheads = Vec::new();
-    for spec in suite() {
-        let native = run_native_workload(&spec, 4, Scale::Reference)?;
-        let hw = record_workload(&spec, 4, Scale::Reference, hw_cfg(4))?;
-        let full = record_workload(&spec, 4, Scale::Reference, full_cfg(4))?;
-        let full_pct = overhead_pct(full.cycles, native.cycles);
-        overheads.push(full_pct);
-        t.row([
-            spec.name.to_string(),
-            native.cycles.to_string(),
-            format!("{:.2}%", overhead_pct(hw.cycles, native.cycles)),
-            format!("{full_pct:.2}%"),
-        ]);
-    }
-    print!("{}", t.render());
-    let mean = overheads.iter().sum::<f64>() / overheads.len() as f64;
-    println!("mean full-stack overhead: {mean:.1}%  (paper: ~13%)");
-    Ok(())
-}
-
-/// E6 — software overhead breakdown.
-fn e6() -> Result<()> {
-    heading("E6", "where the software overhead goes (% of overhead cycles)", "paper analog: RSM cost breakdown");
-    let mut t = Table::new(["workload", "syscall", "log-copy", "cmem-drain", "mrr-switch", "signal", "hw-stall"]);
-    for spec in suite() {
-        let r = record_workload(&spec, 4, Scale::Reference, full_cfg(4))?;
-        let o = &r.overhead;
-        let total = o.total();
-        t.row([
-            spec.name.to_string(),
-            qr_bench::pct(o.syscall_cycles, total),
-            qr_bench::pct(o.copy_cycles, total),
-            qr_bench::pct(o.drain_cycles, total),
-            qr_bench::pct(o.switch_cycles, total),
-            qr_bench::pct(o.signal_cycles, total),
-            qr_bench::pct(o.hw_stall_cycles, total),
-        ]);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// E7 — scaling with thread count.
-fn e7() -> Result<()> {
-    heading("E7", "scaling with thread count (1/2/4)", "overhead and log rate per thread count, reference scale");
-    let mut t = Table::new(["workload", "t", "instructions", "overhead", "B/kilo-instr"]);
-    for spec in suite().into_iter().filter(|s| ["fft", "lu", "radix", "ocean", "water"].contains(&s.name)) {
-        for threads in [1usize, 2, 4] {
-            let native = run_native_workload(&spec, threads, Scale::Reference)?;
-            let full = record_workload(&spec, threads, Scale::Reference, full_cfg(threads))?;
-            t.row([
-                spec.name.to_string(),
-                threads.to_string(),
-                full.instructions.to_string(),
-                format!("{:.2}%", overhead_pct(full.cycles, native.cycles)),
-                format!("{:.2}", full.log_bytes_per_kilo_instruction(Encoding::Delta)),
-            ]);
-        }
-    }
-    print!("{}", t.render());
-    println!("(log rate grows with threads: more cross-thread conflicts per instruction)");
-    Ok(())
-}
-
-/// E8 — TSO reordered-store-window statistics.
-fn e8() -> Result<()> {
-    heading(
-        "E8",
-        "TSO effects: reordered store windows (Rsw mode)",
-        "chunks that terminated with stores still in the store buffer; the RSW field makes them replayable",
-    );
-    let mut t = Table::new(["workload", "chunks", "rsw>0 chunks", "% with rsw", "mean rsw"]);
-    for spec in suite() {
-        let mut cfg = full_cfg(4);
-        cfg.cpu.mem.tso_mode = TsoMode::Rsw;
-        cfg.cpu.drain_interval = 8;
-        let r = record_workload(&spec, 4, Scale::Small, cfg)?;
-        let s = &r.recorder_stats;
-        let mean_rsw = if s.chunks_with_rsw == 0 {
-            0.0
-        } else {
-            s.rsw_sum as f64 / s.chunks_with_rsw as f64
-        };
-        t.row([
-            spec.name.to_string(),
-            r.chunks.len().to_string(),
-            s.chunks_with_rsw.to_string(),
-            qr_bench::pct(s.chunks_with_rsw, r.chunks.len() as u64),
-            format!("{mean_rsw:.2}"),
-        ]);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// E9 — replay speed relative to recording.
-fn e9() -> Result<()> {
-    heading(
-        "E9",
-        "replay cost (serialized replay cycles / parallel recording cycles)",
-        "chunk-ordered replay serializes the execution; ratios near or above 1x on 4 cores show the cost",
-    );
-    let mut t = Table::new(["workload", "record cycles", "replay cycles", "ratio"]);
-    for spec in suite() {
-        let program = (spec.build)(4, Scale::Small)?;
-        let r = record_workload(&spec, 4, Scale::Small, full_cfg(4))?;
-        let outcome = replay(&program, &r)?;
-        t.row([
-            spec.name.to_string(),
-            r.cycles.to_string(),
-            outcome.cycles.to_string(),
-            format!("{:.2}x", outcome.slowdown_vs(&r)),
-        ]);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// E10 — determinism validation across the suite.
-fn e10() -> Result<()> {
-    heading("E10", "deterministic replay validation", "replay must reproduce memory, console and exit codes exactly");
-    let mut t = Table::new(["workload", "chunks", "inputs", "fingerprint", "verdict"]);
-    for spec in suite() {
-        let program = (spec.build)(4, Scale::Small)?;
-        let r = record_workload(&spec, 4, Scale::Small, full_cfg(4))?;
-        let outcome = qr_replay::replay_and_verify(&program, &r)?;
-        t.row([
-            spec.name.to_string(),
-            outcome.chunks_replayed.to_string(),
-            outcome.inputs_injected.to_string(),
-            format!("{:016x}", outcome.fingerprint),
-            "PASS".to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// E11 — input-log characterization.
-fn e11() -> Result<()> {
-    heading(
-        "E11",
-        "input-log volume and composition",
-        "the Capo3 side of the log: syscall results, copy_to_user payloads, nondet values",
-    );
-    let mut t = Table::new(["workload", "events", "payload bytes", "nondet vals", "log bytes", "B/kilo-instr"]);
-    for spec in suite() {
-        let r = record_workload(&spec, 4, Scale::Reference, full_cfg(4))?;
-        let payload: usize = r
-            .inputs
-            .events()
-            .iter()
-            .map(|e| match e {
-                InputEvent::Syscall { record, .. } => {
-                    record.writes.iter().map(|(_, d)| d.len()).sum()
-                }
-                InputEvent::Signal { .. } => 0,
-            })
-            .sum();
-        let bytes = r.inputs.byte_size();
-        t.row([
-            spec.name.to_string(),
-            r.inputs.events().len().to_string(),
-            payload.to_string(),
-            r.inputs.nondet_count().to_string(),
-            bytes.to_string(),
-            format!("{:.3}", bytes as f64 * 1000.0 / r.instructions as f64),
-        ]);
-    }
-    print!("{}", t.render());
-    println!("(the input log is far smaller than the memory log for compute-bound workloads)");
-    Ok(())
-}
-
-/// A1 — signature-size ablation.
-fn a1() -> Result<()> {
-    heading(
-        "A1",
-        "ablation: signature size vs chunk length and false positives",
-        "smaller signatures saturate earlier and alias more; expect chunk sizes to grow with bits",
-    );
-    let mut t = Table::new(["workload", "sig bits", "chunks", "mean chunk", "conflict chunks", "false-pos conflicts"]);
-    for name in ["radix", "ocean"] {
-        let spec = qr_workloads::suite::find(name).expect("suite member");
-        for bits in [256u32, 512, 1024, 2048, 8192] {
-            let mut cfg = full_cfg(4);
-            cfg.mrr = MrrConfig {
-                read_sig_bits: bits,
-                write_sig_bits: bits / 2,
-                track_exact_sets: true,
-                ..MrrConfig::default()
-            };
-            let r = record_workload(&spec, 4, Scale::Small, cfg)?;
-            t.row([
-                name.to_string(),
-                bits.to_string(),
-                r.chunks.len().to_string(),
-                format!("{:.0}", r.recorder_stats.mean_chunk_size()),
-                r.recorder_stats.conflict_chunks().to_string(),
-                r.recorder_stats.false_positive_conflicts.to_string(),
-            ]);
-        }
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// A2 — CBUF-capacity ablation.
-fn a2() -> Result<()> {
-    heading(
-        "A2",
-        "ablation: CBUF capacity vs hardware stalls",
-        "the only hardware overhead source; stalls appear only when the buffer is starved",
-    );
-    let mut t = Table::new(["workload", "cbuf entries", "drain cyc/pkt", "stall cycles", "hw overhead"]);
-    for name in ["radix", "fft"] {
-        let spec = qr_workloads::suite::find(name).expect("suite member");
-        let native = run_native_workload(&spec, 4, Scale::Small)?;
-        for (entries, drain) in [(1usize, 512u64), (2, 256), (4, 64), (64, 16)] {
-            let mut cfg = hw_cfg(4);
-            cfg.mrr.cbuf_entries = entries;
-            cfg.mrr.cbuf_drain_cycles = drain;
-            let r = record_workload(&spec, 4, Scale::Small, cfg)?;
-            t.row([
-                name.to_string(),
-                entries.to_string(),
-                drain.to_string(),
-                r.overhead.hw_stall_cycles.to_string(),
-                format!("{:.3}%", overhead_pct(r.cycles, native.cycles)),
-            ]);
-        }
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// A3 — TSO-mode ablation.
-fn a3() -> Result<()> {
-    heading(
-        "A3",
-        "ablation: DrainAtChunk vs Rsw",
-        "draining at hardware chunk boundaries removes RSW at a small cost; both modes replay exactly",
-    );
-    let mut t = Table::new(["workload", "mode", "chunks", "rsw>0", "log bytes", "replay"]);
-    for name in ["fft", "water", "radiosity"] {
-        let spec = qr_workloads::suite::find(name).expect("suite member");
-        for mode in [TsoMode::DrainAtChunk, TsoMode::Rsw] {
-            let mut cfg = full_cfg(4);
-            cfg.cpu.mem.tso_mode = mode;
-            cfg.cpu.drain_interval = 8;
-            // A small chunk-size cap forces hardware (ic-overflow) chunk
-            // closings, where the two modes actually differ.
-            cfg.mrr.max_chunk_icount = 400;
-            let program = (spec.build)(4, Scale::Small)?;
-            let r = record_workload(&spec, 4, Scale::Small, cfg)?;
-            let verdict = match qr_replay::replay_and_verify(&program, &r) {
-                Ok(_) => "PASS",
-                Err(_) => "FAIL",
-            };
-            t.row([
-                name.to_string(),
-                format!("{mode:?}"),
-                r.chunks.len().to_string(),
-                r.recorder_stats.chunks_with_rsw.to_string(),
-                r.chunks.to_bytes(Encoding::Delta).len().to_string(),
-                verdict.to_string(),
-            ]);
-        }
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// A5 — store-buffer drain-interval ablation.
-fn a5() -> Result<()> {
-    heading(
-        "A5",
-        "ablation: background drain interval vs TSO reordering",
-        "slower drains leave more stores pending at chunk boundaries (larger RSW footprint)",
-    );
-    let mut t = Table::new(["workload", "drain 1/N", "chunks", "rsw>0", "% with rsw", "replay"]);
-    for name in ["fft", "water"] {
-        let spec = qr_workloads::suite::find(name).expect("suite member");
-        for interval in [1u64, 4, 16, 64] {
-            let mut cfg = full_cfg(4);
-            cfg.cpu.mem.tso_mode = TsoMode::Rsw;
-            cfg.cpu.drain_interval = interval;
-            let program = (spec.build)(4, Scale::Small)?;
-            let r = record_workload(&spec, 4, Scale::Small, cfg)?;
-            let verdict = match qr_replay::replay_and_verify(&program, &r) {
-                Ok(_) => "PASS",
-                Err(_) => "FAIL",
-            };
-            t.row([
-                name.to_string(),
-                interval.to_string(),
-                r.chunks.len().to_string(),
-                r.recorder_stats.chunks_with_rsw.to_string(),
-                qr_bench::pct(r.recorder_stats.chunks_with_rsw, r.chunks.len() as u64),
-                verdict.to_string(),
-            ]);
-        }
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-/// A6 — scheduling-quantum ablation.
-fn a6() -> Result<()> {
-    heading(
-        "A6",
-        "ablation: scheduling quantum vs context-switch chunks and overhead",
-        "threads > cores: shorter quanta force more recorder save/restores",
-    );
-    let spec = qr_workloads::suite::find("lu").expect("suite member");
-    let mut t = Table::new(["quantum", "ctx-switch chunks", "chunks", "overhead cycles", "replay"]);
-    for quantum in [1_000u64, 5_000, 20_000, 100_000] {
-        let mut cfg = full_cfg(2); // 4 threads on 2 cores
-        cfg.os.quantum_cycles = quantum;
-        let program = (spec.build)(4, Scale::Small)?;
-        let r = record_workload(&spec, 4, Scale::Small, cfg)?;
-        let verdict = match qr_replay::replay_and_verify(&program, &r) {
-            Ok(_) => "PASS",
-            Err(_) => "FAIL",
-        };
-        let ctx = r.recorder_stats.chunks_by_reason
-            [TerminationReason::ContextSwitch.code() as usize];
-        t.row([
-            quantum.to_string(),
-            ctx.to_string(),
-            r.chunks.len().to_string(),
-            r.overhead.total().to_string(),
-            verdict.to_string(),
-        ]);
-    }
-    print!("{}", t.render());
-    Ok(())
-}
-
-// Silence an unused-import lint when some experiments are compiled out.
-#[allow(unused)]
-fn _unused(_: &InputEvent) {}

@@ -1,0 +1,704 @@
+//! The experiment catalog: every table and figure of the QuickRec
+//! evaluation, expressed as declarative job lists for the parallel
+//! executor (see `runner`).
+//!
+//! Each experiment contributes one [`Job`] per (workload, configuration)
+//! tuple. Jobs run in any order on worker threads; rendering consumes
+//! their outputs in submission order, so the printed report is identical
+//! whichever execution mode produced it.
+
+use crate::runner::{run_jobs, BuildCache, ExecMode, Job, JobOutput};
+use crate::{hw_cfg, overhead_pct, pct, record_workload_with, run_native_workload_with, Table,
+            CORE_HZ};
+use qr_capo::{InputEvent, RecordingConfig};
+use qr_common::QrError;
+use qr_mem::TsoMode;
+use qr_workloads::{suite, Scale, WorkloadSpec};
+use quickrec_core::{Encoding, MrrConfig, TerminationReason};
+
+/// Every experiment id, in report order (`repro all`).
+pub const ALL_IDS: [&str; 18] = [
+    "t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2",
+    "a3", "a5", "a6",
+];
+
+/// What an experiment prints after its table.
+enum Footer {
+    /// Nothing.
+    None,
+    /// A fixed line.
+    Static(&'static str),
+    /// A line computed from the mean of the jobs' footer statistics.
+    MeanStat(fn(f64) -> String),
+}
+
+/// One experiment: identity, table shape, and its job list.
+pub struct Experiment {
+    /// Report id (`e5`, `a1`, …).
+    pub id: &'static str,
+    title: &'static str,
+    note: &'static str,
+    header: Vec<String>,
+    jobs: Vec<Job>,
+    footer: Footer,
+}
+
+fn full_cfg(threads: usize) -> RecordingConfig {
+    crate::full_cfg(threads)
+}
+
+/// Builds the experiment with the given id, or `None` for unknown ids.
+pub fn plan(id: &str) -> Option<Experiment> {
+    Some(match id {
+        "t1" => t1(),
+        "t2" => t2(),
+        "e1" => e1(),
+        "e2" => e2(),
+        "e3" => e3(),
+        "e4" => e4(),
+        "e5" => e5(),
+        "e6" => e6(),
+        "e7" => e7(),
+        "e8" => e8(),
+        "e9" => e9(),
+        "e10" => e10(),
+        "e11" => e11(),
+        "a1" => a1(),
+        "a2" => a2(),
+        "a3" => a3(),
+        "a5" => a5(),
+        "a6" => a6(),
+        _ => return None,
+    })
+}
+
+/// Renders the named experiments, executing all of their jobs under
+/// `mode` with one shared build cache.
+///
+/// Returns the rendered report up to the first failure; on failure the
+/// offending experiment id and error are returned alongside the partial
+/// output (matching the serial harness, which stops at the first failing
+/// experiment).
+///
+/// # Panics
+///
+/// Panics on unknown experiment ids — the CLI validates ids first.
+pub fn render_experiments(
+    ids: &[&str],
+    mode: ExecMode,
+) -> (String, Option<(&'static str, QrError)>) {
+    let mut experiments: Vec<Experiment> =
+        ids.iter().map(|id| plan(id).unwrap_or_else(|| panic!("unknown experiment `{id}`"))).collect();
+    let mut all_jobs: Vec<Job> = Vec::new();
+    let mut job_counts = Vec::with_capacity(experiments.len());
+    for exp in &mut experiments {
+        job_counts.push(exp.jobs.len());
+        all_jobs.append(&mut exp.jobs);
+    }
+    let cache = BuildCache::new();
+    let mut results = run_jobs(all_jobs, &cache, mode).into_iter();
+
+    let mut out = String::new();
+    for (exp, count) in experiments.iter().zip(job_counts) {
+        out.push_str(&format!("\n=== {}: {} ===\n", exp.id.to_uppercase(), exp.title));
+        if !exp.note.is_empty() {
+            out.push_str(&format!("({})\n\n", exp.note));
+        }
+        let mut table = Table::new(exp.header.clone());
+        let mut stats = Vec::new();
+        for _ in 0..count {
+            match results.next().expect("one result per job") {
+                Ok(output) => {
+                    for row in output.rows {
+                        table.row(row);
+                    }
+                    if let Some(stat) = output.stat {
+                        stats.push(stat);
+                    }
+                }
+                Err(err) => return (out, Some((exp.id, err))),
+            }
+        }
+        out.push_str(&table.render());
+        match exp.footer {
+            Footer::None => {}
+            Footer::Static(line) => {
+                out.push_str(line);
+                out.push('\n');
+            }
+            Footer::MeanStat(fmt) => {
+                let mean = stats.iter().sum::<f64>() / stats.len() as f64;
+                out.push_str(&fmt(mean));
+                out.push('\n');
+            }
+        }
+    }
+    (out, None)
+}
+
+/// One job per suite workload, in canonical order.
+fn per_workload(f: impl Fn(WorkloadSpec) -> Job) -> Vec<Job> {
+    suite().into_iter().map(f).collect()
+}
+
+/// T1 — platform configuration (the paper's system-parameters table).
+fn t1() -> Experiment {
+    let job: Job = Box::new(|_cache| {
+        let cfg = RecordingConfig::with_cores(4);
+        let mut rows = JobOutput::default();
+        let mut row = |k: &str, v: String| rows.rows.push(vec![k.to_string(), v]);
+        row("cores", format!("{}", cfg.cpu.num_cores));
+        row("ISA", "PIA (32-bit IA-like, 8-byte fixed encoding)".to_string());
+        row("memory model", "TSO (store buffers with forwarding)".to_string());
+        row("L1 per core", format!("{} KiB ({} sets x {} ways x 64 B), MESI",
+            cfg.cpu.mem.l1_bytes() / 1024, cfg.cpu.mem.l1_sets, cfg.cpu.mem.l1_ways));
+        row("store buffer", format!("{} entries, background drain 1/{} instrs",
+            cfg.cpu.mem.store_buffer_entries, cfg.cpu.drain_interval));
+        row("miss penalty", format!("{} cycles (+{} dirty intervention)",
+            cfg.cpu.mem.miss_penalty, cfg.cpu.mem.intervention_penalty));
+        row("read signature", format!("{} bits, {} hashes", cfg.mrr.read_sig_bits, cfg.mrr.sig_hashes));
+        row("write signature", format!("{} bits, {} hashes", cfg.mrr.write_sig_bits, cfg.mrr.sig_hashes));
+        row("sig saturation limit", format!("{}%", cfg.mrr.sig_saturation_permille / 10));
+        row("max chunk size", format!("{} instructions", cfg.mrr.max_chunk_icount));
+        row("CBUF", format!("{} packets, DMA 1 packet/{} cycles", cfg.mrr.cbuf_entries, cfg.mrr.cbuf_drain_cycles));
+        row("CMEM", format!("{} KiB, interrupt at {} KiB",
+            cfg.mrr.cmem_capacity / 1024, cfg.mrr.cmem_interrupt_threshold / 1024));
+        row("log encoding", cfg.mrr.encoding.name().to_string());
+        row("OS quantum", format!("{} cycles", cfg.os.quantum_cycles));
+        row("RSM syscall intercept", format!("{} cycles", cfg.overhead.syscall_intercept_cycles));
+        row("RSM drain interrupt", format!("{} + {}/byte cycles",
+            cfg.overhead.drain_base_cycles, cfg.overhead.drain_cycles_per_byte));
+        Ok(rows)
+    });
+    Experiment {
+        id: "t1",
+        title: "QuickRec-RS platform configuration",
+        note: "paper analog: QuickIA system parameters table",
+        header: vec!["parameter".into(), "value".into()],
+        jobs: vec![job],
+        footer: Footer::None,
+    }
+}
+
+/// T2 — the workload suite (the paper's benchmarks table).
+fn t2() -> Experiment {
+    Experiment {
+        id: "t2",
+        title: "workload suite (SPLASH-2 analogs)",
+        note: "reference-scale sizes, 4 threads",
+        header: vec!["workload".into(), "instructions".into(), "sync pattern".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let out = run_native_workload_with(cache, &spec, 4, Scale::Reference)?;
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    format!("{}", out.instructions),
+                    spec.description.to_string(),
+                ]))
+            })
+        }),
+        footer: Footer::None,
+    }
+}
+
+/// E1 — memory-log generation rate (abstract claim: "insignificant").
+fn e1() -> Experiment {
+    Experiment {
+        id: "e1",
+        title: "memory-log generation rate",
+        note: "paper: the rate of memory log generation is insignificant; \
+         expect ~1-5 B/kilo-instruction for regular kernels, more for irregular ones",
+        header: vec!["workload".into(), "chunks".into(), "log bytes".into(),
+            "B/kilo-instr".into(), "KB/s @60MHz".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let r = record_workload_with(cache, &spec, 4, Scale::Reference, full_cfg(4))?;
+                let bytes = r.chunks.to_bytes(Encoding::Delta).len();
+                let bpki = r.log_bytes_per_kilo_instruction(Encoding::Delta);
+                let kbs = bytes as f64 / (r.cycles as f64 / CORE_HZ) / 1024.0;
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    r.chunks.len().to_string(),
+                    bytes.to_string(),
+                    format!("{bpki:.2}"),
+                    format!("{kbs:.1}"),
+                ])
+                .with_stat(bpki))
+            })
+        }),
+        footer: Footer::MeanStat(|mean| format!("mean: {mean:.2} B/kilo-instruction")),
+    }
+}
+
+/// E2 — chunk-size distribution.
+fn e2() -> Experiment {
+    Experiment {
+        id: "e2",
+        title: "chunk-size distribution (instructions per chunk)",
+        note: "paper analog: chunk-size characterization",
+        header: vec!["workload".into(), "p10".into(), "p50".into(), "p90".into(),
+            "p99".into(), "max".into(), "mean".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let r = record_workload_with(cache, &spec, 4, Scale::Reference, full_cfg(4))?;
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    r.chunks.chunk_size_percentile(10).to_string(),
+                    r.chunks.chunk_size_percentile(50).to_string(),
+                    r.chunks.chunk_size_percentile(90).to_string(),
+                    r.chunks.chunk_size_percentile(99).to_string(),
+                    r.chunks.chunk_size_percentile(100).to_string(),
+                    format!("{:.0}", r.recorder_stats.mean_chunk_size()),
+                ]))
+            })
+        }),
+        footer: Footer::None,
+    }
+}
+
+/// E3 — chunk-termination reason breakdown.
+fn e3() -> Experiment {
+    let mut header = vec!["workload".to_string()];
+    header.extend(TerminationReason::ALL.iter().map(|r| r.label().to_string()));
+    Experiment {
+        id: "e3",
+        title: "why chunks terminate (% of chunks)",
+        note: "paper analog: chunk-termination breakdown",
+        header,
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let r = record_workload_with(cache, &spec, 4, Scale::Reference, full_cfg(4))?;
+                let total = r.chunks.len() as u64;
+                let mut row = vec![spec.name.to_string()];
+                for reason in TerminationReason::ALL {
+                    let count = r.recorder_stats.chunks_by_reason[reason.code() as usize];
+                    row.push(pct(count, total));
+                }
+                Ok(JobOutput::row(row))
+            })
+        }),
+        footer: Footer::None,
+    }
+}
+
+/// E4 — packet-encoding comparison.
+fn e4() -> Experiment {
+    Experiment {
+        id: "e4",
+        title: "log size by packet encoding (B/kilo-instruction)",
+        note: "paper analog: log compression comparison; expect raw > packed > delta",
+        header: vec!["workload".into(), "raw".into(), "packed".into(), "delta".into(),
+            "delta vs raw".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let r = record_workload_with(cache, &spec, 4, Scale::Reference, full_cfg(4))?;
+                let sizes: Vec<f64> =
+                    Encoding::ALL.iter().map(|&e| r.log_bytes_per_kilo_instruction(e)).collect();
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    format!("{:.2}", sizes[0]),
+                    format!("{:.2}", sizes[1]),
+                    format!("{:.2}", sizes[2]),
+                    format!("{:.1}x", sizes[0] / sizes[2].max(1e-9)),
+                ]))
+            })
+        }),
+        footer: Footer::None,
+    }
+}
+
+/// E5 — recording overhead (abstract claims: hardware negligible,
+/// software ~13% mean).
+fn e5() -> Experiment {
+    Experiment {
+        id: "e5",
+        title: "recording overhead vs native execution",
+        note: "paper: recording hardware has negligible overhead; the software stack costs ~13% on average",
+        header: vec!["workload".into(), "native cycles".into(), "hw-only".into(),
+            "full stack".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let native = run_native_workload_with(cache, &spec, 4, Scale::Reference)?;
+                let hw = record_workload_with(cache, &spec, 4, Scale::Reference, hw_cfg(4))?;
+                let full = record_workload_with(cache, &spec, 4, Scale::Reference, full_cfg(4))?;
+                let full_pct = overhead_pct(full.cycles, native.cycles);
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    native.cycles.to_string(),
+                    format!("{:.2}%", overhead_pct(hw.cycles, native.cycles)),
+                    format!("{full_pct:.2}%"),
+                ])
+                .with_stat(full_pct))
+            })
+        }),
+        footer: Footer::MeanStat(|mean| {
+            format!("mean full-stack overhead: {mean:.1}%  (paper: ~13%)")
+        }),
+    }
+}
+
+/// E6 — software overhead breakdown.
+fn e6() -> Experiment {
+    Experiment {
+        id: "e6",
+        title: "where the software overhead goes (% of overhead cycles)",
+        note: "paper analog: RSM cost breakdown",
+        header: vec!["workload".into(), "syscall".into(), "log-copy".into(),
+            "cmem-drain".into(), "mrr-switch".into(), "signal".into(), "hw-stall".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let r = record_workload_with(cache, &spec, 4, Scale::Reference, full_cfg(4))?;
+                let o = &r.overhead;
+                let total = o.total();
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    pct(o.syscall_cycles, total),
+                    pct(o.copy_cycles, total),
+                    pct(o.drain_cycles, total),
+                    pct(o.switch_cycles, total),
+                    pct(o.signal_cycles, total),
+                    pct(o.hw_stall_cycles, total),
+                ]))
+            })
+        }),
+        footer: Footer::None,
+    }
+}
+
+/// E7 — scaling with thread count.
+fn e7() -> Experiment {
+    let mut jobs: Vec<Job> = Vec::new();
+    for spec in suite().into_iter().filter(|s| ["fft", "lu", "radix", "ocean", "water"].contains(&s.name)) {
+        for threads in [1usize, 2, 4] {
+            jobs.push(Box::new(move |cache: &BuildCache| {
+                let native = run_native_workload_with(cache, &spec, threads, Scale::Reference)?;
+                let full = record_workload_with(
+                    cache, &spec, threads, Scale::Reference, full_cfg(threads))?;
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    threads.to_string(),
+                    full.instructions.to_string(),
+                    format!("{:.2}%", overhead_pct(full.cycles, native.cycles)),
+                    format!("{:.2}", full.log_bytes_per_kilo_instruction(Encoding::Delta)),
+                ]))
+            }));
+        }
+    }
+    Experiment {
+        id: "e7",
+        title: "scaling with thread count (1/2/4)",
+        note: "overhead and log rate per thread count, reference scale",
+        header: vec!["workload".into(), "t".into(), "instructions".into(),
+            "overhead".into(), "B/kilo-instr".into()],
+        jobs,
+        footer: Footer::Static("(log rate grows with threads: more cross-thread conflicts per instruction)"),
+    }
+}
+
+/// E8 — TSO reordered-store-window statistics.
+fn e8() -> Experiment {
+    Experiment {
+        id: "e8",
+        title: "TSO effects: reordered store windows (Rsw mode)",
+        note: "chunks that terminated with stores still in the store buffer; the RSW field makes them replayable",
+        header: vec!["workload".into(), "chunks".into(), "rsw>0 chunks".into(),
+            "% with rsw".into(), "mean rsw".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let mut cfg = full_cfg(4);
+                cfg.cpu.mem.tso_mode = TsoMode::Rsw;
+                cfg.cpu.drain_interval = 8;
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, cfg)?;
+                let s = &r.recorder_stats;
+                let mean_rsw = if s.chunks_with_rsw == 0 {
+                    0.0
+                } else {
+                    s.rsw_sum as f64 / s.chunks_with_rsw as f64
+                };
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    r.chunks.len().to_string(),
+                    s.chunks_with_rsw.to_string(),
+                    pct(s.chunks_with_rsw, r.chunks.len() as u64),
+                    format!("{mean_rsw:.2}"),
+                ]))
+            })
+        }),
+        footer: Footer::None,
+    }
+}
+
+/// E9 — replay speed relative to recording.
+fn e9() -> Experiment {
+    Experiment {
+        id: "e9",
+        title: "replay cost (serialized replay cycles / parallel recording cycles)",
+        note: "chunk-ordered replay serializes the execution; ratios near or above 1x on 4 cores show the cost",
+        header: vec!["workload".into(), "record cycles".into(), "replay cycles".into(),
+            "ratio".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let program = cache.program(&spec, 4, Scale::Small)?;
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, full_cfg(4))?;
+                let outcome = qr_replay::replay(&program, &r)?;
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    r.cycles.to_string(),
+                    outcome.cycles.to_string(),
+                    format!("{:.2}x", outcome.slowdown_vs(&r)),
+                ]))
+            })
+        }),
+        footer: Footer::None,
+    }
+}
+
+/// E10 — determinism validation across the suite.
+fn e10() -> Experiment {
+    Experiment {
+        id: "e10",
+        title: "deterministic replay validation",
+        note: "replay must reproduce memory, console and exit codes exactly",
+        header: vec!["workload".into(), "chunks".into(), "inputs".into(),
+            "fingerprint".into(), "verdict".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let program = cache.program(&spec, 4, Scale::Small)?;
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, full_cfg(4))?;
+                let outcome = qr_replay::replay_and_verify(&program, &r)?;
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    outcome.chunks_replayed.to_string(),
+                    outcome.inputs_injected.to_string(),
+                    format!("{:016x}", outcome.fingerprint),
+                    "PASS".to_string(),
+                ]))
+            })
+        }),
+        footer: Footer::None,
+    }
+}
+
+/// E11 — input-log characterization.
+fn e11() -> Experiment {
+    Experiment {
+        id: "e11",
+        title: "input-log volume and composition",
+        note: "the Capo3 side of the log: syscall results, copy_to_user payloads, nondet values",
+        header: vec!["workload".into(), "events".into(), "payload bytes".into(),
+            "nondet vals".into(), "log bytes".into(), "B/kilo-instr".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let r = record_workload_with(cache, &spec, 4, Scale::Reference, full_cfg(4))?;
+                let payload: usize = r
+                    .inputs
+                    .events()
+                    .iter()
+                    .map(|e| match e {
+                        InputEvent::Syscall { record, .. } => {
+                            record.writes.iter().map(|(_, d)| d.len()).sum()
+                        }
+                        InputEvent::Signal { .. } => 0,
+                    })
+                    .sum();
+                let bytes = r.inputs.byte_size();
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    r.inputs.events().len().to_string(),
+                    payload.to_string(),
+                    r.inputs.nondet_count().to_string(),
+                    bytes.to_string(),
+                    format!("{:.3}", bytes as f64 * 1000.0 / r.instructions as f64),
+                ]))
+            })
+        }),
+        footer: Footer::Static("(the input log is far smaller than the memory log for compute-bound workloads)"),
+    }
+}
+
+/// A1 — signature-size ablation.
+fn a1() -> Experiment {
+    let mut jobs: Vec<Job> = Vec::new();
+    for name in ["radix", "ocean"] {
+        let spec = qr_workloads::suite::find(name).expect("suite member");
+        for bits in [256u32, 512, 1024, 2048, 8192] {
+            jobs.push(Box::new(move |cache: &BuildCache| {
+                let mut cfg = full_cfg(4);
+                cfg.mrr = MrrConfig {
+                    read_sig_bits: bits,
+                    write_sig_bits: bits / 2,
+                    track_exact_sets: true,
+                    ..MrrConfig::default()
+                };
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, cfg)?;
+                Ok(JobOutput::row([
+                    name.to_string(),
+                    bits.to_string(),
+                    r.chunks.len().to_string(),
+                    format!("{:.0}", r.recorder_stats.mean_chunk_size()),
+                    r.recorder_stats.conflict_chunks().to_string(),
+                    r.recorder_stats.false_positive_conflicts.to_string(),
+                ]))
+            }));
+        }
+    }
+    Experiment {
+        id: "a1",
+        title: "ablation: signature size vs chunk length and false positives",
+        note: "smaller signatures saturate earlier and alias more; expect chunk sizes to grow with bits",
+        header: vec!["workload".into(), "sig bits".into(), "chunks".into(),
+            "mean chunk".into(), "conflict chunks".into(), "false-pos conflicts".into()],
+        jobs,
+        footer: Footer::None,
+    }
+}
+
+/// A2 — CBUF-capacity ablation.
+fn a2() -> Experiment {
+    let mut jobs: Vec<Job> = Vec::new();
+    for name in ["radix", "fft"] {
+        let spec = qr_workloads::suite::find(name).expect("suite member");
+        for (entries, drain) in [(1usize, 512u64), (2, 256), (4, 64), (64, 16)] {
+            jobs.push(Box::new(move |cache: &BuildCache| {
+                let native = run_native_workload_with(cache, &spec, 4, Scale::Small)?;
+                let mut cfg = hw_cfg(4);
+                cfg.mrr.cbuf_entries = entries;
+                cfg.mrr.cbuf_drain_cycles = drain;
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, cfg)?;
+                Ok(JobOutput::row([
+                    name.to_string(),
+                    entries.to_string(),
+                    drain.to_string(),
+                    r.overhead.hw_stall_cycles.to_string(),
+                    format!("{:.3}%", overhead_pct(r.cycles, native.cycles)),
+                ]))
+            }));
+        }
+    }
+    Experiment {
+        id: "a2",
+        title: "ablation: CBUF capacity vs hardware stalls",
+        note: "the only hardware overhead source; stalls appear only when the buffer is starved",
+        header: vec!["workload".into(), "cbuf entries".into(), "drain cyc/pkt".into(),
+            "stall cycles".into(), "hw overhead".into()],
+        jobs,
+        footer: Footer::None,
+    }
+}
+
+/// A3 — TSO-mode ablation.
+fn a3() -> Experiment {
+    let mut jobs: Vec<Job> = Vec::new();
+    for name in ["fft", "water", "radiosity"] {
+        let spec = qr_workloads::suite::find(name).expect("suite member");
+        for mode in [TsoMode::DrainAtChunk, TsoMode::Rsw] {
+            jobs.push(Box::new(move |cache: &BuildCache| {
+                let mut cfg = full_cfg(4);
+                cfg.cpu.mem.tso_mode = mode;
+                cfg.cpu.drain_interval = 8;
+                // A small chunk-size cap forces hardware (ic-overflow) chunk
+                // closings, where the two modes actually differ.
+                cfg.mrr.max_chunk_icount = 400;
+                let program = cache.program(&spec, 4, Scale::Small)?;
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, cfg)?;
+                let verdict = match qr_replay::replay_and_verify(&program, &r) {
+                    Ok(_) => "PASS",
+                    Err(_) => "FAIL",
+                };
+                Ok(JobOutput::row([
+                    name.to_string(),
+                    format!("{mode:?}"),
+                    r.chunks.len().to_string(),
+                    r.recorder_stats.chunks_with_rsw.to_string(),
+                    r.chunks.to_bytes(Encoding::Delta).len().to_string(),
+                    verdict.to_string(),
+                ]))
+            }));
+        }
+    }
+    Experiment {
+        id: "a3",
+        title: "ablation: DrainAtChunk vs Rsw",
+        note: "draining at hardware chunk boundaries removes RSW at a small cost; both modes replay exactly",
+        header: vec!["workload".into(), "mode".into(), "chunks".into(), "rsw>0".into(),
+            "log bytes".into(), "replay".into()],
+        jobs,
+        footer: Footer::None,
+    }
+}
+
+/// A5 — store-buffer drain-interval ablation.
+fn a5() -> Experiment {
+    let mut jobs: Vec<Job> = Vec::new();
+    for name in ["fft", "water"] {
+        let spec = qr_workloads::suite::find(name).expect("suite member");
+        for interval in [1u64, 4, 16, 64] {
+            jobs.push(Box::new(move |cache: &BuildCache| {
+                let mut cfg = full_cfg(4);
+                cfg.cpu.mem.tso_mode = TsoMode::Rsw;
+                cfg.cpu.drain_interval = interval;
+                let program = cache.program(&spec, 4, Scale::Small)?;
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, cfg)?;
+                let verdict = match qr_replay::replay_and_verify(&program, &r) {
+                    Ok(_) => "PASS",
+                    Err(_) => "FAIL",
+                };
+                Ok(JobOutput::row([
+                    name.to_string(),
+                    interval.to_string(),
+                    r.chunks.len().to_string(),
+                    r.recorder_stats.chunks_with_rsw.to_string(),
+                    pct(r.recorder_stats.chunks_with_rsw, r.chunks.len() as u64),
+                    verdict.to_string(),
+                ]))
+            }));
+        }
+    }
+    Experiment {
+        id: "a5",
+        title: "ablation: background drain interval vs TSO reordering",
+        note: "slower drains leave more stores pending at chunk boundaries (larger RSW footprint)",
+        header: vec!["workload".into(), "drain 1/N".into(), "chunks".into(), "rsw>0".into(),
+            "% with rsw".into(), "replay".into()],
+        jobs,
+        footer: Footer::None,
+    }
+}
+
+/// A6 — scheduling-quantum ablation.
+fn a6() -> Experiment {
+    let spec = qr_workloads::suite::find("lu").expect("suite member");
+    let jobs: Vec<Job> = [1_000u64, 5_000, 20_000, 100_000]
+        .into_iter()
+        .map(|quantum| {
+            Box::new(move |cache: &BuildCache| {
+                let mut cfg = full_cfg(2); // 4 threads on 2 cores
+                cfg.os.quantum_cycles = quantum;
+                let program = cache.program(&spec, 4, Scale::Small)?;
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, cfg)?;
+                let verdict = match qr_replay::replay_and_verify(&program, &r) {
+                    Ok(_) => "PASS",
+                    Err(_) => "FAIL",
+                };
+                let ctx = r.recorder_stats.chunks_by_reason
+                    [TerminationReason::ContextSwitch.code() as usize];
+                Ok(JobOutput::row([
+                    quantum.to_string(),
+                    ctx.to_string(),
+                    r.chunks.len().to_string(),
+                    r.overhead.total().to_string(),
+                    verdict.to_string(),
+                ]))
+            }) as Job
+        })
+        .collect();
+    Experiment {
+        id: "a6",
+        title: "ablation: scheduling quantum vs context-switch chunks and overhead",
+        note: "threads > cores: shorter quanta force more recorder save/restores",
+        header: vec!["quantum".into(), "ctx-switch chunks".into(), "chunks".into(),
+            "overhead cycles".into(), "replay".into()],
+        jobs,
+        footer: Footer::None,
+    }
+}

@@ -7,11 +7,17 @@
 //! shared measurement helpers and a small fixed-width table formatter so
 //! the experiments print uniform, diff-able output.
 
+pub mod experiments;
+pub mod runner;
+pub mod timing;
+
 use qr_capo::{record, Recording, RecordingConfig, RecordingMode};
 use qr_common::Result;
 use qr_cpu::{CpuConfig, Machine};
+use qr_isa::Program;
 use qr_os::{run_native, OsConfig, RunOutcome};
 use qr_workloads::{Scale, WorkloadSpec};
+use runner::BuildCache;
 
 /// The simulated core clock, used to convert cycles to wall time when an
 /// experiment reports rates (the QuickIA FPGA cores ran at 60 MHz).
@@ -23,7 +29,26 @@ pub const CORE_HZ: f64 = 60_000_000.0;
 ///
 /// Propagates build and execution errors.
 pub fn run_native_workload(spec: &WorkloadSpec, threads: usize, scale: Scale) -> Result<RunOutcome> {
-    let program = (spec.build)(threads, scale)?;
+    run_native_program((spec.build)(threads, scale)?, threads)
+}
+
+/// Like [`run_native_workload`], but sourcing the program from a shared
+/// [`BuildCache`] so concurrent experiment jobs build each (workload,
+/// threads, scale) key once.
+///
+/// # Errors
+///
+/// Propagates build and execution errors.
+pub fn run_native_workload_with(
+    cache: &BuildCache,
+    spec: &WorkloadSpec,
+    threads: usize,
+    scale: Scale,
+) -> Result<RunOutcome> {
+    run_native_program(cache.program(spec, threads, scale)?, threads)
+}
+
+fn run_native_program(program: Program, threads: usize) -> Result<RunOutcome> {
     let mut machine =
         Machine::new(program, CpuConfig { num_cores: threads, ..CpuConfig::default() })?;
     run_native(&mut machine, OsConfig::default())
@@ -41,7 +66,33 @@ pub fn record_workload(
     scale: Scale,
     cfg: RecordingConfig,
 ) -> Result<Recording> {
-    let program = (spec.build)(threads, scale)?;
+    record_program(spec, (spec.build)(threads, scale)?, threads, scale, cfg)
+}
+
+/// Like [`record_workload`], but sourcing the program from a shared
+/// [`BuildCache`].
+///
+/// # Errors
+///
+/// Propagates build and recording errors; also checks the workload's
+/// self-validation checksum.
+pub fn record_workload_with(
+    cache: &BuildCache,
+    spec: &WorkloadSpec,
+    threads: usize,
+    scale: Scale,
+    cfg: RecordingConfig,
+) -> Result<Recording> {
+    record_program(spec, cache.program(spec, threads, scale)?, threads, scale, cfg)
+}
+
+fn record_program(
+    spec: &WorkloadSpec,
+    program: Program,
+    threads: usize,
+    scale: Scale,
+    cfg: RecordingConfig,
+) -> Result<Recording> {
     let recording = record(program, cfg)?;
     let expected = (spec.expected)(threads, scale);
     if recording.exit_code != expected {

@@ -1,0 +1,241 @@
+//! The parallel experiment executor.
+//!
+//! Every experiment in the `repro` harness decomposes into independent
+//! jobs — one per (experiment, workload, configuration) tuple — and each
+//! job is a deterministic simulation, so the whole suite can fan out
+//! across cores. The runner executes a submission-ordered job list on a
+//! scoped thread pool and returns results **in submission order**, which
+//! makes parallel output byte-identical to the serial fallback
+//! (`--serial`): rendering happens after execution, from the ordered
+//! results, and the simulator itself is deterministic.
+//!
+//! A shared [`BuildCache`] deduplicates workload program builds across
+//! experiments: the suite builds each (workload, threads, scale) program
+//! once instead of once per experiment that touches it.
+
+use qr_common::Result;
+use qr_isa::Program;
+use qr_workloads::{Scale, WorkloadSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// What one experiment job produced: zero or more table rows, plus an
+/// optional scalar that experiment footers aggregate (e.g. the mean
+/// log-generation rate across workloads).
+#[derive(Debug, Clone, Default)]
+pub struct JobOutput {
+    /// Table rows, appended to the experiment's table in job order.
+    pub rows: Vec<Vec<String>>,
+    /// Scalar contributed to the experiment's footer aggregate, if any.
+    pub stat: Option<f64>,
+}
+
+impl JobOutput {
+    /// A single-row output with no footer statistic.
+    pub fn row<S: Into<String>>(cells: impl IntoIterator<Item = S>) -> JobOutput {
+        JobOutput { rows: vec![cells.into_iter().map(Into::into).collect()], stat: None }
+    }
+
+    /// Attaches a footer statistic.
+    pub fn with_stat(mut self, stat: f64) -> JobOutput {
+        self.stat = Some(stat);
+        self
+    }
+}
+
+/// One unit of experiment work, run on a worker thread with access to the
+/// shared build cache.
+pub type Job = Box<dyn FnOnce(&BuildCache) -> Result<JobOutput> + Send>;
+
+/// How the job list is executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// In submission order on the calling thread (the reference mode the
+    /// parallel executor must match byte for byte).
+    Serial,
+    /// On a scoped thread pool with this many workers.
+    Parallel {
+        /// Worker-thread count (clamped to at least 1).
+        workers: usize,
+    },
+}
+
+impl ExecMode {
+    /// Parallel execution sized to the host's available cores.
+    pub fn parallel_default() -> ExecMode {
+        let workers =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        ExecMode::Parallel { workers }
+    }
+}
+
+/// Executes `jobs`, returning one result per job **in submission order**
+/// regardless of completion order.
+///
+/// In parallel mode the jobs are pulled from a shared queue by
+/// `workers` scoped threads; a panicking job propagates the panic to the
+/// caller when the scope joins.
+pub fn run_jobs(jobs: Vec<Job>, cache: &BuildCache, mode: ExecMode) -> Vec<Result<JobOutput>> {
+    match mode {
+        ExecMode::Serial => jobs.into_iter().map(|job| job(cache)).collect(),
+        ExecMode::Parallel { workers } => {
+            let n = jobs.len();
+            let slots: Vec<Mutex<Option<Job>>> =
+                jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+            let results: Vec<Mutex<Option<Result<JobOutput>>>> =
+                (0..n).map(|_| Mutex::new(None)).collect();
+            let next = AtomicUsize::new(0);
+            let workers = workers.clamp(1, n.max(1));
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let job = slots[i].lock().expect("job slot").take().expect("job taken once");
+                        let out = job(cache);
+                        *results[i].lock().expect("result slot") = Some(out);
+                    });
+                }
+            });
+            results
+                .into_iter()
+                .map(|m| m.into_inner().expect("result slot").expect("every job ran"))
+                .collect()
+        }
+    }
+}
+
+/// A concurrent, deduplicating cache of built workload programs, keyed on
+/// (workload, threads, scale).
+///
+/// Workload builds are pure functions of the key, so the first job to
+/// need a program builds it and every later job (in any experiment)
+/// clones the cached image. Each key is built exactly once even under
+/// concurrent first access.
+#[derive(Debug, Default)]
+pub struct BuildCache {
+    entries: Mutex<HashMap<(&'static str, usize, Scale), Arc<OnceLock<Result<Program>>>>>,
+    builds: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl BuildCache {
+    /// Creates an empty cache.
+    pub fn new() -> BuildCache {
+        BuildCache::default()
+    }
+
+    /// Returns the program for `spec` at (`threads`, `scale`), building it
+    /// on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the workload's build error (the same error on every
+    /// lookup of a failed key).
+    pub fn program(&self, spec: &WorkloadSpec, threads: usize, scale: Scale) -> Result<Program> {
+        let cell = {
+            let mut entries = self.entries.lock().expect("cache lock");
+            entries.entry((spec.name, threads, scale)).or_default().clone()
+        };
+        let mut built_here = false;
+        let result = cell.get_or_init(|| {
+            built_here = true;
+            (spec.build)(threads, scale)
+        });
+        if built_here {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Number of programs actually built.
+    pub fn builds(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counting_job(i: usize) -> Job {
+        Box::new(move |_cache| Ok(JobOutput::row([format!("job{i}")]).with_stat(i as f64)))
+    }
+
+    #[test]
+    fn results_come_back_in_submission_order() {
+        for mode in [ExecMode::Serial, ExecMode::Parallel { workers: 7 }] {
+            let jobs: Vec<Job> = (0..64).map(counting_job).collect();
+            let cache = BuildCache::new();
+            let outputs = run_jobs(jobs, &cache, mode);
+            assert_eq!(outputs.len(), 64);
+            for (i, out) in outputs.iter().enumerate() {
+                let out = out.as_ref().unwrap();
+                assert_eq!(out.rows, vec![vec![format!("job{i}")]]);
+                assert_eq!(out.stat, Some(i as f64));
+            }
+        }
+    }
+
+    #[test]
+    fn errors_are_reported_per_job() {
+        let jobs: Vec<Job> = vec![
+            counting_job(0),
+            Box::new(|_| Err(qr_common::QrError::Execution { detail: "boom".into() })),
+            counting_job(2),
+        ];
+        let outputs = run_jobs(jobs, &BuildCache::new(), ExecMode::Parallel { workers: 2 });
+        assert!(outputs[0].is_ok());
+        assert!(outputs[1].is_err());
+        assert!(outputs[2].is_ok());
+    }
+
+    #[test]
+    fn worker_count_exceeding_jobs_is_fine() {
+        let jobs: Vec<Job> = (0..3).map(counting_job).collect();
+        let outputs = run_jobs(jobs, &BuildCache::new(), ExecMode::Parallel { workers: 64 });
+        assert_eq!(outputs.len(), 3);
+        assert!(outputs.iter().all(Result::is_ok));
+    }
+
+    #[test]
+    fn build_cache_builds_each_key_once_under_concurrency() {
+        let spec = qr_workloads::suite::find("fft").expect("suite member");
+        let cache = BuildCache::new();
+        let jobs: Vec<Job> = (0..16)
+            .map(|_| {
+                Box::new(move |cache: &BuildCache| {
+                    let program = cache.program(&spec, 2, Scale::Test)?;
+                    Ok(JobOutput::row([format!("{}", program.code().len())]))
+                }) as Job
+            })
+            .collect();
+        let outputs = run_jobs(jobs, &cache, ExecMode::Parallel { workers: 8 });
+        assert!(outputs.iter().all(Result::is_ok));
+        assert_eq!(cache.builds(), 1, "one build for one key");
+        assert_eq!(cache.hits(), 15);
+        // A different key builds separately.
+        cache.program(&spec, 4, Scale::Test).unwrap();
+        assert_eq!(cache.builds(), 2);
+    }
+
+    #[test]
+    fn recording_artifacts_are_send() {
+        // The runner moves recordings and sessions across worker threads;
+        // keep that a compile-time guarantee.
+        fn assert_send<T: Send>() {}
+        assert_send::<qr_capo::Recording>();
+        assert_send::<qr_capo::RecordingSession>();
+        assert_send::<Program>();
+    }
+}

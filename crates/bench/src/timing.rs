@@ -1,0 +1,114 @@
+//! Minimal timing harness for the `benches/` targets.
+//!
+//! The workspace builds fully offline, so the bench binaries cannot pull
+//! in an external benchmarking crate. This module provides the small
+//! subset actually needed: a warmed-up, fixed-duration measurement loop
+//! that reports mean wall time per iteration and, optionally, element
+//! throughput.
+
+use std::time::{Duration, Instant};
+
+/// A sequential benchmark session printing one line per benchmark.
+#[derive(Debug)]
+pub struct Bench {
+    measure: Duration,
+    warmup: Duration,
+}
+
+impl Bench {
+    /// Creates a session from the environment: `QR_BENCH_MS` overrides
+    /// the per-benchmark measurement window (default 2000 ms; warm-up is
+    /// a quarter of the window).
+    pub fn from_env() -> Bench {
+        let ms = std::env::var("QR_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(2000);
+        Bench {
+            measure: Duration::from_millis(ms.max(1)),
+            warmup: Duration::from_millis((ms / 4).max(1)),
+        }
+    }
+
+    /// Runs `f` repeatedly for the measurement window and prints the mean
+    /// iteration time.
+    pub fn run<R>(&mut self, name: &str, mut f: impl FnMut() -> R) {
+        let (iters, elapsed) = self.measure_loop(&mut f);
+        let per_iter = elapsed / iters.max(1) as u32;
+        println!("{name:<40} {:>12} iters  {:>14}/iter", iters, fmt_duration(per_iter));
+    }
+
+    /// Like [`Bench::run`], also reporting throughput for `elems`
+    /// elements processed per iteration.
+    pub fn run_throughput<R>(&mut self, name: &str, elems: u64, mut f: impl FnMut() -> R) {
+        let (iters, elapsed) = self.measure_loop(&mut f);
+        let per_iter = elapsed / iters.max(1) as u32;
+        let rate = elems as f64 * iters as f64 / elapsed.as_secs_f64();
+        println!(
+            "{name:<40} {:>12} iters  {:>14}/iter  {:>10}/s",
+            iters,
+            fmt_duration(per_iter),
+            fmt_rate(rate)
+        );
+    }
+
+    fn measure_loop<R>(&self, f: &mut impl FnMut() -> R) -> (u64, Duration) {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warmup {
+            std::hint::black_box(f());
+        }
+        let start = Instant::now();
+        let mut iters = 0u64;
+        loop {
+            std::hint::black_box(f());
+            iters += 1;
+            let elapsed = start.elapsed();
+            if elapsed >= self.measure {
+                return (iters, elapsed);
+            }
+        }
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} us", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn fmt_rate(rate: f64) -> String {
+    if rate >= 1e9 {
+        format!("{:.2} G", rate / 1e9)
+    } else if rate >= 1e6 {
+        format!("{:.2} M", rate / 1e6)
+    } else if rate >= 1e3 {
+        format!("{:.2} k", rate / 1e3)
+    } else {
+        format!("{rate:.0} ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert_eq!(fmt_duration(Duration::from_nanos(500)), "500 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.50 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+
+    #[test]
+    fn rate_formatting_picks_sane_units() {
+        assert_eq!(fmt_rate(2_500_000.0), "2.50 M");
+        assert_eq!(fmt_rate(999.0), "999 ");
+    }
+}

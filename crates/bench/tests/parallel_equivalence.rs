@@ -1,0 +1,38 @@
+//! The determinism contract of the parallel experiment executor: for any
+//! experiment selection, parallel execution renders the exact bytes the
+//! serial fallback renders.
+
+use qr_bench::experiments::render_experiments;
+use qr_bench::runner::ExecMode;
+
+/// Renders the given experiments, asserting success.
+fn render(ids: &[&str], mode: ExecMode) -> String {
+    let (out, failure) = render_experiments(ids, mode);
+    if let Some((exp, e)) = failure {
+        panic!("experiment {exp} failed under {mode:?}: {e}");
+    }
+    out
+}
+
+#[test]
+fn parallel_output_is_byte_identical_to_serial() {
+    // Two full experiment tables (the CBUF and scheduling-quantum
+    // ablations): cheap enough for a debug-mode test, and their job
+    // lists exercise multi-workload fan-out, the shared build cache,
+    // and footer-free rendering.
+    let ids = ["a2", "a6"];
+    let serial = render(&ids, ExecMode::Serial);
+    for workers in [2, 4, 16] {
+        let parallel = render(&ids, ExecMode::Parallel { workers });
+        assert_eq!(serial, parallel, "{workers}-worker output diverged from serial");
+    }
+}
+
+#[test]
+fn rendered_report_has_the_expected_shape() {
+    let out = render(&["a6"], ExecMode::Parallel { workers: 4 });
+    assert!(out.starts_with("\n=== A6: "), "heading present: {out:?}");
+    assert!(out.contains("quantum"), "table header present");
+    // One line per quantum setting.
+    assert_eq!(out.matches("PASS").count(), 4);
+}

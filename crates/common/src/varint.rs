@@ -179,32 +179,68 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use crate::SplitMix64;
 
-    proptest! {
-        #[test]
-        fn u64_round_trips(v in any::<u64>()) {
+    /// A value stream mixing uniform bits with small and boundary values,
+    /// so every encoded length 1..=10 is exercised.
+    fn values(rng: &mut SplitMix64) -> impl Iterator<Item = u64> + '_ {
+        (0..4096).map(move |i| match i % 4 {
+            0 => rng.next_u64(),
+            1 => rng.next_u64() >> (rng.below(64) as u32),
+            2 => (1u64 << rng.below(64) as u32).wrapping_sub(rng.below(2)),
+            _ => rng.below(256),
+        })
+    }
+
+    #[test]
+    fn u64_round_trips() {
+        let mut rng = SplitMix64::new(0x5eed_0001);
+        let vs: Vec<u64> = values(&mut rng).collect();
+        for v in vs {
             let mut buf = Vec::new();
             let len = write_u64(&mut buf, v);
-            prop_assert_eq!(len, encoded_len(v));
-            prop_assert_eq!(read_u64(&buf).unwrap(), (v, len));
+            assert_eq!(len, encoded_len(v));
+            assert_eq!(read_u64(&buf).unwrap(), (v, len));
         }
+    }
 
-        #[test]
-        fn i64_round_trips(v in any::<i64>()) {
+    #[test]
+    fn i64_round_trips() {
+        let mut rng = SplitMix64::new(0x5eed_0002);
+        let vs: Vec<u64> = values(&mut rng).collect();
+        for v in vs {
+            let v = v as i64;
             let mut buf = Vec::new();
             let len = write_i64(&mut buf, v);
-            prop_assert_eq!(read_i64(&buf).unwrap(), (v, len));
+            assert_eq!(read_i64(&buf).unwrap(), (v, len));
         }
+    }
 
-        #[test]
-        fn decode_never_reads_past_terminator(v in any::<u64>(), junk in any::<Vec<u8>>()) {
+    #[test]
+    fn decode_never_reads_past_terminator() {
+        let mut rng = SplitMix64::new(0x5eed_0003);
+        for _ in 0..2048 {
+            let v = rng.next_u64() >> (rng.below(64) as u32);
             let mut buf = Vec::new();
             let len = write_u64(&mut buf, v);
-            buf.extend_from_slice(&junk);
-            prop_assert_eq!(read_u64(&buf).unwrap(), (v, len));
+            let junk_len = rng.below(16) as usize;
+            for _ in 0..junk_len {
+                buf.push(rng.next_u64() as u8);
+            }
+            assert_eq!(read_u64(&buf).unwrap(), (v, len));
+        }
+    }
+
+    #[test]
+    fn decode_arbitrary_bytes_never_panics() {
+        let mut rng = SplitMix64::new(0x5eed_0004);
+        for _ in 0..4096 {
+            let len = rng.below(12) as usize;
+            let bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = read_u64(&bytes);
+            let _ = read_i64(&bytes);
         }
     }
 }

@@ -102,7 +102,7 @@ mod tests {
     fn interrupt_raises_at_threshold() {
         let mut m = Cmem::new(1000, 40, Encoding::Raw);
         assert!(!m.interrupt_pending());
-        m.append(&packet(1)); // 20 bytes raw
+        m.append(&packet(1)); // 24 bytes raw
         assert!(!m.interrupt_pending());
         m.append(&packet(2));
         assert!(m.interrupt_pending());
@@ -115,10 +115,10 @@ mod tests {
         m.append(&packet(2));
         let (packets, bytes) = m.drain();
         assert_eq!(packets.len(), 2);
-        assert_eq!(bytes, 40);
+        assert_eq!(bytes, 48);
         assert_eq!(m.fill_bytes(), 0);
         assert!(!m.interrupt_pending());
-        assert_eq!(m.total_bytes(), 40);
+        assert_eq!(m.total_bytes(), 48);
         assert_eq!(m.total_drains(), 1);
         let (empty, zero) = m.drain();
         assert!(empty.is_empty());

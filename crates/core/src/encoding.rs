@@ -6,7 +6,7 @@
 //!
 //! | Encoding | Layout |
 //! |---|---|
-//! | `Raw`    | fixed 20 bytes: tid u32, core u8, reason u8, rsw u8, pad, icount u32, timestamp u64 |
+//! | `Raw`    | fixed 24 bytes: tid u32, core u8, reason u8, rsw u8, pad, icount u64, timestamp u64 |
 //! | `Packed` | all fields as LEB128 varints |
 //! | `Delta`  | like `Packed` but the timestamp is a zigzag delta against the previous packet in the stream |
 //!
@@ -19,8 +19,10 @@ use qr_common::{varint, CoreId, Cycle, QrError, Result, ThreadId};
 /// On-disk chunk-packet format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Encoding {
-    /// Fixed-size 20-byte packets (the hardware's native format plus the
-    /// software thread tag).
+    /// Fixed-size 24-byte packets (the hardware's native format plus the
+    /// software thread tag). The instruction count is a full `u64`: the
+    /// configured `max chunk size` does not bound it (uncapped chunks are
+    /// legal), so a narrower field would silently truncate long chunks.
     Raw,
     /// Varint-packed fields.
     Packed,
@@ -65,7 +67,7 @@ impl Encoding {
                 out.push(packet.reason.code());
                 out.push(packet.rsw);
                 out.push(0);
-                out.extend_from_slice(&(packet.icount as u32).to_le_bytes());
+                out.extend_from_slice(&packet.icount.to_le_bytes());
                 out.extend_from_slice(&packet.timestamp.0.to_le_bytes());
             }
             Encoding::Packed | Encoding::Delta => {
@@ -93,7 +95,7 @@ impl Encoding {
         let truncated = || QrError::LogDecode("truncated chunk packet".into());
         match self {
             Encoding::Raw => {
-                if buf.len() < 20 {
+                if buf.len() < 24 {
                     return Err(truncated());
                 }
                 let tid = u32::from_le_bytes(buf[0..4].try_into().expect("sized"));
@@ -101,8 +103,8 @@ impl Encoding {
                 let reason = TerminationReason::from_code(buf[5])
                     .ok_or_else(|| QrError::LogDecode(format!("bad reason code {}", buf[5])))?;
                 let rsw = buf[6];
-                let icount = u32::from_le_bytes(buf[8..12].try_into().expect("sized")) as u64;
-                let ts = u64::from_le_bytes(buf[12..20].try_into().expect("sized"));
+                let icount = u64::from_le_bytes(buf[8..16].try_into().expect("sized"));
+                let ts = u64::from_le_bytes(buf[16..24].try_into().expect("sized"));
                 Ok((
                     ChunkPacket {
                         tid: ThreadId(tid),
@@ -112,7 +114,7 @@ impl Encoding {
                         rsw,
                         reason,
                     },
-                    20,
+                    24,
                 ))
             }
             Encoding::Packed | Encoding::Delta => {
@@ -243,11 +245,32 @@ mod tests {
     }
 
     #[test]
-    fn raw_is_exactly_20_bytes_per_packet() {
+    fn raw_is_exactly_24_bytes_per_packet() {
         let ps = packets();
         let buf = Encoding::Raw.encode_stream(&ps);
         let header = 1 + qr_common::varint::encoded_len(ps.len() as u64);
-        assert_eq!(buf.len(), header + 20 * ps.len());
+        assert_eq!(buf.len(), header + 24 * ps.len());
+    }
+
+    #[test]
+    fn huge_icounts_round_trip_in_every_encoding() {
+        // Chunks longer than u32::MAX instructions must survive encoding;
+        // the Raw format used to truncate `icount` to 32 bits silently.
+        for icount in [u32::MAX as u64, u32::MAX as u64 + 1, u64::MAX / 3, u64::MAX] {
+            let ps = vec![ChunkPacket {
+                tid: ThreadId(1),
+                core: CoreId(0),
+                icount,
+                timestamp: Cycle(77),
+                rsw: 2,
+                reason: TerminationReason::ALL[0],
+            }];
+            for enc in Encoding::ALL {
+                let buf = enc.encode_stream(&ps);
+                let back = Encoding::decode_stream(&buf).unwrap();
+                assert_eq!(back, ps, "{enc:?} corrupted icount {icount:#x}");
+            }
+        }
     }
 
     #[test]
@@ -279,41 +302,52 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use qr_common::SplitMix64;
 
-    fn arb_packet() -> impl Strategy<Value = ChunkPacket> {
-        (
-            any::<u16>(),
-            0u8..8,
-            any::<u32>(),
-            any::<u32>(),
-            any::<u8>(),
-            0usize..TerminationReason::ALL.len(),
-        )
-            .prop_map(|(tid, core, icount, ts, rsw, reason)| ChunkPacket {
-                tid: ThreadId(tid as u32),
-                core: CoreId(core),
-                icount: icount as u64,
-                timestamp: Cycle(ts as u64),
-                rsw,
-                reason: TerminationReason::ALL[reason],
-            })
+    fn random_packet(rng: &mut SplitMix64) -> ChunkPacket {
+        ChunkPacket {
+            tid: ThreadId(rng.below(u16::MAX as u64 + 1) as u32),
+            core: CoreId(rng.below(8) as u8),
+            // Mix small, u32-range and >u32 instruction counts so every
+            // encoding's width handling is exercised.
+            icount: match rng.below(3) {
+                0 => rng.below(10_000),
+                1 => rng.next_u32() as u64,
+                _ => rng.next_u64(),
+            },
+            timestamp: Cycle(rng.next_u32() as u64),
+            rsw: rng.next_u64() as u8,
+            reason: TerminationReason::ALL[rng.below(TerminationReason::ALL.len() as u64) as usize],
+        }
     }
 
-    proptest! {
-        #[test]
-        fn streams_round_trip(ps in proptest::collection::vec(arb_packet(), 0..64)) {
+    #[test]
+    fn streams_round_trip() {
+        let mut rng = SplitMix64::new(0xc0de_0001);
+        for _ in 0..256 {
+            let n = rng.below(64) as usize;
+            let ps: Vec<ChunkPacket> = (0..n).map(|_| random_packet(&mut rng)).collect();
             for enc in Encoding::ALL {
                 let buf = enc.encode_stream(&ps);
-                prop_assert_eq!(Encoding::decode_stream(&buf).unwrap(), ps.clone());
+                assert_eq!(Encoding::decode_stream(&buf).unwrap(), ps.clone());
             }
         }
+    }
 
-        #[test]
-        fn decode_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+    #[test]
+    fn decode_never_panics() {
+        let mut rng = SplitMix64::new(0xc0de_0002);
+        for _ in 0..4096 {
+            let len = rng.below(256) as usize;
+            let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let _ = Encoding::decode_stream(&bytes);
+            // Bias toward plausible streams: valid tag byte, random rest.
+            if let Some(first) = bytes.first_mut() {
+                *first = rng.below(3) as u8;
+                let _ = Encoding::decode_stream(&bytes);
+            }
         }
     }
 }

@@ -2,8 +2,7 @@
 //! identically stay identical, and a cloned (snapshotted) machine is a
 //! perfect fork of the original.
 
-use proptest::prelude::*;
-use qr_common::{CoreId, VirtAddr};
+use qr_common::{CoreId, SplitMix64, VirtAddr};
 use qr_cpu::{CpuConfig, CpuContext, Machine, StepOutcome};
 use qr_isa::{Asm, Reg};
 
@@ -36,27 +35,32 @@ fn fresh(seed: u32) -> Machine {
     m
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
-
-    #[test]
-    fn identical_machines_step_identically(seed in any::<u32>(), steps in 1usize..200) {
+#[test]
+fn identical_machines_step_identically() {
+    let mut rng = SplitMix64::new(0xdede_0001);
+    for _ in 0..16 {
+        let seed = rng.next_u32();
+        let steps = 1 + rng.below(199) as usize;
         let mut a = fresh(seed);
         let mut b = fresh(seed);
         for _ in 0..steps {
             let ra = a.step(CoreId(0));
             let rb = b.step(CoreId(0));
-            prop_assert_eq!(&ra, &rb);
+            assert_eq!(&ra, &rb);
             if matches!(ra.outcome, StepOutcome::Halt) {
                 break;
             }
         }
-        prop_assert_eq!(a.core(CoreId(0)).cycles(), b.core(CoreId(0)).cycles());
+        assert_eq!(a.core(CoreId(0)).cycles(), b.core(CoreId(0)).cycles());
     }
+}
 
-    #[test]
-    fn cloned_machine_forks_perfectly(seed in any::<u32>(), split in 1usize..100) {
-        
+#[test]
+fn cloned_machine_forks_perfectly() {
+    let mut rng = SplitMix64::new(0xdede_0002);
+    for _ in 0..16 {
+        let seed = rng.next_u32();
+        let split = 1 + rng.below(99) as usize;
         let mut original = fresh(seed);
         for _ in 0..split {
             if matches!(original.step(CoreId(0)).outcome, StepOutcome::Halt) {
@@ -68,7 +72,7 @@ proptest! {
         for _ in 0..50 {
             let ro = original.step(CoreId(0));
             let rf = fork.step(CoreId(0));
-            prop_assert_eq!(&ro, &rf);
+            assert_eq!(&ro, &rf);
             if matches!(ro.outcome, StepOutcome::Halt) {
                 break;
             }
@@ -79,11 +83,15 @@ proptest! {
         let mut mf = [0u8; 16];
         original.mem().memory().read_bytes(buf, &mut mo).unwrap();
         fork.mem().memory().read_bytes(buf, &mut mf).unwrap();
-        prop_assert_eq!(mo, mf);
+        assert_eq!(mo, mf);
     }
+}
 
-    #[test]
-    fn fork_divergence_does_not_leak_back(seed in any::<u32>()) {
+#[test]
+fn fork_divergence_does_not_leak_back() {
+    let mut rng = SplitMix64::new(0xdede_0003);
+    for _ in 0..16 {
+        let seed = rng.next_u32();
         let mut original = fresh(seed);
         original.step(CoreId(0));
         let mut fork = original.clone();
@@ -91,6 +99,6 @@ proptest! {
         let buf = original.program().symbol("buf").unwrap();
         fork.mem_mut().memory_mut().write_uint(buf, 4, 0xdead_beef).unwrap();
         let o = original.mem().memory().read_uint(buf, 4).unwrap();
-        prop_assert_ne!(o, 0xdead_beef);
+        assert_ne!(o, 0xdead_beef);
     }
 }

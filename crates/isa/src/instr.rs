@@ -727,24 +727,47 @@ mod tests {
 }
 
 #[cfg(test)]
-mod proptests {
+mod randomized {
     use super::*;
-    use proptest::prelude::*;
+    use qr_common::SplitMix64;
 
-    proptest! {
-        #[test]
-        fn decode_never_panics(bytes in any::<[u8; ENCODED_BYTES]>()) {
-            let _ = Instr::decode(&bytes);
+    fn random_bytes(rng: &mut SplitMix64) -> [u8; ENCODED_BYTES] {
+        rng.next_u64().to_le_bytes()
+    }
+
+    #[test]
+    fn decode_never_panics() {
+        let mut rng = SplitMix64::new(0x15a_0001);
+        for _ in 0..65_536 {
+            let _ = Instr::decode(&random_bytes(&mut rng));
         }
+        // Also sweep every opcode byte with random operand fields, so no
+        // opcode arm is missed by chance.
+        for op in 0..=255u8 {
+            for _ in 0..64 {
+                let mut bytes = random_bytes(&mut rng);
+                bytes[0] = op;
+                let _ = Instr::decode(&bytes);
+            }
+        }
+    }
 
-        #[test]
-        fn decoded_instructions_reencode_identically(bytes in any::<[u8; ENCODED_BYTES]>()) {
+    #[test]
+    fn decoded_instructions_reencode_identically() {
+        let mut rng = SplitMix64::new(0x15a_0002);
+        for _ in 0..65_536 {
+            let mut bytes = random_bytes(&mut rng);
+            // Bias half the cases toward valid opcodes so the decode-ok
+            // path is exercised heavily.
+            if rng.chance(1, 2) {
+                bytes[0] = rng.below(Opcode::Halt as u64 + 1) as u8;
+            }
             if let Ok(instr) = Instr::decode(&bytes) {
                 // Re-encoding a decoded instruction must produce bytes that
                 // decode to the same instruction (the encoding is canonical
                 // modulo don't-care fields).
                 let re = instr.encode();
-                prop_assert_eq!(Instr::decode(&re).unwrap(), instr);
+                assert_eq!(Instr::decode(&re).unwrap(), instr);
             }
         }
     }

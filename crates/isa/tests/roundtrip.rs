@@ -1,129 +1,202 @@
-//! Property tests across the ISA toolchain: random instruction sequences
-//! must survive encode→decode and disassemble→reassemble unchanged.
+//! Randomized tests across the ISA toolchain: random instruction
+//! sequences must survive encode→decode and disassemble→reassemble
+//! unchanged. Driven by the deterministic `SplitMix64` generator so every
+//! run covers the same (large) case set.
 
-use proptest::prelude::*;
+use qr_common::SplitMix64;
 use qr_isa::instr::{AccessWidth, AluOp, BranchCond, Instr};
 use qr_isa::program::{CODE_BASE, INSTR_BYTES};
 use qr_isa::{disasm, text, Program, Reg};
 use std::collections::BTreeMap;
 
-fn arb_reg() -> impl Strategy<Value = Reg> {
-    (0u8..16).prop_map(|n| Reg::from_num(n).expect("in range"))
+fn reg(rng: &mut SplitMix64) -> Reg {
+    Reg::from_num(rng.below(16) as u8).expect("in range")
 }
 
-fn arb_width() -> impl Strategy<Value = AccessWidth> {
-    prop_oneof![Just(AccessWidth::Byte), Just(AccessWidth::Half), Just(AccessWidth::Word)]
+fn width(rng: &mut SplitMix64) -> AccessWidth {
+    match rng.below(3) {
+        0 => AccessWidth::Byte,
+        1 => AccessWidth::Half,
+        _ => AccessWidth::Word,
+    }
 }
 
 /// A random instruction whose control-flow targets stay inside a
 /// `code_len`-instruction program (so reassembly is meaningful).
-fn arb_instr(code_len: u32) -> impl Strategy<Value = Instr> {
-    let target = (0..code_len).prop_map(|i| CODE_BASE + i * INSTR_BYTES);
-    prop_oneof![
-        Just(Instr::Nop),
-        Just(Instr::Fence),
-        Just(Instr::Ret),
-        Just(Instr::Syscall),
-        Just(Instr::Pause),
-        Just(Instr::Halt),
-        (arb_reg(), any::<u32>()).prop_map(|(rd, imm)| Instr::Movi { rd, imm }),
-        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Instr::Mov { rd, rs }),
-        (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(op, rd, rs1, rs2)| Instr::Alu { op: AluOp::ALL[op], rd, rs1, rs2 }),
-        (0usize..AluOp::ALL.len(), arb_reg(), arb_reg(), any::<u32>())
-            .prop_map(|(op, rd, rs1, imm)| Instr::AluImm { op: AluOp::ALL[op], rd, rs1, imm }),
-        (arb_reg(), arb_reg(), -1024i32..1024, arb_width())
-            .prop_map(|(rd, base, offset, width)| Instr::Ld { rd, base, offset, width }),
-        (arb_reg(), arb_reg(), -1024i32..1024, arb_width())
-            .prop_map(|(src, base, offset, width)| Instr::St { src, base, offset, width }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, addr, src)| Instr::Cas { rd, addr, src }),
-        (arb_reg(), arb_reg()).prop_map(|(rd, addr)| Instr::Xchg { rd, addr }),
-        (arb_reg(), arb_reg(), arb_reg())
-            .prop_map(|(rd, addr, src)| Instr::FetchAdd { rd, addr, src }),
-        target.clone().prop_map(|target| Instr::Jmp { target }),
-        (arb_reg(),).prop_map(|(rs,)| Instr::Jr { rs }),
-        (
-            0usize..BranchCond::ALL.len(),
-            arb_reg(),
-            arb_reg(),
-            target.clone()
-        )
-            .prop_map(|(c, rs1, rs2, target)| {
-                let cond = BranchCond::ALL[c];
-                // Eqz/Nez ignore rs2; the assemblers always emit R0 there,
-                // so generate the canonical form.
-                let rs2 = if matches!(cond, BranchCond::Eqz | BranchCond::Nez) {
-                    Reg::R0
-                } else {
-                    rs2
-                };
-                Instr::Br { cond, rs1, rs2, target }
-            }),
-        target.prop_map(|target| Instr::Call { target }),
-        (arb_reg(),).prop_map(|(rs,)| Instr::CallR { rs }),
-        (arb_reg(),).prop_map(|(rs,)| Instr::Push { rs }),
-        (arb_reg(),).prop_map(|(rd,)| Instr::Pop { rd }),
-        (arb_reg(),).prop_map(|(rd,)| Instr::Rdtsc { rd }),
-        (arb_reg(),).prop_map(|(rd,)| Instr::Rdrand { rd }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
-
-    #[test]
-    fn disassemble_reassemble_preserves_programs(
-        len in 1u32..80,
-        seed_instrs in proptest::collection::vec(arb_instr(80), 1..80),
-        data in proptest::collection::vec(any::<u8>(), 0..128),
-    ) {
-        // Clamp to `len` instructions so every branch target is valid.
-        let code: Vec<Instr> = seed_instrs.into_iter().take(len as usize).collect();
-        prop_assume!(!code.is_empty());
-        let program = Program::new("prop", code, data, CODE_BASE, BTreeMap::new()).unwrap();
-        let source = disasm::disassemble(&program);
-        let back = text::assemble("prop2", &source).unwrap_or_else(|e| {
-            panic!("reassembly failed: {e}\n{source}")
-        });
-        prop_assert_eq!(back.code(), program.code());
-        prop_assert_eq!(back.data(), program.data());
-        prop_assert_eq!(back.entry(), program.entry());
-    }
-
-    #[test]
-    fn binary_encoding_round_trips(instrs in proptest::collection::vec(arb_instr(1000), 1..100)) {
-        for instr in &instrs {
-            let bytes = instr.encode();
-            prop_assert_eq!(Instr::decode(&bytes).unwrap(), *instr);
+fn instr(rng: &mut SplitMix64, code_len: u32) -> Instr {
+    let target = |rng: &mut SplitMix64| CODE_BASE + rng.below(code_len as u64) as u32 * INSTR_BYTES;
+    match rng.below(23) {
+        0 => Instr::Nop,
+        1 => Instr::Fence,
+        2 => Instr::Ret,
+        3 => Instr::Syscall,
+        4 => Instr::Pause,
+        5 => Instr::Halt,
+        6 => Instr::Movi { rd: reg(rng), imm: rng.next_u32() },
+        7 => Instr::Mov { rd: reg(rng), rs: reg(rng) },
+        8 => Instr::Alu {
+            op: AluOp::ALL[rng.below(AluOp::ALL.len() as u64) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            rs2: reg(rng),
+        },
+        9 => Instr::AluImm {
+            op: AluOp::ALL[rng.below(AluOp::ALL.len() as u64) as usize],
+            rd: reg(rng),
+            rs1: reg(rng),
+            imm: rng.next_u32(),
+        },
+        10 => Instr::Ld {
+            rd: reg(rng),
+            base: reg(rng),
+            offset: rng.below(2048) as i32 - 1024,
+            width: width(rng),
+        },
+        11 => Instr::St {
+            src: reg(rng),
+            base: reg(rng),
+            offset: rng.below(2048) as i32 - 1024,
+            width: width(rng),
+        },
+        12 => Instr::Cas { rd: reg(rng), addr: reg(rng), src: reg(rng) },
+        13 => Instr::Xchg { rd: reg(rng), addr: reg(rng) },
+        14 => Instr::FetchAdd { rd: reg(rng), addr: reg(rng), src: reg(rng) },
+        15 => Instr::Jmp { target: target(rng) },
+        16 => Instr::Jr { rs: reg(rng) },
+        17 => {
+            let cond = BranchCond::ALL[rng.below(BranchCond::ALL.len() as u64) as usize];
+            // Eqz/Nez ignore rs2; the assemblers always emit R0 there,
+            // so generate the canonical form.
+            let rs2 = if matches!(cond, BranchCond::Eqz | BranchCond::Nez) {
+                Reg::R0
+            } else {
+                reg(rng)
+            };
+            Instr::Br { cond, rs1: reg(rng), rs2, target: target(rng) }
         }
+        18 => Instr::Call { target: target(rng) },
+        19 => Instr::CallR { rs: reg(rng) },
+        20 => Instr::Push { rs: reg(rng) },
+        21 => Instr::Pop { rd: reg(rng) },
+        22 => Instr::Rdtsc { rd: reg(rng) },
+        _ => Instr::Rdrand { rd: reg(rng) },
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+fn check_reassembly(code: Vec<Instr>, data: Vec<u8>) {
+    let program = Program::new("prop", code, data, CODE_BASE, BTreeMap::new()).unwrap();
+    let source = disasm::disassemble(&program);
+    let back = text::assemble("prop2", &source)
+        .unwrap_or_else(|e| panic!("reassembly failed: {e}\n{source}"));
+    assert_eq!(back.code(), program.code());
+    assert_eq!(back.data(), program.data());
+    assert_eq!(back.entry(), program.entry());
+}
 
-    /// The text assembler must reject or accept arbitrary input without
-    /// panicking (it is exposed to user-written files via the CLI).
-    #[test]
-    fn text_assembler_never_panics(source in "\\PC{0,400}") {
+#[test]
+fn disassemble_reassemble_preserves_programs() {
+    let mut rng = SplitMix64::new(0x0d15_a001);
+    for _ in 0..128 {
+        let len = 1 + rng.below(79) as u32;
+        let code: Vec<Instr> = (0..len).map(|_| instr(&mut rng, len)).collect();
+        let data_len = rng.below(128) as usize;
+        let data: Vec<u8> = (0..data_len).map(|_| rng.next_u64() as u8).collect();
+        check_reassembly(code, data);
+    }
+}
+
+/// Regression (from the retired proptest corpus): a single-instruction
+/// program with a data section whose length is not word-aligned.
+#[test]
+fn reassembly_survives_unaligned_data_tail() {
+    check_reassembly(vec![Instr::Nop], vec![0u8; 17]);
+}
+
+/// Regression: a backward conditional branch targeting instruction 0.
+#[test]
+fn reassembly_survives_branch_to_program_start() {
+    let code = vec![Instr::Br {
+        cond: BranchCond::Eqz,
+        rs1: Reg::R0,
+        rs2: Reg::R0,
+        target: CODE_BASE,
+    }];
+    check_reassembly(code, vec![]);
+}
+
+#[test]
+fn binary_encoding_round_trips() {
+    let mut rng = SplitMix64::new(0x0d15_a002);
+    for _ in 0..4096 {
+        let i = instr(&mut rng, 1000);
+        let bytes = i.encode();
+        assert_eq!(Instr::decode(&bytes).unwrap(), i);
+    }
+}
+
+/// The text assembler must reject or accept arbitrary input without
+/// panicking (it is exposed to user-written files via the CLI).
+#[test]
+fn text_assembler_never_panics() {
+    let mut rng = SplitMix64::new(0x0d15_a003);
+    for _ in 0..256 {
+        let len = rng.below(400) as usize;
+        let source: String = (0..len)
+            .map(|_| {
+                // Printable-heavy byte soup with occasional newlines and
+                // non-ASCII characters.
+                match rng.below(20) {
+                    0 => '\n',
+                    1 => '\t',
+                    2 => char::from_u32(0xa0 + rng.below(0x2000) as u32).unwrap_or('x'),
+                    _ => (0x20 + rng.below(0x5f) as u8) as char,
+                }
+            })
+            .collect();
         let _ = text::assemble("fuzz", &source);
     }
+}
 
-    /// Structured-looking fuzz: lines of plausible tokens.
-    #[test]
-    fn tokenish_input_never_panics(
-        lines in proptest::collection::vec(
-            prop_oneof![
-                Just(".data".to_string()),
-                Just(".text".to_string()),
-                "[a-z]{1,8}:".prop_map(|s| s),
-                "(movi|ld|st|add|jmp|beq|cas|\\.word|\\.byte|\\.space|\\.align) [a-z0-9, -]{0,20}".prop_map(|s| s),
-            ],
-            0..30
-        )
-    ) {
-        let source = lines.join("\n");
+/// Structured-looking fuzz: lines of plausible tokens.
+#[test]
+fn tokenish_input_never_panics() {
+    let mut rng = SplitMix64::new(0x0d15_a004);
+    const MNEMONICS: [&str; 10] =
+        ["movi", "ld", "st", "add", "jmp", "beq", "cas", ".word", ".byte", ".space"];
+    const OPERAND_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789, -";
+    for _ in 0..256 {
+        let lines = rng.below(30) as usize;
+        let source: String = (0..lines)
+            .map(|_| match rng.below(4) {
+                0 => ".data".to_string(),
+                1 => ".text".to_string(),
+                2 => {
+                    let len = 1 + rng.below(8) as usize;
+                    let mut s: String = (0..len)
+                        .map(|_| (b'a' + rng.below(26) as u8) as char)
+                        .collect();
+                    s.push(':');
+                    s
+                }
+                _ => {
+                    let m = MNEMONICS[rng.below(MNEMONICS.len() as u64) as usize];
+                    let len = rng.below(21) as usize;
+                    let operands: String = (0..len)
+                        .map(|_| OPERAND_CHARS[rng.below(OPERAND_CHARS.len() as u64) as usize] as char)
+                        .collect();
+                    format!("{m} {operands}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
         let _ = text::assemble("fuzz", &source);
     }
+}
+
+/// Regression: `.space` with a negative operand must be a parse error,
+/// not a panic.
+#[test]
+fn negative_space_directive_is_rejected() {
+    assert!(text::assemble("fuzz", ".space -01").is_err());
+    assert!(text::assemble("fuzz", ".data\n.space -4").is_err());
 }

@@ -1,4 +1,4 @@
-//! Property test: the full memory hierarchy (caches, store buffers,
+//! Randomized test: the full memory hierarchy (caches, store buffers,
 //! coherence) is architecturally equivalent to a flat byte array.
 //!
 //! For a single core, any sequence of loads/stores/atomics/fences/drains
@@ -9,8 +9,7 @@
 //! location (cross-core value propagation is covered by the record/replay
 //! suites, which check full executions).
 
-use proptest::prelude::*;
-use qr_common::{CoreId, VirtAddr};
+use qr_common::{CoreId, SplitMix64, VirtAddr};
 use qr_mem::{MemConfig, MemorySystem};
 
 const BASE: u32 = 0x1000;
@@ -30,19 +29,27 @@ fn aligned(off: u32, width: u32) -> u32 {
     (off % (REGION - 4)) / width * width
 }
 
-fn op_strategy() -> impl Strategy<Value = MemOp> {
-    prop_oneof![
-        4 => (any::<u32>(), prop_oneof![Just(1u32), Just(2), Just(4)])
-            .prop_map(|(off, width)| MemOp::Read { off: aligned(off, width), width }),
-        4 => (any::<u32>(), prop_oneof![Just(1u32), Just(2), Just(4)], any::<u32>())
-            .prop_map(|(off, width, value)| MemOp::Write { off: aligned(off, width), width, value }),
-        1 => (any::<u32>(), any::<u32>())
-            .prop_map(|(off, delta)| MemOp::FetchAdd { off: aligned(off, 4), delta }),
-        1 => (any::<u32>(), any::<u32>(), any::<u32>())
-            .prop_map(|(off, expected, new)| MemOp::Cas { off: aligned(off, 4), expected, new }),
-        1 => Just(MemOp::Fence),
-        2 => Just(MemOp::DrainOne),
-    ]
+fn random_op(rng: &mut SplitMix64) -> MemOp {
+    let width = |rng: &mut SplitMix64| [1u32, 2, 4][rng.below(3) as usize];
+    // Weighted like the retired proptest strategy: reads/writes dominate.
+    match rng.below(13) {
+        0..=3 => {
+            let w = width(rng);
+            MemOp::Read { off: aligned(rng.next_u32(), w), width: w }
+        }
+        4..=7 => {
+            let w = width(rng);
+            MemOp::Write { off: aligned(rng.next_u32(), w), width: w, value: rng.next_u32() }
+        }
+        8 => MemOp::FetchAdd { off: aligned(rng.next_u32(), 4), delta: rng.next_u32() },
+        9 => MemOp::Cas {
+            off: aligned(rng.next_u32(), 4),
+            expected: rng.next_u32(),
+            new: rng.next_u32(),
+        },
+        10 => MemOp::Fence,
+        _ => MemOp::DrainOne,
+    }
 }
 
 /// Flat little-endian reference.
@@ -69,15 +76,59 @@ impl Reference {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+/// Applies one op to both the real system and the flat model, checking
+/// that every observed value agrees.
+fn apply_checked(
+    sys: &mut MemorySystem,
+    reference: &mut Reference,
+    core: CoreId,
+    base: u32,
+    op: &MemOp,
+) {
+    match *op {
+        MemOp::Read { off, width } => {
+            let got = sys.read(core, VirtAddr(base + off), width).unwrap().value;
+            assert_eq!(got, reference.read(off, width), "read at {off}+{width}");
+        }
+        MemOp::Write { off, width, value } => {
+            sys.write(core, VirtAddr(base + off), width, value).unwrap();
+            reference.write(off, width, value);
+        }
+        MemOp::FetchAdd { off, delta } => {
+            let old = sys
+                .atomic_rmw(core, VirtAddr(base + off), |v| v.wrapping_add(delta))
+                .unwrap()
+                .value;
+            let ref_old = reference.read(off, 4);
+            assert_eq!(old, ref_old);
+            reference.write(off, 4, ref_old.wrapping_add(delta));
+        }
+        MemOp::Cas { off, expected, new } => {
+            let old = sys
+                .atomic_rmw(core, VirtAddr(base + off), |v| if v == expected { new } else { v })
+                .unwrap()
+                .value;
+            let ref_old = reference.read(off, 4);
+            assert_eq!(old, ref_old);
+            if ref_old == expected {
+                reference.write(off, 4, new);
+            }
+        }
+        MemOp::Fence => {
+            sys.fence(core).unwrap();
+        }
+        MemOp::DrainOne => {
+            sys.drain_one(core).unwrap();
+        }
+    }
+}
 
-    #[test]
-    fn single_core_hierarchy_matches_flat_memory(
-        ops in proptest::collection::vec(op_strategy(), 1..200),
-        tiny_cache in any::<bool>(),
-        sb_entries in 1usize..8,
-    ) {
+#[test]
+fn single_core_hierarchy_matches_flat_memory() {
+    let mut rng = SplitMix64::new(0x3e3_0001);
+    for _ in 0..64 {
+        let tiny_cache = rng.chance(1, 2);
+        let sb_entries = 1 + rng.below(7) as usize;
         let cfg = MemConfig {
             l1_sets: if tiny_cache { 2 } else { 128 },
             l1_ways: if tiny_cache { 1 } else { 4 },
@@ -88,67 +139,36 @@ proptest! {
         sys.map_region(VirtAddr(BASE), REGION).unwrap();
         let mut reference = Reference::new();
         let core = CoreId(0);
-        for op in &ops {
-            match *op {
-                MemOp::Read { off, width } => {
-                    let got = sys.read(core, VirtAddr(BASE + off), width).unwrap().value;
-                    prop_assert_eq!(got, reference.read(off, width), "read at {}+{}", off, width);
-                }
-                MemOp::Write { off, width, value } => {
-                    sys.write(core, VirtAddr(BASE + off), width, value).unwrap();
-                    reference.write(off, width, value);
-                }
-                MemOp::FetchAdd { off, delta } => {
-                    let old = sys
-                        .atomic_rmw(core, VirtAddr(BASE + off), |v| v.wrapping_add(delta))
-                        .unwrap()
-                        .value;
-                    let ref_old = reference.read(off, 4);
-                    prop_assert_eq!(old, ref_old);
-                    reference.write(off, 4, ref_old.wrapping_add(delta));
-                }
-                MemOp::Cas { off, expected, new } => {
-                    let old = sys
-                        .atomic_rmw(core, VirtAddr(BASE + off), |v| {
-                            if v == expected { new } else { v }
-                        })
-                        .unwrap()
-                        .value;
-                    let ref_old = reference.read(off, 4);
-                    prop_assert_eq!(old, ref_old);
-                    if ref_old == expected {
-                        reference.write(off, 4, new);
-                    }
-                }
-                MemOp::Fence => {
-                    sys.fence(core).unwrap();
-                }
-                MemOp::DrainOne => {
-                    sys.drain_one(core).unwrap();
-                }
-            }
+        let n_ops = 1 + rng.below(199) as usize;
+        for _ in 0..n_ops {
+            let op = random_op(&mut rng);
+            apply_checked(&mut sys, &mut reference, core, BASE, &op);
         }
         // After a final fence the flat memory must match exactly.
         sys.fence(core).unwrap();
         for off in (0..REGION).step_by(4) {
-            prop_assert_eq!(
+            assert_eq!(
                 sys.memory().read_uint(VirtAddr(BASE + off), 4).unwrap(),
                 reference.read(off, 4),
-                "final memory at {}", off
+                "final memory at {off}"
             );
         }
     }
+}
 
-    #[test]
-    fn partitioned_multicore_accesses_match_flat_memory(
-        ops_per_core in proptest::collection::vec(
-            proptest::collection::vec(op_strategy(), 1..60),
-            2..4
-        ),
-    ) {
+#[test]
+fn partitioned_multicore_accesses_match_flat_memory() {
+    let mut rng = SplitMix64::new(0x3e3_0002);
+    for _ in 0..64 {
         // Each core works in its own sub-region: with no sharing, every
         // core must behave like an independent flat memory.
-        let cores = ops_per_core.len();
+        let cores = 2 + rng.below(2) as usize;
+        let ops_per_core: Vec<Vec<MemOp>> = (0..cores)
+            .map(|_| {
+                let n = 1 + rng.below(59) as usize;
+                (0..n).map(|_| random_op(&mut rng)).collect()
+            })
+            .collect();
         let mut sys = MemorySystem::new(MemConfig::default(), cores).unwrap();
         sys.map_region(VirtAddr(BASE), REGION * cores as u32).unwrap();
         let mut references: Vec<Reference> = (0..cores).map(|_| Reference::new()).collect();
@@ -159,45 +179,7 @@ proptest! {
                 let Some(op) = ops.get(i) else { continue };
                 let core = CoreId(c as u8);
                 let base = BASE + c as u32 * REGION;
-                let reference = &mut references[c];
-                match *op {
-                    MemOp::Read { off, width } => {
-                        let got = sys.read(core, VirtAddr(base + off), width).unwrap().value;
-                        prop_assert_eq!(got, reference.read(off, width));
-                    }
-                    MemOp::Write { off, width, value } => {
-                        sys.write(core, VirtAddr(base + off), width, value).unwrap();
-                        reference.write(off, width, value);
-                    }
-                    MemOp::FetchAdd { off, delta } => {
-                        let old = sys
-                            .atomic_rmw(core, VirtAddr(base + off), |v| v.wrapping_add(delta))
-                            .unwrap()
-                            .value;
-                        let ref_old = reference.read(off, 4);
-                        prop_assert_eq!(old, ref_old);
-                        reference.write(off, 4, ref_old.wrapping_add(delta));
-                    }
-                    MemOp::Cas { off, expected, new } => {
-                        let old = sys
-                            .atomic_rmw(core, VirtAddr(base + off), |v| {
-                                if v == expected { new } else { v }
-                            })
-                            .unwrap()
-                            .value;
-                        let ref_old = reference.read(off, 4);
-                        prop_assert_eq!(old, ref_old);
-                        if ref_old == expected {
-                            reference.write(off, 4, new);
-                        }
-                    }
-                    MemOp::Fence => {
-                        sys.fence(core).unwrap();
-                    }
-                    MemOp::DrainOne => {
-                        sys.drain_one(core).unwrap();
-                    }
-                }
+                apply_checked(&mut sys, &mut references[c], core, base, op);
             }
         }
     }

@@ -28,6 +28,10 @@ impl Scale {
 }
 
 /// One workload in the suite.
+///
+/// Specs are plain `Copy` data (static strings and function pointers), so
+/// experiment jobs can capture them by value and run on worker threads.
+#[derive(Clone, Copy)]
 pub struct WorkloadSpec {
     /// Short name (matches the SPLASH-2 analog).
     pub name: &'static str,

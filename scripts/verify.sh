@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 verification: build, test, and smoke-run the experiment harness.
+#
+# Usage: scripts/verify.sh
+# The repro smoke check runs a cheap experiment in both execution modes
+# and asserts the outputs are byte-identical (the harness's determinism
+# guarantee — see DESIGN.md, "The experiment executor").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== build (release) =="
+cargo build --release --workspace
+
+echo "== tests =="
+cargo test -q --workspace
+
+echo "== repro smoke: serial vs parallel must match byte-for-byte =="
+serial=$(mktemp)
+parallel=$(mktemp)
+trap 'rm -f "$serial" "$parallel"' EXIT
+./target/release/repro a6 --serial > "$serial"
+./target/release/repro a6 --jobs 4 > "$parallel"
+cmp "$serial" "$parallel"
+echo "repro output identical across modes"
+
+echo "== verify OK =="
