@@ -7,6 +7,7 @@
 //! cargo run --release -p qr-bench --bin repro -- e5
 //! cargo run --release -p qr-bench --bin repro -- all --serial
 //! cargo run --release -p qr-bench --bin repro -- all --jobs 4
+//! cargo run --release -p qr-bench --bin repro -- r1 --fuzz-iters 200
 //! ```
 //!
 //! Experiments decompose into independent (workload, configuration)
@@ -39,8 +40,19 @@ fn main() {
                     });
                 mode = ExecMode::Parallel { workers };
             }
+            "--fuzz-iters" => {
+                let total = iter
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--fuzz-iters needs a positive integer");
+                        std::process::exit(2);
+                    });
+                qr_bench::fault::set_fuzz_cases(total);
+            }
             other if other.starts_with("--") => {
-                eprintln!("unknown flag `{other}`; flags: --serial, --jobs N");
+                eprintln!("unknown flag `{other}`; flags: --serial, --jobs N, --fuzz-iters N");
                 std::process::exit(2);
             }
             other => what = Some(other.to_string()),

@@ -17,9 +17,9 @@ use qr_workloads::{suite, Scale, WorkloadSpec};
 use quickrec_core::{Encoding, MrrConfig, TerminationReason};
 
 /// Every experiment id, in report order (`repro all`).
-pub const ALL_IDS: [&str; 18] = [
+pub const ALL_IDS: [&str; 19] = [
     "t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2",
-    "a3", "a5", "a6",
+    "a3", "a5", "a6", "r1",
 ];
 
 /// What an experiment prints after its table.
@@ -68,6 +68,7 @@ pub fn plan(id: &str) -> Option<Experiment> {
         "a3" => a3(),
         "a5" => a5(),
         "a6" => a6(),
+        "r1" => r1(),
         _ => return None,
     })
 }
@@ -700,5 +701,48 @@ fn a6() -> Experiment {
             "overhead cycles".into(), "replay".into()],
         jobs,
         footer: Footer::None,
+    }
+}
+
+/// R1 — log fault injection (the robustness contract of the framed
+/// format and salvage replay).
+fn r1() -> Experiment {
+    use crate::fault::{self, Mutator};
+    let workloads = ["fft", "water", "radix", "lu"];
+    let combos: Vec<(WorkloadSpec, Encoding, Mutator)> = workloads
+        .iter()
+        .map(|name| qr_workloads::suite::find(name).expect("suite member"))
+        .flat_map(|spec| {
+            Encoding::ALL.iter().flat_map(move |&encoding| {
+                Mutator::ALL.iter().map(move |&mutator| (spec, encoding, mutator))
+            })
+        })
+        .collect();
+    // The case budget is captured at plan time (the CLI sets it before
+    // planning); each job then owns a fixed share, keyed RNG and all.
+    let total = fault::fuzz_cases();
+    let n_jobs = combos.len();
+    let jobs: Vec<Job> = combos
+        .into_iter()
+        .enumerate()
+        .map(|(i, (spec, encoding, mutator))| {
+            let cases = total / n_jobs + usize::from(i < total % n_jobs);
+            Box::new(move |cache: &BuildCache| {
+                fault::fuzz_job(cache, &spec, encoding, mutator, cases)
+            }) as Job
+        })
+        .collect();
+    Experiment {
+        id: "r1",
+        title: "log fault injection: mutated recordings never panic, always salvage a true prefix",
+        note: "per-job SplitMix64 streams keyed by (workload, encoding, mutator); every case asserts \
+         strict decode rejects or the salvaged replay prefix-matches the clean run",
+        header: vec!["workload".into(), "encoding".into(), "mutator".into(), "cases".into(),
+            "rejected".into(), "decoded".into(), "mean salvaged".into()],
+        jobs,
+        footer: Footer::MeanStat(|mean| {
+            format!("mean salvaged-timeline fraction: {:.1}% (0 panics, all prefixes verified)",
+                100.0 * mean)
+        }),
     }
 }

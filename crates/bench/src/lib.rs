@@ -8,6 +8,7 @@
 //! the experiments print uniform, diff-able output.
 
 pub mod experiments;
+pub mod fault;
 pub mod runner;
 pub mod timing;
 

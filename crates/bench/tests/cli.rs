@@ -1,0 +1,34 @@
+//! CLI contract of the `repro` binary: bad invocations fail fast with a
+//! nonzero exit and a usage hint, before any experiment work starts.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("spawn repro")
+}
+
+#[test]
+fn unknown_experiment_id_exits_nonzero_and_lists_known_ids() {
+    let out = repro(&["zz9"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "{err}");
+    assert!(err.contains("r1"), "known-id list includes r1: {err}");
+}
+
+#[test]
+fn bad_flags_exit_nonzero() {
+    for args in [
+        &["--bogus"][..],
+        &["r1", "--jobs"][..],
+        &["r1", "--jobs", "0"][..],
+        &["r1", "--jobs", "many"][..],
+        &["r1", "--fuzz-iters"][..],
+        &["r1", "--fuzz-iters", "0"][..],
+        &["r1", "--fuzz-iters", "lots"][..],
+    ] {
+        let out = repro(args);
+        assert_eq!(out.status.code(), Some(2), "args {args:?}");
+        assert!(!out.stderr.is_empty(), "diagnostic printed for {args:?}");
+    }
+}

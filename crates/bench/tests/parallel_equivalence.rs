@@ -29,6 +29,21 @@ fn parallel_output_is_byte_identical_to_serial() {
 }
 
 #[test]
+fn fault_injection_report_is_mode_invariant() {
+    // R1's random streams are keyed per job (workload, encoding,
+    // mutator), never shared, so the fuzz campaign must render the same
+    // bytes however the scheduler interleaves its 60 jobs.
+    qr_bench::fault::set_fuzz_cases(30);
+    let ids = ["r1"];
+    let serial = render(&ids, ExecMode::Serial);
+    for workers in [2, 8] {
+        let parallel = render(&ids, ExecMode::Parallel { workers });
+        assert_eq!(serial, parallel, "{workers}-worker R1 output diverged from serial");
+    }
+    assert!(serial.contains("mean salvaged-timeline fraction"), "{serial}");
+}
+
+#[test]
 fn rendered_report_has_the_expected_shape() {
     let out = render(&["a6"], ExecMode::Parallel { workers: 4 });
     assert!(out.starts_with("\n=== A6: "), "heading present: {out:?}");

@@ -8,10 +8,19 @@
 //! them into one timeline; per-thread-local values (`rdtsc`, `rdrand`)
 //! are plain FIFO queues.
 
+use qr_common::frame::{self, PayloadKind};
 use qr_common::{varint, Cycle, QrError, Result, ThreadId, VirtAddr};
 use qr_cpu::NondetKind;
 use qr_os::SyscallRecord;
 use std::collections::BTreeMap;
+
+/// Events per framed record: the salvage granularity of a torn input log.
+pub const EVENT_GROUP: usize = 64;
+
+/// Framed-record kind byte: a group of timestamped events.
+const REC_EVENTS: u8 = 0;
+/// Framed-record kind byte: one thread's nondet-value section.
+const REC_NONDET: u8 = 1;
 
 /// A timestamped input event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,31 +107,48 @@ impl InputLog {
         self.to_bytes().len()
     }
 
-    /// Serializes the log.
+    /// Serializes the log in the crash-consistent framed container
+    /// format (see [`qr_common::frame`]): record 0 commits the event and
+    /// nondet-thread counts, then one record per [`EVENT_GROUP`]-event
+    /// group and one record per thread's nondet section, each CRC-32
+    /// protected and independently decodable.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = frame::Writer::new(PayloadKind::InputLog);
+        let mut header = Vec::new();
+        varint::write_u64(&mut header, self.events.len() as u64);
+        varint::write_u64(&mut header, self.nondet.len() as u64);
+        w.record(&header);
+        for group in self.events.chunks(EVENT_GROUP) {
+            let mut payload = vec![REC_EVENTS];
+            for ev in group {
+                Self::encode_event(ev, &mut payload);
+            }
+            w.record(&payload);
+        }
+        for (tid, values) in &self.nondet {
+            let mut payload = vec![REC_NONDET];
+            varint::write_u64(&mut payload, tid.0 as u64);
+            varint::write_u64(&mut payload, values.len() as u64);
+            for (kind, value) in values {
+                payload.push(match kind {
+                    NondetKind::Rdtsc => 0,
+                    NondetKind::Rdrand => 1,
+                });
+                varint::write_u64(&mut payload, *value as u64);
+            }
+            w.record(&payload);
+        }
+        w.finish()
+    }
+
+    /// Serializes the log in the **legacy** (unframed, checksum-free)
+    /// layout written by pre-framing recorders. Kept so the legacy read
+    /// path stays testable.
+    pub fn to_legacy_bytes(&self) -> Vec<u8> {
         let mut out = Vec::new();
         varint::write_u64(&mut out, self.events.len() as u64);
         for ev in &self.events {
-            match ev {
-                InputEvent::Syscall { ts, record } => {
-                    out.push(0);
-                    varint::write_u64(&mut out, ts.0);
-                    varint::write_u64(&mut out, record.tid.0 as u64);
-                    varint::write_u64(&mut out, record.number as u64);
-                    varint::write_u64(&mut out, record.result as u64);
-                    varint::write_u64(&mut out, record.writes.len() as u64);
-                    for (addr, data) in &record.writes {
-                        varint::write_u64(&mut out, addr.0 as u64);
-                        varint::write_u64(&mut out, data.len() as u64);
-                        out.extend_from_slice(data);
-                    }
-                }
-                InputEvent::Signal { ts, tid } => {
-                    out.push(1);
-                    varint::write_u64(&mut out, ts.0);
-                    varint::write_u64(&mut out, tid.0 as u64);
-                }
-            }
+            Self::encode_event(ev, &mut out);
         }
         varint::write_u64(&mut out, self.nondet.len() as u64);
         for (tid, values) in &self.nondet {
@@ -139,78 +165,329 @@ impl InputLog {
         out
     }
 
-    /// Deserializes a log produced by [`InputLog::to_bytes`].
+    fn encode_event(ev: &InputEvent, out: &mut Vec<u8>) {
+        match ev {
+            InputEvent::Syscall { ts, record } => {
+                out.push(0);
+                varint::write_u64(out, ts.0);
+                varint::write_u64(out, record.tid.0 as u64);
+                varint::write_u64(out, record.number as u64);
+                varint::write_u64(out, record.result as u64);
+                varint::write_u64(out, record.writes.len() as u64);
+                for (addr, data) in &record.writes {
+                    varint::write_u64(out, addr.0 as u64);
+                    varint::write_u64(out, data.len() as u64);
+                    out.extend_from_slice(data);
+                }
+            }
+            InputEvent::Signal { ts, tid } => {
+                out.push(1);
+                varint::write_u64(out, ts.0);
+                varint::write_u64(out, tid.0 as u64);
+            }
+        }
+    }
+
+    /// Deserializes a log produced by [`InputLog::to_bytes`] (framed) or
+    /// by a pre-framing recorder (legacy unframed). A valid legacy log
+    /// can never start with the framed magic — its second byte would
+    /// have to be `b'R'`, which is not a legal event tag — so routing on
+    /// the magic is unambiguous.
     ///
     /// # Errors
     ///
-    /// Returns [`QrError::LogDecode`] on malformed input.
+    /// Returns [`QrError::Corrupt`] with byte-offset context on
+    /// malformed input.
     pub fn from_bytes(buf: &[u8]) -> Result<InputLog> {
-        let mut off = 0usize;
-        let next_u64 = |buf: &[u8], off: &mut usize| -> Result<u64> {
-            let (v, n) = varint::read_u64(&buf[*off..])?;
-            *off += n;
-            Ok(v)
-        };
-        let mut log = InputLog::new();
-        let num_events = next_u64(buf, &mut off)?;
-        for _ in 0..num_events {
-            let tag = *buf.get(off).ok_or_else(|| QrError::LogDecode("truncated event".into()))?;
-            off += 1;
-            match tag {
-                0 => {
-                    let ts = Cycle(next_u64(buf, &mut off)?);
-                    let tid = ThreadId(next_u64(buf, &mut off)? as u32);
-                    let number = next_u64(buf, &mut off)? as u32;
-                    let result = next_u64(buf, &mut off)? as u32;
-                    let num_writes = next_u64(buf, &mut off)?;
-                    let mut writes = Vec::with_capacity(num_writes as usize);
-                    for _ in 0..num_writes {
-                        let addr = VirtAddr(next_u64(buf, &mut off)? as u32);
-                        let len = next_u64(buf, &mut off)? as usize;
-                        let end = off
-                            .checked_add(len)
-                            .filter(|&e| e <= buf.len())
-                            .ok_or_else(|| QrError::LogDecode("truncated write payload".into()))?;
-                        writes.push((addr, buf[off..end].to_vec()));
-                        off = end;
-                    }
-                    log.events.push(InputEvent::Syscall {
-                        ts,
-                        record: SyscallRecord { tid, number, result, writes },
-                    });
-                }
-                1 => {
-                    let ts = Cycle(next_u64(buf, &mut off)?);
-                    let tid = ThreadId(next_u64(buf, &mut off)? as u32);
-                    log.events.push(InputEvent::Signal { ts, tid });
-                }
-                other => {
-                    return Err(QrError::LogDecode(format!("unknown input event tag {other}")))
-                }
-            }
+        if !frame::is_framed(buf) {
+            return InputLog::from_legacy_bytes(buf);
         }
-        let num_threads = next_u64(buf, &mut off)?;
+        let (log, salvage) = InputLog::salvage_from_bytes(buf);
+        match salvage.corruption {
+            Some(err) => Err(err),
+            None => Ok(log),
+        }
+    }
+
+    /// Deserializes a **legacy** (unframed) log. Explicit compatibility
+    /// path for logs written before the framed container existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on malformed input.
+    pub fn from_legacy_bytes(buf: &[u8]) -> Result<InputLog> {
+        let corrupt = |off: usize, detail: String| QrError::Corrupt {
+            what: "legacy input log".into(),
+            offset: off as u64,
+            detail,
+        };
+        let mut off = 0usize;
+        let mut log = InputLog::new();
+        let num_events = read_u64_at(buf, &mut off, "input log")?;
+        for _ in 0..num_events {
+            let ev = decode_event(buf, &mut off, 0)?;
+            log.events.push(ev);
+        }
+        let num_threads = read_u64_at(buf, &mut off, "input log")?;
+        // Each nondet section needs at least 2 bytes (tid + count).
+        if num_threads > (buf.len() - off.min(buf.len())) as u64 {
+            return Err(corrupt(off, format!("implausible nondet thread count {num_threads}")));
+        }
         for _ in 0..num_threads {
-            let tid = ThreadId(next_u64(buf, &mut off)? as u32);
-            let count = next_u64(buf, &mut off)?;
-            let mut values = Vec::with_capacity(count as usize);
-            for _ in 0..count {
-                let tag =
-                    *buf.get(off).ok_or_else(|| QrError::LogDecode("truncated nondet".into()))?;
-                off += 1;
-                let kind = match tag {
-                    0 => NondetKind::Rdtsc,
-                    1 => NondetKind::Rdrand,
-                    other => {
-                        return Err(QrError::LogDecode(format!("unknown nondet tag {other}")))
-                    }
-                };
-                values.push((kind, next_u64(buf, &mut off)? as u32));
-            }
+            let (tid, values) = decode_nondet_section(buf, &mut off, 0)?;
             log.nondet.insert(tid, values);
+        }
+        if off != buf.len() {
+            return Err(corrupt(off, format!("{} trailing bytes", buf.len() - off)));
         }
         Ok(log)
     }
+
+    /// Tolerantly deserializes a framed log, recovering the longest
+    /// complete, checksum-valid prefix of a torn or corrupted file.
+    /// Never fails: corruption is *described* in the returned
+    /// [`InputSalvage`], not fatal.
+    pub fn salvage_from_bytes(buf: &[u8]) -> (InputLog, InputSalvage) {
+        let what = "input log";
+        let mut log = InputLog::new();
+        let gone = |err: QrError| InputSalvage {
+            expected_events: None,
+            expected_threads: None,
+            bytes_dropped: buf.len(),
+            corruption: Some(err),
+        };
+        let scanned = frame::scan(buf);
+        match scanned.kind {
+            Some(PayloadKind::InputLog) => {}
+            Some(other) => {
+                return (
+                    log,
+                    gone(QrError::Corrupt {
+                        what: what.into(),
+                        offset: 5,
+                        detail: format!(
+                            "container holds a {}, expected an input log",
+                            other.name()
+                        ),
+                    }),
+                )
+            }
+            None => {
+                let fault = scanned.fault.expect("scan without kind always faults");
+                return (log, gone(fault.to_error(what)));
+            }
+        }
+        let Some((header, rest)) = scanned.records.split_first() else {
+            let err = match scanned.fault {
+                Some(fault) => fault.to_error(what),
+                None => QrError::Corrupt {
+                    what: what.into(),
+                    offset: frame::HEADER_LEN as u64,
+                    detail: "missing input-log header record".into(),
+                },
+            };
+            return (log, gone(err));
+        };
+        // Parse the header record: committed event + nondet-thread counts.
+        let header_base = frame::HEADER_LEN + 4;
+        let parse_header = |h: &[u8]| -> std::result::Result<(u64, u64), String> {
+            let mut hoff = 0usize;
+            let (events, n) = varint::read_u64(h).map_err(|e| e.to_string())?;
+            hoff += n;
+            let (threads, n) = varint::read_u64(&h[hoff..]).map_err(|e| e.to_string())?;
+            hoff += n;
+            if hoff != h.len() {
+                return Err(format!("{} trailing bytes in header record", h.len() - hoff));
+            }
+            Ok((events, threads))
+        };
+        let (expected_events, expected_threads) = match parse_header(header) {
+            Ok(pair) => pair,
+            Err(detail) => {
+                return (
+                    log,
+                    gone(QrError::Corrupt {
+                        what: what.into(),
+                        offset: header_base as u64,
+                        detail,
+                    }),
+                )
+            }
+        };
+        let mut corruption = None;
+        let mut payload_base = header_base + header.len() + 4 + 4;
+        let mut consumed = frame::HEADER_LEN + header.len() + frame::RECORD_OVERHEAD;
+        for payload in rest {
+            if let Err(err) = decode_record(&mut log, payload, payload_base) {
+                corruption = Some(err);
+                break;
+            }
+            consumed += payload.len() + frame::RECORD_OVERHEAD;
+            payload_base += payload.len() + frame::RECORD_OVERHEAD;
+        }
+        if corruption.is_none() {
+            if let Some(fault) = scanned.fault {
+                corruption = Some(fault.to_error(what));
+            } else if log.events.len() as u64 != expected_events
+                || log.nondet.len() as u64 != expected_threads
+            {
+                corruption = Some(QrError::Corrupt {
+                    what: what.into(),
+                    offset: buf.len() as u64,
+                    detail: format!(
+                        "header commits {expected_events} events / {expected_threads} nondet \
+                         threads but records hold {} / {}",
+                        log.events.len(),
+                        log.nondet.len()
+                    ),
+                });
+            }
+        }
+        let salvage = InputSalvage {
+            expected_events: Some(expected_events),
+            expected_threads: Some(expected_threads),
+            bytes_dropped: buf.len().saturating_sub(consumed.min(buf.len())),
+            corruption,
+        };
+        (log, salvage)
+    }
+}
+
+/// What [`InputLog::salvage_from_bytes`] recovered from a framed input
+/// log (the log itself is returned alongside).
+#[derive(Debug, Clone, PartialEq)]
+pub struct InputSalvage {
+    /// Event count the header committed to, if the header survived.
+    pub expected_events: Option<u64>,
+    /// Nondet-thread count the header committed to, if it survived.
+    pub expected_threads: Option<u64>,
+    /// Container bytes not covered by salvaged records.
+    pub bytes_dropped: usize,
+    /// What stopped the salvage (`None` for a fully intact log).
+    pub corruption: Option<QrError>,
+}
+
+/// Reads one varint at `*off`, advancing it, with byte-offset error
+/// context.
+fn read_u64_at(buf: &[u8], off: &mut usize, what: &str) -> Result<u64> {
+    let (v, n) = varint::read_u64(buf.get(*off..).unwrap_or(&[])).map_err(|e| QrError::Corrupt {
+        what: what.into(),
+        offset: *off as u64,
+        detail: e.to_string(),
+    })?;
+    *off += n;
+    Ok(v)
+}
+
+/// Decodes one framed record payload into `log`. `base` is the payload's
+/// byte offset within the container, for error context.
+fn decode_record(log: &mut InputLog, payload: &[u8], base: usize) -> Result<()> {
+    let corrupt = |off: usize, detail: String| QrError::Corrupt {
+        what: "input log record".into(),
+        offset: (base + off) as u64,
+        detail,
+    };
+    let Some(&kind) = payload.first() else {
+        return Err(corrupt(0, "empty record".into()));
+    };
+    let mut off = 1usize;
+    match kind {
+        REC_EVENTS => {
+            while off < payload.len() {
+                let ev = decode_event(payload, &mut off, base)?;
+                log.events.push(ev);
+            }
+        }
+        REC_NONDET => {
+            let (tid, values) = decode_nondet_section(payload, &mut off, base)?;
+            if off != payload.len() {
+                return Err(corrupt(off, format!("{} trailing bytes", payload.len() - off)));
+            }
+            if log.nondet.insert(tid, values).is_some() {
+                return Err(corrupt(1, format!("duplicate nondet section for {tid}")));
+            }
+        }
+        other => return Err(corrupt(0, format!("unknown record kind {other}"))),
+    }
+    Ok(())
+}
+
+/// Decodes one timestamped event at `*off`, advancing it. `base` offsets
+/// error positions into the surrounding container.
+fn decode_event(buf: &[u8], off: &mut usize, base: usize) -> Result<InputEvent> {
+    let corrupt = |off: usize, detail: String| QrError::Corrupt {
+        what: "input event".into(),
+        offset: (base + off) as u64,
+        detail,
+    };
+    let tag = *buf.get(*off).ok_or_else(|| corrupt(*off, "truncated event".into()))?;
+    *off += 1;
+    match tag {
+        0 => {
+            let ts = Cycle(read_u64_at(buf, off, "input event")?);
+            let tid = ThreadId(read_u64_at(buf, off, "input event")? as u32);
+            let number = read_u64_at(buf, off, "input event")? as u32;
+            let result = read_u64_at(buf, off, "input event")? as u32;
+            let num_writes = read_u64_at(buf, off, "input event")?;
+            // Each write needs at least 2 bytes (addr + len varints), so
+            // an implausible count is rejected before it can size an
+            // allocation.
+            let remaining = buf.len().saturating_sub(*off) as u64;
+            if num_writes > remaining {
+                return Err(corrupt(*off, format!("implausible write count {num_writes}")));
+            }
+            let mut writes = Vec::with_capacity(num_writes as usize);
+            for _ in 0..num_writes {
+                let addr = VirtAddr(read_u64_at(buf, off, "input event")? as u32);
+                let len = read_u64_at(buf, off, "input event")? as usize;
+                let end = off
+                    .checked_add(len)
+                    .filter(|&e| e <= buf.len())
+                    .ok_or_else(|| corrupt(*off, "truncated write payload".into()))?;
+                writes.push((addr, buf[*off..end].to_vec()));
+                *off = end;
+            }
+            Ok(InputEvent::Syscall { ts, record: SyscallRecord { tid, number, result, writes } })
+        }
+        1 => {
+            let ts = Cycle(read_u64_at(buf, off, "input event")?);
+            let tid = ThreadId(read_u64_at(buf, off, "input event")? as u32);
+            Ok(InputEvent::Signal { ts, tid })
+        }
+        other => Err(corrupt(*off - 1, format!("unknown input event tag {other}"))),
+    }
+}
+
+/// Decodes one thread's nondet section (tid, count, values) at `*off`.
+fn decode_nondet_section(
+    buf: &[u8],
+    off: &mut usize,
+    base: usize,
+) -> Result<(ThreadId, Vec<(NondetKind, u32)>)> {
+    let corrupt = |off: usize, detail: String| QrError::Corrupt {
+        what: "nondet section".into(),
+        offset: (base + off) as u64,
+        detail,
+    };
+    let tid = ThreadId(read_u64_at(buf, off, "nondet section")? as u32);
+    let count = read_u64_at(buf, off, "nondet section")?;
+    // Each value needs at least 2 bytes (kind tag + value varint).
+    let remaining = buf.len().saturating_sub(*off) as u64;
+    if count > remaining {
+        return Err(corrupt(*off, format!("implausible nondet count {count}")));
+    }
+    let mut values = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        let tag = *buf.get(*off).ok_or_else(|| corrupt(*off, "truncated nondet".into()))?;
+        *off += 1;
+        let kind = match tag {
+            0 => NondetKind::Rdtsc,
+            1 => NondetKind::Rdrand,
+            other => return Err(corrupt(*off - 1, format!("unknown nondet tag {other}"))),
+        };
+        values.push((kind, read_u64_at(buf, off, "nondet section")? as u32));
+    }
+    Ok((tid, values))
 }
 
 #[cfg(test)]
@@ -243,16 +520,99 @@ mod tests {
     fn round_trips_through_bytes() {
         let log = sample();
         let bytes = log.to_bytes();
+        assert!(frame::is_framed(&bytes));
         assert_eq!(InputLog::from_bytes(&bytes).unwrap(), log);
         assert_eq!(log.byte_size(), bytes.len());
     }
 
     #[test]
-    fn truncation_is_detected() {
+    fn legacy_layout_round_trips() {
+        let log = sample();
+        let legacy = log.to_legacy_bytes();
+        assert!(!frame::is_framed(&legacy));
+        assert_eq!(InputLog::from_legacy_bytes(&legacy).unwrap(), log);
+        // The auto-detecting path routes legacy bytes correctly too.
+        assert_eq!(InputLog::from_bytes(&legacy).unwrap(), log);
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_offset() {
         let bytes = sample().to_bytes();
-        for cut in [1usize, 5, bytes.len() / 2, bytes.len() - 1] {
-            assert!(InputLog::from_bytes(&bytes[..cut]).is_err(), "cut {cut}");
+        for cut in 0..bytes.len() {
+            let err = InputLog::from_bytes(&bytes[..cut])
+                .expect_err(&format!("cut {cut} must error"));
+            assert!(matches!(err, QrError::Corrupt { .. }), "cut {cut}: {err}");
         }
+    }
+
+    #[test]
+    fn single_bit_flip_at_every_byte_is_rejected() {
+        let bytes = sample().to_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut bad = bytes.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(
+                    InputLog::from_bytes(&bad).is_err(),
+                    "flip at byte {pos} bit {bit} must be rejected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_event_prefix_of_torn_log() {
+        let log = sample();
+        let bytes = log.to_bytes();
+        let (whole, report) = InputLog::salvage_from_bytes(&bytes);
+        assert_eq!(whole, log);
+        assert!(report.corruption.is_none());
+        assert_eq!(report.expected_events, Some(log.events().len() as u64));
+        // Tear off the tail: the event prefix must survive exactly.
+        for cut in 0..bytes.len() {
+            let (torn, report) = InputLog::salvage_from_bytes(&bytes[..cut]);
+            assert!(report.corruption.is_some(), "cut {cut}");
+            assert_eq!(
+                torn.events(),
+                &log.events()[..torn.events().len()],
+                "cut {cut} salvaged a non-prefix"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_never_panics_on_garbage() {
+        let mut rng = qr_common::SplitMix64::new(0xfeed_0001);
+        for _ in 0..4096 {
+            let len = rng.below(256) as usize;
+            let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = InputLog::from_bytes(&bytes);
+            let _ = InputLog::salvage_from_bytes(&bytes);
+            if bytes.len() >= 4 {
+                bytes[..4].copy_from_slice(&frame::MAGIC);
+                let _ = InputLog::from_bytes(&bytes);
+                let _ = InputLog::salvage_from_bytes(&bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn implausible_counts_error_instead_of_allocating() {
+        // A legacy log claiming u64::MAX nondet threads must be rejected
+        // cheaply, not drive a huge allocation.
+        let mut bytes = Vec::new();
+        varint::write_u64(&mut bytes, 0); // events
+        varint::write_u64(&mut bytes, u64::MAX); // nondet threads
+        assert!(InputLog::from_legacy_bytes(&bytes).is_err());
+        // Same for a syscall event claiming an absurd write count.
+        let mut ev = Vec::new();
+        varint::write_u64(&mut ev, 1); // one event
+        ev.push(0); // syscall
+        for _ in 0..4 {
+            varint::write_u64(&mut ev, 1); // ts, tid, number, result
+        }
+        varint::write_u64(&mut ev, u64::MAX); // writes
+        assert!(InputLog::from_legacy_bytes(&ev).is_err());
     }
 
     #[test]

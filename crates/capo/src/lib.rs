@@ -30,8 +30,10 @@ pub mod recording;
 pub mod session;
 pub mod sphere;
 
-pub use input_log::{InputEvent, InputLog};
+pub use input_log::{InputEvent, InputLog, InputSalvage};
 pub use overhead::{OverheadBreakdown, OverheadModel};
-pub use recording::{Recording, RecordingConfig, RecordingMode};
+pub use recording::{
+    FileCheck, Recording, RecordingConfig, RecordingMode, RecoveryInfo, VerifyReport,
+};
 pub use session::{record, RecordingSession};
 pub use sphere::ReplaySphere;

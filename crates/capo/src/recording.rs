@@ -1,12 +1,13 @@
 //! Recording configuration and the recording artifact.
 
-use crate::input_log::InputLog;
+use crate::input_log::{InputLog, InputSalvage};
 use crate::overhead::{OverheadBreakdown, OverheadModel};
+use qr_common::frame::{self, PayloadKind};
 use qr_common::{QrError, Result};
 use qr_cpu::CpuConfig;
 use qr_mem::TsoMode;
 use qr_os::OsConfig;
-use quickrec_core::{ChunkLog, MrrConfig, RecorderStats};
+use quickrec_core::{ChunkLog, MrrConfig, RecorderStats, SalvagedPackets};
 
 /// How much of the recording stack is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -101,8 +102,17 @@ impl RecordingMeta {
     const MAGIC: &'static [u8; 4] = b"QRM1";
 
     /// Serializes the metadata (plus the scalar outcome fields passed in)
-    /// to a self-contained byte blob.
+    /// as a framed container holding one CRC-32-protected record (the
+    /// `QRM1` blob pre-framing recorders wrote bare).
     fn to_bytes(&self, outcome: &RecordingOutcomeFields) -> Vec<u8> {
+        let mut w = frame::Writer::new(PayloadKind::Meta);
+        w.record(&self.to_inner_bytes(outcome));
+        w.finish()
+    }
+
+    /// The inner `QRM1` metadata blob (the framed record's payload, and
+    /// the whole file in the legacy layout).
+    fn to_inner_bytes(&self, outcome: &RecordingOutcomeFields) -> Vec<u8> {
         use qr_common::varint::write_u64 as w;
         let mut out = Vec::new();
         out.extend_from_slice(Self::MAGIC);
@@ -139,17 +149,43 @@ impl RecordingMeta {
         out
     }
 
+    /// Deserializes metadata written by [`RecordingMeta::to_bytes`]
+    /// (framed) or by a pre-framing recorder (bare `QRM1` blob).
+    fn from_bytes(buf: &[u8]) -> Result<(RecordingMeta, RecordingOutcomeFields)> {
+        if !frame::is_framed(buf) {
+            return Self::from_inner_bytes(buf, 0);
+        }
+        let records = frame::read(buf, PayloadKind::Meta, "recording meta")?;
+        let [payload] = records[..] else {
+            return Err(QrError::Corrupt {
+                what: "recording meta".into(),
+                offset: frame::HEADER_LEN as u64,
+                detail: format!("expected exactly 1 record, found {}", records.len()),
+            });
+        };
+        Self::from_inner_bytes(payload, frame::HEADER_LEN + 4)
+    }
+
     // Sequential field-by-field decode reads clearer than a giant
     // struct literal here.
     #[allow(clippy::field_reassign_with_default)]
-    fn from_bytes(buf: &[u8]) -> Result<(RecordingMeta, RecordingOutcomeFields)> {
+    fn from_inner_bytes(
+        buf: &[u8],
+        base: usize,
+    ) -> Result<(RecordingMeta, RecordingOutcomeFields)> {
         use qr_common::varint::read_u64;
+        let corrupt = |off: usize, detail: String| QrError::Corrupt {
+            what: "recording meta".into(),
+            offset: (base + off) as u64,
+            detail,
+        };
         if buf.len() < 4 || &buf[..4] != Self::MAGIC {
-            return Err(QrError::LogDecode("bad recording-meta magic".into()));
+            return Err(corrupt(0, "bad recording-meta magic".into()));
         }
         let mut off = 4usize;
         let next = |buf: &[u8], off: &mut usize| -> Result<u64> {
-            let (v, n) = read_u64(&buf[*off..])?;
+            let (v, n) =
+                read_u64(buf.get(*off..).unwrap_or(&[])).map_err(|e| corrupt(*off, e.to_string()))?;
             *off += n;
             Ok(v)
         };
@@ -157,7 +193,7 @@ impl RecordingMeta {
         let tso_mode = match buf.get(off) {
             Some(0) => TsoMode::DrainAtChunk,
             Some(1) => TsoMode::Rsw,
-            _ => return Err(QrError::LogDecode("bad tso mode".into())),
+            _ => return Err(corrupt(off, "bad tso mode".into())),
         };
         off += 1;
         let mut cpu = CpuConfig::default();
@@ -187,8 +223,11 @@ impl RecordingMeta {
         let end = off
             .checked_add(console_len)
             .filter(|&e| e <= buf.len())
-            .ok_or_else(|| QrError::LogDecode("truncated console".into()))?;
+            .ok_or_else(|| corrupt(off, "truncated console".into()))?;
         let console = buf[off..end].to_vec();
+        if end != buf.len() {
+            return Err(corrupt(end, format!("{} trailing bytes", buf.len() - end)));
+        }
         Ok((
             RecordingMeta { program_fingerprint, tso_mode, cpu, os },
             RecordingOutcomeFields { cycles, instructions, exit_code, fingerprint, console },
@@ -254,16 +293,14 @@ impl Recording {
     ///
     /// # Errors
     ///
-    /// Returns [`QrError::Execution`] for I/O failures and
-    /// [`QrError::LogDecode`] for malformed files.
+    /// Returns [`QrError::Execution`] naming the file for I/O failures
+    /// (a missing `chunks.qrl` and a missing `meta.qrm` are distinct
+    /// errors) and [`QrError::Corrupt`] with byte-offset context for
+    /// malformed or version-mismatched files.
     pub fn load(dir: &std::path::Path) -> Result<Recording> {
-        let io = |e: std::io::Error| QrError::Execution { detail: format!("loading recording: {e}") };
-        let (meta, outcome) =
-            RecordingMeta::from_bytes(&std::fs::read(dir.join(Self::META_FILE)).map_err(io)?)?;
-        let chunks =
-            ChunkLog::from_bytes(&std::fs::read(dir.join(Self::CHUNKS_FILE)).map_err(io)?)?;
-        let inputs =
-            InputLog::from_bytes(&std::fs::read(dir.join(Self::INPUTS_FILE)).map_err(io)?)?;
+        let (meta, outcome) = RecordingMeta::from_bytes(&read_file(dir, Self::META_FILE)?)?;
+        let chunks = ChunkLog::from_bytes(&read_file(dir, Self::CHUNKS_FILE)?)?;
+        let inputs = InputLog::from_bytes(&read_file(dir, Self::INPUTS_FILE)?)?;
         let recording = Recording {
             chunks,
             inputs,
@@ -278,6 +315,57 @@ impl Recording {
         };
         recording.check_consistency()?;
         Ok(recording)
+    }
+
+    /// Loads as much of a torn or corrupted recording as survives its
+    /// checksums: the metadata must decode strictly (it anchors replay),
+    /// but the chunk and input logs are salvaged to their longest
+    /// complete, checksum-valid prefixes.
+    ///
+    /// Consistency checks that assume a complete log (instruction-count
+    /// coverage) are deliberately skipped; the [`RecoveryInfo`] reports
+    /// what was lost.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the metadata file is unreadable — a
+    /// recording without its platform metadata cannot anchor a replay.
+    pub fn load_salvaged(dir: &std::path::Path) -> Result<(Recording, RecoveryInfo)> {
+        let (meta, outcome) = RecordingMeta::from_bytes(&read_file(dir, Self::META_FILE)?)?;
+        let (chunks, chunk_salvage) =
+            ChunkLog::salvage_from_bytes(&read_file(dir, Self::CHUNKS_FILE)?);
+        let (inputs, input_salvage) =
+            InputLog::salvage_from_bytes(&read_file(dir, Self::INPUTS_FILE)?);
+        let recording = Recording {
+            chunks,
+            inputs,
+            meta,
+            cycles: outcome.cycles,
+            instructions: outcome.instructions,
+            console: outcome.console,
+            exit_code: outcome.exit_code,
+            fingerprint: outcome.fingerprint,
+            recorder_stats: RecorderStats::default(),
+            overhead: crate::overhead::OverheadBreakdown::default(),
+        };
+        Ok((recording, RecoveryInfo { chunks: chunk_salvage, inputs: input_salvage }))
+    }
+
+    /// Integrity-checks every file of a saved recording without building
+    /// one: full strict decode of metadata, chunk log and input log,
+    /// reporting per-file size, format and the first fault (if any).
+    pub fn verify_dir(dir: &std::path::Path) -> VerifyReport {
+        let mut files = Vec::new();
+        files.push(FileCheck::run(dir, Self::META_FILE, |buf| {
+            RecordingMeta::from_bytes(buf).map(|_| ())
+        }));
+        files.push(FileCheck::run(dir, Self::CHUNKS_FILE, |buf| {
+            ChunkLog::from_bytes(buf).map(|_| ())
+        }));
+        files.push(FileCheck::run(dir, Self::INPUTS_FILE, |buf| {
+            InputLog::from_bytes(buf).map(|_| ())
+        }));
+        VerifyReport { files }
     }
 
     /// Validates internal consistency (chunk instruction counts vs. the
@@ -296,6 +384,114 @@ impl Recording {
             )));
         }
         Ok(())
+    }
+}
+
+/// Reads one recording file, naming it in the error on failure.
+fn read_file(dir: &std::path::Path, name: &str) -> Result<Vec<u8>> {
+    std::fs::read(dir.join(name))
+        .map_err(|e| QrError::Execution { detail: format!("reading {name}: {e}") })
+}
+
+/// What [`Recording::load_salvaged`] recovered (and lost) per log file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryInfo {
+    /// Chunk-log salvage outcome.
+    pub chunks: SalvagedPackets,
+    /// Input-log salvage outcome.
+    pub inputs: InputSalvage,
+}
+
+impl RecoveryInfo {
+    /// Whether both logs decoded completely (no corruption anywhere).
+    pub fn is_clean(&self) -> bool {
+        self.chunks.corruption.is_none() && self.inputs.corruption.is_none()
+    }
+}
+
+/// Per-directory integrity report produced by [`Recording::verify_dir`].
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// One entry per expected recording file.
+    pub files: Vec<FileCheck>,
+}
+
+impl VerifyReport {
+    /// Whether every file decoded cleanly.
+    pub fn all_ok(&self) -> bool {
+        self.files.iter().all(|f| f.error.is_none())
+    }
+}
+
+/// Integrity status of one recording file.
+#[derive(Debug, Clone)]
+pub struct FileCheck {
+    /// File name within the recording directory.
+    pub name: String,
+    /// File size in bytes (`None` when unreadable).
+    pub bytes: Option<u64>,
+    /// Container format version (`None` for legacy unframed files or
+    /// unreadable ones).
+    pub version: Option<u8>,
+    /// CRC-32-protected records in the framed container.
+    pub records: usize,
+    /// Whether the file is in the legacy (unframed, checksum-free)
+    /// layout.
+    pub legacy: bool,
+    /// The first fault found, if any.
+    pub error: Option<QrError>,
+}
+
+impl FileCheck {
+    /// Reads `name` in `dir` and runs the strict decoder over it.
+    fn run(
+        dir: &std::path::Path,
+        name: &str,
+        decode: impl FnOnce(&[u8]) -> Result<()>,
+    ) -> FileCheck {
+        let mut check = FileCheck {
+            name: name.to_string(),
+            bytes: None,
+            version: None,
+            records: 0,
+            legacy: false,
+            error: None,
+        };
+        let buf = match read_file(dir, name) {
+            Ok(buf) => buf,
+            Err(e) => {
+                check.error = Some(e);
+                return check;
+            }
+        };
+        check.bytes = Some(buf.len() as u64);
+        if frame::is_framed(&buf) {
+            check.version = buf.get(4).copied();
+            check.records = frame::scan(&buf).records.len();
+        } else {
+            check.legacy = true;
+        }
+        check.error = decode(&buf).err();
+        check
+    }
+
+    /// One-line human-readable status for reports.
+    pub fn describe(&self) -> String {
+        let size = match self.bytes {
+            Some(b) => format!("{b} bytes"),
+            None => "unreadable".to_string(),
+        };
+        let format = if self.legacy {
+            "legacy".to_string()
+        } else if let Some(v) = self.version {
+            format!("framed v{v}, {} records", self.records)
+        } else {
+            "unknown format".to_string()
+        };
+        match &self.error {
+            Some(e) => format!("{}: {size}, {format} — FAIL: {e}", self.name),
+            None => format!("{}: {size}, {format} — ok", self.name),
+        }
     }
 }
 

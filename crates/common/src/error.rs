@@ -31,6 +31,20 @@ pub enum QrError {
     InvalidConfig(String),
     /// Decoding a recorded log failed.
     LogDecode(String),
+    /// Recorded bytes were corrupt at a known byte offset.
+    ///
+    /// This is the structured form every decode path reachable from
+    /// untrusted bytes reports: `what` names the artifact being decoded
+    /// (e.g. "chunk log", "input event"), `offset` is where in the
+    /// buffer decoding stopped, and `detail` describes the fault.
+    Corrupt {
+        /// What was being decoded.
+        what: String,
+        /// Byte offset into the buffer where the fault was detected.
+        offset: u64,
+        /// Human-readable cause.
+        detail: String,
+    },
     /// Replay diverged from the recorded execution.
     ReplayDivergence(String),
     /// The requested operation is not supported in the current mode.
@@ -52,6 +66,9 @@ impl fmt::Display for QrError {
             }
             QrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             QrError::LogDecode(msg) => write!(f, "log decode failed: {msg}"),
+            QrError::Corrupt { what, offset, detail } => {
+                write!(f, "corrupt {what} at byte {offset}: {detail}")
+            }
             QrError::ReplayDivergence(msg) => write!(f, "replay diverged: {msg}"),
             QrError::Unsupported(msg) => write!(f, "unsupported operation: {msg}"),
             QrError::BudgetExceeded { executed } => {
@@ -66,6 +83,19 @@ impl std::error::Error for QrError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn corrupt_display_carries_offset_and_context() {
+        let e = QrError::Corrupt {
+            what: "input log".into(),
+            offset: 4096,
+            detail: "truncated-record".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("input log"));
+        assert!(s.contains("4096"));
+        assert!(s.contains("truncated-record"));
+    }
 
     #[test]
     fn display_is_lowercase_and_informative() {
@@ -91,6 +121,7 @@ mod tests {
             QrError::Execution { detail: "div by zero".into() },
             QrError::InvalidConfig("cores must be > 0".into()),
             QrError::LogDecode("truncated packet".into()),
+            QrError::Corrupt { what: "chunk log".into(), offset: 17, detail: "checksum-mismatch".into() },
             QrError::ReplayDivergence("ic mismatch".into()),
             QrError::Unsupported("rsw replay".into()),
             QrError::BudgetExceeded { executed: 42 },

@@ -12,6 +12,8 @@
 //! - the workspace-wide error type ([`QrError`]),
 //! - LEB128 varint and zigzag codecs used by the chunk-packet encodings
 //!   ([`varint`]),
+//! - CRC-32 checksums and the crash-consistent framed container format
+//!   all on-disk logs are written in ([`crc32`], [`frame`]),
 //! - a deterministic, seedable hash / PRNG pair used for state
 //!   fingerprinting and signature hashing ([`fingerprint`], [`rng`]).
 //!
@@ -25,8 +27,10 @@
 //! assert_eq!(CoreId(2).to_string(), "core2");
 //! ```
 
+pub mod crc32;
 pub mod error;
 pub mod fingerprint;
+pub mod frame;
 pub mod ids;
 pub mod rng;
 pub mod varint;

@@ -10,11 +10,27 @@
 //! | `Packed` | all fields as LEB128 varints |
 //! | `Delta`  | like `Packed` but the timestamp is a zigzag delta against the previous packet in the stream |
 //!
-//! Streams are self-describing: byte 0 is the encoding tag, then a varint
-//! packet count, then the packets.
+//! Two container layouts exist:
+//!
+//! - **Framed** (current, written by [`Encoding::encode_framed_stream`]):
+//!   a crash-consistent [`qr_common::frame`] container. Record 0 is the
+//!   stream header (encoding tag + committed total packet count); each
+//!   following record is a *packet group* of up to
+//!   [`FRAME_GROUP_PACKETS`] packets, CRC-32-protected and independently
+//!   decodable (`Delta` restarts its timestamp baseline per group). A
+//!   log torn mid-write salvages at group granularity.
+//! - **Legacy** (unframed, read-only compatibility): byte 0 is the
+//!   encoding tag, then a varint packet count, then the packets, with no
+//!   checksums.
 
 use crate::chunk::{ChunkPacket, TerminationReason};
+use qr_common::frame::{self, PayloadKind};
 use qr_common::{varint, CoreId, Cycle, QrError, Result, ThreadId};
+
+/// Packets per framed record: the salvage granularity of a torn chunk
+/// log. Larger groups amortize the 8-byte record overhead; smaller
+/// groups lose fewer packets to a tear.
+pub const FRAME_GROUP_PACKETS: usize = 64;
 
 /// On-disk chunk-packet format.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
@@ -98,13 +114,17 @@ impl Encoding {
                 if buf.len() < 24 {
                     return Err(truncated());
                 }
-                let tid = u32::from_le_bytes(buf[0..4].try_into().expect("sized"));
+                let tid = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]);
                 let core = buf[4];
                 let reason = TerminationReason::from_code(buf[5])
                     .ok_or_else(|| QrError::LogDecode(format!("bad reason code {}", buf[5])))?;
                 let rsw = buf[6];
-                let icount = u64::from_le_bytes(buf[8..16].try_into().expect("sized"));
-                let ts = u64::from_le_bytes(buf[16..24].try_into().expect("sized"));
+                let icount = u64::from_le_bytes([
+                    buf[8], buf[9], buf[10], buf[11], buf[12], buf[13], buf[14], buf[15],
+                ]);
+                let ts = u64::from_le_bytes([
+                    buf[16], buf[17], buf[18], buf[19], buf[20], buf[21], buf[22], buf[23],
+                ]);
                 Ok((
                     ChunkPacket {
                         tid: ThreadId(tid),
@@ -160,7 +180,10 @@ impl Encoding {
         }
     }
 
-    /// Encodes a whole stream (tag + count + packets, in the given order).
+    /// Encodes a whole **legacy** (unframed) stream: tag + count +
+    /// packets, in the given order. New logs are written framed; this
+    /// remains the per-group payload codec and the legacy-compatibility
+    /// writer used by tests.
     pub fn encode_stream(self, packets: &[ChunkPacket]) -> Vec<u8> {
         let mut out = Vec::with_capacity(packets.len() * 8 + 8);
         out.push(self.tag());
@@ -173,34 +196,231 @@ impl Encoding {
         out
     }
 
-    /// Decodes a stream produced by [`Encoding::encode_stream`] (of any
-    /// encoding — the tag selects the codec).
+    /// Decodes a **legacy** (unframed) stream produced by
+    /// [`Encoding::encode_stream`] (of any encoding — the tag selects
+    /// the codec).
     ///
     /// # Errors
     ///
-    /// Returns [`QrError::LogDecode`] on malformed input.
+    /// Returns [`QrError::Corrupt`] with byte-offset context on
+    /// malformed input.
     pub fn decode_stream(buf: &[u8]) -> Result<Vec<ChunkPacket>> {
+        let corrupt = |offset: usize, detail: String| QrError::Corrupt {
+            what: "legacy chunk stream".into(),
+            offset: offset as u64,
+            detail,
+        };
         let Some(&tag) = buf.first() else {
-            return Err(QrError::LogDecode("empty stream".into()));
+            return Err(corrupt(0, "empty stream".into()));
         };
         let encoding = Encoding::from_tag(tag)
-            .ok_or_else(|| QrError::LogDecode(format!("unknown encoding tag {tag}")))?;
+            .ok_or_else(|| corrupt(0, format!("unknown encoding tag {tag}")))?;
         let mut off = 1usize;
-        let (count, n) = varint::read_u64(&buf[off..])?;
+        let (count, n) =
+            varint::read_u64(&buf[off..]).map_err(|e| corrupt(off, e.to_string()))?;
         off += n;
         if count > buf.len() as u64 * 2 {
-            return Err(QrError::LogDecode(format!("implausible packet count {count}")));
+            return Err(corrupt(1, format!("implausible packet count {count}")));
         }
         let mut packets = Vec::with_capacity(count as usize);
         let mut prev = Cycle(0);
         for _ in 0..count {
-            let (p, n) = encoding.decode_packet(&buf[off..], prev)?;
+            let (p, n) =
+                encoding.decode_packet(&buf[off..], prev).map_err(|e| corrupt(off, e.to_string()))?;
+            off += n;
+            prev = p.timestamp;
+            packets.push(p);
+        }
+        // A real legacy stream ends exactly at its last packet; trailing
+        // bytes mean the buffer is not what the tag claims (e.g. a framed
+        // container whose leading magic byte was destroyed).
+        if off != buf.len() {
+            return Err(corrupt(
+                off,
+                format!("{} trailing bytes after {count} packets", buf.len() - off),
+            ));
+        }
+        Ok(packets)
+    }
+
+    /// Encodes a **framed** stream: a crash-consistent container whose
+    /// record 0 commits the encoding tag and total packet count, followed
+    /// by one CRC-32-protected record per [`FRAME_GROUP_PACKETS`]-packet
+    /// group. Groups are independently decodable (`Delta` restarts its
+    /// timestamp baseline at each group), which is what makes salvage of
+    /// a torn log possible.
+    pub fn encode_framed_stream(self, packets: &[ChunkPacket]) -> Vec<u8> {
+        let mut writer = frame::Writer::new(PayloadKind::ChunkLog);
+        let mut header = vec![self.tag()];
+        varint::write_u64(&mut header, packets.len() as u64);
+        writer.record(&header);
+        for group in packets.chunks(FRAME_GROUP_PACKETS) {
+            let mut payload = Vec::with_capacity(group.len() * 8);
+            let mut prev = Cycle(0);
+            for p in group {
+                self.encode_packet(p, prev, &mut payload);
+                prev = p.timestamp;
+            }
+            writer.record(&payload);
+        }
+        writer.finish()
+    }
+
+    /// Strictly decodes a framed stream produced by
+    /// [`Encoding::encode_framed_stream`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] (with byte offset) for any frame
+    /// fault, checksum mismatch, undecodable packet, or a packet count
+    /// differing from the header's commitment (which catches truncation
+    /// at exact record boundaries).
+    pub fn decode_framed_stream(buf: &[u8]) -> Result<Vec<ChunkPacket>> {
+        let salvaged = Encoding::salvage_framed_stream(buf);
+        match salvaged.corruption {
+            Some(err) => Err(err),
+            None => Ok(salvaged.packets),
+        }
+    }
+
+    /// Tolerantly decodes a framed stream, recovering the longest
+    /// complete, checksum-valid packet prefix of a torn or corrupted
+    /// log. Never fails: corruption is *described*, not fatal.
+    pub fn salvage_framed_stream(buf: &[u8]) -> SalvagedPackets {
+        let what = "chunk log";
+        let scanned = frame::scan(buf);
+        let gone = |err: QrError| SalvagedPackets {
+            packets: Vec::new(),
+            expected: None,
+            bytes_dropped: buf.len(),
+            corruption: Some(err),
+        };
+        match scanned.kind {
+            Some(PayloadKind::ChunkLog) => {}
+            Some(other) => {
+                return gone(QrError::Corrupt {
+                    what: what.into(),
+                    offset: 5,
+                    detail: format!("container holds a {}, expected a chunk log", other.name()),
+                })
+            }
+            None => {
+                let fault = scanned.fault.expect("scan without kind always faults");
+                return gone(fault.to_error(what));
+            }
+        }
+        let Some((header, groups)) = scanned.records.split_first() else {
+            // No complete header record: report the frame fault that ate
+            // it, or the absence itself for a bare container.
+            let err = match scanned.fault {
+                Some(fault) => fault.to_error(what),
+                None => QrError::Corrupt {
+                    what: what.into(),
+                    offset: frame::HEADER_LEN as u64,
+                    detail: "missing stream header record".into(),
+                },
+            };
+            return gone(err);
+        };
+        // Parse the header record: encoding tag + committed packet count.
+        let header_base = frame::HEADER_LEN + 4;
+        let (encoding, expected) = match Encoding::parse_stream_header(header) {
+            Ok(pair) => pair,
+            Err(detail) => {
+                return gone(QrError::Corrupt {
+                    what: what.into(),
+                    offset: header_base as u64,
+                    detail,
+                })
+            }
+        };
+        let mut packets = Vec::new();
+        let mut corruption = None;
+        // Byte offset of the current record's payload within `buf`.
+        let mut payload_base = header_base + header.len() + 4 + 4;
+        let mut consumed = frame::HEADER_LEN + header.len() + frame::RECORD_OVERHEAD;
+        for group in groups {
+            match encoding.decode_group(group, payload_base) {
+                Ok(mut decoded) => packets.append(&mut decoded),
+                Err(err) => {
+                    corruption = Some(err);
+                    break;
+                }
+            }
+            consumed += group.len() + frame::RECORD_OVERHEAD;
+            payload_base += group.len() + frame::RECORD_OVERHEAD;
+        }
+        if corruption.is_none() {
+            if let Some(fault) = scanned.fault {
+                corruption = Some(fault.to_error(what));
+            } else if packets.len() as u64 != expected {
+                corruption = Some(QrError::Corrupt {
+                    what: what.into(),
+                    offset: buf.len() as u64,
+                    detail: format!(
+                        "header commits {expected} packets but records hold {}",
+                        packets.len()
+                    ),
+                });
+            }
+        }
+        SalvagedPackets {
+            packets,
+            expected: Some(expected),
+            bytes_dropped: buf.len().saturating_sub(consumed.min(buf.len())),
+            corruption,
+        }
+    }
+
+    /// Parses a framed stream's header record (tag + committed count).
+    fn parse_stream_header(header: &[u8]) -> std::result::Result<(Encoding, u64), String> {
+        let Some(&tag) = header.first() else {
+            return Err("empty stream header record".into());
+        };
+        let encoding =
+            Encoding::from_tag(tag).ok_or_else(|| format!("unknown encoding tag {tag}"))?;
+        let (count, n) = varint::read_u64(&header[1..]).map_err(|e| e.to_string())?;
+        if 1 + n != header.len() {
+            return Err(format!("{} trailing bytes in stream header", header.len() - 1 - n));
+        }
+        Ok((encoding, count))
+    }
+
+    /// Decodes one packet-group record payload. `base` is the payload's
+    /// byte offset within the whole container, used for error context.
+    fn decode_group(self, payload: &[u8], base: usize) -> Result<Vec<ChunkPacket>> {
+        let mut packets = Vec::new();
+        let mut off = 0usize;
+        let mut prev = Cycle(0);
+        while off < payload.len() {
+            let (p, n) = self.decode_packet(&payload[off..], prev).map_err(|e| {
+                QrError::Corrupt {
+                    what: "chunk packet".into(),
+                    offset: (base + off) as u64,
+                    detail: e.to_string(),
+                }
+            })?;
             off += n;
             prev = p.timestamp;
             packets.push(p);
         }
         Ok(packets)
     }
+}
+
+/// What [`Encoding::salvage_framed_stream`] recovered from a framed
+/// chunk stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvagedPackets {
+    /// The longest complete, checksum-valid packet prefix.
+    pub packets: Vec<ChunkPacket>,
+    /// Total packet count the stream header committed to, if the header
+    /// record itself survived.
+    pub expected: Option<u64>,
+    /// Container bytes not covered by salvaged records.
+    pub bytes_dropped: usize,
+    /// What stopped the salvage (`None` for a fully intact stream).
+    pub corruption: Option<QrError>,
 }
 
 #[cfg(test)]
@@ -299,6 +519,120 @@ mod tests {
             assert_eq!(Encoding::decode_stream(&buf).unwrap(), vec![]);
         }
     }
+
+    /// Enough packets to span several framed groups.
+    fn many_packets() -> Vec<ChunkPacket> {
+        let mut out = Vec::new();
+        let mut ts = 0u64;
+        for i in 0..(FRAME_GROUP_PACKETS as u32 * 3 + 7) {
+            ts += 2 + (i as u64 % 23);
+            out.push(ChunkPacket {
+                tid: ThreadId(i % 4),
+                core: CoreId((i % 4) as u8),
+                icount: (i as u64 * 977) % 40_000,
+                timestamp: Cycle(ts),
+                rsw: (i % 5) as u8,
+                reason: TerminationReason::ALL[(i as usize) % TerminationReason::ALL.len()],
+            });
+        }
+        out
+    }
+
+    #[test]
+    fn framed_streams_round_trip_across_group_boundaries() {
+        let ps = many_packets();
+        for enc in Encoding::ALL {
+            let buf = enc.encode_framed_stream(&ps);
+            assert_eq!(Encoding::decode_framed_stream(&buf).unwrap(), ps, "{enc:?}");
+            let salvaged = Encoding::salvage_framed_stream(&buf);
+            assert!(salvaged.corruption.is_none());
+            assert_eq!(salvaged.expected, Some(ps.len() as u64));
+            assert_eq!(salvaged.bytes_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn framed_empty_stream_round_trips() {
+        for enc in Encoding::ALL {
+            let buf = enc.encode_framed_stream(&[]);
+            assert_eq!(Encoding::decode_framed_stream(&buf).unwrap(), vec![]);
+        }
+    }
+
+    #[test]
+    fn framed_truncation_at_every_offset_errors_and_salvages_a_prefix() {
+        let ps = many_packets();
+        for enc in Encoding::ALL {
+            let buf = enc.encode_framed_stream(&ps);
+            for cut in 0..buf.len() {
+                // Strict decode must reject every truncation — including
+                // cuts at exact record boundaries, which the header's
+                // committed packet count catches.
+                let err = Encoding::decode_framed_stream(&buf[..cut])
+                    .expect_err(&format!("{enc:?} cut {cut} must error"));
+                assert!(matches!(err, QrError::Corrupt { .. }), "{enc:?} cut {cut}: {err}");
+                // Salvage must recover an exact packet prefix.
+                let salvaged = Encoding::salvage_framed_stream(&buf[..cut]);
+                assert!(salvaged.corruption.is_some(), "{enc:?} cut {cut}");
+                assert_eq!(
+                    salvaged.packets,
+                    ps[..salvaged.packets.len()],
+                    "{enc:?} cut {cut} salvaged a non-prefix"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn framed_single_bit_flip_at_every_byte_is_rejected() {
+        // Satellite requirement: a flipped bit anywhere in a framed log
+        // must produce a structured error — never silently-wrong packets.
+        let ps = many_packets();
+        for enc in Encoding::ALL {
+            let buf = enc.encode_framed_stream(&ps);
+            for pos in 0..buf.len() {
+                for bit in 0..8 {
+                    let mut bad = buf.clone();
+                    bad[pos] ^= 1 << bit;
+                    let err = Encoding::decode_framed_stream(&bad)
+                        .expect_err(&format!("{enc:?} flip byte {pos} bit {bit}"));
+                    assert!(matches!(err, QrError::Corrupt { .. }));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn framed_bit_flip_salvage_yields_exact_packet_prefix() {
+        let ps = many_packets();
+        for enc in Encoding::ALL {
+            let buf = enc.encode_framed_stream(&ps);
+            for pos in (0..buf.len()).step_by(7) {
+                let mut bad = buf.clone();
+                bad[pos] ^= 0x40;
+                let salvaged = Encoding::salvage_framed_stream(&bad);
+                assert!(salvaged.corruption.is_some(), "{enc:?} pos {pos}");
+                assert_eq!(
+                    salvaged.packets,
+                    ps[..salvaged.packets.len()],
+                    "{enc:?} pos {pos} salvaged a non-prefix"
+                );
+                // A flip past the header keeps whole leading groups.
+                if pos >= buf.len() - 4 {
+                    assert!(salvaged.packets.len() >= FRAME_GROUP_PACKETS);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn framed_wrong_payload_kind_is_rejected() {
+        let mut w = frame::Writer::new(PayloadKind::InputLog);
+        w.record(&[Encoding::Delta.tag(), 0]);
+        let buf = w.finish();
+        let err = Encoding::decode_framed_stream(&buf).unwrap_err();
+        assert!(err.to_string().contains("input log"), "{err}");
+    }
 }
 
 #[cfg(test)]
@@ -347,6 +681,23 @@ mod randomized {
             if let Some(first) = bytes.first_mut() {
                 *first = rng.below(3) as u8;
                 let _ = Encoding::decode_stream(&bytes);
+            }
+        }
+    }
+
+    #[test]
+    fn framed_decode_never_panics_on_garbage() {
+        let mut rng = SplitMix64::new(0xc0de_0003);
+        for _ in 0..4096 {
+            let len = rng.below(256) as usize;
+            let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
+            let _ = Encoding::decode_framed_stream(&bytes);
+            let _ = Encoding::salvage_framed_stream(&bytes);
+            // Bias toward plausible containers: valid magic, random rest.
+            if bytes.len() >= 4 {
+                bytes[..4].copy_from_slice(&qr_common::frame::MAGIC);
+                let _ = Encoding::decode_framed_stream(&bytes);
+                let _ = Encoding::salvage_framed_stream(&bytes);
             }
         }
     }

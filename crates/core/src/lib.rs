@@ -44,7 +44,7 @@ pub mod viz;
 
 pub use chunk::{ChunkPacket, TerminationReason};
 pub use config::MrrConfig;
-pub use encoding::Encoding;
+pub use encoding::{Encoding, SalvagedPackets, FRAME_GROUP_PACKETS};
 pub use log::ChunkLog;
 pub use mrr::{MrrUnit, RecorderBank};
 pub use stats::RecorderStats;

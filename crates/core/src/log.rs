@@ -1,7 +1,7 @@
 //! The assembled chunk log (memory log) of one recording.
 
 use crate::chunk::ChunkPacket;
-use crate::encoding::Encoding;
+use crate::encoding::{Encoding, SalvagedPackets};
 use qr_common::{QrError, Result, ThreadId};
 use std::collections::BTreeMap;
 
@@ -99,18 +99,46 @@ impl ChunkLog {
         sizes[idx]
     }
 
-    /// Serializes the log with the given encoding.
+    /// Serializes the log with the given encoding, in the crash-consistent
+    /// framed container format (see [`qr_common::frame`]).
     pub fn to_bytes(&self, encoding: Encoding) -> Vec<u8> {
-        encoding.encode_stream(&self.packets)
+        encoding.encode_framed_stream(&self.packets)
     }
 
-    /// Deserializes a log produced by [`ChunkLog::to_bytes`].
+    /// Deserializes a log produced by [`ChunkLog::to_bytes`] (framed) or
+    /// by a pre-framing recorder (legacy unframed, detected by its
+    /// leading encoding tag — the framed magic's first byte never
+    /// aliases one, even under single-bit flips).
     ///
     /// # Errors
     ///
-    /// Returns [`QrError::LogDecode`] on malformed input.
+    /// Returns [`QrError::Corrupt`] with byte-offset context on
+    /// malformed input.
     pub fn from_bytes(bytes: &[u8]) -> Result<ChunkLog> {
+        if matches!(bytes.first(), Some(0..=2)) {
+            return ChunkLog::from_legacy_bytes(bytes);
+        }
+        Ok(ChunkLog { packets: Encoding::decode_framed_stream(bytes)? })
+    }
+
+    /// Deserializes a **legacy** (unframed, checksum-free) log. Explicit
+    /// compatibility path for logs written before the framed container
+    /// existed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on malformed input.
+    pub fn from_legacy_bytes(bytes: &[u8]) -> Result<ChunkLog> {
         Ok(ChunkLog { packets: Encoding::decode_stream(bytes)? })
+    }
+
+    /// Tolerantly deserializes a framed log, recovering the longest
+    /// complete, checksum-valid packet prefix of a torn or corrupted
+    /// file (see [`Encoding::salvage_framed_stream`]).
+    pub fn salvage_from_bytes(bytes: &[u8]) -> (ChunkLog, SalvagedPackets) {
+        let mut salvaged = Encoding::salvage_framed_stream(bytes);
+        let log = ChunkLog { packets: std::mem::take(&mut salvaged.packets) };
+        (log, salvaged)
     }
 }
 
@@ -183,8 +211,32 @@ mod tests {
         let l = log();
         for enc in Encoding::ALL {
             let bytes = l.to_bytes(enc);
+            assert!(qr_common::frame::is_framed(&bytes), "{enc:?} log not framed");
             assert_eq!(ChunkLog::from_bytes(&bytes).unwrap(), l);
         }
+    }
+
+    #[test]
+    fn legacy_unframed_logs_still_load() {
+        let l = log();
+        for enc in Encoding::ALL {
+            let legacy = enc.encode_stream(l.packets());
+            assert_eq!(ChunkLog::from_legacy_bytes(&legacy).unwrap(), l, "{enc:?}");
+            // And the auto-detecting path routes them correctly too.
+            assert_eq!(ChunkLog::from_bytes(&legacy).unwrap(), l, "{enc:?}");
+        }
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_of_torn_log() {
+        let l = log();
+        let bytes = l.to_bytes(Encoding::Delta);
+        let (whole, report) = ChunkLog::salvage_from_bytes(&bytes);
+        assert_eq!(whole, l);
+        assert!(report.corruption.is_none());
+        let (torn, report) = ChunkLog::salvage_from_bytes(&bytes[..bytes.len() - 1]);
+        assert!(report.corruption.is_some());
+        assert_eq!(torn.packets(), &l.packets()[..torn.len()]);
     }
 
     #[test]

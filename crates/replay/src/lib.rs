@@ -33,7 +33,9 @@
 pub mod outcome;
 pub mod races;
 pub mod replayer;
+pub mod salvage;
 
 pub use outcome::ReplayOutcome;
 pub use races::{Race, RaceDetector, RaceReport};
 pub use replayer::{replay, replay_and_verify, replay_with_race_detection, ReplayCheckpoint, Replayer};
+pub use salvage::{salvage_replay, salvage_replay_dir, SalvageReport};

@@ -300,6 +300,30 @@ impl<'a> Replayer<'a> {
         &self.console
     }
 
+    /// Architectural fingerprint of the replay state at the current
+    /// position, computed with the same digest the recorder used but
+    /// *without* requiring every thread to have exited — the
+    /// partial-progress view salvage replay reports.
+    pub fn partial_fingerprint(&self) -> u64 {
+        let exit_codes: Vec<Option<u32>> = self.threads.iter().map(|t| t.exit_code).collect();
+        qr_os::native::fingerprint_of(&self.machine, &self.console, &exit_codes)
+    }
+
+    /// Instructions re-executed up to the current position.
+    pub fn instructions_so_far(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Chunks replayed up to the current position.
+    pub fn chunks_replayed_so_far(&self) -> usize {
+        self.chunks_replayed
+    }
+
+    /// Input events injected up to the current position.
+    pub fn inputs_injected_so_far(&self) -> usize {
+        self.inputs_injected
+    }
+
     /// Validates terminal state and produces the outcome.
     fn finish(mut self) -> Result<(ReplayOutcome, RaceReport)> {
         // Every created thread must have exited.

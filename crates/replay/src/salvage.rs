@@ -1,0 +1,299 @@
+//! Salvage replay: extract a correct execution prefix from a torn or
+//! corrupted recording.
+//!
+//! An always-on recorder's logs matter most when the recorded process
+//! crashed — exactly when they are likeliest to be torn mid-drain. The
+//! all-or-nothing [`crate::replay_and_verify`] path refuses such logs;
+//! salvage replay instead replays the longest complete, checksum-valid
+//! prefix the framed containers preserve and reports precisely what was
+//! recovered and what was lost:
+//!
+//! 1. [`qr_capo::Recording::load_salvaged`] trims each log to its valid
+//!    record prefix (the [`qr_capo::RecoveryInfo`] carries the fault
+//!    kind and byte offset per file).
+//! 2. The merged timeline of salvaged chunks and inputs is replayed
+//!    event by event until it ends — or until the prefix itself stops
+//!    making sense (a chunk whose matching syscall record was lost, a
+//!    thread spawn that was dropped), which is reported, not fatal.
+//! 3. The whole prefix replay is run **twice** and the partial
+//!    architectural fingerprints compared: replay is deterministic, so
+//!    any disagreement means the salvaged prefix is internally
+//!    inconsistent and cannot be trusted.
+
+use crate::replayer::Replayer;
+use qr_capo::{Recording, RecoveryInfo};
+use qr_common::QrError;
+use qr_isa::Program;
+
+/// What salvage replay recovered from a damaged recording.
+#[derive(Debug, Clone)]
+pub struct SalvageReport {
+    /// Chunk packets replayed from the salvaged prefix.
+    pub chunks_replayed: usize,
+    /// Input events injected from the salvaged prefix.
+    pub inputs_injected: usize,
+    /// Timeline events replayed (chunks + inputs).
+    pub events_replayed: usize,
+    /// Total events in the salvaged timeline.
+    pub timeline_len: usize,
+    /// Chunk-log bytes lost to the tear/corruption.
+    pub chunk_bytes_dropped: usize,
+    /// Input-log bytes lost to the tear/corruption.
+    pub input_bytes_dropped: usize,
+    /// Chunk-log fault (kind + byte offset), if any.
+    pub chunk_corruption: Option<QrError>,
+    /// Input-log fault (kind + byte offset), if any.
+    pub input_corruption: Option<QrError>,
+    /// What stopped the prefix replay early, if anything. `None` means
+    /// every salvaged event replayed.
+    pub replay_stopped: Option<QrError>,
+    /// Partial architectural fingerprint at the stopping point, if the
+    /// replay could start at all.
+    pub fingerprint: Option<u64>,
+    /// Whether two independent replays of the prefix produced the same
+    /// fingerprint (internal consistency of the salvaged data).
+    pub fingerprint_consistent: bool,
+    /// Console output reproduced up to the stopping point.
+    pub console: Vec<u8>,
+    /// Instructions re-executed up to the stopping point.
+    pub instructions: u64,
+}
+
+impl SalvageReport {
+    /// Whether the recording was actually intact end to end: no log
+    /// corruption, every event replayed, fingerprints agree.
+    pub fn is_complete(&self) -> bool {
+        self.chunk_corruption.is_none()
+            && self.input_corruption.is_none()
+            && self.replay_stopped.is_none()
+            && self.events_replayed == self.timeline_len
+            && self.fingerprint_consistent
+    }
+
+    /// Whether the salvaged prefix itself replayed cleanly (the logs may
+    /// still have lost a tail).
+    pub fn prefix_ok(&self) -> bool {
+        self.replay_stopped.is_none() && self.fingerprint_consistent
+    }
+
+    /// Multi-line human-readable summary for reports.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "replayed {}/{} timeline events ({} chunks, {} inputs, {} instructions)\n",
+            self.events_replayed,
+            self.timeline_len,
+            self.chunks_replayed,
+            self.inputs_injected,
+            self.instructions
+        ));
+        match &self.chunk_corruption {
+            Some(e) => out.push_str(&format!(
+                "chunk log: {e} ({} bytes dropped)\n",
+                self.chunk_bytes_dropped
+            )),
+            None => out.push_str("chunk log: intact\n"),
+        }
+        match &self.input_corruption {
+            Some(e) => out.push_str(&format!(
+                "input log: {e} ({} bytes dropped)\n",
+                self.input_bytes_dropped
+            )),
+            None => out.push_str("input log: intact\n"),
+        }
+        match &self.replay_stopped {
+            Some(e) => out.push_str(&format!("prefix replay stopped: {e}\n")),
+            None => out.push_str("prefix replay: ran to the end of the salvaged timeline\n"),
+        }
+        match self.fingerprint {
+            Some(fp) if self.fingerprint_consistent => {
+                out.push_str(&format!("prefix fingerprint: {fp:016x} (consistent)\n"))
+            }
+            Some(fp) => out.push_str(&format!("prefix fingerprint: {fp:016x} (INCONSISTENT)\n")),
+            None => out.push_str("prefix fingerprint: unavailable (replay could not start)\n"),
+        }
+        out
+    }
+}
+
+/// One deterministic replay of the salvaged prefix.
+struct PrefixRun {
+    events: usize,
+    timeline_len: usize,
+    chunks: usize,
+    inputs: usize,
+    instructions: u64,
+    console: Vec<u8>,
+    fingerprint: Option<u64>,
+    stopped: Option<QrError>,
+}
+
+fn replay_prefix(program: &Program, recording: &Recording) -> PrefixRun {
+    let mut replayer = match Replayer::new(program, recording) {
+        Ok(r) => r,
+        Err(e) => {
+            return PrefixRun {
+                events: 0,
+                timeline_len: 0,
+                chunks: 0,
+                inputs: 0,
+                instructions: 0,
+                console: Vec::new(),
+                fingerprint: None,
+                stopped: Some(e),
+            }
+        }
+    };
+    let mut stopped = None;
+    loop {
+        match replayer.step_timeline() {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(e) => {
+                stopped = Some(e);
+                break;
+            }
+        }
+    }
+    PrefixRun {
+        events: replayer.position(),
+        timeline_len: replayer.timeline_len(),
+        chunks: replayer.chunks_replayed_so_far(),
+        inputs: replayer.inputs_injected_so_far(),
+        instructions: replayer.instructions_so_far(),
+        console: replayer.console_so_far().to_vec(),
+        fingerprint: Some(replayer.partial_fingerprint()),
+        stopped,
+    }
+}
+
+/// Replays the salvaged prefix of a damaged recording (as produced by
+/// [`Recording::load_salvaged`]) and reports what was recovered.
+///
+/// Never fails: a recording so damaged that no event replays still
+/// yields a report saying so. The prefix is replayed twice to confirm
+/// its internal consistency.
+pub fn salvage_replay(
+    program: &Program,
+    recording: &Recording,
+    recovery: &RecoveryInfo,
+) -> SalvageReport {
+    let first = replay_prefix(program, recording);
+    let second = replay_prefix(program, recording);
+    let fingerprint_consistent = first.fingerprint.is_some()
+        && first.fingerprint == second.fingerprint
+        && first.events == second.events;
+    SalvageReport {
+        chunks_replayed: first.chunks,
+        inputs_injected: first.inputs,
+        events_replayed: first.events,
+        timeline_len: first.timeline_len,
+        chunk_bytes_dropped: recovery.chunks.bytes_dropped,
+        input_bytes_dropped: recovery.inputs.bytes_dropped,
+        chunk_corruption: recovery.chunks.corruption.clone(),
+        input_corruption: recovery.inputs.corruption.clone(),
+        replay_stopped: first.stopped,
+        fingerprint: first.fingerprint,
+        fingerprint_consistent,
+        console: first.console,
+        instructions: first.instructions,
+    }
+}
+
+/// Convenience wrapper: [`Recording::load_salvaged`] + [`salvage_replay`]
+/// on a saved recording directory.
+///
+/// # Errors
+///
+/// Fails only when the metadata file is unreadable — without it the
+/// recording cannot anchor a replay at all.
+pub fn salvage_replay_dir(
+    program: &Program,
+    dir: &std::path::Path,
+) -> qr_common::Result<SalvageReport> {
+    let (recording, recovery) = Recording::load_salvaged(dir)?;
+    Ok(salvage_replay(program, &recording, &recovery))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_capo::{record, RecordingConfig};
+    use quickrec_core::Encoding;
+
+    fn recorded() -> (Program, Recording) {
+        let mut a = qr_isa::Asm::new();
+        a.data_bytes("msg", b"salvage-me\n");
+        a.movi_u(qr_isa::Reg::R0, qr_isa::abi::SYS_WRITE);
+        a.movi_sym(qr_isa::Reg::R1, "msg");
+        a.movi(qr_isa::Reg::R2, 11);
+        a.syscall();
+        a.movi_u(qr_isa::Reg::R0, qr_isa::abi::SYS_EXIT);
+        a.movi(qr_isa::Reg::R1, 7);
+        a.syscall();
+        let program = a.finish().unwrap();
+        let recording = record(program.clone(), RecordingConfig::with_cores(2)).unwrap();
+        (program, recording)
+    }
+
+    fn saved(recording: &Recording, tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("quickrec-salvage-{tag}-{}", std::process::id()));
+        recording.save(&dir, Encoding::Delta).unwrap();
+        dir
+    }
+
+    #[test]
+    fn intact_recording_salvages_completely() {
+        let (program, recording) = recorded();
+        let dir = saved(&recording, "intact");
+        let report = salvage_replay_dir(&program, &dir).unwrap();
+        assert!(report.is_complete(), "{}", report.summary());
+        assert_eq!(report.chunks_replayed, recording.chunks.len());
+        assert_eq!(report.console, recording.console);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_chunk_log_salvages_a_prefix() {
+        let (program, recording) = recorded();
+        let dir = saved(&recording, "torn");
+        let path = dir.join(Recording::CHUNKS_FILE);
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let report = salvage_replay_dir(&program, &dir).unwrap();
+        assert!(!report.is_complete());
+        assert!(report.chunk_corruption.is_some());
+        assert!(report.chunk_bytes_dropped > 0);
+        assert!(report.chunks_replayed <= recording.chunks.len());
+        // Whatever replayed must be a prefix of the clean run's console.
+        assert!(recording.console.starts_with(&report.console));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bit_flipped_input_log_is_reported_not_fatal() {
+        let (program, recording) = recorded();
+        let dir = saved(&recording, "flip");
+        let path = dir.join(Recording::INPUTS_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x20;
+        std::fs::write(&path, &bytes).unwrap();
+        let report = salvage_replay_dir(&program, &dir).unwrap();
+        assert!(!report.is_complete());
+        assert!(report.input_corruption.is_some());
+        assert!(recording.console.starts_with(&report.console));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unreadable_meta_is_the_only_fatal_case() {
+        let (program, recording) = recorded();
+        let dir = saved(&recording, "meta");
+        std::fs::remove_file(dir.join(Recording::META_FILE)).unwrap();
+        let err = salvage_replay_dir(&program, &dir).unwrap_err();
+        assert!(err.to_string().contains(Recording::META_FILE), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -23,4 +23,8 @@ trap 'rm -f "$serial" "$parallel"' EXIT
 cmp "$serial" "$parallel"
 echo "repro output identical across modes"
 
+echo "== fault-injection smoke: bounded mutated-recording campaign =="
+./target/release/repro r1 --fuzz-iters 200 > /dev/null
+echo "fault-injection contract holds (200 cases, no panics, prefixes verified)"
+
 echo "== verify OK =="

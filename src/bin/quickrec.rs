@@ -3,7 +3,8 @@
 //! ```text
 //! quickrec run      prog.pasm [--cores N]          run natively
 //! quickrec record   prog.pasm -o DIR [--cores N] [--hw-only] [--rsw]
-//! quickrec replay   prog.pasm DIR [--races]        deterministic replay
+//! quickrec replay   prog.pasm DIR [--races] [--salvage]
+//! quickrec verify   DIR                            log integrity check
 //! quickrec analyze  DIR                            chunk-log forensics
 //! quickrec disasm   prog.pasm                      disassemble
 //! quickrec suite    [--threads N]                  run the workload suite
@@ -37,6 +38,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "run" => cmd_run(rest),
         "record" => cmd_record(rest),
         "replay" => cmd_replay(rest),
+        "verify" => cmd_verify(rest),
         "analyze" => cmd_analyze(rest),
         "timeline" => cmd_timeline(rest),
         "dot" => cmd_dot(rest),
@@ -53,7 +55,8 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  quickrec run      <prog.pasm> [--cores N]\n  \
      quickrec record   <prog.pasm> -o <dir> [--cores N] [--hw-only] [--rsw]\n  \
-     quickrec replay   <prog.pasm> <dir> [--races]\n  \
+     quickrec replay   <prog.pasm> <dir> [--races] [--salvage]\n  \
+     quickrec verify   <dir>\n  \
      quickrec analyze  <dir>\n  \
      quickrec timeline <dir> [--rows N]\n  \
      quickrec dot      <dir>\n  \
@@ -157,6 +160,24 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let [path, dir] = pos.as_slice() else { return Err(usage()) };
     let program = load_program(path)?;
+    if has_flag(args, "--salvage") {
+        // Best-effort mode for damaged logs: replay the longest valid
+        // prefix and report what was lost. Fails only when the metadata
+        // is unreadable or the salvaged prefix is not reproducible.
+        let report = qr_replay::salvage_replay_dir(&program, Path::new(dir.as_str()))
+            .map_err(|e| e.to_string())?;
+        print!("{}", String::from_utf8_lossy(&report.console));
+        print!("{}", report.summary());
+        if report.fingerprint.is_some() && !report.fingerprint_consistent {
+            return Err("salvaged prefix is not internally consistent".to_string());
+        }
+        if report.is_complete() {
+            println!("recording intact — full replay verified");
+        } else {
+            println!("salvaged a consistent execution prefix");
+        }
+        return Ok(());
+    }
     let recording = Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
     if has_flag(args, "--races") {
         let (outcome, report) =
@@ -184,6 +205,21 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+fn cmd_verify(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [dir] = pos.as_slice() else { return Err(usage()) };
+    let report = Recording::verify_dir(Path::new(dir.as_str()));
+    for file in &report.files {
+        println!("{}", file.describe());
+    }
+    if report.all_ok() {
+        println!("recording verified: all files decode cleanly");
+        Ok(())
+    } else {
+        Err("recording failed verification".to_string())
+    }
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,114 @@
+//! CLI contract of the `quickrec` binary: bad invocations exit nonzero
+//! with usage, `verify` distinguishes intact from corrupted recordings,
+//! and `replay --salvage` recovers a prefix from a damaged log.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+/// A two-syscall program (write + exit) so the recording has console
+/// output, input events and chunks on both threads of a 2-core run.
+const PROGRAM: &str = "
+.entry main
+.text
+main:
+    movi r0, 2        ; SYS_WRITE
+    movi r1, msg
+    movi r2, 6
+    syscall
+    movi r0, 1        ; SYS_EXIT
+    movi r1, 0
+    syscall
+.data
+msg: .byte 0x68 0x65 0x6c 0x6c 0x6f 0x0a
+";
+
+fn quickrec(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_quickrec")).args(args).output().expect("spawn quickrec")
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("quickrec-cli-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+/// Records PROGRAM through the CLI, returning (program path, log dir).
+fn recorded(dir: &std::path::Path) -> (String, String) {
+    let prog = dir.join("prog.pasm");
+    std::fs::write(&prog, PROGRAM).expect("write program");
+    let logs = dir.join("rec");
+    let prog = prog.to_str().unwrap().to_string();
+    let logs = logs.to_str().unwrap().to_string();
+    let out = quickrec(&["record", &prog, "-o", &logs, "--cores", "2"]);
+    assert!(out.status.success(), "record failed: {}", String::from_utf8_lossy(&out.stderr));
+    (prog, logs)
+}
+
+#[test]
+fn missing_and_bad_args_exit_nonzero_with_usage() {
+    for args in [
+        &[][..],
+        &["frobnicate"][..],
+        &["replay"][..],
+        &["replay", "only-one-arg"][..],
+        &["verify"][..],
+        &["record", "prog.pasm"][..], // missing -o
+    ] {
+        let out = quickrec(args);
+        assert!(!out.status.success(), "args {args:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage") || err.contains("needs"), "args {args:?}: {err}");
+    }
+}
+
+#[test]
+fn verify_passes_fresh_recordings_and_fails_corrupted_ones() {
+    let dir = scratch("verify");
+    let (_prog, logs) = recorded(&dir);
+
+    let out = quickrec(&["verify", &logs]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("chunks.qrl"), "per-file report: {stdout}");
+    assert!(stdout.contains("framed v1"), "format reported: {stdout}");
+
+    // One flipped bit in the chunk log must flip the verdict.
+    let chunks = dir.join("rec").join("chunks.qrl");
+    let mut bytes = std::fs::read(&chunks).expect("read chunk log");
+    *bytes.last_mut().unwrap() ^= 0x01;
+    std::fs::write(&chunks, &bytes).expect("rewrite chunk log");
+
+    let out = quickrec(&["verify", &logs]);
+    assert!(!out.status.success(), "corrupted recording must fail verification");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("FAIL"), "fault named per file: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn salvage_replay_recovers_from_a_torn_log_where_strict_replay_refuses() {
+    let dir = scratch("salvage");
+    let (prog, logs) = recorded(&dir);
+
+    // Tear the tail off the chunk log, as a crash mid-write would.
+    let chunks = dir.join("rec").join("chunks.qrl");
+    let bytes = std::fs::read(&chunks).expect("read chunk log");
+    std::fs::write(&chunks, &bytes[..bytes.len() - 3]).expect("tear chunk log");
+
+    let strict = quickrec(&["replay", &prog, &logs]);
+    assert!(!strict.status.success(), "strict replay must refuse a torn log");
+
+    let salvage = quickrec(&["replay", &prog, &logs, "--salvage"]);
+    assert!(
+        salvage.status.success(),
+        "salvage replay failed: {}",
+        String::from_utf8_lossy(&salvage.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&salvage.stdout);
+    assert!(stdout.contains("chunk log: corrupt"), "fault reported: {stdout}");
+    assert!(stdout.contains("bytes dropped"), "loss quantified: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
