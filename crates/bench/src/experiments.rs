@@ -17,9 +17,9 @@ use qr_workloads::{suite, Scale, WorkloadSpec};
 use quickrec_core::{Encoding, MrrConfig, TerminationReason};
 
 /// Every experiment id, in report order (`repro all`).
-pub const ALL_IDS: [&str; 19] = [
-    "t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "a1", "a2",
-    "a3", "a5", "a6", "r1",
+pub const ALL_IDS: [&str; 20] = [
+    "t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e9b", "e10", "e11", "a1",
+    "a2", "a3", "a5", "a6", "r1",
 ];
 
 /// What an experiment prints after its table.
@@ -61,6 +61,7 @@ pub fn plan(id: &str) -> Option<Experiment> {
         "e7" => e7(),
         "e8" => e8(),
         "e9" => e9(),
+        "e9b" => e9b(),
         "e10" => e10(),
         "e11" => e11(),
         "a1" => a1(),
@@ -451,6 +452,52 @@ fn e9() -> Experiment {
             })
         }),
         footer: Footer::None,
+    }
+}
+
+/// E9b — parallel replay speedup from the conflict-dependency scheduler.
+fn e9b() -> Experiment {
+    Experiment {
+        id: "e9b",
+        title: "parallel replay speedup (conflict-dependency scheduler, 4 jobs)",
+        note: "chunks with non-conflicting footprints replay concurrently; fingerprints must stay \
+               byte-identical to serial replay (compute-dense workloads approach recording \
+               parallelism, lock-dense ones stay near serial)",
+        header: vec!["workload".into(), "serial cycles".into(), "parallel cycles".into(),
+            "speedup".into(), "nodes".into(), "edges".into(), "fingerprint".into()],
+        jobs: per_workload(|spec| {
+            Box::new(move |cache| {
+                let program = cache.program(&spec, 4, Scale::Small)?;
+                let r = record_workload_with(cache, &spec, 4, Scale::Small, full_cfg(4))?;
+                let serial = qr_replay::replay(&program, &r)?;
+                let replayer = qr_replay::ParallelReplayer::new(&program, &r, 4)?;
+                if let Some(reason) = replayer.fallback_reason() {
+                    return Err(QrError::Execution {
+                        detail: format!("{}: parallel replay fell back to serial: {reason}", spec.name),
+                    });
+                }
+                let (nodes, edges) = (replayer.node_count(), replayer.edge_count());
+                let parallel = replayer.run()?;
+                parallel.verify_against(&r)?;
+                if parallel.fingerprint != serial.fingerprint {
+                    return Err(QrError::Execution {
+                        detail: format!("{}: parallel fingerprint diverged from serial", spec.name),
+                    });
+                }
+                let speedup = serial.cycles as f64 / parallel.cycles.max(1) as f64;
+                Ok(JobOutput::row([
+                    spec.name.to_string(),
+                    serial.cycles.to_string(),
+                    parallel.cycles.to_string(),
+                    format!("{speedup:.2}x"),
+                    nodes.to_string(),
+                    edges.to_string(),
+                    format!("{:016x}", parallel.fingerprint),
+                ])
+                .with_stat(speedup.ln()))
+            })
+        }),
+        footer: Footer::MeanStat(|mean| format!("geomean speedup at 4 jobs: {:.2}x", mean.exp())),
     }
 }
 

@@ -7,7 +7,7 @@ use qr_common::{QrError, Result};
 use qr_cpu::CpuConfig;
 use qr_mem::TsoMode;
 use qr_os::OsConfig;
-use quickrec_core::{ChunkLog, MrrConfig, RecorderStats, SalvagedPackets};
+use quickrec_core::{ChunkLog, FootprintLog, MrrConfig, RecorderStats, SalvagedPackets};
 
 /// How much of the recording stack is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -80,6 +80,10 @@ pub struct Recording {
     pub chunks: ChunkLog,
     /// The input log.
     pub inputs: InputLog,
+    /// Per-chunk read/write footprints (parallel replay's dependency
+    /// evidence). `None` for legacy recordings and unsalvageable
+    /// sidecars; parallel replay then falls back to the serial path.
+    pub footprints: Option<FootprintLog>,
     /// Provenance and platform metadata.
     pub meta: RecordingMeta,
     /// Makespan in cycles (max per-core count).
@@ -261,10 +265,12 @@ impl Recording {
     pub const CHUNKS_FILE: &'static str = "chunks.qrl";
     /// Input-log file name.
     pub const INPUTS_FILE: &'static str = "inputs.qrl";
+    /// Footprint-log file name (absent in legacy recordings).
+    pub const FOOTPRINTS_FILE: &'static str = "footprints.qrl";
 
     /// Persists the recording into `dir` (created if missing) as three
-    /// files: metadata, the chunk log (in the encoding of `encoding`) and
-    /// the input log.
+    /// files — metadata, the chunk log (in the encoding of `encoding`)
+    /// and the input log — plus the footprint sidecar when present.
     ///
     /// Recorder statistics and the overhead breakdown are measurement
     /// artifacts and are not persisted; [`Recording::load`] returns them
@@ -286,6 +292,9 @@ impl Recording {
         std::fs::write(dir.join(Self::META_FILE), self.meta.to_bytes(&outcome)).map_err(io)?;
         std::fs::write(dir.join(Self::CHUNKS_FILE), self.chunks.to_bytes(encoding)).map_err(io)?;
         std::fs::write(dir.join(Self::INPUTS_FILE), self.inputs.to_bytes()).map_err(io)?;
+        if let Some(footprints) = &self.footprints {
+            std::fs::write(dir.join(Self::FOOTPRINTS_FILE), footprints.to_bytes()).map_err(io)?;
+        }
         Ok(())
     }
 
@@ -301,9 +310,14 @@ impl Recording {
         let (meta, outcome) = RecordingMeta::from_bytes(&read_file(dir, Self::META_FILE)?)?;
         let chunks = ChunkLog::from_bytes(&read_file(dir, Self::CHUNKS_FILE)?)?;
         let inputs = InputLog::from_bytes(&read_file(dir, Self::INPUTS_FILE)?)?;
+        let footprints = match std::fs::read(dir.join(Self::FOOTPRINTS_FILE)) {
+            Ok(buf) => Some(FootprintLog::from_bytes(&buf)?),
+            Err(_) => None, // legacy recording without the sidecar
+        };
         let recording = Recording {
             chunks,
             inputs,
+            footprints,
             meta,
             cycles: outcome.cycles,
             instructions: outcome.instructions,
@@ -336,9 +350,15 @@ impl Recording {
             ChunkLog::salvage_from_bytes(&read_file(dir, Self::CHUNKS_FILE)?);
         let (inputs, input_salvage) =
             InputLog::salvage_from_bytes(&read_file(dir, Self::INPUTS_FILE)?);
+        // A torn footprint sidecar salvages to a (possibly partial)
+        // prefix; parallel replay checks coverage before relying on it.
+        let footprints = std::fs::read(dir.join(Self::FOOTPRINTS_FILE))
+            .ok()
+            .map(|buf| FootprintLog::salvage_from_bytes(&buf));
         let recording = Recording {
             chunks,
             inputs,
+            footprints,
             meta,
             cycles: outcome.cycles,
             instructions: outcome.instructions,
@@ -365,6 +385,13 @@ impl Recording {
         files.push(FileCheck::run(dir, Self::INPUTS_FILE, |buf| {
             InputLog::from_bytes(buf).map(|_| ())
         }));
+        // The footprint sidecar is optional: legacy recordings without
+        // one still verify clean, but a present-and-corrupt one fails.
+        if dir.join(Self::FOOTPRINTS_FILE).exists() {
+            files.push(FileCheck::run(dir, Self::FOOTPRINTS_FILE, |buf| {
+                FootprintLog::from_bytes(buf).map(|_| ())
+            }));
+        }
         VerifyReport { files }
     }
 

@@ -33,12 +33,13 @@ use crate::input_log::{InputEvent, InputLog};
 use crate::overhead::OverheadBreakdown;
 use crate::recording::{Recording, RecordingConfig, RecordingMeta, RecordingMode};
 use crate::sphere::ReplaySphere;
-use qr_common::{CoreId, QrError, Result};
+use qr_common::{CoreId, LineAddr, QrError, Result};
 use qr_cpu::{Machine, StepOutcome};
 use qr_isa::Program;
 use qr_mem::{BusKind, MemEvent, TsoMode};
 use qr_os::{Kernel, SchedEvent, SyscallOutcome};
-use quickrec_core::{RecorderBank, TerminationReason};
+use quickrec_core::{ChunkFootprint, FootprintLog, RecorderBank, TerminationReason};
+use std::collections::BTreeSet;
 
 /// An in-progress recording of one program execution.
 #[derive(Debug)]
@@ -50,6 +51,10 @@ pub struct RecordingSession {
     sphere: ReplaySphere,
     chunks: quickrec_core::ChunkLog,
     inputs: InputLog,
+    footprints: FootprintLog,
+    /// Per-core (read, write) line sets of the chunk currently open on
+    /// that core, flushed into `footprints` when the chunk terminates.
+    fp_sets: Vec<(BTreeSet<LineAddr>, BTreeSet<LineAddr>)>,
     overhead: OverheadBreakdown,
     instructions: u64,
 }
@@ -98,6 +103,8 @@ impl RecordingSession {
             sphere: ReplaySphere::new(0),
             chunks: quickrec_core::ChunkLog::new(),
             inputs: InputLog::new(),
+            footprints: FootprintLog::new(),
+            fp_sets: vec![Default::default(); cfg.cpu.num_cores],
             overhead: OverheadBreakdown::default(),
             instructions: 0,
             cfg,
@@ -141,6 +148,7 @@ impl RecordingSession {
                 // Invariant 1: count retirement before processing events.
                 overflow = self.bank.unit_mut(core).note_retired();
             }
+            self.note_footprint(&step.events);
             self.process_mem_events(&step.events)?;
             // An overflow that coincides with a syscall or halt yields to
             // that boundary's own termination (reason Syscall/SphereEnd),
@@ -173,6 +181,7 @@ impl RecordingSession {
                 }
                 StepOutcome::Syscall => {
                     let drain = self.machine.drain_store_buffer(core)?;
+                    self.note_footprint(&drain.events);
                     self.process_mem_events(&drain.events)?;
                     self.terminate(core, TerminationReason::Syscall)?;
                     if self.full_stack() {
@@ -193,6 +202,7 @@ impl RecordingSession {
                 }
                 StepOutcome::Halt => {
                     let drain = self.machine.drain_store_buffer(core)?;
+                    self.note_footprint(&drain.events);
                     self.process_mem_events(&drain.events)?;
                     self.terminate(core, TerminationReason::SphereEnd)?;
                     let out = self.kernel.handle_halt(&mut self.machine, core);
@@ -201,6 +211,7 @@ impl RecordingSession {
                 StepOutcome::Fault(ref err) => {
                     let err = err.clone();
                     let drain = self.machine.drain_store_buffer(core)?;
+                    self.note_footprint(&drain.events);
                     self.process_mem_events(&drain.events)?;
                     self.terminate(core, TerminationReason::SphereEnd)?;
                     let out = self.kernel.handle_fault(&mut self.machine, core, &err);
@@ -241,6 +252,7 @@ impl RecordingSession {
             overhead: self.overhead,
             chunks: self.chunks,
             inputs: self.inputs,
+            footprints: Some(self.footprints),
         };
         recording.check_consistency()?;
         Ok(recording)
@@ -306,15 +318,45 @@ impl RecordingSession {
         };
         if drains {
             let drain = self.machine.drain_store_buffer(core)?;
+            self.note_footprint(&drain.events);
             self.process_mem_events(&drain.events)?;
         }
         let rsw = self.machine.mem().pending_stores(core).min(u8::MAX as usize) as u8;
         let ts = self.machine.mem_mut().tick_clock();
-        let (_, stall) = self.bank.terminate_chunk(core, reason, ts, rsw);
+        let (packet, stall) = self.bank.terminate_chunk(core, reason, ts, rsw);
+        if packet.is_some() {
+            let (reads, writes) = std::mem::take(&mut self.fp_sets[core.index()]);
+            self.footprints.push(ChunkFootprint::new(
+                ts,
+                reads.into_iter().collect(),
+                writes.into_iter().collect(),
+            ));
+        }
         if stall > 0 {
             self.machine.core_mut(core).add_cycles(stall);
         }
         Ok(())
+    }
+
+    /// Attributes a step's local memory events to the footprint of the
+    /// chunk open on each event's core. Called on a whole event batch
+    /// *before* [`RecordingSession::process_mem_events`], because
+    /// processing may terminate the chunk mid-batch (signature
+    /// saturation) while the remaining events still belong to the
+    /// just-closed chunk — replay executes every access of a chunk's
+    /// instructions, including post-saturation drains, inside that chunk.
+    fn note_footprint(&mut self, events: &[MemEvent]) {
+        for event in events {
+            match *event {
+                MemEvent::LocalRead { core, line, .. } => {
+                    self.fp_sets[core.index()].0.insert(line);
+                }
+                MemEvent::LocalWrite { core, line, .. } => {
+                    self.fp_sets[core.index()].1.insert(line);
+                }
+                MemEvent::BusTxn { .. } | MemEvent::Eviction { .. } => {}
+            }
+        }
     }
 
     fn apply_sched(&mut self, events: &[SchedEvent]) {
@@ -350,6 +392,22 @@ impl RecordingSession {
     /// Invariant 4: kernel memory effects, then scheduling, then stamped
     /// records.
     fn apply_outcome(&mut self, core: CoreId, out: SyscallOutcome) -> Result<()> {
+        // Kernel-side memory activity becomes the footprint of every
+        // record this outcome stamps: replay re-reads console payloads
+        // and re-applies `record.writes`, so the lines the kernel
+        // touched coherently (BusRd = read, BusRdX/BusUpgr = written)
+        // are replay-time reads/writes of the injecting chunk.
+        let mut kernel_reads = Vec::new();
+        let mut kernel_writes = Vec::new();
+        for event in &out.mem_events {
+            if let MemEvent::BusTxn { line, kind, .. } = *event {
+                if kind.is_write() {
+                    kernel_writes.push(line);
+                } else if kind.is_read() {
+                    kernel_reads.push(line);
+                }
+            }
+        }
         self.process_mem_events(&out.mem_events)?;
         self.apply_sched(&out.sched);
         for record in out.records {
@@ -360,7 +418,18 @@ impl RecordingSession {
                 self.overhead.copy_cycles += cost;
                 self.machine.core_mut(core).add_cycles(cost);
             }
+            let mut writes = kernel_writes.clone();
+            for (addr, data) in &record.writes {
+                let first = addr.line().0;
+                let last = if data.is_empty() {
+                    first
+                } else {
+                    addr.wrapping_add(data.len() as u32 - 1).line().0
+                };
+                writes.extend((first..=last).map(LineAddr));
+            }
             let ts = self.machine.mem_mut().tick_clock();
+            self.footprints.push(ChunkFootprint::new(ts, kernel_reads.clone(), writes));
             self.inputs.push_event(InputEvent::Syscall { ts, record });
         }
         Ok(())

@@ -49,6 +49,8 @@ pub enum PayloadKind {
     InputLog,
     /// Recording metadata.
     Meta,
+    /// A chunk footprint log (read/write line sets per chunk).
+    FootprintLog,
 }
 
 impl PayloadKind {
@@ -58,6 +60,7 @@ impl PayloadKind {
             PayloadKind::ChunkLog => 0,
             PayloadKind::InputLog => 1,
             PayloadKind::Meta => 2,
+            PayloadKind::FootprintLog => 3,
         }
     }
 
@@ -67,6 +70,7 @@ impl PayloadKind {
             0 => Some(PayloadKind::ChunkLog),
             1 => Some(PayloadKind::InputLog),
             2 => Some(PayloadKind::Meta),
+            3 => Some(PayloadKind::FootprintLog),
             _ => None,
         }
     }
@@ -77,6 +81,7 @@ impl PayloadKind {
             PayloadKind::ChunkLog => "chunk log",
             PayloadKind::InputLog => "input log",
             PayloadKind::Meta => "recording meta",
+            PayloadKind::FootprintLog => "footprint log",
         }
     }
 }

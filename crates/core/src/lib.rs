@@ -36,6 +36,7 @@ pub mod chunk;
 pub mod cmem;
 pub mod config;
 pub mod encoding;
+pub mod footprint;
 pub mod log;
 pub mod mrr;
 pub mod signature;
@@ -45,6 +46,7 @@ pub mod viz;
 pub use chunk::{ChunkPacket, TerminationReason};
 pub use config::MrrConfig;
 pub use encoding::{Encoding, SalvagedPackets, FRAME_GROUP_PACKETS};
+pub use footprint::{ChunkFootprint, FootprintLog};
 pub use log::ChunkLog;
 pub use mrr::{MrrUnit, RecorderBank};
 pub use stats::RecorderStats;

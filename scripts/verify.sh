@@ -23,6 +23,13 @@ trap 'rm -f "$serial" "$parallel"' EXIT
 cmp "$serial" "$parallel"
 echo "repro output identical across modes"
 
+echo "== parallel replay: serial-equivalence battery =="
+cargo test -q --test parallel_replay_equivalence
+
+echo "== parallel replay smoke: E9b speedups, fingerprints byte-identical =="
+./target/release/repro e9b > /dev/null
+echo "parallel replay verified against serial on the whole suite"
+
 echo "== fault-injection smoke: bounded mutated-recording campaign =="
 ./target/release/repro r1 --fuzz-iters 200 > /dev/null
 echo "fault-injection contract holds (200 cases, no panics, prefixes verified)"

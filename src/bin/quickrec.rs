@@ -3,7 +3,7 @@
 //! ```text
 //! quickrec run      prog.pasm [--cores N]          run natively
 //! quickrec record   prog.pasm -o DIR [--cores N] [--hw-only] [--rsw]
-//! quickrec replay   prog.pasm DIR [--races] [--salvage]
+//! quickrec replay   prog.pasm DIR [--races] [--salvage] [--jobs N]
 //! quickrec verify   DIR                            log integrity check
 //! quickrec analyze  DIR                            chunk-log forensics
 //! quickrec disasm   prog.pasm                      disassemble
@@ -55,7 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
 fn usage() -> String {
     "usage:\n  quickrec run      <prog.pasm> [--cores N]\n  \
      quickrec record   <prog.pasm> -o <dir> [--cores N] [--hw-only] [--rsw]\n  \
-     quickrec replay   <prog.pasm> <dir> [--races] [--salvage]\n  \
+     quickrec replay   <prog.pasm> <dir> [--races] [--salvage] [--jobs N]\n  \
      quickrec verify   <dir>\n  \
      quickrec analyze  <dir>\n  \
      quickrec timeline <dir> [--rows N]\n  \
@@ -81,7 +81,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             skip = false;
             continue;
         }
-        if a == "-o" || a == "--cores" || a == "--threads" || a == "--rows" {
+        if a == "-o" || a == "--cores" || a == "--threads" || a == "--rows" || a == "--jobs" {
             skip = true;
             continue;
         }
@@ -160,6 +160,25 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let [path, dir] = pos.as_slice() else { return Err(usage()) };
     let program = load_program(path)?;
+    let jobs: Option<usize> = match flag_value(args, "--jobs") {
+        None => None,
+        Some(v) => Some(
+            v.parse()
+                .ok()
+                .filter(|&n| n >= 1)
+                .ok_or(format!("bad --jobs value `{v}` (need an integer >= 1)"))?,
+        ),
+    };
+    if jobs.is_some() && has_flag(args, "--races") {
+        return Err("--jobs cannot be combined with --races: the race detector \
+                    needs the serial timestamp-ordered replay"
+            .to_string());
+    }
+    if jobs.is_some() && has_flag(args, "--salvage") {
+        return Err("--jobs cannot be combined with --salvage: salvage replays \
+                    the longest valid prefix serially"
+            .to_string());
+    }
     if has_flag(args, "--salvage") {
         // Best-effort mode for damaged logs: replay the longest valid
         // prefix and report what was lost. Fails only when the metadata
@@ -194,6 +213,25 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             for race in report.races() {
                 println!("  {race}");
             }
+        }
+    } else if let Some(jobs) = jobs {
+        let replayer =
+            qr_replay::ParallelReplayer::new(&program, &recording, jobs).map_err(|e| e.to_string())?;
+        let fallback = replayer.fallback_reason().map(str::to_string);
+        let nodes = replayer.node_count();
+        let edges = replayer.edge_count();
+        let outcome = replayer.run().map_err(|e| e.to_string())?;
+        outcome.verify_against(&recording).map_err(|e| e.to_string())?;
+        print!("{}", String::from_utf8_lossy(&outcome.console));
+        println!(
+            "replayed {} chunks, {} inputs; exit {} — verified exact",
+            outcome.chunks_replayed, outcome.inputs_injected, outcome.exit_code
+        );
+        match fallback {
+            Some(reason) => println!("parallel replay fell back to serial: {reason}"),
+            None => println!(
+                "parallel replay: {jobs} jobs over {nodes} timeline nodes, {edges} dependency edges"
+            ),
         }
     } else {
         let outcome =

@@ -88,6 +88,78 @@ fn verify_passes_fresh_recordings_and_fails_corrupted_ones() {
 }
 
 #[test]
+fn jobs_flag_runs_parallel_replay_and_rejects_conflicting_modes() {
+    let dir = scratch("jobs");
+    let (prog, logs) = recorded(&dir);
+
+    // Happy path: parallel replay verifies and reports its schedule.
+    let out = quickrec(&["replay", &prog, &logs, "--jobs", "2"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("verified exact"), "outcome verified: {stdout}");
+    assert!(stdout.contains("parallel replay"), "schedule reported: {stdout}");
+
+    // The race detector needs the serial timestamp order; salvage is a
+    // serial prefix walk. Both must refuse --jobs, loudly.
+    for conflicting in ["--races", "--salvage"] {
+        let out = quickrec(&["replay", &prog, &logs, conflicting, "--jobs", "2"]);
+        assert!(!out.status.success(), "{conflicting} + --jobs should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            err.contains("--jobs cannot be combined with") && err.contains(conflicting),
+            "{conflicting}: {err}"
+        );
+    }
+
+    // Malformed worker counts are rejected before any replay work.
+    for bad in ["0", "none", "-1"] {
+        let out = quickrec(&["replay", &prog, &logs, "--jobs", bad]);
+        assert!(!out.status.success(), "--jobs {bad} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("bad --jobs value"), "--jobs {bad}: {err}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn verify_handles_directories_mixing_framed_and_legacy_logs() {
+    let dir = scratch("mixed");
+    let (prog, logs) = recorded(&dir);
+
+    // Rewrite the chunk log in the legacy unframed layout, as a
+    // pre-framing recorder would have left it; the other files keep the
+    // framed container. One directory, two generations of format.
+    let logs_path = PathBuf::from(&logs);
+    let recording = quickrec::Recording::load(&logs_path).expect("load recording");
+    let legacy = quickrec::Encoding::Raw.encode_stream(recording.chunks.packets());
+    std::fs::write(logs_path.join("chunks.qrl"), &legacy).expect("rewrite chunk log");
+
+    let out = quickrec(&["verify", &logs]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("legacy"), "legacy format named: {stdout}");
+    assert!(stdout.contains("framed v1"), "framed files still reported: {stdout}");
+
+    // The mixed directory still replays — serially and in parallel (the
+    // footprint sidecar is framed and intact).
+    for extra in [&[][..], &["--jobs", "2"][..]] {
+        let mut args = vec!["replay", &prog, &logs];
+        args.extend_from_slice(extra);
+        let out = quickrec(&args);
+        assert!(
+            out.status.success(),
+            "replay {extra:?} on mixed dir: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("verified exact"), "replay {extra:?}: {stdout}");
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn salvage_replay_recovers_from_a_torn_log_where_strict_replay_refuses() {
     let dir = scratch("salvage");
     let (prog, logs) = recorded(&dir);

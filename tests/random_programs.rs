@@ -11,7 +11,7 @@
 use qr_common::SplitMix64;
 use qr_isa::{abi, Asm, Program, Reg};
 use qr_mem::TsoMode;
-use quickrec::{record, replay_and_verify, RecordingConfig};
+use quickrec::{record, replay_and_verify, ParallelReplayer, RecordingConfig};
 
 /// One random guest operation on the shared array.
 #[derive(Debug, Clone)]
@@ -215,6 +215,24 @@ fn every_recorded_execution_replays_exactly() {
             .unwrap_or_else(|e| panic!("{context}: replay: {e}"));
         assert_eq!(outcome.exit_code, recording.exit_code, "{context}");
         assert_eq!(outcome.instructions, recording.instructions, "{context}");
+        // The same racy execution must also replay exactly through the
+        // parallel conflict-dependency scheduler. The job count comes
+        // from a per-case RNG so the main stream (and thus the generated
+        // programs) stays byte-stable.
+        let jobs = 1 + SplitMix64::new(0x9e37_79b9 ^ case as u64).below(4) as usize;
+        let replayer = ParallelReplayer::new(&program, &recording, jobs)
+            .unwrap_or_else(|e| panic!("{context}: parallel setup: {e}"));
+        assert_eq!(replayer.fallback_reason(), None, "{context}");
+        let parallel = replayer
+            .run()
+            .unwrap_or_else(|e| panic!("{context}: parallel replay ({jobs} jobs): {e}"));
+        assert_eq!(parallel.fingerprint, outcome.fingerprint, "{context} ({jobs} jobs)");
+        assert_eq!(parallel.console, outcome.console, "{context} ({jobs} jobs)");
+        assert_eq!(parallel.exit_code, outcome.exit_code, "{context} ({jobs} jobs)");
+        assert_eq!(parallel.instructions, outcome.instructions, "{context} ({jobs} jobs)");
+        parallel
+            .verify_against(&recording)
+            .unwrap_or_else(|e| panic!("{context}: parallel verify: {e}"));
     }
 }
 

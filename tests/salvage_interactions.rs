@@ -1,0 +1,114 @@
+//! Interplay of crash salvage with checkpointed and parallel replay: a
+//! recording that survives salvage is a first-class recording, so every
+//! replay mode built on top of the serial replayer must work on it —
+//! checkpoint collection, checkpoint resume, and the parallel
+//! conflict-dependency scheduler (which must instead *fall back* to
+//! serial when the footprint sidecar itself lost its tail).
+
+use qr_replay::{salvage_replay_dir, ParallelReplayer, Replayer};
+use quickrec::workloads::{find, Scale};
+use quickrec::{record, Encoding, Program, Recording, RecordingConfig};
+
+fn recorded() -> (Program, Recording) {
+    let spec = find("lu").expect("lu exists");
+    let program = (spec.build)(3, Scale::Test).expect("builds");
+    let recording = record(program.clone(), RecordingConfig::with_cores(3)).expect("records");
+    (program, recording)
+}
+
+fn saved(recording: &Recording, tag: &str) -> std::path::PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("quickrec-interplay-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    recording.save(&dir, Encoding::Delta).unwrap();
+    dir
+}
+
+/// Appends garbage to the chunk log, as a crash mid-append would leave
+/// it: the framed prefix — here the *whole* timeline — survives, the
+/// trailing bytes are detected and dropped.
+fn append_garbage(dir: &std::path::Path) {
+    let path = dir.join(Recording::CHUNKS_FILE);
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&[0xFF; 7]);
+    std::fs::write(&path, &bytes).unwrap();
+}
+
+#[test]
+fn a_salvage_survivor_supports_checkpointed_resume() {
+    let (program, recording) = recorded();
+    let dir = saved(&recording, "checkpoint");
+    append_garbage(&dir);
+
+    // Salvage confirms the damage cost only the garbage bytes.
+    let report = salvage_replay_dir(&program, &dir).unwrap();
+    assert!(report.chunk_corruption.is_some(), "{}", report.summary());
+    assert!(report.chunk_bytes_dropped > 0);
+    assert!(report.prefix_ok(), "{}", report.summary());
+    assert_eq!(report.events_replayed, report.timeline_len, "full timeline survived");
+
+    // The survivor then replays with checkpoints like any recording.
+    let (salvaged, recovery) = Recording::load_salvaged(&dir).unwrap();
+    assert!(!recovery.is_clean());
+    let (outcome, checkpoints) =
+        Replayer::new(&program, &salvaged).unwrap().run_with_checkpoints(25).unwrap();
+    assert_eq!(Some(outcome.fingerprint), report.fingerprint);
+    assert_eq!(outcome.console, report.console);
+    assert!(!checkpoints.is_empty(), "multi-chunk survivor yields checkpoints");
+    for (i, cp) in checkpoints.into_iter().enumerate() {
+        let resumed = Replayer::resume(&program, &salvaged, cp)
+            .unwrap()
+            .run()
+            .unwrap_or_else(|e| panic!("resume from checkpoint {i}: {e}"));
+        assert_eq!(resumed.fingerprint, outcome.fingerprint, "checkpoint {i}");
+        resumed.verify_against(&salvaged).unwrap();
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_salvage_survivor_replays_in_parallel_when_footprints_survive() {
+    let (program, recording) = recorded();
+    let dir = saved(&recording, "parallel");
+    append_garbage(&dir);
+
+    let (salvaged, recovery) = Recording::load_salvaged(&dir).unwrap();
+    assert!(recovery.chunks.corruption.is_some());
+    let serial = qr_replay::replay(&program, &salvaged).unwrap();
+
+    // The footprint sidecar is intact, so the conflict-dependency
+    // scheduler accepts the survivor outright.
+    let replayer = ParallelReplayer::new(&program, &salvaged, 4).unwrap();
+    assert_eq!(replayer.fallback_reason(), None);
+    let parallel = replayer.run().unwrap();
+    assert_eq!(parallel.fingerprint, serial.fingerprint);
+    assert_eq!(parallel.console, serial.console);
+    assert_eq!(parallel.exit_code, serial.exit_code);
+    assert_eq!(parallel.instructions, serial.instructions);
+    parallel.verify_against(&salvaged).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_torn_footprint_sidecar_forces_the_serial_fallback() {
+    let (program, recording) = recorded();
+    let dir = saved(&recording, "fallback");
+    // Tear the *footprint* log instead: chunks and inputs stay intact,
+    // but the dependency DAG can no longer be trusted for every chunk.
+    let path = dir.join(Recording::FOOTPRINTS_FILE);
+    let bytes = std::fs::read(&path).unwrap();
+    std::fs::write(&path, &bytes[..bytes.len() / 2]).unwrap();
+
+    let (salvaged, recovery) = Recording::load_salvaged(&dir).unwrap();
+    assert!(recovery.is_clean(), "chunk and input logs are untouched");
+    let serial = qr_replay::replay_and_verify(&program, &salvaged).unwrap();
+
+    let replayer = ParallelReplayer::new(&program, &salvaged, 4).unwrap();
+    assert!(
+        replayer.fallback_reason().is_some(),
+        "partial footprint coverage must not be scheduled in parallel"
+    );
+    let outcome = replayer.run().unwrap();
+    assert_eq!(outcome, serial, "the fallback is the serial replayer, bit for bit");
+    std::fs::remove_dir_all(&dir).ok();
+}
