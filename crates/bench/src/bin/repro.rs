@@ -17,7 +17,7 @@
 //! `--serial` runs the jobs on this thread; `--jobs N` sets the worker
 //! count (default: the host's available cores).
 
-use qr_bench::experiments::{render_experiments, ALL_IDS};
+use qr_bench::experiments::{render_experiments, ALL_IDS, WALL_CLOCK_IDS};
 use qr_bench::runner::ExecMode;
 use std::io::Write;
 
@@ -60,11 +60,21 @@ fn main() {
     }
     let what = what.unwrap_or_else(|| "all".to_string());
     let selected: Vec<&str> = if what == "all" {
+        // Wall-clock experiments (WALL_CLOCK_IDS) are deliberately
+        // excluded: their timings differ run to run, which would break
+        // the byte-identical serial/parallel guarantee below.
         ALL_IDS.to_vec()
-    } else if let Some(&id) = ALL_IDS.iter().find(|&&id| id == what) {
+    } else if let Some(&id) = ALL_IDS
+        .iter()
+        .chain(WALL_CLOCK_IDS.iter())
+        .find(|&&id| id == what)
+    {
         vec![id]
     } else {
-        eprintln!("unknown experiment `{what}`; known: {ALL_IDS:?} or `all`");
+        eprintln!(
+            "unknown experiment `{what}`; known: {ALL_IDS:?}, \
+             wall-clock (explicit only): {WALL_CLOCK_IDS:?}, or `all`"
+        );
         std::process::exit(2);
     };
 

@@ -1,0 +1,196 @@
+//! The R1 robustness contract, extended to the two new decode
+//! surfaces this service added: the `quickrecd` wire protocol and the
+//! store's block-compressed logs. Every mutated input must decode to
+//! either a success or a structured [`QrError`] — never a panic — and
+//! block salvage must always hand back a *prefix* of the original
+//! uncompressed log.
+
+use qr_bench::fault::{job_seed, Mutator};
+use qr_common::{QrError, SplitMix64};
+use qr_server::proto::{self, Request, Response};
+use quickrec_core::Encoding;
+use std::io::Cursor;
+
+const CASES_PER_SURFACE: usize = 400;
+
+/// Clean wire messages covering every request and response shape.
+fn wire_corpus() -> Vec<Vec<u8>> {
+    let requests = [
+        Request::Ping,
+        Request::SubmitWorkload {
+            name: "fft".into(),
+            workload: "fft".into(),
+            threads: 4,
+            scale: qr_workloads::Scale::Small,
+            encoding: Encoding::Delta,
+        },
+        Request::SubmitProgram {
+            name: "prog".into(),
+            source: ".entry main\n.text\nmain: movi r0, 1\nsyscall\n".into(),
+            cores: 2,
+            encoding: Encoding::Packed,
+        },
+        Request::Jobs,
+        Request::Stats,
+        Request::Fetch { id: 7 },
+        Request::Replay { id: 7 },
+        Request::Verify { id: 7 },
+        Request::Races { id: 7 },
+        Request::Shutdown,
+    ];
+    let responses = [
+        Response::Pong,
+        Response::Submitted { id: 42 },
+        Response::Busy { queued: 3 },
+        Response::JobList(vec![proto::JobInfo {
+            id: 1,
+            name: "fft".into(),
+            workload: "fft/2t".into(),
+            kind: "record".into(),
+            state: proto::JobState::Failed("checksum mismatch".into()),
+            fingerprint: 0xdead_beef,
+        }]),
+        Response::Stats(proto::StatsReport {
+            accepted: 4,
+            completed: 3,
+            sessions: vec![proto::SessionStats { id: 1, records: 1, ..Default::default() }],
+            ..Default::default()
+        }),
+        Response::Fetched {
+            files: vec![("meta.qrm".into(), vec![0xAB; 60])],
+            fingerprint: 99,
+        },
+        Response::Queued,
+        Response::ShuttingDown,
+        Response::Error { message: "no such session".into() },
+    ];
+    requests
+        .iter()
+        .map(proto::encode_request)
+        .chain(responses.iter().map(proto::encode_response))
+        .collect()
+}
+
+#[test]
+fn mutated_wire_payloads_decode_to_structured_errors_never_panics() {
+    for (ci, clean) in wire_corpus().iter().enumerate() {
+        // Decoders must accept their own clean output.
+        let as_req = proto::decode_request(clean);
+        let as_resp = proto::decode_response(clean);
+        assert!(
+            as_req.is_ok() || as_resp.is_ok(),
+            "corpus entry {ci} does not decode clean"
+        );
+        for mutator in Mutator::ALL {
+            let mut rng =
+                SplitMix64::new(job_seed(&["wire", &ci.to_string(), mutator.name()]));
+            for _ in 0..CASES_PER_SURFACE / Mutator::ALL.len() {
+                let mutated = mutator.apply(clean, &mut rng);
+                // Either decode may succeed (the mutation can be a
+                // no-op or still-valid payload); a failure must be a
+                // structured error, which the Result type guarantees —
+                // reaching the next iteration means no panic.
+                let _ = proto::decode_request(&mutated);
+                let _ = proto::decode_response(&mutated);
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_wire_streams_read_to_structured_errors_never_panics() {
+    // A framed stream: header + several length-prefixed messages.
+    let mut clean = Vec::new();
+    proto::write_stream_header(&mut clean).expect("header");
+    for message in wire_corpus() {
+        proto::write_message(&mut clean, &message).expect("message");
+    }
+
+    for mutator in Mutator::ALL {
+        let mut rng = SplitMix64::new(job_seed(&["wire-stream", mutator.name()]));
+        for _ in 0..CASES_PER_SURFACE {
+            let mutated = mutator.apply(&clean, &mut rng);
+            let mut cursor = Cursor::new(mutated.as_slice());
+            if proto::read_stream_header(&mut cursor).is_err() {
+                continue;
+            }
+            // Drain messages until clean EOF or the first structured
+            // fault; decodes along the way must not panic either.
+            loop {
+                match proto::read_message(&mut cursor) {
+                    Ok(Some(payload)) => {
+                        let _ = proto::decode_request(&payload);
+                        let _ = proto::decode_response(&payload);
+                    }
+                    Ok(None) => break,
+                    Err(e) => {
+                        assert!(
+                            matches!(e, QrError::Corrupt { .. } | QrError::Execution { .. }),
+                            "stream fault must be structured: {e}"
+                        );
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn mutated_compressed_blocks_decode_or_salvage_a_prefix_never_panic() {
+    // Structured-but-compressible inputs of several sizes, spanning
+    // multiple 32 KiB blocks at the top end.
+    let corpora: Vec<Vec<u8>> = [512usize, 4096, 100_000]
+        .iter()
+        .map(|&n| {
+            let mut rng = SplitMix64::new(job_seed(&["block-corpus", &n.to_string()]));
+            (0..n)
+                .map(|i| {
+                    if rng.chance(7, 10) {
+                        (i % 251) as u8
+                    } else {
+                        (rng.next_u64() & 0xFF) as u8
+                    }
+                })
+                .collect()
+        })
+        .collect();
+
+    for (ci, original) in corpora.iter().enumerate() {
+        let compressed = qr_store::block::compress(original);
+        assert_eq!(
+            qr_store::block::decompress(&compressed).expect("clean decompress"),
+            *original
+        );
+        for mutator in Mutator::ALL {
+            let mut rng =
+                SplitMix64::new(job_seed(&["block", &ci.to_string(), mutator.name()]));
+            for _ in 0..CASES_PER_SURFACE / Mutator::ALL.len() {
+                let mutated = mutator.apply(&compressed, &mut rng);
+
+                // Strict decode: success (mutation hit slack) must
+                // reproduce the original; failure must be structured.
+                match qr_store::block::decompress(&mutated) {
+                    Ok(bytes) => assert_eq!(bytes, *original, "strict decode drifted"),
+                    Err(e) => assert!(
+                        matches!(e, QrError::Corrupt { .. }),
+                        "block fault must be Corrupt: {e}"
+                    ),
+                }
+
+                // Salvage never fails and always returns a prefix of
+                // the original bytes — the guarantee replay-side
+                // salvage builds on.
+                let salvage = qr_store::block::salvage(&mutated);
+                assert!(
+                    salvage.bytes.len() <= original.len()
+                        && salvage.bytes == original[..salvage.bytes.len()],
+                    "salvage must yield a clean prefix ({} bytes of {})",
+                    salvage.bytes.len(),
+                    original.len()
+                );
+                assert!(salvage.blocks_recovered <= salvage.blocks_total);
+            }
+        }
+    }
+}

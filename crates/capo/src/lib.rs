@@ -33,7 +33,8 @@ pub mod sphere;
 pub use input_log::{InputEvent, InputLog, InputSalvage};
 pub use overhead::{OverheadBreakdown, OverheadModel};
 pub use recording::{
-    FileCheck, Recording, RecordingConfig, RecordingMode, RecoveryInfo, VerifyReport,
+    FileCheck, Recording, RecordingConfig, RecordingMode, RecordingParts, RecoveryInfo,
+    VerifyReport,
 };
 pub use session::{record, RecordingSession};
 pub use sphere::ReplaySphere;

@@ -268,20 +268,11 @@ impl Recording {
     /// Footprint-log file name (absent in legacy recordings).
     pub const FOOTPRINTS_FILE: &'static str = "footprints.qrl";
 
-    /// Persists the recording into `dir` (created if missing) as three
-    /// files — metadata, the chunk log (in the encoding of `encoding`)
-    /// and the input log — plus the footprint sidecar when present.
-    ///
-    /// Recorder statistics and the overhead breakdown are measurement
-    /// artifacts and are not persisted; [`Recording::load`] returns them
-    /// zeroed.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`QrError::Execution`] wrapping any I/O failure.
-    pub fn save(&self, dir: &std::path::Path, encoding: quickrec_core::Encoding) -> Result<()> {
-        let io = |e: std::io::Error| QrError::Execution { detail: format!("saving recording: {e}") };
-        std::fs::create_dir_all(dir).map_err(io)?;
+    /// Serializes the recording into its per-file byte images — the
+    /// exact bytes [`Recording::save`] would write to disk. Storage
+    /// backends (the `qr-store` repository, the `quickrecd` wire
+    /// protocol) consume these without touching the filesystem.
+    pub fn to_parts(&self, encoding: quickrec_core::Encoding) -> RecordingParts {
         let outcome = RecordingOutcomeFields {
             cycles: self.cycles,
             instructions: self.instructions,
@@ -289,30 +280,30 @@ impl Recording {
             fingerprint: self.fingerprint,
             console: self.console.clone(),
         };
-        std::fs::write(dir.join(Self::META_FILE), self.meta.to_bytes(&outcome)).map_err(io)?;
-        std::fs::write(dir.join(Self::CHUNKS_FILE), self.chunks.to_bytes(encoding)).map_err(io)?;
-        std::fs::write(dir.join(Self::INPUTS_FILE), self.inputs.to_bytes()).map_err(io)?;
-        if let Some(footprints) = &self.footprints {
-            std::fs::write(dir.join(Self::FOOTPRINTS_FILE), footprints.to_bytes()).map_err(io)?;
+        RecordingParts {
+            meta: self.meta.to_bytes(&outcome),
+            chunks: self.chunks.to_bytes(encoding),
+            inputs: self.inputs.to_bytes(),
+            footprints: self.footprints.as_ref().map(|f| f.to_bytes()),
         }
-        Ok(())
     }
 
-    /// Loads a recording previously written by [`Recording::save`].
+    /// Reconstructs a recording from per-file byte images (the inverse
+    /// of [`Recording::to_parts`], and what [`Recording::load`] does
+    /// after reading the files).
     ///
     /// # Errors
     ///
-    /// Returns [`QrError::Execution`] naming the file for I/O failures
-    /// (a missing `chunks.qrl` and a missing `meta.qrm` are distinct
-    /// errors) and [`QrError::Corrupt`] with byte-offset context for
-    /// malformed or version-mismatched files.
-    pub fn load(dir: &std::path::Path) -> Result<Recording> {
-        let (meta, outcome) = RecordingMeta::from_bytes(&read_file(dir, Self::META_FILE)?)?;
-        let chunks = ChunkLog::from_bytes(&read_file(dir, Self::CHUNKS_FILE)?)?;
-        let inputs = InputLog::from_bytes(&read_file(dir, Self::INPUTS_FILE)?)?;
-        let footprints = match std::fs::read(dir.join(Self::FOOTPRINTS_FILE)) {
-            Ok(buf) => Some(FootprintLog::from_bytes(&buf)?),
-            Err(_) => None, // legacy recording without the sidecar
+    /// Returns [`QrError::Corrupt`] with byte-offset context for
+    /// malformed or version-mismatched images, [`QrError::LogDecode`]
+    /// for internally inconsistent ones.
+    pub fn from_parts(parts: &RecordingParts) -> Result<Recording> {
+        let (meta, outcome) = RecordingMeta::from_bytes(&parts.meta)?;
+        let chunks = ChunkLog::from_bytes(&parts.chunks)?;
+        let inputs = InputLog::from_bytes(&parts.inputs)?;
+        let footprints = match &parts.footprints {
+            Some(buf) => Some(FootprintLog::from_bytes(buf)?),
+            None => None,
         };
         let recording = Recording {
             chunks,
@@ -331,6 +322,33 @@ impl Recording {
         Ok(recording)
     }
 
+    /// Persists the recording into `dir` (created if missing) as three
+    /// files — metadata, the chunk log (in the encoding of `encoding`)
+    /// and the input log — plus the footprint sidecar when present.
+    ///
+    /// Recorder statistics and the overhead breakdown are measurement
+    /// artifacts and are not persisted; [`Recording::load`] returns them
+    /// zeroed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] wrapping any I/O failure.
+    pub fn save(&self, dir: &std::path::Path, encoding: quickrec_core::Encoding) -> Result<()> {
+        self.to_parts(encoding).save(dir)
+    }
+
+    /// Loads a recording previously written by [`Recording::save`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] naming the file for I/O failures
+    /// (a missing `chunks.qrl` and a missing `meta.qrm` are distinct
+    /// errors) and [`QrError::Corrupt`] with byte-offset context for
+    /// malformed or version-mismatched files.
+    pub fn load(dir: &std::path::Path) -> Result<Recording> {
+        Self::from_parts(&RecordingParts::read(dir)?)
+    }
+
     /// Loads as much of a torn or corrupted recording as survives its
     /// checksums: the metadata must decode strictly (it anchors replay),
     /// but the chunk and input logs are salvaged to their longest
@@ -345,16 +363,25 @@ impl Recording {
     /// Returns an error only when the metadata file is unreadable — a
     /// recording without its platform metadata cannot anchor a replay.
     pub fn load_salvaged(dir: &std::path::Path) -> Result<(Recording, RecoveryInfo)> {
-        let (meta, outcome) = RecordingMeta::from_bytes(&read_file(dir, Self::META_FILE)?)?;
-        let (chunks, chunk_salvage) =
-            ChunkLog::salvage_from_bytes(&read_file(dir, Self::CHUNKS_FILE)?);
-        let (inputs, input_salvage) =
-            InputLog::salvage_from_bytes(&read_file(dir, Self::INPUTS_FILE)?);
+        Self::salvage_from_parts(&RecordingParts::read(dir)?)
+    }
+
+    /// [`Recording::load_salvaged`] over in-memory file images: the
+    /// metadata must decode strictly, the logs salvage to their longest
+    /// valid prefixes. Storage backends route torn entries through this
+    /// so damage degrades instead of failing hard.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the metadata image is undecodable.
+    pub fn salvage_from_parts(parts: &RecordingParts) -> Result<(Recording, RecoveryInfo)> {
+        let (meta, outcome) = RecordingMeta::from_bytes(&parts.meta)?;
+        let (chunks, chunk_salvage) = ChunkLog::salvage_from_bytes(&parts.chunks);
+        let (inputs, input_salvage) = InputLog::salvage_from_bytes(&parts.inputs);
         // A torn footprint sidecar salvages to a (possibly partial)
         // prefix; parallel replay checks coverage before relying on it.
-        let footprints = std::fs::read(dir.join(Self::FOOTPRINTS_FILE))
-            .ok()
-            .map(|buf| FootprintLog::salvage_from_bytes(&buf));
+        let footprints =
+            parts.footprints.as_ref().map(|buf| FootprintLog::salvage_from_bytes(buf));
         let recording = Recording {
             chunks,
             inputs,
@@ -418,6 +445,109 @@ impl Recording {
 fn read_file(dir: &std::path::Path, name: &str) -> Result<Vec<u8>> {
     std::fs::read(dir.join(name))
         .map_err(|e| QrError::Execution { detail: format!("reading {name}: {e}") })
+}
+
+/// The per-file byte images of a saved recording — `meta.qrm`,
+/// `chunks.qrl`, `inputs.qrl` and the optional `footprints.qrl`
+/// sidecar, exactly as they appear on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecordingParts {
+    /// `meta.qrm` image.
+    pub meta: Vec<u8>,
+    /// `chunks.qrl` image.
+    pub chunks: Vec<u8>,
+    /// `inputs.qrl` image.
+    pub inputs: Vec<u8>,
+    /// `footprints.qrl` image (`None` for legacy recordings).
+    pub footprints: Option<Vec<u8>>,
+}
+
+impl RecordingParts {
+    /// `(file name, bytes)` view over the present parts, in the layout
+    /// order [`Recording::save`] writes them.
+    pub fn files(&self) -> Vec<(&'static str, &[u8])> {
+        let mut out = vec![
+            (Recording::META_FILE, self.meta.as_slice()),
+            (Recording::CHUNKS_FILE, self.chunks.as_slice()),
+            (Recording::INPUTS_FILE, self.inputs.as_slice()),
+        ];
+        if let Some(fp) = &self.footprints {
+            out.push((Recording::FOOTPRINTS_FILE, fp.as_slice()));
+        }
+        out
+    }
+
+    /// Assembles parts from `(file name, bytes)` pairs (the inverse of
+    /// [`RecordingParts::files`]; unknown names are rejected).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] when a required file is missing or a
+    /// name is not part of the recording layout.
+    pub fn from_files<S: AsRef<str>>(files: &[(S, Vec<u8>)]) -> Result<RecordingParts> {
+        let mut meta = None;
+        let mut chunks = None;
+        let mut inputs = None;
+        let mut footprints = None;
+        for (name, bytes) in files {
+            match name.as_ref() {
+                n if n == Recording::META_FILE => meta = Some(bytes.clone()),
+                n if n == Recording::CHUNKS_FILE => chunks = Some(bytes.clone()),
+                n if n == Recording::INPUTS_FILE => inputs = Some(bytes.clone()),
+                n if n == Recording::FOOTPRINTS_FILE => footprints = Some(bytes.clone()),
+                other => {
+                    return Err(QrError::Corrupt {
+                        what: "recording file set".into(),
+                        offset: 0,
+                        detail: format!("unexpected file `{other}`"),
+                    })
+                }
+            }
+        }
+        let require = |part: Option<Vec<u8>>, name: &str| {
+            part.ok_or_else(|| QrError::Corrupt {
+                what: "recording file set".into(),
+                offset: 0,
+                detail: format!("missing `{name}`"),
+            })
+        };
+        Ok(RecordingParts {
+            meta: require(meta, Recording::META_FILE)?,
+            chunks: require(chunks, Recording::CHUNKS_FILE)?,
+            inputs: require(inputs, Recording::INPUTS_FILE)?,
+            footprints,
+        })
+    }
+
+    /// Writes the parts into `dir` (created if missing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] wrapping any I/O failure.
+    pub fn save(&self, dir: &std::path::Path) -> Result<()> {
+        let io = |e: std::io::Error| QrError::Execution { detail: format!("saving recording: {e}") };
+        std::fs::create_dir_all(dir).map_err(io)?;
+        for (name, bytes) in self.files() {
+            std::fs::write(dir.join(name), bytes).map_err(io)?;
+        }
+        Ok(())
+    }
+
+    /// Reads the parts of a recording saved in `dir` (a missing
+    /// footprint sidecar is legal; the three core files are not).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] naming the first unreadable
+    /// required file.
+    pub fn read(dir: &std::path::Path) -> Result<RecordingParts> {
+        Ok(RecordingParts {
+            meta: read_file(dir, Recording::META_FILE)?,
+            chunks: read_file(dir, Recording::CHUNKS_FILE)?,
+            inputs: read_file(dir, Recording::INPUTS_FILE)?,
+            footprints: std::fs::read(dir.join(Recording::FOOTPRINTS_FILE)).ok(),
+        })
+    }
 }
 
 /// What [`Recording::load_salvaged`] recovered (and lost) per log file.

@@ -51,6 +51,14 @@ pub enum PayloadKind {
     Meta,
     /// A chunk footprint log (read/write line sets per chunk).
     FootprintLog,
+    /// One direction of a `quickrecd` wire-protocol connection (each
+    /// message is one record).
+    Wire,
+    /// A block-compressed log (`qr-store`): record 0 is the block index,
+    /// then one record per compressed block.
+    CompressedLog,
+    /// A recording-store manifest (`qr-store`).
+    StoreManifest,
 }
 
 impl PayloadKind {
@@ -61,6 +69,9 @@ impl PayloadKind {
             PayloadKind::InputLog => 1,
             PayloadKind::Meta => 2,
             PayloadKind::FootprintLog => 3,
+            PayloadKind::Wire => 4,
+            PayloadKind::CompressedLog => 5,
+            PayloadKind::StoreManifest => 6,
         }
     }
 
@@ -71,6 +82,9 @@ impl PayloadKind {
             1 => Some(PayloadKind::InputLog),
             2 => Some(PayloadKind::Meta),
             3 => Some(PayloadKind::FootprintLog),
+            4 => Some(PayloadKind::Wire),
+            5 => Some(PayloadKind::CompressedLog),
+            6 => Some(PayloadKind::StoreManifest),
             _ => None,
         }
     }
@@ -82,6 +96,9 @@ impl PayloadKind {
             PayloadKind::InputLog => "input log",
             PayloadKind::Meta => "recording meta",
             PayloadKind::FootprintLog => "footprint log",
+            PayloadKind::Wire => "wire message stream",
+            PayloadKind::CompressedLog => "compressed log",
+            PayloadKind::StoreManifest => "store manifest",
         }
     }
 }

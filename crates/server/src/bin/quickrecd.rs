@@ -1,0 +1,12 @@
+//! `quickrecd` — the QuickRec record/replay daemon.
+//!
+//! See `qr_server::daemon::USAGE` (or `quickrecd --help`).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Err(message) = qr_server::daemon::run(&args) {
+        eprintln!("quickrecd: {message}");
+        eprintln!("{}", qr_server::daemon::USAGE);
+        std::process::exit(2);
+    }
+}

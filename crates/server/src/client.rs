@@ -1,0 +1,134 @@
+//! A blocking wire-protocol client for `quickrecd`.
+
+use crate::proto::{self, Endpoint, JobInfo, JobState, Request, Response};
+use qr_common::{QrError, Result};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::os::unix::net::UnixStream;
+use std::time::{Duration, Instant};
+
+enum Stream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.read(buf),
+            Stream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Stream::Unix(s) => s.write(buf),
+            Stream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Stream::Unix(s) => s.flush(),
+            Stream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// One connection to a `quickrecd` server.
+pub struct Client {
+    stream: Stream,
+}
+
+impl Client {
+    /// Connects and exchanges stream headers.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] when the endpoint is unreachable,
+    /// [`QrError::Corrupt`] when the peer is not speaking the protocol.
+    pub fn connect(endpoint: &Endpoint) -> Result<Client> {
+        let io = |e: std::io::Error| QrError::Execution {
+            detail: format!("connecting to {}: {e}", endpoint.describe()),
+        };
+        let stream = match endpoint {
+            Endpoint::Unix(path) => Stream::Unix(UnixStream::connect(path).map_err(io)?),
+            Endpoint::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr).map_err(io)?),
+        };
+        let mut client = Client { stream };
+        proto::write_stream_header(&mut client.stream)?;
+        proto::read_stream_header(&mut client.stream)?;
+        Ok(client)
+    }
+
+    /// Connects, retrying until the server accepts or `timeout`
+    /// elapses (a just-spawned daemon needs a moment to bind).
+    ///
+    /// # Errors
+    ///
+    /// Returns the last connection error after the deadline.
+    pub fn connect_with_retry(endpoint: &Endpoint, timeout: Duration) -> Result<Client> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Client::connect(endpoint) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+    }
+
+    /// Sends one request and reads one response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] for transport failures,
+    /// [`QrError::Corrupt`] for protocol damage (including the server
+    /// hanging up mid-exchange).
+    pub fn call(&mut self, request: &Request) -> Result<Response> {
+        proto::write_message(&mut self.stream, &proto::encode_request(request))?;
+        match proto::read_message(&mut self.stream)? {
+            Some(payload) => proto::decode_response(&payload),
+            None => Err(QrError::Corrupt {
+                what: "wire message".into(),
+                offset: 0,
+                detail: "server closed the connection mid-exchange".into(),
+            }),
+        }
+    }
+
+    /// Polls JOBS until session `id` reaches a terminal state (or
+    /// `timeout` elapses), returning its final row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] on timeout or when the session
+    /// disappears.
+    pub fn wait_for(&mut self, id: u64, timeout: Duration) -> Result<JobInfo> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            let Response::JobList(jobs) = self.call(&Request::Jobs)? else {
+                return Err(QrError::Execution { detail: "unexpected JOBS response".into() });
+            };
+            match jobs.into_iter().find(|j| j.id == id) {
+                Some(job) if matches!(job.state, JobState::Done | JobState::Failed(_)) => {
+                    return Ok(job)
+                }
+                Some(_) => {}
+                None => {
+                    return Err(QrError::Execution {
+                        detail: format!("session {id} vanished from the job list"),
+                    })
+                }
+            }
+            if Instant::now() >= deadline {
+                return Err(QrError::Execution {
+                    detail: format!("timed out waiting for session {id}"),
+                });
+            }
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+}

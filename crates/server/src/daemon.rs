@@ -1,0 +1,86 @@
+//! Command-line front end shared by the `quickrecd` binary and
+//! `quickrec serve`.
+
+use crate::proto::Endpoint;
+use crate::server::{Server, ServerConfig};
+use std::path::PathBuf;
+
+/// Usage text for the daemon front end.
+pub const USAGE: &str = "usage: quickrecd (--socket PATH | --tcp ADDR) [options]
+
+options:
+  --socket PATH   listen on a Unix-domain socket
+  --tcp ADDR      listen on a TCP address (host:port; port 0 picks one)
+  --store DIR     recording-store root        [default: ./qr-store]
+  --workers N     job worker threads          [default: 2]
+  --shards N      session-registry shards     [default: workers]
+  --queue N       bounded job-queue capacity  [default: 64]
+
+The server runs until a client sends SHUTDOWN (`quickrec shutdown`).";
+
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_count(args: &[String], flag: &str, default: usize) -> Result<usize, String> {
+    match flag_value(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse::<usize>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .ok_or_else(|| format!("{flag} wants a positive integer, got `{v}`")),
+    }
+}
+
+/// Parses daemon arguments into an endpoint + config.
+///
+/// # Errors
+///
+/// Returns a usage-style message for unparsable arguments.
+pub fn parse_args(args: &[String]) -> Result<(Endpoint, ServerConfig), String> {
+    let endpoint = match (flag_value(args, "--socket"), flag_value(args, "--tcp")) {
+        (Some(path), None) => Endpoint::Unix(PathBuf::from(path)),
+        (None, Some(addr)) => Endpoint::Tcp(addr),
+        (Some(_), Some(_)) => return Err("pass --socket or --tcp, not both".into()),
+        (None, None) => return Err("an endpoint is required: --socket PATH or --tcp ADDR".into()),
+    };
+    let workers = parse_count(args, "--workers", 2)?;
+    let cfg = ServerConfig {
+        workers,
+        shards: parse_count(args, "--shards", workers)?,
+        queue_capacity: parse_count(args, "--queue", 64)?,
+        store_root: PathBuf::from(
+            flag_value(args, "--store").unwrap_or_else(|| "qr-store".into()),
+        ),
+    };
+    Ok((endpoint, cfg))
+}
+
+/// Runs the daemon in the foreground until a client shuts it down.
+///
+/// # Errors
+///
+/// Returns a printable message on startup failure.
+pub fn run(args: &[String]) -> Result<(), String> {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return Ok(());
+    }
+    let (endpoint, cfg) = parse_args(args)?;
+    let handle = Server::start(&endpoint, &cfg).map_err(|e| e.to_string())?;
+    println!(
+        "quickrecd listening on {} (workers={} shards={} queue={} store={})",
+        handle.endpoint().describe(),
+        cfg.workers,
+        cfg.shards,
+        cfg.queue_capacity,
+        cfg.store_root.display()
+    );
+    // Make the announcement visible to scripts piping our stdout.
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    handle.wait();
+    println!("quickrecd: shutdown complete");
+    Ok(())
+}

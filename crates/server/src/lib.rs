@@ -1,0 +1,25 @@
+#![warn(missing_docs)]
+
+//! `qr-server` — the `quickrecd` record/replay service.
+//!
+//! The binary and library behind the daemon: a `std::net`
+//! (Unix-socket or TCP) server speaking a length-prefixed binary
+//! protocol built on `qr_common::frame` ([`proto`]), with a sharded
+//! session registry ([`registry`]), a bounded worker pool with
+//! backpressure ([`pool`]), and job execution (RECORD / REPLAY /
+//! VERIFY / RACES) over the simulator stack, persisting results into a
+//! `qr_store::RecordingStore`. Graceful shutdown drains in-flight jobs
+//! and the store's atomic commit protocol guarantees no torn entry is
+//! ever visible.
+
+pub mod client;
+pub mod daemon;
+pub mod pool;
+pub mod proto;
+pub mod registry;
+pub mod server;
+
+pub use client::Client;
+pub use pool::WorkerPool;
+pub use proto::{Endpoint, Request, Response};
+pub use server::{Server, ServerConfig, ServerHandle};

@@ -1,0 +1,807 @@
+//! The `quickrecd` wire protocol.
+//!
+//! Each connection direction is a framed `Wire` stream reusing the
+//! on-disk container shape (`qr_common::frame`): a one-time 6-byte
+//! header (magic `QRCF`, version, kind = `Wire`), then one CRC-32
+//! protected record per message:
+//!
+//! ```text
+//! direction := magic(4) version(1) kind(1)  message*
+//! message   := len(u32 LE)  payload(len)  crc32(u32 LE, of payload)
+//! ```
+//!
+//! Message payloads are tag-byte + varint documents ([`Request`],
+//! [`Response`]). Every decoder in this module is panic-free on
+//! arbitrary bytes and reports damage as [`QrError::Corrupt`] — the
+//! fault-injection suite drives both the stream layer and the payload
+//! decoders through the same mutators as the on-disk logs.
+
+use qr_common::frame::{self, PayloadKind};
+use qr_common::{crc32, varint, QrError, Result};
+use quickrec_core::Encoding;
+use qr_workloads::Scale;
+use std::io::{Read, Write};
+use std::path::PathBuf;
+
+/// Upper bound on one message payload (a fetched reference-scale
+/// recording is a few MiB; 64 MiB leaves ample headroom while bounding
+/// a hostile length prefix).
+pub const MAX_MESSAGE: u32 = 64 * 1024 * 1024;
+
+fn corrupt(offset: u64, detail: String) -> QrError {
+    QrError::Corrupt { what: "wire message".into(), offset, detail }
+}
+
+fn io_err(what: &str, e: std::io::Error) -> QrError {
+    QrError::Execution { detail: format!("{what}: {e}") }
+}
+
+/// Where a server listens (and a client connects).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path.
+    Unix(PathBuf),
+    /// A TCP address (`host:port`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Human-readable form (`unix:/path` or `tcp:host:port`).
+    pub fn describe(&self) -> String {
+        match self {
+            Endpoint::Unix(p) => format!("unix:{}", p.display()),
+            Endpoint::Tcp(a) => format!("tcp:{a}"),
+        }
+    }
+}
+
+/// Writes the one-time stream header for one direction.
+///
+/// # Errors
+///
+/// Returns [`QrError::Execution`] wrapping I/O failures.
+pub fn write_stream_header<W: Write + ?Sized>(w: &mut W) -> Result<()> {
+    let mut header = Vec::with_capacity(frame::HEADER_LEN);
+    header.extend_from_slice(&frame::MAGIC);
+    header.push(frame::VERSION);
+    header.push(PayloadKind::Wire.code());
+    w.write_all(&header).map_err(|e| io_err("writing stream header", e))
+}
+
+/// Reads and validates the peer's stream header.
+///
+/// # Errors
+///
+/// Returns [`QrError::Corrupt`] for a wrong magic, version or kind,
+/// [`QrError::Execution`] for I/O failures.
+pub fn read_stream_header<R: Read + ?Sized>(r: &mut R) -> Result<()> {
+    let mut header = [0u8; frame::HEADER_LEN];
+    r.read_exact(&mut header).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => corrupt(0, "truncated stream header".into()),
+        _ => io_err("reading stream header", e),
+    })?;
+    if header[..4] != frame::MAGIC {
+        return Err(corrupt(0, "bad stream magic".into()));
+    }
+    if header[4] != frame::VERSION {
+        return Err(corrupt(4, format!("unsupported protocol version {}", header[4])));
+    }
+    if header[5] != PayloadKind::Wire.code() {
+        let name = PayloadKind::from_code(header[5]).map_or("unknown payload", PayloadKind::name);
+        return Err(corrupt(5, format!("stream carries a {name}, expected a wire message stream")));
+    }
+    Ok(())
+}
+
+/// Writes one length-prefixed, CRC-trailed message.
+///
+/// # Errors
+///
+/// Returns [`QrError::Execution`] wrapping I/O failures.
+pub fn write_message<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> Result<()> {
+    let len = u32::try_from(payload.len())
+        .ok()
+        .filter(|&l| l <= MAX_MESSAGE)
+        .ok_or_else(|| QrError::Execution {
+            detail: format!("message of {} bytes exceeds the wire limit", payload.len()),
+        })?;
+    let mut buf = Vec::with_capacity(payload.len() + frame::RECORD_OVERHEAD);
+    buf.extend_from_slice(&len.to_le_bytes());
+    buf.extend_from_slice(payload);
+    buf.extend_from_slice(&crc32::checksum(payload).to_le_bytes());
+    w.write_all(&buf).map_err(|e| io_err("writing message", e))?;
+    w.flush().map_err(|e| io_err("flushing message", e))
+}
+
+/// Reads one message payload; `Ok(None)` on clean end-of-stream (the
+/// peer closed between messages).
+///
+/// # Errors
+///
+/// Returns [`QrError::Corrupt`] for truncation inside a message, an
+/// oversized length prefix or a CRC mismatch; [`QrError::Execution`]
+/// for other I/O failures.
+pub fn read_message<R: Read + ?Sized>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    let mut len_bytes = [0u8; 4];
+    match r.read_exact(&mut len_bytes) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(io_err("reading message length", e)),
+    }
+    let len = u32::from_le_bytes(len_bytes);
+    if len > MAX_MESSAGE {
+        return Err(corrupt(0, format!("message length {len} exceeds the wire limit")));
+    }
+    let mut body = vec![0u8; len as usize + 4];
+    r.read_exact(&mut body).map_err(|e| match e.kind() {
+        std::io::ErrorKind::UnexpectedEof => corrupt(4, "truncated message".into()),
+        _ => io_err("reading message", e),
+    })?;
+    let crc_bytes: [u8; 4] = body[len as usize..].try_into().expect("4 trailer bytes");
+    body.truncate(len as usize);
+    if crc32::checksum(&body) != u32::from_le_bytes(crc_bytes) {
+        return Err(corrupt(4, "message checksum mismatch".into()));
+    }
+    Ok(Some(body))
+}
+
+/// A client-to-server command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Liveness check.
+    Ping,
+    /// Record a named suite workload; the RECORD job is queued and the
+    /// assigned session id returned immediately.
+    SubmitWorkload {
+        /// Session label.
+        name: String,
+        /// Suite workload name (`fft`, `lu`, ...).
+        workload: String,
+        /// Worker threads (= cores).
+        threads: u32,
+        /// Problem-size scale.
+        scale: Scale,
+        /// Chunk-log encoding to store with.
+        encoding: Encoding,
+    },
+    /// Record a client-supplied PIA assembly program.
+    SubmitProgram {
+        /// Session label.
+        name: String,
+        /// PIA assembly source text.
+        source: String,
+        /// Cores to record on.
+        cores: u32,
+        /// Chunk-log encoding to store with.
+        encoding: Encoding,
+    },
+    /// List all sessions.
+    Jobs,
+    /// Server and per-session counters.
+    Stats,
+    /// Download a completed session's recording files.
+    Fetch {
+        /// Session id.
+        id: u64,
+    },
+    /// Queue a REPLAY job for a completed session.
+    Replay {
+        /// Session id.
+        id: u64,
+    },
+    /// Queue a VERIFY job (store-entry integrity check).
+    Verify {
+        /// Session id.
+        id: u64,
+    },
+    /// Queue a RACES job (replay-time race detection).
+    Races {
+        /// Session id.
+        id: u64,
+    },
+    /// Drain in-flight jobs and stop the server.
+    Shutdown,
+}
+
+/// Lifecycle of one session's current/last job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting in the worker pool.
+    Queued,
+    /// Executing on a worker.
+    Running,
+    /// Finished successfully.
+    Done,
+    /// Finished with an error.
+    Failed(String),
+}
+
+impl JobState {
+    /// Short label for tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed(_) => "failed",
+        }
+    }
+}
+
+/// One session as reported by JOBS.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobInfo {
+    /// Session id (also the store entry id once recorded).
+    pub id: u64,
+    /// Session label.
+    pub name: String,
+    /// Workload name or `program` for submitted sources.
+    pub workload: String,
+    /// Current/last job kind (`record`, `replay`, ...).
+    pub kind: String,
+    /// Job lifecycle state.
+    pub state: JobState,
+    /// Outcome fingerprint (0 until the recording completes).
+    pub fingerprint: u64,
+}
+
+/// Per-session operation counters, surfaced by STATS.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionStats {
+    /// Session id.
+    pub id: u64,
+    /// RECORD jobs completed.
+    pub records: u64,
+    /// REPLAY jobs completed.
+    pub replays: u64,
+    /// VERIFY jobs completed.
+    pub verifies: u64,
+    /// RACES jobs completed.
+    pub races: u64,
+    /// Uncompressed bytes of the stored recording.
+    pub bytes_raw: u64,
+    /// Compressed bytes of the stored recording.
+    pub bytes_stored: u64,
+    /// Simulated instructions executed for this session.
+    pub instructions: u64,
+}
+
+/// Server-wide counters, surfaced by STATS.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StatsReport {
+    /// Sessions accepted.
+    pub accepted: u64,
+    /// Submissions rejected by backpressure.
+    pub rejected_busy: u64,
+    /// Jobs completed successfully.
+    pub completed: u64,
+    /// Jobs failed.
+    pub failed: u64,
+    /// Connections served.
+    pub connections: u64,
+    /// Registry shard count.
+    pub shards: u32,
+    /// Worker-pool size.
+    pub workers: u32,
+    /// Per-session counters, ordered by id.
+    pub sessions: Vec<SessionStats>,
+}
+
+/// A server-to-client reply.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// Reply to [`Request::Ping`].
+    Pong,
+    /// The submission was queued under this session id.
+    Submitted {
+        /// Assigned session id.
+        id: u64,
+    },
+    /// Backpressure: the worker queue is full; retry later.
+    Busy {
+        /// Jobs currently queued.
+        queued: u32,
+    },
+    /// Reply to [`Request::Jobs`].
+    JobList(Vec<JobInfo>),
+    /// Reply to [`Request::Stats`].
+    Stats(StatsReport),
+    /// Reply to [`Request::Fetch`]: the recording's file images.
+    Fetched {
+        /// `(file name, bytes)` in save-layout order.
+        files: Vec<(String, Vec<u8>)>,
+        /// The recording's outcome fingerprint.
+        fingerprint: u64,
+    },
+    /// The requested job was queued.
+    Queued,
+    /// Reply to [`Request::Shutdown`].
+    ShuttingDown,
+    /// Any failure (unknown session, bad workload, job error, ...).
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+// ---- payload encoding ------------------------------------------------
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    varint::write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    varint::write_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+fn scale_tag(scale: Scale) -> u8 {
+    match scale {
+        Scale::Test => 0,
+        Scale::Small => 1,
+        Scale::Reference => 2,
+    }
+}
+
+struct Decoder<'a> {
+    buf: &'a [u8],
+    off: usize,
+}
+
+impl<'a> Decoder<'a> {
+    fn new(buf: &'a [u8]) -> Decoder<'a> {
+        Decoder { buf, off: 0 }
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64> {
+        let (v, n) = varint::read_u64(self.buf.get(self.off..).unwrap_or(&[]))
+            .map_err(|e| corrupt(self.off as u64, format!("{what}: {e}")))?;
+        self.off += n;
+        Ok(v)
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32> {
+        u32::try_from(self.u64(what)?)
+            .map_err(|_| corrupt(self.off as u64, format!("{what} out of range")))
+    }
+
+    fn byte(&mut self, what: &str) -> Result<u8> {
+        let b = *self
+            .buf
+            .get(self.off)
+            .ok_or_else(|| corrupt(self.off as u64, format!("truncated {what}")))?;
+        self.off += 1;
+        Ok(b)
+    }
+
+    fn bytes(&mut self, what: &str) -> Result<Vec<u8>> {
+        let len = self.u64(what)? as usize;
+        let data = self
+            .buf
+            .get(self.off..self.off.checked_add(len).unwrap_or(usize::MAX))
+            .ok_or_else(|| corrupt(self.off as u64, format!("truncated {what}")))?;
+        self.off += len;
+        Ok(data.to_vec())
+    }
+
+    fn string(&mut self, what: &str) -> Result<String> {
+        String::from_utf8(self.bytes(what)?)
+            .map_err(|_| corrupt(self.off as u64, format!("{what} is not utf-8")))
+    }
+
+    fn encoding(&mut self) -> Result<Encoding> {
+        let tag = self.byte("encoding tag")?;
+        Encoding::ALL
+            .into_iter()
+            .find(|e| e.tag() == tag)
+            .ok_or_else(|| corrupt(self.off as u64 - 1, format!("unknown encoding tag {tag}")))
+    }
+
+    fn scale(&mut self) -> Result<Scale> {
+        match self.byte("scale tag")? {
+            0 => Ok(Scale::Test),
+            1 => Ok(Scale::Small),
+            2 => Ok(Scale::Reference),
+            t => Err(corrupt(self.off as u64 - 1, format!("unknown scale tag {t}"))),
+        }
+    }
+
+    fn finish(self) -> Result<()> {
+        if self.off != self.buf.len() {
+            return Err(corrupt(
+                self.off as u64,
+                format!("{} trailing bytes", self.buf.len() - self.off),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Serializes a request payload.
+pub fn encode_request(req: &Request) -> Vec<u8> {
+    let mut out = Vec::new();
+    match req {
+        Request::Ping => out.push(0),
+        Request::SubmitWorkload { name, workload, threads, scale, encoding } => {
+            out.push(1);
+            put_str(&mut out, name);
+            put_str(&mut out, workload);
+            varint::write_u64(&mut out, u64::from(*threads));
+            out.push(scale_tag(*scale));
+            out.push(encoding.tag());
+        }
+        Request::SubmitProgram { name, source, cores, encoding } => {
+            out.push(2);
+            put_str(&mut out, name);
+            put_str(&mut out, source);
+            varint::write_u64(&mut out, u64::from(*cores));
+            out.push(encoding.tag());
+        }
+        Request::Jobs => out.push(3),
+        Request::Stats => out.push(4),
+        Request::Fetch { id } => {
+            out.push(5);
+            varint::write_u64(&mut out, *id);
+        }
+        Request::Replay { id } => {
+            out.push(6);
+            varint::write_u64(&mut out, *id);
+        }
+        Request::Verify { id } => {
+            out.push(7);
+            varint::write_u64(&mut out, *id);
+        }
+        Request::Races { id } => {
+            out.push(8);
+            varint::write_u64(&mut out, *id);
+        }
+        Request::Shutdown => out.push(9),
+    }
+    out
+}
+
+/// Parses a request payload. Panic-free; structural damage is
+/// [`QrError::Corrupt`].
+///
+/// # Errors
+///
+/// Returns [`QrError::Corrupt`] for unknown tags, truncation or
+/// trailing bytes.
+pub fn decode_request(payload: &[u8]) -> Result<Request> {
+    let mut d = Decoder::new(payload);
+    let req = match d.byte("request tag")? {
+        0 => Request::Ping,
+        1 => Request::SubmitWorkload {
+            name: d.string("session name")?,
+            workload: d.string("workload name")?,
+            threads: d.u32("thread count")?,
+            scale: d.scale()?,
+            encoding: d.encoding()?,
+        },
+        2 => Request::SubmitProgram {
+            name: d.string("session name")?,
+            source: d.string("program source")?,
+            cores: d.u32("core count")?,
+            encoding: d.encoding()?,
+        },
+        3 => Request::Jobs,
+        4 => Request::Stats,
+        5 => Request::Fetch { id: d.u64("session id")? },
+        6 => Request::Replay { id: d.u64("session id")? },
+        7 => Request::Verify { id: d.u64("session id")? },
+        8 => Request::Races { id: d.u64("session id")? },
+        9 => Request::Shutdown,
+        t => return Err(corrupt(0, format!("unknown request tag {t}"))),
+    };
+    d.finish()?;
+    Ok(req)
+}
+
+/// Serializes a response payload.
+pub fn encode_response(resp: &Response) -> Vec<u8> {
+    let mut out = Vec::new();
+    match resp {
+        Response::Pong => out.push(0),
+        Response::Submitted { id } => {
+            out.push(1);
+            varint::write_u64(&mut out, *id);
+        }
+        Response::Busy { queued } => {
+            out.push(2);
+            varint::write_u64(&mut out, u64::from(*queued));
+        }
+        Response::JobList(jobs) => {
+            out.push(3);
+            varint::write_u64(&mut out, jobs.len() as u64);
+            for j in jobs {
+                varint::write_u64(&mut out, j.id);
+                put_str(&mut out, &j.name);
+                put_str(&mut out, &j.workload);
+                put_str(&mut out, &j.kind);
+                match &j.state {
+                    JobState::Queued => out.push(0),
+                    JobState::Running => out.push(1),
+                    JobState::Done => out.push(2),
+                    JobState::Failed(msg) => {
+                        out.push(3);
+                        put_str(&mut out, msg);
+                    }
+                }
+                varint::write_u64(&mut out, j.fingerprint);
+            }
+        }
+        Response::Stats(s) => {
+            out.push(4);
+            for v in [s.accepted, s.rejected_busy, s.completed, s.failed, s.connections] {
+                varint::write_u64(&mut out, v);
+            }
+            varint::write_u64(&mut out, u64::from(s.shards));
+            varint::write_u64(&mut out, u64::from(s.workers));
+            varint::write_u64(&mut out, s.sessions.len() as u64);
+            for sess in &s.sessions {
+                for v in [
+                    sess.id,
+                    sess.records,
+                    sess.replays,
+                    sess.verifies,
+                    sess.races,
+                    sess.bytes_raw,
+                    sess.bytes_stored,
+                    sess.instructions,
+                ] {
+                    varint::write_u64(&mut out, v);
+                }
+            }
+        }
+        Response::Fetched { files, fingerprint } => {
+            out.push(5);
+            varint::write_u64(&mut out, *fingerprint);
+            varint::write_u64(&mut out, files.len() as u64);
+            for (name, bytes) in files {
+                put_str(&mut out, name);
+                put_bytes(&mut out, bytes);
+            }
+        }
+        Response::Queued => out.push(6),
+        Response::ShuttingDown => out.push(7),
+        Response::Error { message } => {
+            out.push(8);
+            put_str(&mut out, message);
+        }
+    }
+    out
+}
+
+/// Parses a response payload. Panic-free; structural damage is
+/// [`QrError::Corrupt`].
+///
+/// # Errors
+///
+/// Returns [`QrError::Corrupt`] for unknown tags, truncation or
+/// trailing bytes.
+pub fn decode_response(payload: &[u8]) -> Result<Response> {
+    let mut d = Decoder::new(payload);
+    let resp = match d.byte("response tag")? {
+        0 => Response::Pong,
+        1 => Response::Submitted { id: d.u64("session id")? },
+        2 => Response::Busy { queued: d.u32("queue length")? },
+        3 => {
+            let count = d.u64("job count")?;
+            if count > 1 << 20 {
+                return Err(corrupt(0, format!("implausible job count {count}")));
+            }
+            let mut jobs = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let id = d.u64("session id")?;
+                let name = d.string("session name")?;
+                let workload = d.string("workload name")?;
+                let kind = d.string("job kind")?;
+                let state = match d.byte("job state")? {
+                    0 => JobState::Queued,
+                    1 => JobState::Running,
+                    2 => JobState::Done,
+                    3 => JobState::Failed(d.string("failure message")?),
+                    t => return Err(corrupt(d.off as u64 - 1, format!("unknown job state {t}"))),
+                };
+                let fingerprint = d.u64("fingerprint")?;
+                jobs.push(JobInfo { id, name, workload, kind, state, fingerprint });
+            }
+            Response::JobList(jobs)
+        }
+        4 => {
+            let accepted = d.u64("accepted")?;
+            let rejected_busy = d.u64("rejected")?;
+            let completed = d.u64("completed")?;
+            let failed = d.u64("failed")?;
+            let connections = d.u64("connections")?;
+            let shards = d.u32("shards")?;
+            let workers = d.u32("workers")?;
+            let count = d.u64("session count")?;
+            if count > 1 << 20 {
+                return Err(corrupt(0, format!("implausible session count {count}")));
+            }
+            let mut sessions = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                sessions.push(SessionStats {
+                    id: d.u64("session id")?,
+                    records: d.u64("records")?,
+                    replays: d.u64("replays")?,
+                    verifies: d.u64("verifies")?,
+                    races: d.u64("races")?,
+                    bytes_raw: d.u64("raw bytes")?,
+                    bytes_stored: d.u64("stored bytes")?,
+                    instructions: d.u64("instructions")?,
+                });
+            }
+            Response::Stats(StatsReport {
+                accepted,
+                rejected_busy,
+                completed,
+                failed,
+                connections,
+                shards,
+                workers,
+                sessions,
+            })
+        }
+        5 => {
+            let fingerprint = d.u64("fingerprint")?;
+            let count = d.u64("file count")?;
+            if count > 16 {
+                return Err(corrupt(0, format!("implausible file count {count}")));
+            }
+            let mut files = Vec::with_capacity(count as usize);
+            for _ in 0..count {
+                let name = d.string("file name")?;
+                let bytes = d.bytes("file bytes")?;
+                files.push((name, bytes));
+            }
+            Response::Fetched { files, fingerprint }
+        }
+        6 => Response::Queued,
+        7 => Response::ShuttingDown,
+        8 => Response::Error { message: d.string("error message")? },
+        t => return Err(corrupt(0, format!("unknown response tag {t}"))),
+    };
+    d.finish()?;
+    Ok(resp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_requests() -> Vec<Request> {
+        vec![
+            Request::Ping,
+            Request::SubmitWorkload {
+                name: "s1".into(),
+                workload: "fft".into(),
+                threads: 4,
+                scale: Scale::Small,
+                encoding: Encoding::Delta,
+            },
+            Request::SubmitProgram {
+                name: "s2".into(),
+                source: "MOV r0, 1\nEXIT".into(),
+                cores: 2,
+                encoding: Encoding::Raw,
+            },
+            Request::Jobs,
+            Request::Stats,
+            Request::Fetch { id: 9 },
+            Request::Replay { id: 1 },
+            Request::Verify { id: u64::MAX },
+            Request::Races { id: 3 },
+            Request::Shutdown,
+        ]
+    }
+
+    fn all_responses() -> Vec<Response> {
+        vec![
+            Response::Pong,
+            Response::Submitted { id: 12 },
+            Response::Busy { queued: 7 },
+            Response::JobList(vec![
+                JobInfo {
+                    id: 1,
+                    name: "a".into(),
+                    workload: "fft".into(),
+                    kind: "record".into(),
+                    state: JobState::Done,
+                    fingerprint: 0xFEED,
+                },
+                JobInfo {
+                    id: 2,
+                    name: "b".into(),
+                    workload: "program".into(),
+                    kind: "record".into(),
+                    state: JobState::Failed("boom".into()),
+                    fingerprint: 0,
+                },
+            ]),
+            Response::Stats(StatsReport {
+                accepted: 5,
+                rejected_busy: 1,
+                completed: 4,
+                failed: 1,
+                connections: 9,
+                shards: 4,
+                workers: 2,
+                sessions: vec![SessionStats {
+                    id: 1,
+                    records: 1,
+                    replays: 2,
+                    verifies: 0,
+                    races: 1,
+                    bytes_raw: 4096,
+                    bytes_stored: 1024,
+                    instructions: 1_000_000,
+                }],
+            }),
+            Response::Fetched {
+                files: vec![("meta.qrm".into(), vec![1, 2, 3]), ("chunks.qrl".into(), vec![])],
+                fingerprint: 77,
+            },
+            Response::Queued,
+            Response::ShuttingDown,
+            Response::Error { message: "no such session".into() },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in all_requests() {
+            assert_eq!(decode_request(&encode_request(&req)).unwrap(), req, "{req:?}");
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in all_responses() {
+            assert_eq!(decode_response(&encode_response(&resp)).unwrap(), resp, "{resp:?}");
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_over_a_buffer() {
+        let mut wire = Vec::new();
+        write_stream_header(&mut wire).unwrap();
+        for req in all_requests() {
+            write_message(&mut wire, &encode_request(&req)).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(wire);
+        read_stream_header(&mut cursor).unwrap();
+        let mut seen = Vec::new();
+        while let Some(payload) = read_message(&mut cursor).unwrap() {
+            seen.push(decode_request(&payload).unwrap());
+        }
+        assert_eq!(seen, all_requests());
+    }
+
+    #[test]
+    fn header_of_wrong_kind_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&frame::MAGIC);
+        wire.push(frame::VERSION);
+        wire.push(PayloadKind::ChunkLog.code());
+        let err = read_stream_header(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert!(err.to_string().contains("chunk log"), "{err}");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_corrupt_not_oom() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_message(&mut std::io::Cursor::new(wire)).unwrap_err();
+        assert!(matches!(err, QrError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut payload = encode_request(&Request::Ping);
+        payload.push(0);
+        assert!(decode_request(&payload).is_err());
+    }
+}

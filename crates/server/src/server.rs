@@ -1,0 +1,586 @@
+//! The `quickrecd` daemon: accept loop, job execution, shutdown.
+//!
+//! One OS thread per connection speaks the wire protocol
+//! ([`crate::proto`]); RECORD/REPLAY/VERIFY/RACES jobs run on the
+//! bounded [`WorkerPool`] (a full queue answers `Busy` — backpressure
+//! instead of unbounded buffering); sessions live in the sharded
+//! [`Registry`]; recordings land in a `qr_store::RecordingStore`.
+//!
+//! Shutdown (a `SHUTDOWN` message or [`ServerHandle::shutdown`]) stops
+//! the accept loop, drains open connections and every queued job, then
+//! joins the workers. Because the store commits entries by staging +
+//! rename with the manifest written last, there is no instant at which
+//! killing or draining the server can leave a torn entry visible.
+
+use crate::pool::WorkerPool;
+use crate::proto::{
+    self, Endpoint, JobState, Request, Response, SessionStats, StatsReport,
+};
+use crate::registry::{Registry, Session, SessionSource};
+use qr_capo::{record, RecordingConfig};
+use qr_common::{QrError, Result};
+use qr_isa::Program;
+use qr_store::RecordingStore;
+use quickrec_core::Encoding;
+use std::io::{Read, Write};
+use std::net::TcpListener;
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Tunables for one server instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker-pool threads executing jobs.
+    pub workers: usize,
+    /// Registry shards (defaults to the worker count).
+    pub shards: usize,
+    /// Bounded job-queue capacity; a full queue answers `Busy`.
+    pub queue_capacity: usize,
+    /// Recording-store root directory.
+    pub store_root: PathBuf,
+}
+
+impl ServerConfig {
+    /// A config with `workers` workers and matching shard count,
+    /// storing under `store_root`.
+    pub fn new(workers: usize, store_root: PathBuf) -> ServerConfig {
+        ServerConfig { workers, shards: workers, queue_capacity: 64, store_root }
+    }
+}
+
+/// Server-wide monotonic counters (the STATS globals).
+#[derive(Debug, Default)]
+struct Counters {
+    accepted: AtomicU64,
+    rejected_busy: AtomicU64,
+    completed: AtomicU64,
+    failed: AtomicU64,
+    connections: AtomicU64,
+}
+
+struct Shared {
+    registry: Registry,
+    store: RecordingStore,
+    counters: Counters,
+    shutdown: AtomicBool,
+    next_session: AtomicU64,
+    active_connections: AtomicUsize,
+    workers: usize,
+}
+
+/// Namespace for [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Binds `endpoint` and starts serving in background threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] when the endpoint cannot be bound
+    /// or the store root cannot be opened.
+    pub fn start(endpoint: &Endpoint, cfg: &ServerConfig) -> Result<ServerHandle> {
+        let store = RecordingStore::open(&cfg.store_root)?;
+        let shared = Arc::new(Shared {
+            registry: Registry::new(cfg.shards.max(1)),
+            store,
+            counters: Counters::default(),
+            shutdown: AtomicBool::new(false),
+            next_session: AtomicU64::new(1),
+            active_connections: AtomicUsize::new(0),
+            workers: cfg.workers.max(1),
+        });
+        let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.queue_capacity));
+        let listener = Listener::bind(endpoint)?;
+        let bound = listener.local_endpoint(endpoint);
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            std::thread::Builder::new()
+                .name("qr-accept".into())
+                .spawn(move || accept_loop(&listener, &shared, &pool))
+                .map_err(|e| QrError::Execution {
+                    detail: format!("spawning accept thread: {e}"),
+                })?
+        };
+        Ok(ServerHandle { shared, pool, accept: Some(accept), endpoint: bound })
+    }
+}
+
+/// A running server. Dropping the handle does *not* stop the server;
+/// call [`ServerHandle::shutdown`] + [`ServerHandle::wait`] (a client
+/// `SHUTDOWN` message triggers the same path).
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    pool: Arc<WorkerPool>,
+    accept: Option<std::thread::JoinHandle<()>>,
+    endpoint: Endpoint,
+}
+
+impl ServerHandle {
+    /// The bound endpoint (with the real port when TCP port 0 was
+    /// requested).
+    pub fn endpoint(&self) -> &Endpoint {
+        &self.endpoint
+    }
+
+    /// Requests shutdown (idempotent; returns immediately).
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Blocks until the accept loop has stopped, open connections have
+    /// drained, and every queued job has finished.
+    pub fn wait(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        // Connections observe the shutdown flag through their read
+        // timeout; give them time to finish their current exchange.
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        while self.shared.active_connections.load(Ordering::SeqCst) > 0
+            && std::time::Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        self.pool.drain();
+        if let Endpoint::Unix(path) = &self.endpoint {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+// ---- transport -------------------------------------------------------
+
+/// One accepted connection: both socket families, unified.
+trait Conn: Read + Write + Send {
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()>;
+}
+
+impl Conn for std::net::TcpStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        std::net::TcpStream::set_read_timeout(self, d)
+    }
+}
+
+impl Conn for std::os::unix::net::UnixStream {
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        std::os::unix::net::UnixStream::set_read_timeout(self, d)
+    }
+}
+
+enum Listener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    fn bind(endpoint: &Endpoint) -> Result<Listener> {
+        let io = |e: std::io::Error| QrError::Execution {
+            detail: format!("binding {}: {e}", endpoint.describe()),
+        };
+        match endpoint {
+            Endpoint::Unix(path) => {
+                // A stale socket file from a killed server blocks bind.
+                let _ = std::fs::remove_file(path);
+                let listener = UnixListener::bind(path).map_err(io)?;
+                listener.set_nonblocking(true).map_err(io)?;
+                Ok(Listener::Unix(listener))
+            }
+            Endpoint::Tcp(addr) => {
+                let listener = TcpListener::bind(addr).map_err(io)?;
+                listener.set_nonblocking(true).map_err(io)?;
+                Ok(Listener::Tcp(listener))
+            }
+        }
+    }
+
+    /// The endpoint actually bound (resolves TCP port 0).
+    fn local_endpoint(&self, requested: &Endpoint) -> Endpoint {
+        match self {
+            Listener::Unix(_) => requested.clone(),
+            Listener::Tcp(listener) => match listener.local_addr() {
+                Ok(addr) => Endpoint::Tcp(addr.to_string()),
+                Err(_) => requested.clone(),
+            },
+        }
+    }
+
+    /// Non-blocking accept: `None` when no connection is pending.
+    fn accept(&self) -> std::io::Result<Option<Box<dyn Conn>>> {
+        match self {
+            Listener::Unix(listener) => match listener.accept() {
+                Ok((stream, _)) => Ok(Some(Box::new(stream))),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+            Listener::Tcp(listener) => match listener.accept() {
+                Ok((stream, _)) => Ok(Some(Box::new(stream))),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
+                Err(e) => Err(e),
+            },
+        }
+    }
+}
+
+fn accept_loop(listener: &Listener, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok(Some(conn)) => {
+                shared.counters.connections.fetch_add(1, Ordering::SeqCst);
+                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                let conn_shared = Arc::clone(shared);
+                let conn_pool = Arc::clone(pool);
+                let spawned = std::thread::Builder::new().name("qr-conn".into()).spawn(move || {
+                    serve_connection(conn, &conn_shared, &conn_pool);
+                    conn_shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                });
+                if spawned.is_err() {
+                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                }
+            }
+            Ok(None) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Wraps a connection so blocked reads periodically observe the
+/// shutdown flag: a timeout with the flag set reads as end-of-stream,
+/// unblocking the handler.
+struct ShutdownAwareReader<'a> {
+    conn: &'a mut dyn Conn,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for ShutdownAwareReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            match self.conn.read(buf) {
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return Ok(0);
+                    }
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+fn serve_connection(mut conn: Box<dyn Conn>, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) {
+    let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
+    if proto::write_stream_header(conn.as_mut()).is_err() {
+        return;
+    }
+    {
+        let mut reader =
+            ShutdownAwareReader { conn: conn.as_mut(), shutdown: &shared.shutdown };
+        if proto::read_stream_header(&mut reader).is_err() {
+            return;
+        }
+    }
+    loop {
+        let payload = {
+            let mut reader =
+                ShutdownAwareReader { conn: conn.as_mut(), shutdown: &shared.shutdown };
+            match proto::read_message(&mut reader) {
+                Ok(Some(payload)) => payload,
+                Ok(None) => return, // clean EOF (or shutdown)
+                Err(e) => {
+                    // Malformed stream: answer with a structured error
+                    // (best effort) and hang up.
+                    let resp = Response::Error { message: e.to_string() };
+                    let _ =
+                        proto::write_message(conn.as_mut(), &proto::encode_response(&resp));
+                    return;
+                }
+            }
+        };
+        let response = match proto::decode_request(&payload) {
+            Ok(request) => {
+                let is_shutdown = matches!(request, Request::Shutdown);
+                let response = handle_request(request, shared, pool);
+                if is_shutdown {
+                    let _ = proto::write_message(
+                        conn.as_mut(),
+                        &proto::encode_response(&response),
+                    );
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    return;
+                }
+                response
+            }
+            Err(e) => Response::Error { message: e.to_string() },
+        };
+        if proto::write_message(conn.as_mut(), &proto::encode_response(&response)).is_err() {
+            return;
+        }
+    }
+}
+
+// ---- request handling ------------------------------------------------
+
+fn handle_request(request: Request, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) -> Response {
+    match request {
+        Request::Ping => Response::Pong,
+        Request::SubmitWorkload { name, workload, threads, scale, encoding } => {
+            if qr_workloads::find(&workload).is_none() {
+                return Response::Error { message: format!("unknown workload `{workload}`") };
+            }
+            let source = SessionSource::Workload { workload, threads, scale };
+            submit_record(shared, pool, name, source, encoding)
+        }
+        Request::SubmitProgram { name, source, cores, encoding } => {
+            let source = SessionSource::Program { source, cores };
+            submit_record(shared, pool, name, source, encoding)
+        }
+        Request::Jobs => Response::JobList(shared.registry.jobs()),
+        Request::Stats => {
+            let c = &shared.counters;
+            Response::Stats(StatsReport {
+                accepted: c.accepted.load(Ordering::SeqCst),
+                rejected_busy: c.rejected_busy.load(Ordering::SeqCst),
+                completed: c.completed.load(Ordering::SeqCst),
+                failed: c.failed.load(Ordering::SeqCst),
+                connections: c.connections.load(Ordering::SeqCst),
+                shards: shared.registry.shards() as u32,
+                workers: shared.workers as u32,
+                sessions: shared.registry.session_stats(),
+            })
+        }
+        Request::Fetch { id } => match completed_session(shared, id) {
+            Ok(session) => match shared.store.fetch_parts(session.store_id) {
+                Ok((manifest, parts)) => Response::Fetched {
+                    files: parts
+                        .files()
+                        .into_iter()
+                        .map(|(name, bytes)| (name.to_string(), bytes.to_vec()))
+                        .collect(),
+                    fingerprint: manifest.fingerprint,
+                },
+                Err(e) => Response::Error { message: e.to_string() },
+            },
+            Err(resp) => resp,
+        },
+        Request::Replay { id } => submit_followup(shared, pool, id, "replay"),
+        Request::Verify { id } => submit_followup(shared, pool, id, "verify"),
+        Request::Races { id } => submit_followup(shared, pool, id, "races"),
+        Request::Shutdown => Response::ShuttingDown,
+    }
+}
+
+/// Looks up a session whose recording has completed.
+fn completed_session(shared: &Arc<Shared>, id: u64) -> std::result::Result<Session, Response> {
+    match shared.registry.get(id) {
+        None => Err(Response::Error { message: format!("no session {id}") }),
+        Some(s) if s.store_id == 0 => Err(Response::Error {
+            message: format!("session {id} has no stored recording (state: {})", s.state.label()),
+        }),
+        Some(s) => Ok(s),
+    }
+}
+
+fn submit_record(
+    shared: &Arc<Shared>,
+    pool: &Arc<WorkerPool>,
+    name: String,
+    source: SessionSource,
+    encoding: Encoding,
+) -> Response {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Response::Error { message: "server is shutting down".into() };
+    }
+    let id = shared.next_session.fetch_add(1, Ordering::SeqCst);
+    shared.registry.insert(Session {
+        id,
+        name,
+        source,
+        encoding,
+        kind: "record".into(),
+        state: JobState::Queued,
+        fingerprint: 0,
+        store_id: 0,
+        stats: SessionStats::default(),
+    });
+    let task_shared = Arc::clone(shared);
+    let submitted = pool.try_submit(Box::new(move || run_record_job(&task_shared, id)));
+    match submitted {
+        Ok(()) => {
+            shared.counters.accepted.fetch_add(1, Ordering::SeqCst);
+            Response::Submitted { id }
+        }
+        Err((_task, queued)) => {
+            shared.registry.remove(id);
+            shared.counters.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            Response::Busy { queued: queued as u32 }
+        }
+    }
+}
+
+fn submit_followup(
+    shared: &Arc<Shared>,
+    pool: &Arc<WorkerPool>,
+    id: u64,
+    kind: &'static str,
+) -> Response {
+    let session = match completed_session(shared, id) {
+        Ok(session) => session,
+        Err(resp) => return resp,
+    };
+    if matches!(session.state, JobState::Queued | JobState::Running) {
+        return Response::Error { message: format!("session {id} already has a job in flight") };
+    }
+    // Mark the session queued *before* the worker can pick the job up.
+    shared.registry.update(id, |s| {
+        s.kind = kind.into();
+        s.state = JobState::Queued;
+    });
+    let task_shared = Arc::clone(shared);
+    let submitted =
+        pool.try_submit(Box::new(move || run_followup_job(&task_shared, id, kind)));
+    match submitted {
+        Ok(()) => Response::Queued,
+        Err((_task, queued)) => {
+            // Rejected: restore the session's pre-submission state.
+            shared.registry.update(id, |s| {
+                s.kind = session.kind.clone();
+                s.state = session.state.clone();
+            });
+            shared.counters.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            Response::Busy { queued: queued as u32 }
+        }
+    }
+}
+
+// ---- job execution ---------------------------------------------------
+
+/// Rebuilds a session's program (and its core count).
+fn build_program(source: &SessionSource) -> Result<(Program, usize)> {
+    match source {
+        SessionSource::Workload { workload, threads, scale } => {
+            let spec = qr_workloads::find(workload).ok_or_else(|| QrError::Execution {
+                detail: format!("unknown workload `{workload}`"),
+            })?;
+            let threads = *threads as usize;
+            Ok(((spec.build)(threads, *scale)?, threads))
+        }
+        SessionSource::Program { source, cores } => {
+            Ok((qr_isa::text::assemble("submitted", source)?, *cores as usize))
+        }
+    }
+}
+
+fn run_record_job(shared: &Arc<Shared>, id: u64) {
+    shared.registry.update(id, |s| s.state = JobState::Running);
+    let Some(session) = shared.registry.get(id) else { return };
+    let outcome = (|| -> Result<(u64, u64, u64, u64, u64)> {
+        let (program, cores) = build_program(&session.source)?;
+        let recording = record(program, RecordingConfig::with_cores(cores))?;
+        if let SessionSource::Workload { workload, threads, scale } = &session.source {
+            // Suite workloads are self-validating: exit code == the
+            // sequential mirror's checksum.
+            if let Some(spec) = qr_workloads::find(workload) {
+                let expected = (spec.expected)(*threads as usize, *scale);
+                if recording.exit_code != expected {
+                    return Err(QrError::Execution {
+                        detail: format!(
+                            "{workload}: recorded checksum {:#x} != expected {expected:#x}",
+                            recording.exit_code
+                        ),
+                    });
+                }
+            }
+        }
+        let store_id = shared.store.put(&session.name, &recording, session.encoding)?;
+        let manifest = shared.store.manifest(store_id)?;
+        Ok((
+            store_id,
+            recording.fingerprint,
+            manifest.uncompressed_bytes(),
+            manifest.compressed_bytes(),
+            recording.instructions,
+        ))
+    })();
+    match outcome {
+        Ok((store_id, fingerprint, raw, stored, instructions)) => {
+            shared.registry.update(id, |s| {
+                s.state = JobState::Done;
+                s.store_id = store_id;
+                s.fingerprint = fingerprint;
+                s.stats.records += 1;
+                s.stats.bytes_raw = raw;
+                s.stats.bytes_stored = stored;
+                s.stats.instructions += instructions;
+            });
+            shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+        }
+        Err(e) => {
+            shared.registry.update(id, |s| s.state = JobState::Failed(e.to_string()));
+            shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}
+
+fn run_followup_job(shared: &Arc<Shared>, id: u64, kind: &'static str) {
+    shared.registry.update(id, |s| s.state = JobState::Running);
+    let Some(session) = shared.registry.get(id) else { return };
+    let outcome = (|| -> Result<u64> {
+        match kind {
+            "verify" => {
+                let report = shared.store.verify(session.store_id)?;
+                if !report.all_ok() {
+                    let first = report
+                        .files
+                        .iter()
+                        .find_map(|f| f.error.as_ref())
+                        .map_or_else(|| "unknown fault".to_string(), |e| e.to_string());
+                    return Err(QrError::Execution {
+                        detail: format!("store entry failed verification: {first}"),
+                    });
+                }
+                Ok(0)
+            }
+            "replay" => {
+                let (program, _) = build_program(&session.source)?;
+                let recording = shared.store.fetch(session.store_id)?;
+                let outcome = qr_replay::replay_and_verify(&program, &recording)?;
+                Ok(outcome.instructions)
+            }
+            "races" => {
+                let (program, _) = build_program(&session.source)?;
+                let recording = shared.store.fetch(session.store_id)?;
+                let (outcome, _report) =
+                    qr_replay::replay_with_race_detection(&program, &recording)?;
+                Ok(outcome.instructions)
+            }
+            other => Err(QrError::Execution { detail: format!("unknown job kind `{other}`") }),
+        }
+    })();
+    match outcome {
+        Ok(instructions) => {
+            shared.registry.update(id, |s| {
+                s.state = JobState::Done;
+                match kind {
+                    "replay" => s.stats.replays += 1,
+                    "verify" => s.stats.verifies += 1,
+                    "races" => s.stats.races += 1,
+                    _ => {}
+                }
+                s.stats.instructions += instructions;
+            });
+            shared.counters.completed.fetch_add(1, Ordering::SeqCst);
+        }
+        Err(e) => {
+            shared.registry.update(id, |s| s.state = JobState::Failed(e.to_string()));
+            shared.counters.failed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! A dependency-free LZ77-style byte compressor.
+//!
+//! The store compresses recording logs in independent blocks (see
+//! [`crate::block`]); this module is the per-block codec. The format is
+//! a plain sequence token stream in the LZ4 spirit, tuned for the framed
+//! varint-heavy logs the recorder emits:
+//!
+//! ```text
+//! sequence := lit_len:varint  literal bytes...  [offset:varint  extra:varint]
+//! ```
+//!
+//! Each sequence copies `lit_len` literal bytes, then (unless the output
+//! is complete) a back-reference of `MIN_MATCH + extra` bytes starting
+//! `offset` bytes behind the write cursor. Offsets are 1-based and may
+//! be smaller than the match length (overlapping copies encode runs).
+//! The decompressor is given the exact uncompressed length and treats
+//! every violation — offset of zero, offset beyond the written prefix,
+//! output overrun, truncated varint — as [`QrError::Corrupt`]. It never
+//! panics on arbitrary bytes.
+
+use qr_common::varint;
+use qr_common::{QrError, Result};
+
+/// Shortest back-reference worth encoding (shorter ones cost more than
+/// the literals they replace).
+pub const MIN_MATCH: usize = 4;
+
+/// Log2 of the match-finder hash-table size.
+const HASH_BITS: u32 = 15;
+
+/// Sentinel for "no candidate yet" in the match-finder table.
+const NO_POS: u32 = u32::MAX;
+
+#[inline]
+fn hash4(bytes: &[u8]) -> usize {
+    // Fibonacci hashing over the next four bytes.
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compresses `input` into a fresh buffer.
+///
+/// Deterministic (same input, same output) and bounded: output never
+/// exceeds `input.len() + varint overhead of one all-literal sequence`.
+pub fn compress(input: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(input.len() / 2 + 16);
+    let mut table = vec![NO_POS; 1 << HASH_BITS];
+    let len = input.len();
+    let mut anchor = 0usize; // first literal not yet emitted
+    let mut i = 0usize;
+    while i + MIN_MATCH <= len {
+        let slot = hash4(&input[i..]);
+        let candidate = table[slot];
+        table[slot] = i as u32;
+        let c = candidate as usize;
+        if candidate == NO_POS || input[c..c + MIN_MATCH] != input[i..i + MIN_MATCH] {
+            i += 1;
+            continue;
+        }
+        // Extend the match as far as it goes.
+        let mut m = MIN_MATCH;
+        while i + m < len && input[c + m] == input[i + m] {
+            m += 1;
+        }
+        emit_sequence(&mut out, &input[anchor..i], Some((i - c, m)));
+        // Seed the table with the positions the match skipped so later
+        // data can reference into it.
+        let end = i + m;
+        i += 1;
+        while i < end && i + MIN_MATCH <= len {
+            table[hash4(&input[i..])] = i as u32;
+            i += 1;
+        }
+        i = end;
+        anchor = end;
+    }
+    if anchor < len || len == 0 {
+        emit_sequence(&mut out, &input[anchor..], None);
+    }
+    out
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], m: Option<(usize, usize)>) {
+    varint::write_u64(out, literals.len() as u64);
+    out.extend_from_slice(literals);
+    if let Some((offset, len)) = m {
+        varint::write_u64(out, offset as u64);
+        varint::write_u64(out, (len - MIN_MATCH) as u64);
+    }
+}
+
+/// Decompresses a [`compress`] stream into exactly `expected_len` bytes.
+///
+/// # Errors
+///
+/// Returns [`QrError::Corrupt`] (offset = position in the *compressed*
+/// stream) for any malformed input: truncated varints or literals,
+/// zero/out-of-range offsets, output over- or underrun, trailing bytes.
+pub fn decompress(input: &[u8], expected_len: usize) -> Result<Vec<u8>> {
+    let corrupt = |off: usize, detail: String| QrError::Corrupt {
+        what: "compressed block".into(),
+        offset: off as u64,
+        detail,
+    };
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    loop {
+        let (lit_len, n) = varint::read_u64(input.get(pos..).unwrap_or(&[]))
+            .map_err(|e| corrupt(pos, format!("literal length: {e}")))?;
+        pos += n;
+        let lit_len = usize::try_from(lit_len)
+            .ok()
+            .filter(|l| out.len() + l <= expected_len)
+            .ok_or_else(|| corrupt(pos, "literal run overruns the block".into()))?;
+        let lits = input
+            .get(pos..pos + lit_len)
+            .ok_or_else(|| corrupt(pos, "truncated literal run".into()))?;
+        out.extend_from_slice(lits);
+        pos += lit_len;
+        if out.len() == expected_len {
+            break;
+        }
+        let (offset, n) = varint::read_u64(input.get(pos..).unwrap_or(&[]))
+            .map_err(|e| corrupt(pos, format!("match offset: {e}")))?;
+        pos += n;
+        let (extra, n) = varint::read_u64(input.get(pos..).unwrap_or(&[]))
+            .map_err(|e| corrupt(pos, format!("match length: {e}")))?;
+        pos += n;
+        let offset = usize::try_from(offset)
+            .ok()
+            .filter(|&o| o >= 1 && o <= out.len())
+            .ok_or_else(|| corrupt(pos, format!("match offset {offset} outside written prefix")))?;
+        let match_len = usize::try_from(extra)
+            .ok()
+            .and_then(|e| e.checked_add(MIN_MATCH))
+            .filter(|&m| out.len() + m <= expected_len)
+            .ok_or_else(|| corrupt(pos, "match overruns the block".into()))?;
+        // Byte-by-byte so overlapping copies (runs) replicate correctly.
+        let start = out.len() - offset;
+        for k in 0..match_len {
+            let b = out[start + k];
+            out.push(b);
+        }
+        if out.len() == expected_len {
+            break;
+        }
+    }
+    if pos != input.len() {
+        return Err(corrupt(pos, format!("{} trailing bytes", input.len() - pos)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qr_common::SplitMix64;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let packed = compress(data);
+        let back = decompress(&packed, data.len()).expect("roundtrip");
+        assert_eq!(back, data);
+        packed
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs_roundtrip() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"abc");
+        roundtrip(b"abcd");
+    }
+
+    #[test]
+    fn runs_compress_via_overlapping_matches() {
+        let data = vec![0u8; 10_000];
+        let packed = roundtrip(&data);
+        assert!(packed.len() < 32, "run of zeros should collapse, got {}", packed.len());
+    }
+
+    #[test]
+    fn repetitive_structure_compresses() {
+        let mut data = Vec::new();
+        for i in 0u32..2000 {
+            data.extend_from_slice(b"packet:");
+            data.extend_from_slice(&(i / 7).to_le_bytes());
+        }
+        let packed = roundtrip(&data);
+        assert!(packed.len() * 2 < data.len(), "{} vs {}", packed.len(), data.len());
+    }
+
+    #[test]
+    fn incompressible_data_expands_only_slightly() {
+        let mut rng = SplitMix64::new(7);
+        let data: Vec<u8> = (0..4096).map(|_| rng.next_u64() as u8).collect();
+        let packed = roundtrip(&data);
+        assert!(packed.len() <= data.len() + 16);
+    }
+
+    #[test]
+    fn random_structured_buffers_roundtrip() {
+        let mut rng = SplitMix64::new(0xC0FFEE);
+        for case in 0..200 {
+            let len = (rng.below(4096) + 1) as usize;
+            let mut data = Vec::with_capacity(len);
+            // Mix of runs, copies and noise, like a framed log.
+            while data.len() < len {
+                match rng.below(3) {
+                    0 => {
+                        let run = rng.below(64) as usize + 1;
+                        let byte = rng.next_u64() as u8;
+                        data.extend(std::iter::repeat(byte).take(run));
+                    }
+                    1 if !data.is_empty() => {
+                        let n = (rng.below(64) as usize + 4).min(data.len());
+                        let at = rng.below((data.len() - n + 1) as u64) as usize;
+                        let copy: Vec<u8> = data[at..at + n].to_vec();
+                        data.extend_from_slice(&copy);
+                    }
+                    _ => data.push(rng.next_u64() as u8),
+                }
+            }
+            data.truncate(len);
+            roundtrip(&data);
+            let _ = case;
+        }
+    }
+
+    #[test]
+    fn mutated_streams_never_panic() {
+        let data: Vec<u8> = (0u16..2048).flat_map(|i| (i / 3).to_le_bytes()).collect();
+        let packed = compress(&data);
+        let mut rng = SplitMix64::new(42);
+        for _ in 0..2000 {
+            let mut bad = packed.clone();
+            match rng.below(3) {
+                0 => {
+                    let cut = rng.below(bad.len() as u64 + 1) as usize;
+                    bad.truncate(cut);
+                }
+                1 => {
+                    let at = rng.below(bad.len() as u64) as usize;
+                    bad[at] ^= 1 << rng.below(8);
+                }
+                _ => {
+                    let at = rng.below(bad.len() as u64) as usize;
+                    bad[at] = rng.next_u64() as u8;
+                }
+            }
+            match decompress(&bad, data.len()) {
+                Ok(_) => {}
+                Err(QrError::Corrupt { .. }) => {}
+                Err(other) => panic!("non-structured error: {other}"),
+            }
+        }
+    }
+
+    #[test]
+    fn zero_offset_is_rejected() {
+        // lit_len=0, offset=0: structurally invalid.
+        let err = decompress(&[0, 0, 0], 8).unwrap_err();
+        assert!(matches!(err, QrError::Corrupt { .. }), "{err}");
+    }
+}

@@ -43,7 +43,7 @@ pub mod runtime;
 pub mod suite;
 pub mod volrend;
 
-pub use suite::{suite, Scale, WorkloadSpec};
+pub use suite::{find, suite, Scale, WorkloadSpec};
 
 /// Water is implemented in its own module.
 pub mod water;

@@ -34,4 +34,26 @@ echo "== fault-injection smoke: bounded mutated-recording campaign =="
 ./target/release/repro r1 --fuzz-iters 200 > /dev/null
 echo "fault-injection contract holds (200 cases, no panics, prefixes verified)"
 
+echo "== daemon smoke: serve, submit, fetch, verify, clean shutdown =="
+smoke_dir=$(mktemp -d)
+trap 'rm -f "$serial" "$parallel"; rm -rf "$smoke_dir"' EXIT
+./target/release/quickrec serve --socket "$smoke_dir/qd.sock" \
+  --store "$smoke_dir/store" --workers 2 > "$smoke_dir/serve.log" 2>&1 &
+server_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$smoke_dir/qd.sock" ] && break
+  sleep 0.1
+done
+./target/release/quickrec submit --socket "$smoke_dir/qd.sock" \
+  --workload fft --threads 2 --scale test > /dev/null
+./target/release/quickrec fetch --socket "$smoke_dir/qd.sock" 1 -o "$smoke_dir/fetched" > /dev/null
+./target/release/quickrec verify "$smoke_dir/fetched" > /dev/null
+./target/release/quickrec shutdown --socket "$smoke_dir/qd.sock" > /dev/null
+wait "$server_pid"
+if ls "$smoke_dir/store"/.tmp-* > /dev/null 2>&1; then
+  echo "daemon shutdown left staging dirs behind" >&2
+  exit 1
+fi
+echo "daemon round trip verified (recorded via the service, fetched, verified locally)"
+
 echo "== verify OK =="

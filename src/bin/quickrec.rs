@@ -8,15 +8,25 @@
 //! quickrec analyze  DIR                            chunk-log forensics
 //! quickrec disasm   prog.pasm                      disassemble
 //! quickrec suite    [--threads N]                  run the workload suite
+//! quickrec serve    (--socket P | --tcp A) [...]   run the quickrecd daemon
+//! quickrec submit   --socket P (--workload W | prog.pasm)   queue a RECORD job
+//! quickrec fetch    --socket P ID -o DIR           download a stored recording
+//! quickrec jobs     --socket P                     list sessions
+//! quickrec stats    --socket P                     server + session counters
+//! quickrec shutdown --socket P                     graceful daemon shutdown
 //! ```
 //!
 //! Programs are textual PIA assembly (see `qr_isa::text` for the
 //! dialect); recordings are directories of three files written by
-//! `Recording::save`.
+//! `Recording::save`. The server commands talk to a running `quickrecd`
+//! (or `quickrec serve`) over its Unix-socket or TCP endpoint.
 
+use qr_server::proto::{Endpoint, Request, Response};
+use quickrec::workloads::Scale;
 use quickrec::{record, Encoding, Recording, RecordingConfig, RecordingMode, TsoMode};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +54,12 @@ fn run(args: &[String]) -> Result<(), String> {
         "dot" => cmd_dot(rest),
         "disasm" => cmd_disasm(rest),
         "suite" => cmd_suite(rest),
+        "serve" => qr_server::daemon::run(rest),
+        "submit" => cmd_submit(rest),
+        "fetch" => cmd_fetch(rest),
+        "jobs" => cmd_jobs(rest),
+        "stats" => cmd_stats(rest),
+        "shutdown" => cmd_shutdown(rest),
         "help" | "--help" | "-h" => {
             println!("{}", usage());
             Ok(())
@@ -61,7 +77,13 @@ fn usage() -> String {
      quickrec timeline <dir> [--rows N]\n  \
      quickrec dot      <dir>\n  \
      quickrec disasm   <prog.pasm>\n  \
-     quickrec suite    [--threads N]"
+     quickrec suite    [--threads N]\n  \
+     quickrec serve    (--socket PATH | --tcp ADDR) [--store DIR] [--workers N] [--shards N] [--queue N]\n  \
+     quickrec submit   (--socket PATH | --tcp ADDR) (--workload NAME [--threads N] [--scale S] | <prog.pasm> [--cores N]) [--name LABEL] [--encoding E] [--no-wait]\n  \
+     quickrec fetch    (--socket PATH | --tcp ADDR) <id> -o <dir>\n  \
+     quickrec jobs     (--socket PATH | --tcp ADDR)\n  \
+     quickrec stats    (--socket PATH | --tcp ADDR)\n  \
+     quickrec shutdown (--socket PATH | --tcp ADDR)"
         .to_string()
 }
 
@@ -81,7 +103,19 @@ fn positional(args: &[String]) -> Vec<&String> {
             skip = false;
             continue;
         }
-        if a == "-o" || a == "--cores" || a == "--threads" || a == "--rows" || a == "--jobs" {
+        if a == "-o"
+            || a == "--cores"
+            || a == "--threads"
+            || a == "--rows"
+            || a == "--jobs"
+            || a == "--socket"
+            || a == "--tcp"
+            || a == "--workload"
+            || a == "--scale"
+            || a == "--encoding"
+            || a == "--name"
+            || a == "--timeout"
+        {
             skip = true;
             continue;
         }
@@ -248,7 +282,20 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
 fn cmd_verify(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let [dir] = pos.as_slice() else { return Err(usage()) };
-    let report = Recording::verify_dir(Path::new(dir.as_str()));
+    let dir_path = Path::new(dir.as_str());
+    // A missing directory or a directory with none of the recording
+    // files present gets one clear diagnosis instead of a per-file
+    // cascade of raw OS errors.
+    if !dir_path.is_dir() {
+        return Err(format!("`{dir}` is not a recording directory: no such directory"));
+    }
+    let report = Recording::verify_dir(dir_path);
+    if report.files.iter().all(|f| f.bytes.is_none()) {
+        return Err(format!(
+            "`{dir}` is not a recording directory: none of the recording files \
+             (meta.qrm, chunks.qrl, inputs.qrl) are present"
+        ));
+    }
     for file in &report.files {
         println!("{}", file.describe());
     }
@@ -327,6 +374,206 @@ fn cmd_disasm(args: &[String]) -> Result<(), String> {
     let program = load_program(path)?;
     print!("{}", qr_isa::disasm::disassemble(&program));
     Ok(())
+}
+
+fn endpoint_arg(args: &[String]) -> Result<Endpoint, String> {
+    match (flag_value(args, "--socket"), flag_value(args, "--tcp")) {
+        (Some(path), None) => Ok(Endpoint::Unix(PathBuf::from(path))),
+        (None, Some(addr)) => Ok(Endpoint::Tcp(addr)),
+        (Some(_), Some(_)) => Err("pass --socket or --tcp, not both".to_string()),
+        (None, None) => Err("server commands need --socket PATH or --tcp ADDR".to_string()),
+    }
+}
+
+fn connect(args: &[String]) -> Result<qr_server::Client, String> {
+    let endpoint = endpoint_arg(args)?;
+    qr_server::Client::connect(&endpoint).map_err(|e| e.to_string())
+}
+
+fn encoding_arg(args: &[String]) -> Result<Encoding, String> {
+    match flag_value(args, "--encoding") {
+        None => Ok(Encoding::Delta),
+        Some(v) => Encoding::ALL
+            .into_iter()
+            .find(|e| e.name() == v)
+            .ok_or(format!("bad --encoding value `{v}` (raw, packed or delta)")),
+    }
+}
+
+fn scale_arg(args: &[String]) -> Result<Scale, String> {
+    match flag_value(args, "--scale").as_deref() {
+        None | Some("small") => Ok(Scale::Small),
+        Some("test") => Ok(Scale::Test),
+        Some("reference") => Ok(Scale::Reference),
+        Some(v) => Err(format!("bad --scale value `{v}` (test, small or reference)")),
+    }
+}
+
+fn cmd_submit(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    let encoding = encoding_arg(args)?;
+    let request = if let Some(workload) = flag_value(args, "--workload") {
+        let threads: u32 = match flag_value(args, "--threads") {
+            None => 4,
+            Some(v) => v.parse().map_err(|_| format!("bad --threads value `{v}`"))?,
+        };
+        Request::SubmitWorkload {
+            name: flag_value(args, "--name").unwrap_or_else(|| workload.clone()),
+            workload,
+            threads,
+            scale: scale_arg(args)?,
+            encoding,
+        }
+    } else {
+        let pos = positional(args);
+        let [path] = pos.as_slice() else {
+            return Err("submit needs --workload NAME or a <prog.pasm> path".to_string());
+        };
+        let source =
+            std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        let name = flag_value(args, "--name").unwrap_or_else(|| {
+            Path::new(path.as_str())
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("program")
+                .to_string()
+        });
+        let cores = u32::try_from(cores_arg(args)?).map_err(|_| "bad --cores value")?;
+        Request::SubmitProgram { name, source, cores, encoding }
+    };
+    let id = match client.call(&request).map_err(|e| e.to_string())? {
+        Response::Submitted { id } => id,
+        Response::Busy { queued } => {
+            return Err(format!("server busy: {queued} job(s) queued; retry later"))
+        }
+        Response::Error { message } => return Err(message),
+        other => return Err(format!("unexpected response {other:?}")),
+    };
+    println!("session {id} queued ({} encoding)", encoding.name());
+    if has_flag(args, "--no-wait") {
+        return Ok(());
+    }
+    let timeout = match flag_value(args, "--timeout") {
+        None => 120,
+        Some(v) => v.parse().map_err(|_| format!("bad --timeout value `{v}`"))?,
+    };
+    let job = client
+        .wait_for(id, Duration::from_secs(timeout))
+        .map_err(|e| e.to_string())?;
+    match job.state {
+        qr_server::proto::JobState::Failed(message) => {
+            Err(format!("session {id} failed: {message}"))
+        }
+        _ => {
+            println!(
+                "session {id} done: {} ({}), fingerprint {:016x}",
+                job.name, job.workload, job.fingerprint
+            );
+            Ok(())
+        }
+    }
+}
+
+fn cmd_fetch(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [id] = pos.as_slice() else { return Err(usage()) };
+    let id: u64 = id.parse().map_err(|_| format!("bad session id `{id}`"))?;
+    let out_dir = PathBuf::from(flag_value(args, "-o").ok_or("fetch needs -o <dir>")?);
+    let mut client = connect(args)?;
+    match client.call(&Request::Fetch { id }).map_err(|e| e.to_string())? {
+        Response::Fetched { files, fingerprint } => {
+            std::fs::create_dir_all(&out_dir)
+                .map_err(|e| format!("creating {}: {e}", out_dir.display()))?;
+            let mut total = 0usize;
+            for (name, bytes) in &files {
+                total += bytes.len();
+                std::fs::write(out_dir.join(name), bytes)
+                    .map_err(|e| format!("writing {name}: {e}"))?;
+            }
+            println!(
+                "fetched session {id}: {} file(s), {total} bytes, fingerprint {fingerprint:016x} -> {}",
+                files.len(),
+                out_dir.display()
+            );
+            Ok(())
+        }
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response {other:?}")),
+    }
+}
+
+fn cmd_jobs(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    match client.call(&Request::Jobs).map_err(|e| e.to_string())? {
+        Response::JobList(jobs) => {
+            println!(
+                "{:>4} {:<12} {:<12} {:<8} {:<8} {:<16}",
+                "id", "name", "workload", "kind", "state", "fingerprint"
+            );
+            for job in jobs {
+                println!(
+                    "{:>4} {:<12} {:<12} {:<8} {:<8} {:016x}",
+                    job.id, job.name, job.workload, job.kind, job.state.label(), job.fingerprint
+                );
+                if let qr_server::proto::JobState::Failed(message) = &job.state {
+                    println!("     error: {message}");
+                }
+            }
+            Ok(())
+        }
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response {other:?}")),
+    }
+}
+
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    match client.call(&Request::Stats).map_err(|e| e.to_string())? {
+        Response::Stats(stats) => {
+            println!(
+                "server: {} worker(s), {} shard(s), {} connection(s) served",
+                stats.workers, stats.shards, stats.connections
+            );
+            println!(
+                "jobs: {} accepted, {} rejected busy, {} completed, {} failed",
+                stats.accepted, stats.rejected_busy, stats.completed, stats.failed
+            );
+            if !stats.sessions.is_empty() {
+                println!(
+                    "{:>4} {:>4} {:>4} {:>4} {:>4} {:>12} {:>12} {:>12}",
+                    "id", "rec", "rep", "ver", "rac", "raw B", "stored B", "instrs"
+                );
+                for s in &stats.sessions {
+                    println!(
+                        "{:>4} {:>4} {:>4} {:>4} {:>4} {:>12} {:>12} {:>12}",
+                        s.id,
+                        s.records,
+                        s.replays,
+                        s.verifies,
+                        s.races,
+                        s.bytes_raw,
+                        s.bytes_stored,
+                        s.instructions
+                    );
+                }
+            }
+            Ok(())
+        }
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response {other:?}")),
+    }
+}
+
+fn cmd_shutdown(args: &[String]) -> Result<(), String> {
+    let mut client = connect(args)?;
+    match client.call(&Request::Shutdown).map_err(|e| e.to_string())? {
+        Response::ShuttingDown => {
+            println!("server is draining jobs and shutting down");
+            Ok(())
+        }
+        Response::Error { message } => Err(message),
+        other => Err(format!("unexpected response {other:?}")),
+    }
 }
 
 fn cmd_suite(args: &[String]) -> Result<(), String> {

@@ -160,6 +160,106 @@ fn verify_handles_directories_mixing_framed_and_legacy_logs() {
 }
 
 #[test]
+fn verify_diagnoses_missing_and_empty_directories_clearly() {
+    let dir = scratch("verify-missing");
+
+    // Nonexistent path: one clear line, no per-file OS-error cascade.
+    let missing = dir.join("nope").to_str().unwrap().to_string();
+    let out = quickrec(&["verify", &missing]);
+    assert!(!out.status.success(), "missing dir must fail verification");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not a recording directory"), "clear diagnosis: {err}");
+    assert!(err.contains("no such directory"), "cause named: {err}");
+    assert!(!err.contains("os error"), "no raw OS errors: {err}");
+
+    // An existing-but-empty directory names the files it expected.
+    let empty = dir.join("empty");
+    std::fs::create_dir_all(&empty).expect("empty dir");
+    let out = quickrec(&["verify", empty.to_str().unwrap()]);
+    assert!(!out.status.success(), "empty dir must fail verification");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("not a recording directory"), "clear diagnosis: {err}");
+    assert!(err.contains("meta.qrm"), "expected files named: {err}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn daemon_round_trip_submit_fetch_verify_shutdown() {
+    let dir = scratch("daemon");
+    let socket = dir.join("qd.sock");
+    let socket = socket.to_str().unwrap();
+    let store = dir.join("store");
+    let prog = dir.join("prog.pasm");
+    std::fs::write(&prog, PROGRAM).expect("write program");
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_quickrec"))
+        .args(["serve", "--socket", socket, "--store", store.to_str().unwrap(), "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn quickrec serve");
+
+    // The daemon needs a moment to bind; submit retries via the client's
+    // own connect loop would be nicer, but a bounded poll keeps the CLI
+    // surface honest.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !socket_exists(socket) && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let out = quickrec(&[
+        "submit",
+        "--socket",
+        socket,
+        prog.to_str().unwrap(),
+        "--cores",
+        "2",
+        "--name",
+        "hello",
+    ]);
+    assert!(out.status.success(), "submit failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("session 1 done"), "completion reported: {stdout}");
+
+    let out = quickrec(&["jobs", "--socket", socket]);
+    assert!(out.status.success(), "jobs failed: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("hello") && stdout.contains("done"), "job listed: {stdout}");
+
+    let fetched = dir.join("fetched");
+    let out = quickrec(&["fetch", "--socket", socket, "1", "-o", fetched.to_str().unwrap()]);
+    assert!(out.status.success(), "fetch failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // The fetched directory is a plain recording: verify and replay work
+    // on it exactly as on a directly-recorded one.
+    let out = quickrec(&["verify", fetched.to_str().unwrap()]);
+    assert!(out.status.success(), "verify failed: {}", String::from_utf8_lossy(&out.stderr));
+    let out = quickrec(&["replay", prog.to_str().unwrap(), fetched.to_str().unwrap()]);
+    assert!(out.status.success(), "replay failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verified exact"));
+
+    let out = quickrec(&["shutdown", "--socket", socket]);
+    assert!(out.status.success(), "shutdown failed: {}", String::from_utf8_lossy(&out.stderr));
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "daemon must exit cleanly after shutdown");
+
+    // Graceful shutdown leaves no torn store entries behind.
+    let staged: Vec<_> = std::fs::read_dir(&store)
+        .expect("store dir")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with(".tmp"))
+        .collect();
+    assert!(staged.is_empty(), "no staging dirs after shutdown: {staged:?}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+fn socket_exists(path: &str) -> bool {
+    std::fs::metadata(path).is_ok()
+}
+
+#[test]
 fn salvage_replay_recovers_from_a_torn_log_where_strict_replay_refuses() {
     let dir = scratch("salvage");
     let (prog, logs) = recorded(&dir);
