@@ -17,9 +17,9 @@ use qr_workloads::{suite, Scale, WorkloadSpec};
 use quickrec_core::{Encoding, MrrConfig, TerminationReason};
 
 /// Every deterministic experiment id, in report order (`repro all`).
-pub const ALL_IDS: [&str; 21] = [
-    "t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e9b", "e10", "e11", "a1",
-    "a2", "a3", "a5", "a6", "r1", "v1",
+pub const ALL_IDS: [&str; 22] = [
+    "t1", "t2", "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e9b", "e10", "e11", "e12",
+    "a1", "a2", "a3", "a5", "a6", "r1", "v1",
 ];
 
 /// Experiments that report host wall-clock time. They are excluded from
@@ -71,6 +71,7 @@ pub fn plan(id: &str) -> Option<Experiment> {
         "e10" => e10(),
         "e10b" => e10b(),
         "e11" => e11(),
+        "e12" => e12(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),
@@ -700,6 +701,74 @@ fn e11() -> Experiment {
             })
         }),
         footer: Footer::Static("(the input log is far smaller than the memory log for compute-bound workloads)"),
+    }
+}
+
+/// E12 — observability is free of observer effects: recordings are
+/// byte-identical with metrics on and off.
+///
+/// One job runs every comparison serially because the `qr-obs` enabled
+/// flag is process-global: toggling it from concurrent jobs would only
+/// perturb *metric contents* (never outputs), but serializing keeps the
+/// flag state simple to reason about. The flag is restored afterwards.
+fn e12() -> Experiment {
+    let job: Job = Box::new(|cache: &BuildCache| {
+        let workloads = ["fft", "lu", "radix", "water"];
+        let mut out = JobOutput::default();
+        let was_enabled = qr_obs::enabled();
+        let result = (|| {
+            for name in workloads {
+                let spec = qr_workloads::suite::find(name).expect("suite member");
+                qr_obs::set_enabled(true);
+                let observed = record_workload_with(cache, &spec, 4, Scale::Small, full_cfg(4))?;
+                qr_obs::set_enabled(false);
+                let blind = record_workload_with(cache, &spec, 4, Scale::Small, full_cfg(4))?;
+                if observed.fingerprint != blind.fingerprint {
+                    return Err(QrError::Execution {
+                        detail: format!("{name}: fingerprint changed with metrics enabled"),
+                    });
+                }
+                let mut identical = true;
+                let mut log_bytes = 0usize;
+                for encoding in Encoding::ALL {
+                    let on = observed.chunks.to_bytes(encoding);
+                    let off = blind.chunks.to_bytes(encoding);
+                    identical &= on == off;
+                    if encoding == Encoding::Delta {
+                        log_bytes = on.len();
+                    }
+                }
+                if !identical {
+                    return Err(QrError::Execution {
+                        detail: format!("{name}: serialized chunk log changed with metrics enabled"),
+                    });
+                }
+                out.rows.push(vec![
+                    name.to_string(),
+                    observed.chunks.len().to_string(),
+                    log_bytes.to_string(),
+                    format!("{:016x}", observed.fingerprint),
+                    "identical".to_string(),
+                ]);
+            }
+            Ok(())
+        })();
+        qr_obs::set_enabled(was_enabled);
+        result?;
+        Ok(out)
+    });
+    Experiment {
+        id: "e12",
+        title: "observability overhead accounting: metrics on vs off",
+        note: "qr-obs is observational only — fingerprints and serialized logs must be \
+         byte-identical with the metrics registry enabled and disabled",
+        header: vec!["workload".into(), "chunks".into(), "delta log B".into(),
+            "fingerprint".into(), "on vs off".into()],
+        jobs: vec![job],
+        footer: Footer::Static(
+            "(wall-clock metric values are excluded from every deterministic report; \
+             only their absence of side effects is asserted here)",
+        ),
     }
 }
 

@@ -59,6 +59,9 @@ pub enum PayloadKind {
     CompressedLog,
     /// A recording-store manifest (`qr-store`).
     StoreManifest,
+    /// A trace-span journal (`qr-obs`): one record per begin/end/instant
+    /// event.
+    TraceJournal,
 }
 
 impl PayloadKind {
@@ -72,6 +75,7 @@ impl PayloadKind {
             PayloadKind::Wire => 4,
             PayloadKind::CompressedLog => 5,
             PayloadKind::StoreManifest => 6,
+            PayloadKind::TraceJournal => 7,
         }
     }
 
@@ -85,6 +89,7 @@ impl PayloadKind {
             4 => Some(PayloadKind::Wire),
             5 => Some(PayloadKind::CompressedLog),
             6 => Some(PayloadKind::StoreManifest),
+            7 => Some(PayloadKind::TraceJournal),
             _ => None,
         }
     }
@@ -99,6 +104,7 @@ impl PayloadKind {
             PayloadKind::Wire => "wire message stream",
             PayloadKind::CompressedLog => "compressed log",
             PayloadKind::StoreManifest => "store manifest",
+            PayloadKind::TraceJournal => "trace journal",
         }
     }
 }

@@ -39,6 +39,7 @@ pub mod encoding;
 pub mod footprint;
 pub mod log;
 pub mod mrr;
+mod obs;
 pub mod signature;
 pub mod stats;
 pub mod viz;

@@ -102,7 +102,9 @@ impl ChunkLog {
     /// Serializes the log with the given encoding, in the crash-consistent
     /// framed container format (see [`qr_common::frame`]).
     pub fn to_bytes(&self, encoding: Encoding) -> Vec<u8> {
-        encoding.encode_framed_stream(&self.packets)
+        let bytes = encoding.encode_framed_stream(&self.packets);
+        crate::obs::log_serialized(encoding, bytes.len());
+        bytes
     }
 
     /// Deserializes a log produced by [`ChunkLog::to_bytes`] (framed) or

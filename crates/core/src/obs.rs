@@ -1,0 +1,68 @@
+//! Recorder metrics (`qr-obs` hooks).
+//!
+//! Handles are resolved once into statics so the per-chunk hot path is
+//! a single relaxed atomic add; the registry lock is only taken on
+//! first use. Everything here is observational — values never feed back
+//! into the recording (see the determinism rule in `qr-obs`).
+
+use std::sync::{Arc, OnceLock};
+
+use qr_obs::{Counter, Histogram};
+
+use crate::chunk::TerminationReason;
+use crate::encoding::Encoding;
+
+fn chunk_counters() -> &'static [Arc<Counter>; TerminationReason::ALL.len()] {
+    static HANDLES: OnceLock<[Arc<Counter>; TerminationReason::ALL.len()]> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        TerminationReason::ALL.map(|reason| {
+            qr_obs::global().counter(
+                "qr_recorder_chunks_total",
+                "Chunks emitted, by termination reason",
+                &[("reason", reason.label())],
+            )
+        })
+    })
+}
+
+fn chunk_size_histogram() -> &'static Arc<Histogram> {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        qr_obs::global().histogram(
+            "qr_recorder_chunk_size_insns",
+            "Chunk sizes in user instructions",
+            &[],
+            &[16, 64, 256, 1024, 4096, 16384, 65536, 262_144],
+        )
+    })
+}
+
+fn log_byte_counters() -> &'static [Arc<Counter>; Encoding::ALL.len()] {
+    static HANDLES: OnceLock<[Arc<Counter>; Encoding::ALL.len()]> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        Encoding::ALL.map(|enc| {
+            qr_obs::global().counter(
+                "qr_recorder_log_bytes_total",
+                "Serialized chunk-log bytes, by encoding",
+                &[("encoding", enc.name())],
+            )
+        })
+    })
+}
+
+/// Accounts one emitted chunk.
+pub(crate) fn chunk_emitted(reason: TerminationReason, icount: u64) {
+    if !qr_obs::enabled() {
+        return;
+    }
+    chunk_counters()[reason.code() as usize].inc();
+    chunk_size_histogram().observe(icount);
+}
+
+/// Accounts one serialized chunk log.
+pub(crate) fn log_serialized(encoding: Encoding, bytes: usize) {
+    if !qr_obs::enabled() {
+        return;
+    }
+    log_byte_counters()[encoding.tag() as usize].add(bytes as u64);
+}

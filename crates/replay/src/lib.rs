@@ -30,6 +30,7 @@
 //! [`replay`] returns a [`ReplayOutcome`]; [`replay_and_verify`] also
 //! checks the fingerprint, console and exit code against the recording.
 
+mod obs;
 pub mod outcome;
 pub mod parallel;
 pub mod races;

@@ -1,0 +1,124 @@
+//! Replay metrics (`qr-obs` hooks): serial vs parallel scheduler
+//! traffic, DAG stalls, ready-queue occupancy, and store-buffer
+//! activity. Observational only — replay outcomes and fingerprints
+//! never read these back (see the determinism rule in `qr-obs`).
+
+use std::sync::{Arc, OnceLock};
+
+use qr_obs::{Counter, Histogram};
+
+fn mode_counter(
+    cell: &'static OnceLock<[Arc<Counter>; 2]>,
+    name: &'static str,
+    help: &'static str,
+    mode: &'static str,
+) -> &'static Arc<Counter> {
+    let pair = cell.get_or_init(|| {
+        ["serial", "parallel"]
+            .map(|m| qr_obs::global().counter(name, help, &[("mode", m)]))
+    });
+    &pair[usize::from(mode == "parallel")]
+}
+
+/// Accounts the start of one replay run.
+pub(crate) fn run_started(mode: &'static str) {
+    static HANDLES: OnceLock<[Arc<Counter>; 2]> = OnceLock::new();
+    if qr_obs::enabled() {
+        mode_counter(&HANDLES, "qr_replay_runs_total", "Replay runs, by scheduler mode", mode)
+            .inc();
+    }
+}
+
+/// Accounts the timeline events a finished run executed.
+pub(crate) fn nodes_executed(mode: &'static str, n: u64) {
+    static HANDLES: OnceLock<[Arc<Counter>; 2]> = OnceLock::new();
+    if qr_obs::enabled() {
+        mode_counter(
+            &HANDLES,
+            "qr_replay_nodes_total",
+            "Timeline events executed, by scheduler mode",
+            mode,
+        )
+        .add(n);
+    }
+}
+
+/// Accounts one parallel worker blocking on an empty ready queue.
+pub(crate) fn dag_stall() {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    if qr_obs::enabled() {
+        HANDLE
+            .get_or_init(|| {
+                qr_obs::global().counter(
+                    "qr_replay_dag_stalls_total",
+                    "Parallel workers that blocked waiting for a ready DAG node",
+                    &[],
+                )
+            })
+            .inc();
+    }
+}
+
+/// Observes the ready-queue depth at a dispatch — the scheduler's
+/// occupancy signal (deep queue = workers starved for slots, depth 0
+/// after pop = the DAG's critical path is binding).
+pub(crate) fn queue_depth(depth: usize) {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    if qr_obs::enabled() {
+        HANDLE
+            .get_or_init(|| {
+                qr_obs::global().histogram(
+                    "qr_replay_ready_queue_depth",
+                    "Ready-queue depth observed at each parallel dispatch",
+                    &[],
+                    &[1, 2, 4, 8, 16, 32, 64, 128, 256],
+                )
+            })
+            .observe(depth as u64);
+    }
+}
+
+fn line_counter(
+    cell: &'static OnceLock<Arc<Counter>>,
+    direction: &'static str,
+) -> &'static Arc<Counter> {
+    cell.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_replay_lines_total",
+            "Cache lines copied between lanes and canonical memory",
+            &[("direction", direction)],
+        )
+    })
+}
+
+/// Accounts lines pulled canonical → lane before a node executes.
+pub(crate) fn lines_pulled(n: usize) {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    if qr_obs::enabled() && n > 0 {
+        line_counter(&HANDLE, "pulled").add(n as u64);
+    }
+}
+
+/// Accounts lines pushed lane → canonical after a node executes.
+pub(crate) fn lines_pushed(n: usize) {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    if qr_obs::enabled() && n > 0 {
+        line_counter(&HANDLE, "pushed").add(n as u64);
+    }
+}
+
+/// Accounts one TSO store-buffer boundary drain.
+pub(crate) fn store_buffer_drain() {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    if qr_obs::enabled() {
+        HANDLE
+            .get_or_init(|| {
+                qr_obs::global().counter(
+                    "qr_replay_store_buffer_drains_total",
+                    "Chunk-boundary store-buffer drains during replay",
+                    &[],
+                )
+            })
+            .inc();
+    }
+}

@@ -511,6 +511,8 @@ impl<'a> Runtime<'a> {
     /// Executes one timeline node on its thread's lane.
     fn exec_node(&self, idx: usize) -> Result<()> {
         let node = &self.dag.nodes[idx];
+        crate::obs::lines_pulled(node.pull.len());
+        crate::obs::lines_pushed(node.push.len());
         let mut lane = self.lanes[node.tid.index()].lock().unwrap();
         for (addr, bytes) in self.pull_lines(&node.pull) {
             lane.machine
@@ -601,6 +603,7 @@ impl<'a> Runtime<'a> {
             | TerminationReason::ConflictWaw => false,
         };
         if drains {
+            crate::obs::store_buffer_drain();
             lane.machine.drain_store_buffer(core)?;
         }
         let pending = lane.machine.mem().pending_stores(core).min(u8::MAX as usize) as u8;
@@ -725,8 +728,10 @@ impl<'a> Runtime<'a> {
                         return;
                     }
                     if let Some(idx) = queue.pop_front() {
+                        crate::obs::queue_depth(queue.len());
                         break idx;
                     }
+                    crate::obs::dag_stall();
                     queue = self.wake.wait(queue).unwrap();
                 }
             };
@@ -791,6 +796,7 @@ impl<'a> Runtime<'a> {
     }
 
     fn run(self) -> Result<ReplayOutcome> {
+        crate::obs::run_started("parallel");
         let workers = self.jobs.min(self.dag.nodes.len()).clamp(1, 32);
         std::thread::scope(|scope| {
             for _ in 0..workers {
@@ -802,6 +808,7 @@ impl<'a> Runtime<'a> {
         }
         let total = self.dag.nodes.len();
         let completed = self.completed.load(Ordering::SeqCst);
+        crate::obs::nodes_executed("parallel", completed as u64);
         if completed != total {
             // A dependency cycle is impossible (edges follow timestamp
             // order); reaching this means the scheduler wedged.

@@ -229,7 +229,9 @@ impl<'a> Replayer<'a> {
     ///
     /// See [`replay_and_verify`].
     pub fn run_with_report(mut self) -> Result<(ReplayOutcome, RaceReport)> {
+        crate::obs::run_started("serial");
         while self.step_timeline()? {}
+        crate::obs::nodes_executed("serial", self.timeline_pos as u64);
         self.finish()
     }
 
@@ -552,6 +554,7 @@ impl<'a> Replayer<'a> {
             | TerminationReason::ConflictWaw => false,
         };
         if drains {
+            crate::obs::store_buffer_drain();
             let access = self.machine.drain_store_buffer(core)?;
             if let Some(detector) = &mut self.detector {
                 for event in &access.events {

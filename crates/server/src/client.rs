@@ -68,15 +68,30 @@ impl Client {
     ///
     /// # Errors
     ///
-    /// Returns the last connection error after the deadline.
+    /// Returns the last real connection error — with the attempt count
+    /// and elapsed time — after the deadline, so the underlying cause
+    /// (refused, missing socket file, ...) is never replaced by a bare
+    /// timeout.
     pub fn connect_with_retry(endpoint: &Endpoint, timeout: Duration) -> Result<Client> {
-        let deadline = Instant::now() + timeout;
+        let started = Instant::now();
+        let deadline = started + timeout;
+        let mut attempts: u64 = 0;
         loop {
-            match Client::connect(endpoint) {
+            attempts += 1;
+            let last = match Client::connect(endpoint) {
                 Ok(client) => return Ok(client),
-                Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+                Err(e) => e,
+            };
+            if Instant::now() >= deadline {
+                return Err(QrError::Execution {
+                    detail: format!(
+                        "giving up on {} after {attempts} attempt(s) in {:.1?}; last error: {last}",
+                        endpoint.describe(),
+                        started.elapsed(),
+                    ),
+                });
             }
+            std::thread::sleep(Duration::from_millis(20));
         }
     }
 
@@ -95,6 +110,22 @@ impl Client {
                 what: "wire message".into(),
                 offset: 0,
                 detail: "server closed the connection mid-exchange".into(),
+            }),
+        }
+    }
+
+    /// Fetches the server's metrics registry as text exposition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] for transport failures or an
+    /// unexpected reply.
+    pub fn metrics(&mut self) -> Result<String> {
+        match self.call(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            Response::Error { message } => Err(QrError::Execution { detail: message }),
+            other => Err(QrError::Execution {
+                detail: format!("unexpected METRICS response: {other:?}"),
             }),
         }
     }

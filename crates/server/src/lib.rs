@@ -14,6 +14,7 @@
 
 pub mod client;
 pub mod daemon;
+mod obs;
 pub mod pool;
 pub mod proto;
 pub mod registry;

@@ -1,0 +1,205 @@
+//! `qr-obs` instrumentation for the daemon: request latency, queue
+//! depth, busy rejections, connection/accept accounting, drain time.
+//!
+//! Every hook is gated on [`qr_obs::enabled`] and touches only
+//! process-local atomics — nothing here feeds back into job execution,
+//! responses, or the store, so recordings and `repro` output are
+//! byte-identical with metrics on or off.
+
+use crate::proto::Request;
+use qr_obs::{Counter, Gauge, Histogram, LATENCY_US};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Wire-request kinds, indexed by the position returned by
+/// [`kind_index`]. One label value per [`Request`] variant.
+const KINDS: [&str; 11] = [
+    "ping",
+    "submit_workload",
+    "submit_program",
+    "jobs",
+    "stats",
+    "fetch",
+    "replay",
+    "verify",
+    "races",
+    "shutdown",
+    "metrics",
+];
+
+fn kind_index(request: &Request) -> usize {
+    match request {
+        Request::Ping => 0,
+        Request::SubmitWorkload { .. } => 1,
+        Request::SubmitProgram { .. } => 2,
+        Request::Jobs => 3,
+        Request::Stats => 4,
+        Request::Fetch { .. } => 5,
+        Request::Replay { .. } => 6,
+        Request::Verify { .. } => 7,
+        Request::Races { .. } => 8,
+        Request::Shutdown => 9,
+        Request::Metrics => 10,
+    }
+}
+
+/// The request kind's metric label (also used by trace spans).
+pub(crate) fn kind_label(request: &Request) -> &'static str {
+    KINDS[kind_index(request)]
+}
+
+fn request_counters() -> &'static [Arc<Counter>; 11] {
+    static CELL: OnceLock<[Arc<Counter>; 11]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        KINDS.map(|kind| {
+            qr_obs::global().counter(
+                "qr_server_requests_total",
+                "Wire requests handled, by request kind.",
+                &[("kind", kind)],
+            )
+        })
+    })
+}
+
+fn latency_histograms() -> &'static [Arc<Histogram>; 11] {
+    static CELL: OnceLock<[Arc<Histogram>; 11]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        KINDS.map(|kind| {
+            qr_obs::global().histogram(
+                "qr_server_request_latency_us",
+                "Wire request handling latency in microseconds, by request kind.",
+                &[("kind", kind)],
+                LATENCY_US,
+            )
+        })
+    })
+}
+
+fn depth_gauge() -> &'static Arc<Gauge> {
+    static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().gauge(
+            "qr_server_queue_depth",
+            "Jobs currently waiting in the worker-pool queue.",
+            &[],
+        )
+    })
+}
+
+fn busy_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_server_busy_rejections_total",
+            "Submissions rejected because the worker queue was full.",
+            &[],
+        )
+    })
+}
+
+fn connection_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_server_connections_total",
+            "Connections accepted over the server's lifetime.",
+            &[],
+        )
+    })
+}
+
+fn accept_error_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_server_accept_errors_total",
+            "Accept-loop errors (logged, backed off, and retried).",
+            &[],
+        )
+    })
+}
+
+fn panic_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_server_worker_panics_total",
+            "Worker-pool tasks that panicked (contained; the worker survived).",
+            &[],
+        )
+    })
+}
+
+fn drain_histogram() -> &'static Arc<Histogram> {
+    static CELL: OnceLock<Arc<Histogram>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().histogram(
+            "qr_server_drain_latency_us",
+            "Shutdown drain time (connections + queued jobs) in microseconds.",
+            &[],
+            LATENCY_US,
+        )
+    })
+}
+
+/// `Some(now)` only when metrics are enabled, so disabled hot paths
+/// never read the clock.
+pub(crate) fn clock() -> Option<Instant> {
+    qr_obs::enabled().then(Instant::now)
+}
+
+/// Records one handled request: count + latency by kind.
+pub(crate) fn request_handled(kind: usize, start: Option<Instant>) {
+    if let Some(start) = start {
+        request_counters()[kind].inc();
+        latency_histograms()[kind].observe_since(start);
+    }
+}
+
+/// The request's index for [`request_handled`] (computed before the
+/// request value is consumed by the handler).
+pub(crate) fn request_index(request: &Request) -> usize {
+    kind_index(request)
+}
+
+/// Tracks the worker-pool queue depth after a push or pop.
+pub(crate) fn queue_depth(depth: usize) {
+    if qr_obs::enabled() {
+        depth_gauge().set(depth as i64);
+    }
+}
+
+/// Counts one backpressure rejection.
+pub(crate) fn busy_rejection() {
+    if qr_obs::enabled() {
+        busy_counter().inc();
+    }
+}
+
+/// Counts one accepted connection.
+pub(crate) fn connection_opened() {
+    if qr_obs::enabled() {
+        connection_counter().inc();
+    }
+}
+
+/// Counts one accept-loop error.
+pub(crate) fn accept_error() {
+    if qr_obs::enabled() {
+        accept_error_counter().inc();
+    }
+}
+
+/// Counts one contained worker panic.
+pub(crate) fn task_panicked() {
+    if qr_obs::enabled() {
+        panic_counter().inc();
+    }
+}
+
+/// Records how long shutdown took to drain connections and jobs.
+pub(crate) fn drain_finished(start: Option<Instant>) {
+    if let Some(start) = start {
+        drain_histogram().observe_since(start);
+    }
+}

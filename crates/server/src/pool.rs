@@ -9,9 +9,15 @@
 //! exiting, so no accepted session is left dangling; combined with the
 //! store's stage-and-rename commit this is what makes shutdown unable
 //! to leave a torn store entry.
+//!
+//! Dispatch is condvar-driven end to end — no polling anywhere — and
+//! the pool is panic-tolerant: a task that panics is contained
+//! ([`std::panic::catch_unwind`]), its worker keeps serving, and every
+//! lock acquisition recovers from poisoning, so one panicking job can
+//! never wedge [`WorkerPool::drain`] or shutdown.
 
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 /// A unit of work.
@@ -21,6 +27,7 @@ struct State {
     queue: VecDeque<Task>,
     shutting_down: bool,
     active: usize,
+    panicked: u64,
 }
 
 struct Inner {
@@ -28,6 +35,16 @@ struct Inner {
     capacity: usize,
     wake: Condvar,
     idle: Condvar,
+}
+
+impl Inner {
+    /// Locks the pool state, recovering from poisoning: the state is a
+    /// plain queue + counters, consistent at every await point, so a
+    /// panic elsewhere must not wedge drain/shutdown behind a
+    /// `PoisonError`.
+    fn lock(&self) -> MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A fixed-size thread pool over a bounded queue.
@@ -46,6 +63,7 @@ impl WorkerPool {
                 queue: VecDeque::new(),
                 shutting_down: false,
                 active: 0,
+                panicked: 0,
             }),
             capacity: capacity.max(1),
             wake: Condvar::new(),
@@ -70,12 +88,13 @@ impl WorkerPool {
     ///
     /// Returns the rejected task plus the current queue length.
     pub fn try_submit(&self, task: Task) -> std::result::Result<(), (Task, usize)> {
-        let mut state = self.inner.state.lock().expect("pool lock");
+        let mut state = self.inner.lock();
         if state.shutting_down || state.queue.len() >= self.inner.capacity {
             let queued = state.queue.len();
             return Err((task, queued));
         }
         state.queue.push_back(task);
+        crate::obs::queue_depth(state.queue.len());
         drop(state);
         self.inner.wake.notify_one();
         Ok(())
@@ -83,24 +102,31 @@ impl WorkerPool {
 
     /// Pending (not yet started) tasks.
     pub fn queued(&self) -> usize {
-        self.inner.state.lock().expect("pool lock").queue.len()
+        self.inner.lock().queue.len()
+    }
+
+    /// Tasks that panicked instead of completing (contained; their
+    /// workers kept running).
+    pub fn panicked(&self) -> u64 {
+        self.inner.lock().panicked
     }
 
     /// Blocks until the queue is empty and every worker is idle.
     pub fn drain(&self) {
-        let mut state = self.inner.state.lock().expect("pool lock");
+        let mut state = self.inner.lock();
         while !state.queue.is_empty() || state.active > 0 {
-            state = self.inner.idle.wait(state).expect("pool lock");
+            state = self.inner.idle.wait(state).unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Stops accepting work, drains every queued task, and joins the
     /// workers.
     pub fn shutdown(mut self) {
-        {
-            let mut state = self.inner.state.lock().expect("pool lock");
-            state.shutting_down = true;
-        }
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        self.inner.lock().shutting_down = true;
         self.inner.wake.notify_all();
         for handle in self.workers.drain(..) {
             let _ = handle.join();
@@ -110,35 +136,39 @@ impl WorkerPool {
 
 impl Drop for WorkerPool {
     fn drop(&mut self) {
-        {
-            let mut state = self.inner.state.lock().expect("pool lock");
-            state.shutting_down = true;
-        }
-        self.inner.wake.notify_all();
-        for handle in self.workers.drain(..) {
-            let _ = handle.join();
-        }
+        self.stop_and_join();
     }
 }
 
 fn worker_loop(inner: &Inner) {
     loop {
         let task = {
-            let mut state = inner.state.lock().expect("pool lock");
+            let mut state = inner.lock();
             loop {
                 if let Some(task) = state.queue.pop_front() {
                     state.active += 1;
+                    crate::obs::queue_depth(state.queue.len());
                     break task;
                 }
                 if state.shutting_down {
                     return;
                 }
-                state = inner.wake.wait(state).expect("pool lock");
+                state = inner.wake.wait(state).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        task();
-        let mut state = inner.state.lock().expect("pool lock");
+        // Contain panics so `active` is always decremented: a panicking
+        // job must not leave drain() waiting on a worker that will never
+        // report idle (and must not kill the worker thread either).
+        let panicked =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(task)).is_err();
+        if panicked {
+            crate::obs::task_panicked();
+        }
+        let mut state = inner.lock();
         state.active -= 1;
+        if panicked {
+            state.panicked += 1;
+        }
         let all_idle = state.queue.is_empty() && state.active == 0;
         drop(state);
         if all_idle {
@@ -151,6 +181,7 @@ fn worker_loop(inner: &Inner) {
 mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::{Duration, Instant};
 
     #[test]
     fn runs_everything_submitted() {
@@ -213,5 +244,69 @@ mod tests {
         }
         pool.shutdown();
         assert_eq!(counter.load(Ordering::SeqCst), 40, "shutdown must drain the queue");
+    }
+
+    #[test]
+    fn panicking_task_does_not_wedge_drain_or_shutdown() {
+        let pool = WorkerPool::new(2, 16);
+        let counter = Arc::new(AtomicUsize::new(0));
+        pool.try_submit(Box::new(|| panic!("job blew up")))
+            .unwrap_or_else(|_| panic!("submit panicker"));
+        for _ in 0..8 {
+            let counter = Arc::clone(&counter);
+            pool.try_submit(Box::new(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            }))
+            .unwrap_or_else(|_| panic!("submit"));
+        }
+        // Drain must return even though one task panicked mid-flight.
+        pool.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 8);
+        assert_eq!(pool.panicked(), 1);
+        // Workers survived the panic: the pool still executes new work.
+        let counter2 = Arc::clone(&counter);
+        pool.try_submit(Box::new(move || {
+            counter2.fetch_add(1, Ordering::SeqCst);
+        }))
+        .unwrap_or_else(|_| panic!("submit after panic"));
+        pool.drain();
+        assert_eq!(counter.load(Ordering::SeqCst), 9);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn dispatch_latency_is_not_sleep_quantized() {
+        // Regression test for the polling dispatch this pool once had: a
+        // submit→complete round trip must go through condvar wakeups, so
+        // many sequential round trips stay far under what any
+        // millisecond-granular sleep loop could deliver.
+        let pool = WorkerPool::new(1, 16);
+        let rounds = 50u32;
+        let started = Instant::now();
+        for _ in 0..rounds {
+            let done = Arc::new((Mutex::new(false), Condvar::new()));
+            let task_done = Arc::clone(&done);
+            pool.try_submit(Box::new(move || {
+                let (lock, cv) = &*task_done;
+                *lock.lock().unwrap() = true;
+                cv.notify_all();
+            }))
+            .unwrap_or_else(|_| panic!("submit"));
+            let (lock, cv) = &*done;
+            let mut finished = lock.lock().unwrap();
+            while !*finished {
+                finished = cv.wait(finished).unwrap();
+            }
+        }
+        let elapsed = started.elapsed();
+        // 50 round trips through a 1 ms-sleep dispatcher would take
+        // >= 50 ms; condvar dispatch does all of them in a few
+        // milliseconds. The 25 ms bound keeps a 10x margin for slow CI
+        // hosts while still catching any sleep-quantized dispatch.
+        assert!(
+            elapsed < Duration::from_millis(25),
+            "{rounds} dispatch round trips took {elapsed:?} — dispatch looks sleep-quantized"
+        );
+        pool.shutdown();
     }
 }

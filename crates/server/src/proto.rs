@@ -201,6 +201,9 @@ pub enum Request {
     },
     /// Drain in-flight jobs and stop the server.
     Shutdown,
+    /// The server's `qr-obs` metrics registry, rendered as text
+    /// exposition.
+    Metrics,
 }
 
 /// Lifecycle of one session's current/last job.
@@ -321,6 +324,11 @@ pub enum Response {
     Error {
         /// Human-readable cause.
         message: String,
+    },
+    /// Reply to [`Request::Metrics`].
+    Metrics {
+        /// Prometheus-style text exposition of the server's registry.
+        text: String,
     },
 }
 
@@ -457,6 +465,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             varint::write_u64(&mut out, *id);
         }
         Request::Shutdown => out.push(9),
+        Request::Metrics => out.push(10),
     }
     out
 }
@@ -492,6 +501,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
         7 => Request::Verify { id: d.u64("session id")? },
         8 => Request::Races { id: d.u64("session id")? },
         9 => Request::Shutdown,
+        10 => Request::Metrics,
         t => return Err(corrupt(0, format!("unknown request tag {t}"))),
     };
     d.finish()?;
@@ -568,6 +578,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Error { message } => {
             out.push(8);
             put_str(&mut out, message);
+        }
+        Response::Metrics { text } => {
+            out.push(9);
+            put_str(&mut out, text);
         }
     }
     out
@@ -662,6 +676,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         6 => Response::Queued,
         7 => Response::ShuttingDown,
         8 => Response::Error { message: d.string("error message")? },
+        9 => Response::Metrics { text: d.string("metrics text")? },
         t => return Err(corrupt(0, format!("unknown response tag {t}"))),
     };
     d.finish()?;
@@ -695,6 +710,7 @@ mod tests {
             Request::Verify { id: u64::MAX },
             Request::Races { id: 3 },
             Request::Shutdown,
+            Request::Metrics,
         ]
     }
 
@@ -747,6 +763,10 @@ mod tests {
             Response::Queued,
             Response::ShuttingDown,
             Response::Error { message: "no such session".into() },
+            Response::Metrics {
+                text: "# TYPE qr_server_requests_total counter\nqr_server_requests_total{kind=\"ping\"} 1\n"
+                    .into(),
+            },
         ]
     }
 

@@ -26,8 +26,8 @@ use std::io::{Read, Write};
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Tunables for one server instance.
@@ -67,7 +67,13 @@ struct Shared {
     counters: Counters,
     shutdown: AtomicBool,
     next_session: AtomicU64,
-    active_connections: AtomicUsize,
+    /// Open connection count + condvar signalled when it reaches zero
+    /// (shutdown drains on this instead of polling).
+    connections: Mutex<usize>,
+    connections_idle: Condvar,
+    /// The bound endpoint; shutdown dials it to wake the blocking
+    /// accept loop.
+    endpoint: Endpoint,
     workers: usize,
 }
 
@@ -83,18 +89,20 @@ impl Server {
     /// or the store root cannot be opened.
     pub fn start(endpoint: &Endpoint, cfg: &ServerConfig) -> Result<ServerHandle> {
         let store = RecordingStore::open(&cfg.store_root)?;
+        let listener = Listener::bind(endpoint)?;
+        let bound = listener.local_endpoint(endpoint);
         let shared = Arc::new(Shared {
             registry: Registry::new(cfg.shards.max(1)),
             store,
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
-            active_connections: AtomicUsize::new(0),
+            connections: Mutex::new(0),
+            connections_idle: Condvar::new(),
+            endpoint: bound.clone(),
             workers: cfg.workers.max(1),
         });
         let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.queue_capacity));
-        let listener = Listener::bind(endpoint)?;
-        let bound = listener.local_endpoint(endpoint);
         let accept = {
             let shared = Arc::clone(&shared);
             let pool = Arc::clone(&pool);
@@ -128,7 +136,7 @@ impl ServerHandle {
 
     /// Requests shutdown (idempotent; returns immediately).
     pub fn shutdown(&self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
+        request_shutdown(&self.shared);
     }
 
     /// Blocks until the accept loop has stopped, open connections have
@@ -137,18 +145,63 @@ impl ServerHandle {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
+        let drain_start = crate::obs::clock();
         // Connections observe the shutdown flag through their read
-        // timeout; give them time to finish their current exchange.
+        // timeout and signal the condvar as they finish; the deadline
+        // is a backstop against a peer stuck mid-exchange.
         let deadline = std::time::Instant::now() + Duration::from_secs(30);
-        while self.shared.active_connections.load(Ordering::SeqCst) > 0
-            && std::time::Instant::now() < deadline
-        {
-            std::thread::sleep(Duration::from_millis(5));
+        let mut count =
+            self.shared.connections.lock().unwrap_or_else(PoisonError::into_inner);
+        while *count > 0 {
+            let Some(remaining) =
+                deadline.checked_duration_since(std::time::Instant::now())
+            else {
+                break;
+            };
+            count = self
+                .shared
+                .connections_idle
+                .wait_timeout(count, remaining)
+                .unwrap_or_else(PoisonError::into_inner)
+                .0;
         }
+        drop(count);
         self.pool.drain();
+        crate::obs::drain_finished(drain_start);
         if let Endpoint::Unix(path) = &self.endpoint {
             let _ = std::fs::remove_file(path);
         }
+    }
+}
+
+/// Sets the shutdown flag and wakes the accept loop: it blocks in
+/// `accept()`, so a throwaway connection to our own endpoint makes it
+/// return and observe the flag. Idempotent.
+fn request_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already requested; the accept loop is already waking
+    }
+    match &shared.endpoint {
+        Endpoint::Unix(path) => {
+            let _ = std::os::unix::net::UnixStream::connect(path);
+        }
+        Endpoint::Tcp(addr) => {
+            let _ = std::net::TcpStream::connect(addr);
+        }
+    }
+}
+
+fn connection_started(shared: &Shared) {
+    *shared.connections.lock().unwrap_or_else(PoisonError::into_inner) += 1;
+}
+
+fn connection_finished(shared: &Shared) {
+    let mut count = shared.connections.lock().unwrap_or_else(PoisonError::into_inner);
+    *count = count.saturating_sub(1);
+    let idle = *count == 0;
+    drop(count);
+    if idle {
+        shared.connections_idle.notify_all();
     }
 }
 
@@ -186,12 +239,10 @@ impl Listener {
                 // A stale socket file from a killed server blocks bind.
                 let _ = std::fs::remove_file(path);
                 let listener = UnixListener::bind(path).map_err(io)?;
-                listener.set_nonblocking(true).map_err(io)?;
                 Ok(Listener::Unix(listener))
             }
             Endpoint::Tcp(addr) => {
                 let listener = TcpListener::bind(addr).map_err(io)?;
-                listener.set_nonblocking(true).map_err(io)?;
                 Ok(Listener::Tcp(listener))
             }
         }
@@ -208,19 +259,16 @@ impl Listener {
         }
     }
 
-    /// Non-blocking accept: `None` when no connection is pending.
-    fn accept(&self) -> std::io::Result<Option<Box<dyn Conn>>> {
+    /// Blocking accept; [`request_shutdown`] unblocks it with a
+    /// throwaway connection.
+    fn accept(&self) -> std::io::Result<Box<dyn Conn>> {
         match self {
-            Listener::Unix(listener) => match listener.accept() {
-                Ok((stream, _)) => Ok(Some(Box::new(stream))),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
-                Err(e) => Err(e),
-            },
-            Listener::Tcp(listener) => match listener.accept() {
-                Ok((stream, _)) => Ok(Some(Box::new(stream))),
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => Ok(None),
-                Err(e) => Err(e),
-            },
+            Listener::Unix(listener) => {
+                listener.accept().map(|(stream, _)| Box::new(stream) as Box<dyn Conn>)
+            }
+            Listener::Tcp(listener) => {
+                listener.accept().map(|(stream, _)| Box::new(stream) as Box<dyn Conn>)
+            }
         }
     }
 }
@@ -228,21 +276,35 @@ impl Listener {
 fn accept_loop(listener: &Listener, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok(Some(conn)) => {
+            Ok(conn) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break; // the shutdown wake-up connection (or a raced client)
+                }
                 shared.counters.connections.fetch_add(1, Ordering::SeqCst);
-                shared.active_connections.fetch_add(1, Ordering::SeqCst);
+                crate::obs::connection_opened();
+                connection_started(shared);
                 let conn_shared = Arc::clone(shared);
                 let conn_pool = Arc::clone(pool);
                 let spawned = std::thread::Builder::new().name("qr-conn".into()).spawn(move || {
                     serve_connection(conn, &conn_shared, &conn_pool);
-                    conn_shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    connection_finished(&conn_shared);
                 });
                 if spawned.is_err() {
-                    shared.active_connections.fetch_sub(1, Ordering::SeqCst);
+                    connection_finished(shared);
                 }
             }
-            Ok(None) => std::thread::sleep(Duration::from_millis(5)),
-            Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            Err(e) => {
+                // Accept failures (EMFILE, transient resets) are
+                // surfaced — counted and logged with the endpoint —
+                // not silently swallowed; the backoff keeps a
+                // persistent error from spinning the loop.
+                crate::obs::accept_error();
+                eprintln!(
+                    "quickrecd: accept on {} failed: {e}",
+                    shared.endpoint.describe()
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
         }
     }
 }
@@ -307,13 +369,17 @@ fn serve_connection(mut conn: Box<dyn Conn>, shared: &Arc<Shared>, pool: &Arc<Wo
         let response = match proto::decode_request(&payload) {
             Ok(request) => {
                 let is_shutdown = matches!(request, Request::Shutdown);
+                let kind = crate::obs::request_index(&request);
+                let start = crate::obs::clock();
+                let _span = qr_obs::trace::global().span(crate::obs::kind_label(&request), 0);
                 let response = handle_request(request, shared, pool);
+                crate::obs::request_handled(kind, start);
                 if is_shutdown {
                     let _ = proto::write_message(
                         conn.as_mut(),
                         &proto::encode_response(&response),
                     );
-                    shared.shutdown.store(true, Ordering::SeqCst);
+                    request_shutdown(shared);
                     return;
                 }
                 response
@@ -374,6 +440,7 @@ fn handle_request(request: Request, shared: &Arc<Shared>, pool: &Arc<WorkerPool>
         Request::Verify { id } => submit_followup(shared, pool, id, "verify"),
         Request::Races { id } => submit_followup(shared, pool, id, "races"),
         Request::Shutdown => Response::ShuttingDown,
+        Request::Metrics => Response::Metrics { text: qr_obs::global().render() },
     }
 }
 
@@ -420,6 +487,7 @@ fn submit_record(
         Err((_task, queued)) => {
             shared.registry.remove(id);
             shared.counters.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            crate::obs::busy_rejection();
             Response::Busy { queued: queued as u32 }
         }
     }
@@ -455,6 +523,7 @@ fn submit_followup(
                 s.state = session.state.clone();
             });
             shared.counters.rejected_busy.fetch_add(1, Ordering::SeqCst);
+            crate::obs::busy_rejection();
             Response::Busy { queued: queued as u32 }
         }
     }

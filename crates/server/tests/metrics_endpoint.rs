@@ -1,0 +1,121 @@
+//! The METRICS wire request: a live daemon renders its `qr-obs`
+//! registry as parseable text exposition covering the recorder, store
+//! and server metric families, and shutdown unblocks the accept loop
+//! promptly (no sleep-polling anywhere on the path).
+
+use qr_server::proto::{Endpoint, JobState, Request, Response};
+use qr_server::{Client, Server, ServerConfig};
+use qr_workloads::Scale;
+use quickrec_core::Encoding;
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qr-metrics-it-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn start(dir: &std::path::Path) -> qr_server::ServerHandle {
+    let endpoint = Endpoint::Unix(dir.join("qd.sock"));
+    let config = ServerConfig {
+        workers: 2,
+        shards: 2,
+        queue_capacity: 8,
+        store_root: dir.join("store"),
+    };
+    Server::start(&endpoint, &config).expect("start server")
+}
+
+#[test]
+fn metrics_request_returns_parseable_exposition_with_all_families() {
+    let dir = scratch("families");
+    let handle = start(&dir);
+    let endpoint = handle.endpoint().clone();
+
+    let mut client = Client::connect(&endpoint).expect("connect");
+    // Drive one real RECORD job through the daemon so the recorder and
+    // store families register in-process, not just the server's own.
+    let Response::Submitted { id } = client
+        .call(&Request::SubmitWorkload {
+            name: "m".into(),
+            workload: "fft".into(),
+            threads: 2,
+            scale: Scale::Test,
+            encoding: Encoding::Delta,
+        })
+        .expect("submit")
+    else {
+        panic!("submission not accepted");
+    };
+    let job = client.wait_for(id, Duration::from_secs(120)).expect("wait");
+    assert_eq!(job.state, JobState::Done, "{:?}", job.state);
+    match client.call(&Request::Ping).expect("ping") {
+        Response::Pong => {}
+        other => panic!("ping: {other:?}"),
+    }
+
+    let text = client.metrics().expect("metrics request");
+    let exposition = qr_obs::parse_exposition(&text)
+        .unwrap_or_else(|e| panic!("malformed exposition: {e}\n{text}"));
+
+    // One family per instrumented subsystem that this run exercised.
+    for family in [
+        "qr_server_requests_total",
+        "qr_server_request_latency_us",
+        "qr_server_connections_total",
+        "qr_recorder_chunks_total",
+        "qr_recorder_chunk_size_insns",
+        "qr_recorder_log_bytes_total",
+        "qr_store_encode_latency_us",
+        "qr_store_bytes_total",
+    ] {
+        assert!(
+            exposition.has_family(family),
+            "exposition is missing `{family}`:\n{text}"
+        );
+    }
+    // Histograms carry quantile summary lines.
+    assert!(
+        text.contains("qr_server_request_latency_us{") && text.contains("quantile=\"0.99\""),
+        "latency histogram lacks quantile samples:\n{text}"
+    );
+    // The submit and ping we just made are counted by kind.
+    assert!(
+        text.contains("qr_server_requests_total{kind=\"ping\"}"),
+        "ping not counted:\n{text}"
+    );
+    assert!(
+        text.contains("qr_server_requests_total{kind=\"submit_workload\"}"),
+        "submit not counted:\n{text}"
+    );
+
+    match client.call(&Request::Shutdown).expect("shutdown") {
+        Response::ShuttingDown => {}
+        other => panic!("shutdown: {other:?}"),
+    }
+    drop(client);
+    handle.wait();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shutdown_unblocks_accept_loop_without_polling_delay() {
+    let dir = scratch("wake");
+    let handle = start(&dir);
+
+    // No client ever connects: the accept loop sits in a blocking
+    // accept(). shutdown() must wake it via the self-connection and
+    // wait() must return promptly — this wedges forever (or until a
+    // connection happens to arrive) if the wake-up is missing.
+    let started = Instant::now();
+    handle.shutdown();
+    handle.wait();
+    let elapsed = started.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "shutdown of an idle server took {elapsed:?}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}

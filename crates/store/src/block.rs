@@ -28,6 +28,11 @@ use qr_common::{crc32, varint, QrError, Result};
 /// LZ window finds the logs' periodic structure.
 pub const BLOCK_SIZE: usize = 32 * 1024;
 
+// The LZ match finder stores positions as `u32`; a block-size bump past
+// that bound would silently truncate match offsets. Fail the build
+// instead (`compress_with_block_size` re-checks its runtime argument).
+const _: () = assert!(BLOCK_SIZE <= lz::MAX_INPUT, "BLOCK_SIZE exceeds the LZ u32 offset bound");
+
 /// Index format version.
 pub const INDEX_VERSION: u64 = 1;
 
@@ -95,6 +100,8 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
 /// expands its input by more than the index overhead.
 pub fn compress_with_block_size(data: &[u8], block_size: usize) -> Vec<u8> {
     assert!(block_size > 0, "block size must be positive");
+    assert!(block_size <= lz::MAX_INPUT, "block size exceeds the LZ u32 offset bound");
+    let start = crate::obs::clock();
     let blocks: Vec<&[u8]> = data.chunks(block_size).collect();
     let mut payloads = Vec::with_capacity(blocks.len());
     let mut index = Vec::new();
@@ -122,7 +129,9 @@ pub fn compress_with_block_size(data: &[u8], block_size: usize) -> Vec<u8> {
     for payload in &payloads {
         w.record(payload);
     }
-    w.finish()
+    let out = w.finish();
+    crate::obs::encoded(start, data.len(), out.len());
+    out
 }
 
 /// Parses record 0 of `payload` (the index record's bytes).
@@ -246,12 +255,14 @@ fn decompress_block(payload: &[u8], entry: &BlockEntry, i: usize) -> Result<Vec<
 ///
 /// Returns [`QrError::Corrupt`] for any frame, index or block damage.
 pub fn decompress(buf: &[u8]) -> Result<Vec<u8>> {
+    let start = crate::obs::clock();
     let index = read_index(buf)?;
     let records = frame::read(buf, PayloadKind::CompressedLog, "compressed log")?;
     let mut out = Vec::with_capacity(index.total_len as usize);
     for (i, (entry, rec)) in index.blocks.iter().zip(&records[1..]).enumerate() {
         out.extend_from_slice(&decompress_block(rec, entry, i)?);
     }
+    crate::obs::decoded(start);
     Ok(out)
 }
 
@@ -304,6 +315,12 @@ pub struct BlockSalvage {
 /// `bytes` is a prefix of the original log unless CRC-32 itself was
 /// defeated.
 pub fn salvage(buf: &[u8]) -> BlockSalvage {
+    let s = salvage_inner(buf);
+    crate::obs::salvaged(s.fault.is_some(), s.blocks_recovered, s.blocks_total);
+    s
+}
+
+fn salvage_inner(buf: &[u8]) -> BlockSalvage {
     let scanned = frame::scan(buf);
     let mut fault: Option<QrError> =
         scanned.fault.map(|f| f.to_error("compressed log"));

@@ -28,6 +28,7 @@
 pub mod block;
 pub mod lz;
 pub mod manifest;
+mod obs;
 pub mod store;
 
 pub use block::{BlockIndex, BlockSalvage, BLOCK_SIZE};

@@ -31,6 +31,14 @@ const HASH_BITS: u32 = 15;
 /// Sentinel for "no candidate yet" in the match-finder table.
 const NO_POS: u32 = u32::MAX;
 
+/// Largest input [`compress`] accepts. The match-finder stores byte
+/// positions as `u32` (with [`NO_POS`] reserved as the sentinel), so a
+/// larger input would silently truncate offsets into wrong — but
+/// well-formed — back-references. Block-layer callers compress in
+/// [`crate::block::BLOCK_SIZE`] chunks, which a compile-time assertion
+/// there ties to this bound.
+pub const MAX_INPUT: usize = u32::MAX as usize - 1;
+
 #[inline]
 fn hash4(bytes: &[u8]) -> usize {
     // Fibonacci hashing over the next four bytes.
@@ -42,7 +50,13 @@ fn hash4(bytes: &[u8]) -> usize {
 ///
 /// Deterministic (same input, same output) and bounded: output never
 /// exceeds `input.len() + varint overhead of one all-literal sequence`.
+///
+/// # Panics
+///
+/// Panics if `input` exceeds [`MAX_INPUT`] — beyond it the `u32`
+/// match-finder positions would truncate and emit corrupt streams.
 pub fn compress(input: &[u8]) -> Vec<u8> {
+    assert!(input.len() <= MAX_INPUT, "input {} exceeds lz::MAX_INPUT {MAX_INPUT}", input.len());
     let mut out = Vec::with_capacity(input.len() / 2 + 16);
     let mut table = vec![NO_POS; 1 << HASH_BITS];
     let len = input.len();

@@ -1,0 +1,110 @@
+//! Store metrics (`qr-obs` hooks): block codec latency, compression
+//! byte traffic (the ratio falls out of the two counters), and salvage
+//! outcomes. Observational only — see the determinism rule in `qr-obs`.
+
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use qr_obs::{Counter, Histogram, LATENCY_US};
+
+fn encode_latency() -> &'static Arc<Histogram> {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        qr_obs::global().histogram(
+            "qr_store_encode_latency_us",
+            "Block-container compression latency per call",
+            &[],
+            LATENCY_US,
+        )
+    })
+}
+
+fn decode_latency() -> &'static Arc<Histogram> {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        qr_obs::global().histogram(
+            "qr_store_decode_latency_us",
+            "Block-container decompression latency per call",
+            &[],
+            LATENCY_US,
+        )
+    })
+}
+
+fn bytes_counter(direction: &'static str) -> Arc<Counter> {
+    qr_obs::global().counter(
+        "qr_store_bytes_total",
+        "Bytes through the block codec (compression ratio = compressed / raw)",
+        &[("direction", direction)],
+    )
+}
+
+fn raw_bytes() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| bytes_counter("raw"))
+}
+
+fn compressed_bytes() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| bytes_counter("compressed"))
+}
+
+fn salvage_counter(outcome: &'static str) -> Arc<Counter> {
+    qr_obs::global().counter(
+        "qr_store_salvage_total",
+        "Tolerant block-container reads, by outcome",
+        &[("outcome", outcome)],
+    )
+}
+
+fn salvage_clean() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| salvage_counter("clean"))
+}
+
+fn salvage_faulted() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| salvage_counter("faulted"))
+}
+
+fn salvage_blocks_lost() -> &'static Arc<Counter> {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    HANDLE.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_store_salvage_blocks_lost_total",
+            "Blocks the index promised that salvage could not recover",
+            &[],
+        )
+    })
+}
+
+/// Stopwatch for one codec call; `None` when metrics are off so the
+/// disabled path never reads the clock.
+pub(crate) fn clock() -> Option<Instant> {
+    qr_obs::enabled().then(Instant::now)
+}
+
+/// Accounts one whole-container compression.
+pub(crate) fn encoded(start: Option<Instant>, raw_len: usize, compressed_len: usize) {
+    if let Some(start) = start {
+        encode_latency().observe_since(start);
+        raw_bytes().add(raw_len as u64);
+        compressed_bytes().add(compressed_len as u64);
+    }
+}
+
+/// Accounts one whole-container decompression.
+pub(crate) fn decoded(start: Option<Instant>) {
+    if let Some(start) = start {
+        decode_latency().observe_since(start);
+    }
+}
+
+/// Accounts one salvage pass.
+pub(crate) fn salvaged(faulted: bool, blocks_recovered: usize, blocks_total: usize) {
+    if !qr_obs::enabled() {
+        return;
+    }
+    if faulted { salvage_faulted() } else { salvage_clean() }.inc();
+    salvage_blocks_lost().add(blocks_total.saturating_sub(blocks_recovered) as u64);
+}

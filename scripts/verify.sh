@@ -48,6 +48,23 @@ done
   --workload fft --threads 2 --scale test > /dev/null
 ./target/release/quickrec fetch --socket "$smoke_dir/qd.sock" 1 -o "$smoke_dir/fetched" > /dev/null
 ./target/release/quickrec verify "$smoke_dir/fetched" > /dev/null
+# Scrape the live daemon's metrics. `stats --metrics` runs the text
+# through qr_obs::parse_exposition before printing, so a zero exit means
+# the exposition is well-formed; still assert the families that the
+# record job just exercised actually showed up.
+./target/release/quickrec stats --socket "$smoke_dir/qd.sock" --metrics > "$smoke_dir/metrics.txt"
+for family in qr_server_requests_total qr_server_request_latency_us \
+              qr_recorder_chunks_total qr_store_encode_latency_us; do
+  if ! grep -q "^$family" "$smoke_dir/metrics.txt"; then
+    echo "metrics exposition is missing family $family" >&2
+    exit 1
+  fi
+done
+grep -q 'quantile="0.99"' "$smoke_dir/metrics.txt" || {
+  echo "metrics exposition lacks histogram quantile samples" >&2
+  exit 1
+}
+echo "metrics exposition scraped from the live daemon and parsed"
 ./target/release/quickrec shutdown --socket "$smoke_dir/qd.sock" > /dev/null
 wait "$server_pid"
 if ls "$smoke_dir/store"/.tmp-* > /dev/null 2>&1; then

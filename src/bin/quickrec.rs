@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! quickrec run      prog.pasm [--cores N]          run natively
-//! quickrec record   prog.pasm -o DIR [--cores N] [--hw-only] [--rsw]
-//! quickrec replay   prog.pasm DIR [--races] [--salvage] [--jobs N]
+//! quickrec record   prog.pasm -o DIR [--cores N] [--hw-only] [--rsw] [--trace-out F]
+//! quickrec replay   prog.pasm DIR [--races] [--salvage] [--jobs N] [--trace-out F]
 //! quickrec verify   DIR                            log integrity check
 //! quickrec analyze  DIR                            chunk-log forensics
 //! quickrec disasm   prog.pasm                      disassemble
@@ -12,7 +12,7 @@
 //! quickrec submit   --socket P (--workload W | prog.pasm)   queue a RECORD job
 //! quickrec fetch    --socket P ID -o DIR           download a stored recording
 //! quickrec jobs     --socket P                     list sessions
-//! quickrec stats    --socket P                     server + session counters
+//! quickrec stats    --socket P [--metrics]         server + session counters
 //! quickrec shutdown --socket P                     graceful daemon shutdown
 //! ```
 //!
@@ -70,8 +70,8 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  quickrec run      <prog.pasm> [--cores N]\n  \
-     quickrec record   <prog.pasm> -o <dir> [--cores N] [--hw-only] [--rsw]\n  \
-     quickrec replay   <prog.pasm> <dir> [--races] [--salvage] [--jobs N]\n  \
+     quickrec record   <prog.pasm> -o <dir> [--cores N] [--hw-only] [--rsw] [--trace-out FILE]\n  \
+     quickrec replay   <prog.pasm> <dir> [--races] [--salvage] [--jobs N] [--trace-out FILE]\n  \
      quickrec verify   <dir>\n  \
      quickrec analyze  <dir>\n  \
      quickrec timeline <dir> [--rows N]\n  \
@@ -82,7 +82,7 @@ fn usage() -> String {
      quickrec submit   (--socket PATH | --tcp ADDR) (--workload NAME [--threads N] [--scale S] | <prog.pasm> [--cores N]) [--name LABEL] [--encoding E] [--no-wait]\n  \
      quickrec fetch    (--socket PATH | --tcp ADDR) <id> -o <dir>\n  \
      quickrec jobs     (--socket PATH | --tcp ADDR)\n  \
-     quickrec stats    (--socket PATH | --tcp ADDR)\n  \
+     quickrec stats    (--socket PATH | --tcp ADDR) [--metrics]\n  \
      quickrec shutdown (--socket PATH | --tcp ADDR)"
         .to_string()
 }
@@ -115,6 +115,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             || a == "--encoding"
             || a == "--name"
             || a == "--timeout"
+            || a == "--trace-out"
         {
             skip = true;
             continue;
@@ -126,6 +127,26 @@ fn positional(args: &[String]) -> Vec<&String> {
         out.push(a);
     }
     out
+}
+
+/// Parses `--trace-out FILE`, switching the global trace journal on
+/// when present (it is off by default so untraced runs pay nothing).
+fn trace_out_arg(args: &[String]) -> Option<PathBuf> {
+    let path = flag_value(args, "--trace-out").map(PathBuf::from);
+    if path.is_some() {
+        qr_obs::trace::global().set_enabled(true);
+    }
+    path
+}
+
+/// Drains the global trace journal into a framed `.qrt` file.
+fn write_trace(path: &Path) -> Result<(), String> {
+    let events = qr_obs::trace::global().drain();
+    let bytes = qr_obs::trace::to_bytes(&events);
+    std::fs::write(path, bytes)
+        .map_err(|e| format!("writing trace journal {}: {e}", path.display()))?;
+    println!("trace journal: {} event(s) -> {}", events.len(), path.display());
+    Ok(())
 }
 
 fn cores_arg(args: &[String]) -> Result<usize, String> {
@@ -163,6 +184,7 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let [path] = pos.as_slice() else { return Err(usage()) };
     let out_dir = PathBuf::from(flag_value(args, "-o").ok_or("record needs -o <dir>")?);
+    let trace_out = trace_out_arg(args);
     let program = load_program(path)?;
     let mut cfg = RecordingConfig::with_cores(cores_arg(args)?);
     if has_flag(args, "--hw-only") {
@@ -171,8 +193,17 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     if has_flag(args, "--rsw") {
         cfg.cpu.mem.tso_mode = TsoMode::Rsw;
     }
-    let recording = record(program, cfg).map_err(|e| e.to_string())?;
-    recording.save(&out_dir, Encoding::Delta).map_err(|e| e.to_string())?;
+    let recording = {
+        let _span = qr_obs::trace::global().span("record", 0);
+        record(program, cfg).map_err(|e| e.to_string())?
+    };
+    {
+        let _span = qr_obs::trace::global().span("save", 0);
+        recording.save(&out_dir, Encoding::Delta).map_err(|e| e.to_string())?;
+    }
+    if let Some(trace_path) = &trace_out {
+        write_trace(trace_path)?;
+    }
     print!("{}", String::from_utf8_lossy(&recording.console));
     println!(
         "recorded {} instructions into {} chunks (exit {}); logs in {}",
@@ -193,6 +224,7 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
 fn cmd_replay(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let [path, dir] = pos.as_slice() else { return Err(usage()) };
+    let trace_out = trace_out_arg(args);
     let program = load_program(path)?;
     let jobs: Option<usize> = match flag_value(args, "--jobs") {
         None => None,
@@ -229,10 +261,17 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
         } else {
             println!("salvaged a consistent execution prefix");
         }
+        if let Some(trace_path) = &trace_out {
+            write_trace(trace_path)?;
+        }
         return Ok(());
     }
-    let recording = Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+    let recording = {
+        let _span = qr_obs::trace::global().span("load_recording", 0);
+        Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?
+    };
     if has_flag(args, "--races") {
+        let _span = qr_obs::trace::global().span("replay_races", 0);
         let (outcome, report) =
             qr_replay::replay_with_race_detection(&program, &recording).map_err(|e| e.to_string())?;
         print!("{}", String::from_utf8_lossy(&outcome.console));
@@ -249,6 +288,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             }
         }
     } else if let Some(jobs) = jobs {
+        let _span = qr_obs::trace::global().span("replay_parallel", 0);
         let replayer =
             qr_replay::ParallelReplayer::new(&program, &recording, jobs).map_err(|e| e.to_string())?;
         let fallback = replayer.fallback_reason().map(str::to_string);
@@ -268,6 +308,7 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             ),
         }
     } else {
+        let _span = qr_obs::trace::global().span("replay_serial", 0);
         let outcome =
             quickrec::replay_and_verify(&program, &recording).map_err(|e| e.to_string())?;
         print!("{}", String::from_utf8_lossy(&outcome.console));
@@ -275,6 +316,9 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
             "replayed {} chunks, {} inputs; exit {} — verified exact",
             outcome.chunks_replayed, outcome.inputs_injected, outcome.exit_code
         );
+    }
+    if let Some(trace_path) = &trace_out {
+        write_trace(trace_path)?;
     }
     Ok(())
 }
@@ -528,6 +572,16 @@ fn cmd_jobs(args: &[String]) -> Result<(), String> {
 
 fn cmd_stats(args: &[String]) -> Result<(), String> {
     let mut client = connect(args)?;
+    if has_flag(args, "--metrics") {
+        let text = client.metrics().map_err(|e| e.to_string())?;
+        // Validate the exposition before printing so a malformed
+        // registry render fails loudly instead of feeding scrapers
+        // garbage.
+        qr_obs::parse_exposition(&text)
+            .map_err(|e| format!("server returned malformed metrics exposition: {e}"))?;
+        print!("{text}");
+        return Ok(());
+    }
     match client.call(&Request::Stats).map_err(|e| e.to_string())? {
         Response::Stats(stats) => {
             println!(
