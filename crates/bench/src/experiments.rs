@@ -26,7 +26,7 @@ pub const ALL_IDS: [&str; 22] = [
 /// `repro all` — their numbers vary run to run, so including them would
 /// break the harness guarantee that parallel output is byte-identical
 /// to `--serial` — and must be invoked explicitly (like `cargo bench`).
-pub const WALL_CLOCK_IDS: [&str; 1] = ["e10b"];
+pub const WALL_CLOCK_IDS: [&str; 2] = ["e10b", "e13"];
 
 /// What an experiment prints after its table.
 enum Footer {
@@ -72,6 +72,7 @@ pub fn plan(id: &str) -> Option<Experiment> {
         "e10b" => e10b(),
         "e11" => e11(),
         "e12" => e12(),
+        "e13" => e13(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),
@@ -768,6 +769,241 @@ fn e12() -> Experiment {
         footer: Footer::Static(
             "(wall-clock metric values are excluded from every deterministic report; \
              only their absence of side effects is asserted here)",
+        ),
+    }
+}
+
+/// E13 — hot-path raw speed: slice-by-8 CRC-32 vs the scalar reference,
+/// hash-chain LZ vs the greedy reference, wide-copy decompression, store
+/// ratio per encoding, and simulator instruction rate.
+///
+/// Wall-clock (see [`WALL_CLOCK_IDS`]), so it is excluded from
+/// `repro all` and invoked explicitly. Besides printing the table it
+/// writes a machine-readable summary to `BENCH_hotpath.json` (path
+/// overridable via `QR_BENCH_JSON`, measurement window via
+/// `QR_BENCH_MS`). The run *fails* only on differential drift — a fast
+/// path disagreeing with its reference path on real recording bytes —
+/// never on a speedup threshold, so CI stays immune to host-load flake.
+fn e13() -> Experiment {
+    let job: Job = Box::new(|cache: &BuildCache| {
+        use qr_common::crc32;
+        use qr_store::{block, lz};
+
+        let ms = std::env::var("QR_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(400)
+            .max(1);
+        let window = std::time::Duration::from_millis(ms);
+
+        // Corpus: real framed recording bytes (meta + chunk logs +
+        // inputs + footprints across all three encodings) from four
+        // workloads, so every rate below reflects the byte patterns the
+        // hot paths actually see.
+        let names = ["fft", "lu", "radix", "water"];
+        let mut recordings = Vec::new();
+        let mut corpus: Vec<u8> = Vec::new();
+        for name in names {
+            let spec = qr_workloads::suite::find(name).expect("suite member");
+            let r = record_workload_with(cache, &spec, 4, Scale::Small, full_cfg(4))?;
+            for encoding in Encoding::ALL {
+                for (_, bytes) in r.to_parts(encoding).files() {
+                    corpus.extend_from_slice(bytes);
+                }
+            }
+            recordings.push((name, r));
+        }
+
+        // Differential drift gate: the fast paths must agree with their
+        // reference paths on every file of every recording × encoding.
+        let mut cases = 0u64;
+        let mut drift = 0u64;
+        let mut first_drift = String::new();
+        let note_drift = |what: String, first: &mut String| {
+            if first.is_empty() {
+                *first = what;
+            }
+        };
+        for (name, r) in &recordings {
+            for encoding in Encoding::ALL {
+                let parts = r.to_parts(encoding);
+                for (file, bytes) in parts.files() {
+                    cases += 1;
+                    let mut bad = false;
+                    if crc32::checksum(bytes) != crc32::checksum_scalar(bytes) {
+                        bad = true;
+                        note_drift(
+                            format!("{name}/{encoding:?}/{file}: slice-by-8 CRC != scalar CRC"),
+                            &mut first_drift,
+                        );
+                    }
+                    let fast = lz::decompress(&lz::compress(bytes), bytes.len())?;
+                    let greedy = lz::decompress(&lz::compress_greedy(bytes), bytes.len())?;
+                    if fast != bytes || greedy != bytes {
+                        bad = true;
+                        note_drift(
+                            format!("{name}/{encoding:?}/{file}: LZ round trip diverged"),
+                            &mut first_drift,
+                        );
+                    }
+                    if block::decompress(&block::compress(bytes))? != bytes {
+                        bad = true;
+                        note_drift(
+                            format!("{name}/{encoding:?}/{file}: block round trip diverged"),
+                            &mut first_drift,
+                        );
+                    }
+                    drift += bad as u64;
+                }
+            }
+        }
+
+        // Throughput measurements (fixed window, quarter-window warmup).
+        let mbs = |bytes_per_sec: f64| bytes_per_sec / (1024.0 * 1024.0);
+        let crc_fast = mbs(crate::timing::bytes_per_sec(window, corpus.len(), || {
+            crc32::checksum(&corpus)
+        }));
+        let crc_scalar = mbs(crate::timing::bytes_per_sec(window, corpus.len(), || {
+            crc32::checksum_scalar(&corpus)
+        }));
+        let lz_fast = mbs(crate::timing::bytes_per_sec(window, corpus.len(), || {
+            lz::compress(&corpus)
+        }));
+        let lz_greedy = mbs(crate::timing::bytes_per_sec(window, corpus.len(), || {
+            lz::compress_greedy(&corpus)
+        }));
+        let packed = lz::compress(&corpus);
+        let lz_dec = mbs(crate::timing::bytes_per_sec(window, corpus.len(), || {
+            lz::decompress(&packed, corpus.len()).expect("benchmark corpus decompresses")
+        }));
+        let lz_dec_scalar = mbs(crate::timing::bytes_per_sec(window, corpus.len(), || {
+            lz::decompress_scalar(&packed, corpus.len()).expect("benchmark corpus decompresses")
+        }));
+        let corpus_ratio = packed.len() as f64 / corpus.len().max(1) as f64;
+
+        // Store ratio per chunk-log encoding, summed across workloads
+        // (compressed/uncompressed of the framed chunk logs, as e10
+        // reports per workload).
+        let mut encoding_ratios = Vec::new();
+        for encoding in Encoding::ALL {
+            let (mut raw, mut stored) = (0usize, 0usize);
+            for (_, r) in &recordings {
+                let parts = r.to_parts(encoding);
+                raw += parts.chunks.len();
+                stored += block::compress(&parts.chunks).len();
+            }
+            encoding_ratios.push((encoding, stored as f64 / raw.max(1) as f64));
+        }
+
+        // Simulator rate: repeated full recordings of fft (4 threads,
+        // small scale), using the recordings' own instruction counts.
+        let sim_spec = qr_workloads::suite::find("fft").expect("suite member");
+        let sim_started = std::time::Instant::now();
+        let mut sim_instr = 0u64;
+        let mut sim_runs = 0u64;
+        loop {
+            let r = record_workload_with(cache, &sim_spec, 4, Scale::Small, full_cfg(4))?;
+            sim_instr += r.instructions;
+            sim_runs += 1;
+            if sim_started.elapsed() >= window {
+                break;
+            }
+        }
+        let sim_rate = sim_instr as f64 / sim_started.elapsed().as_secs_f64() / 1e6;
+
+        let mut out = JobOutput::default();
+        out.rows.push(vec![
+            "crc32 MB/s".into(),
+            format!("{crc_fast:.0}"),
+            format!("{crc_scalar:.0}"),
+            format!("{:.2}x", crc_fast / crc_scalar.max(f64::MIN_POSITIVE)),
+        ]);
+        out.rows.push(vec![
+            "lz compress MB/s".into(),
+            format!("{lz_fast:.0}"),
+            format!("{lz_greedy:.0}"),
+            format!("{:.2}x", lz_fast / lz_greedy.max(f64::MIN_POSITIVE)),
+        ]);
+        out.rows.push(vec![
+            "lz decompress MB/s".into(),
+            format!("{lz_dec:.0}"),
+            format!("{lz_dec_scalar:.0}"),
+            format!("{:.2}x", lz_dec / lz_dec_scalar.max(f64::MIN_POSITIVE)),
+        ]);
+        out.rows.push(vec![
+            "lz corpus ratio".into(),
+            format!("{corpus_ratio:.3}"),
+            "-".into(),
+            "-".into(),
+        ]);
+        for (encoding, ratio) in &encoding_ratios {
+            out.rows.push(vec![
+                format!("store ratio ({encoding:?})"),
+                format!("{ratio:.3}"),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        out.rows.push(vec![
+            "simulator Minstr/s".into(),
+            format!("{sim_rate:.1}"),
+            format!("({sim_runs} runs)"),
+            "-".into(),
+        ]);
+        out.rows.push(vec![
+            "differential".into(),
+            format!("{cases} cases"),
+            format!("{drift} drift"),
+            if drift == 0 { "PASS".into() } else { "FAIL".into() },
+        ]);
+
+        // Machine-readable summary, hand-rolled JSON (no external crates).
+        let json_path = std::env::var("QR_BENCH_JSON")
+            .unwrap_or_else(|_| "BENCH_hotpath.json".into());
+        let ratio_fields = encoding_ratios
+            .iter()
+            .map(|(e, r)| format!("    \"{}\": {r:.4}", format!("{e:?}").to_lowercase()))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!(
+            "{{\n  \"experiment\": \"e13\",\n  \"bench_ms\": {ms},\n  \"corpus_bytes\": {},\n\
+             \x20 \"crc32\": {{\n    \"slice8_mb_s\": {crc_fast:.1},\n    \"scalar_mb_s\": \
+             {crc_scalar:.1},\n    \"speedup\": {:.3}\n  }},\n  \"lz\": {{\n    \
+             \"hash_chain_mb_s\": {lz_fast:.1},\n    \"greedy_mb_s\": {lz_greedy:.1},\n    \
+             \"speedup\": {:.3},\n    \"decompress_mb_s\": {lz_dec:.1},\n    \
+             \"decompress_scalar_mb_s\": {lz_dec_scalar:.1},\n    \"decompress_speedup\": \
+             {:.3},\n    \"corpus_ratio\": \
+             {corpus_ratio:.4}\n  }},\n  \"store_ratio\": {{\n{ratio_fields}\n  }},\n  \
+             \"simulator\": {{\n    \"workload\": \"fft\",\n    \"threads\": 4,\n    \
+             \"minstr_per_s\": {sim_rate:.2},\n    \"runs\": {sim_runs}\n  }},\n  \
+             \"differential\": {{\n    \"cases\": {cases},\n    \"drift\": {drift}\n  }}\n}}\n",
+            corpus.len(),
+            crc_fast / crc_scalar.max(f64::MIN_POSITIVE),
+            lz_fast / lz_greedy.max(f64::MIN_POSITIVE),
+            lz_dec / lz_dec_scalar.max(f64::MIN_POSITIVE),
+        );
+        std::fs::write(&json_path, json).map_err(|e| QrError::Execution {
+            detail: format!("writing {json_path}: {e}"),
+        })?;
+
+        if drift > 0 {
+            return Err(QrError::Execution {
+                detail: format!("hot-path differential drift ({drift}/{cases}): {first_drift}"),
+            });
+        }
+        Ok(out)
+    });
+    Experiment {
+        id: "e13",
+        title: "hot-path throughput: fast paths vs reference paths",
+        note: "wall-clock rates vary with the host; the differential column is the only \
+         pass/fail signal — fast and reference paths must agree byte-for-byte on every \
+         recording file (summary written to BENCH_hotpath.json, QR_BENCH_JSON to override)",
+        header: vec!["metric".into(), "fast".into(), "reference".into(), "ratio".into()],
+        jobs: vec![job],
+        footer: Footer::Static(
+            "(slice-by-8 CRC and the hash-chain matcher are the production paths; the scalar \
+             CRC and greedy matcher exist as references for this differential gate)",
         ),
     }
 }

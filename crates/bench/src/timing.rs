@@ -8,6 +8,36 @@
 
 use std::time::{Duration, Instant};
 
+/// Runs `f` repeatedly for roughly `window` (after a quarter-window
+/// warm-up) and returns the iteration count and the measured elapsed
+/// time. This is the primitive behind [`Bench`] and the `repro e13`
+/// hot-path benchmark, exposed so experiments can consume rates as
+/// numbers instead of printed lines.
+pub fn measure<R>(window: Duration, mut f: impl FnMut() -> R) -> (u64, Duration) {
+    let warmup = window / 4;
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < warmup {
+        std::hint::black_box(f());
+    }
+    let start = Instant::now();
+    let mut iters = 0u64;
+    loop {
+        std::hint::black_box(f());
+        iters += 1;
+        let elapsed = start.elapsed();
+        if elapsed >= window {
+            return (iters, elapsed);
+        }
+    }
+}
+
+/// Throughput of `f` in bytes per second, where each call processes
+/// `bytes` input bytes.
+pub fn bytes_per_sec<R>(window: Duration, bytes: usize, f: impl FnMut() -> R) -> f64 {
+    let (iters, elapsed) = measure(window, f);
+    bytes as f64 * iters as f64 / elapsed.as_secs_f64().max(f64::MIN_POSITIVE)
+}
+
 /// A sequential benchmark session printing one line per benchmark.
 #[derive(Debug)]
 pub struct Bench {

@@ -197,17 +197,51 @@ impl Writer {
     }
 
     /// Appends one record (length prefix + payload + CRC-32 trailer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `payload` is longer than `u32::MAX` bytes — the length
+    /// prefix is a `u32`, and a silent `as` truncation here would write a
+    /// well-formed but *wrong* frame (the record would carry the first
+    /// `len % 2^32` bytes of a >4 GiB payload with a matching CRC).
+    /// Callers that handle oversized payloads gracefully use
+    /// [`Writer::try_record`].
     pub fn record(&mut self, payload: &[u8]) -> &mut Writer {
-        self.buf.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.try_record(payload)
+            .expect("frame record payload exceeds the u32 length prefix")
+    }
+
+    /// Fallible [`Writer::record`]: rejects payloads longer than the
+    /// `u32` length prefix can describe instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Unsupported`] when `payload.len()` exceeds
+    /// `u32::MAX`; the writer is left unchanged.
+    pub fn try_record(&mut self, payload: &[u8]) -> Result<&mut Writer> {
+        let len = checked_record_len(payload.len())?;
+        self.buf.extend_from_slice(&len.to_le_bytes());
         self.buf.extend_from_slice(payload);
         self.buf.extend_from_slice(&crc32::checksum(payload).to_le_bytes());
-        self
+        Ok(self)
     }
 
     /// The finished container bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
     }
+}
+
+/// Checked conversion of a payload length into the `u32` record length
+/// prefix. Split out (rather than inlined into [`Writer::try_record`])
+/// so the >4 GiB boundary is unit-testable without allocating one.
+fn checked_record_len(len: usize) -> Result<u32> {
+    u32::try_from(len).map_err(|_| {
+        QrError::Unsupported(format!(
+            "frame record of {len} bytes exceeds the {}-byte u32 length prefix",
+            u32::MAX
+        ))
+    })
 }
 
 /// The result of tolerantly scanning a container: every record of the
@@ -452,6 +486,27 @@ mod tests {
         for bit in 0..8 {
             assert!(MAGIC[0] ^ (1 << bit) > 2, "bit {bit}");
         }
+    }
+
+    #[test]
+    fn record_length_conversion_is_checked_at_the_u32_boundary() {
+        // At the boundary: still representable.
+        assert_eq!(checked_record_len(u32::MAX as usize).unwrap(), u32::MAX);
+        assert_eq!(checked_record_len(0).unwrap(), 0);
+        // One past it: a structured error, not a silent `as` truncation
+        // (which would produce 0 here and write a wrong-but-well-formed
+        // frame for a >4 GiB payload).
+        let err = checked_record_len(u32::MAX as usize + 1).unwrap_err();
+        assert!(matches!(err, QrError::Unsupported(_)), "{err}");
+        assert!(err.to_string().contains("length prefix"), "{err}");
+    }
+
+    #[test]
+    fn try_record_accepts_ordinary_payloads() {
+        let mut w = Writer::new(PayloadKind::Meta);
+        w.try_record(b"ok").unwrap();
+        let buf = w.finish();
+        assert_eq!(read(&buf, PayloadKind::Meta, "test").unwrap(), vec![b"ok".as_slice()]);
     }
 
     #[test]

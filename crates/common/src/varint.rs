@@ -64,6 +64,27 @@ pub fn read_u64(buf: &[u8]) -> Result<(u64, usize)> {
     Err(QrError::LogDecode("truncated varint".into()))
 }
 
+/// Like [`read_u64`], but additionally rejects non-minimal encodings
+/// (a multi-byte varint whose final byte contributes no bits, e.g.
+/// `[0x80, 0x00]` for 0).
+///
+/// [`write_u64`] always emits the minimal form, so grammars that need a
+/// *canonical* byte stream — exactly one encoding per value, like the
+/// store's LZ token stream — decode with this and treat the overlong
+/// forms as corruption.
+///
+/// # Errors
+///
+/// Returns [`QrError::LogDecode`] for truncation, overflow, or an
+/// overlong encoding.
+pub fn read_u64_canonical(buf: &[u8]) -> Result<(u64, usize)> {
+    let (value, len) = read_u64(buf)?;
+    if len > 1 && buf[len - 1] == 0 {
+        return Err(QrError::LogDecode("overlong varint".into()));
+    }
+    Ok((value, len))
+}
+
 /// Zigzag-encodes a signed value so small magnitudes use few LEB128 bytes.
 pub fn zigzag(value: i64) -> u64 {
     ((value << 1) ^ (value >> 63)) as u64
@@ -139,6 +160,31 @@ mod tests {
             .chain(std::iter::once(0x01))
             .collect::<Vec<_>>();
         assert!(read_u64(&buf).is_err());
+    }
+
+    #[test]
+    fn canonical_read_accepts_exactly_the_written_form() {
+        for v in [0u64, 1, 127, 128, 16383, 16384, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            let len = write_u64(&mut buf, v);
+            assert_eq!(read_u64_canonical(&buf).unwrap(), (v, len), "minimal form of {v}");
+            // Pad with a redundant continuation: same value, one byte
+            // longer. The plain reader accepts it, the canonical one
+            // must not.
+            if len < MAX_LEN {
+                let mut overlong = buf.clone();
+                *overlong.last_mut().unwrap() |= 0x80;
+                overlong.push(0x00);
+                assert_eq!(read_u64(&overlong).unwrap(), (v, len + 1));
+                assert!(read_u64_canonical(&overlong).is_err(), "overlong form of {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_read_propagates_truncation_and_overflow() {
+        assert!(read_u64_canonical(&[0x80]).is_err());
+        assert!(read_u64_canonical(&[0x80; 11]).is_err());
     }
 
     #[test]

@@ -139,7 +139,7 @@ fn parse_index(payload: &[u8]) -> Result<BlockIndex> {
     let base = (frame::HEADER_LEN + 4) as u64; // index payload's file offset
     let mut off = 0usize;
     let mut next = |what: &str| -> Result<u64> {
-        let (v, n) = varint::read_u64(payload.get(off..).unwrap_or(&[]))
+        let (v, n) = varint::read_u64_canonical(payload.get(off..).unwrap_or(&[]))
             .map_err(|e| corrupt(base + off as u64, format!("index {what}: {e}")))?;
         off += n;
         Ok(v)
@@ -160,7 +160,7 @@ fn parse_index(payload: &[u8]) -> Result<BlockIndex> {
     let mut covered = 0u64;
     for _ in 0..count {
         let mut next = |what: &str| -> Result<u64> {
-            let (v, n) = varint::read_u64(payload.get(off..).unwrap_or(&[]))
+            let (v, n) = varint::read_u64_canonical(payload.get(off..).unwrap_or(&[]))
                 .map_err(|e| corrupt(base + off as u64, format!("index {what}: {e}")))?;
             off += n;
             Ok(v)

@@ -30,6 +30,16 @@ echo "== parallel replay smoke: E9b speedups, fingerprints byte-identical =="
 ./target/release/repro e9b > /dev/null
 echo "parallel replay verified against serial on the whole suite"
 
+echo "== hot-path differential smoke: fast paths vs reference paths (E13) =="
+hotpath_json=$(mktemp)
+QR_BENCH_MS=50 QR_BENCH_JSON="$hotpath_json" ./target/release/repro e13 > /dev/null
+grep -q '"drift": 0' "$hotpath_json" || {
+  echo "E13 reported codec drift or wrote no summary" >&2
+  exit 1
+}
+rm -f "$hotpath_json"
+echo "fast and reference codec paths byte-identical on every suite artifact"
+
 echo "== fault-injection smoke: bounded mutated-recording campaign =="
 ./target/release/repro r1 --fuzz-iters 200 > /dev/null
 echo "fault-injection contract holds (200 cases, no panics, prefixes verified)"
