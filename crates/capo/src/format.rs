@@ -1,0 +1,277 @@
+//! The recording-level format manifest (`format.qrv`).
+//!
+//! Individual log files are self-describing at the *container* level
+//! (the `QRCF` frame header names a payload kind and container version),
+//! but nothing used to describe the recording *as a whole*: which
+//! recording-format generation wrote it, which chunk encoding it uses,
+//! and which payload kinds are present. The format manifest closes that
+//! gap so tools can reason about a recording without decoding its logs,
+//! and so `quickrec migrate` can state precisely what it upgraded from
+//! and to.
+//!
+//! Three recording-format generations exist (see `docs/TRACE_FORMAT.md`):
+//!
+//! | Version | Shape |
+//! |---|---|
+//! | v1 | legacy: bare `QRM1` meta blob, unframed tag-prefixed logs, no footprints |
+//! | v2 | all files framed (`QRCF`), optional footprint sidecar, no `format.qrv` |
+//! | v3 | v2 plus this manifest (current) |
+//!
+//! The manifest itself is one CRC-32-protected record in a framed
+//! container of kind [`PayloadKind::FormatManifest`]:
+//!
+//! ```text
+//! record 0: version varint | container u8 | encoding-tag u8
+//!           | payload-count varint | payload-kind-code u8 ...
+//! ```
+
+use qr_common::frame::{self, PayloadKind};
+use qr_common::{varint, QrError, Result};
+use quickrec_core::Encoding;
+
+/// The recording-format generation current code writes.
+pub const RECORDING_FORMAT_VERSION: u64 = 3;
+
+/// The shape of a saved recording, as detected from its file set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordingVersion {
+    /// Pre-framing layout: bare `QRM1` meta, unframed logs.
+    V1Legacy,
+    /// Framed layout without a format manifest.
+    V2Framed,
+    /// Current layout: framed files plus `format.qrv`.
+    V3,
+}
+
+impl RecordingVersion {
+    /// Detects the format generation of a saved recording from the shape
+    /// of its file set: a `format.qrv` means v3, all-framed core files
+    /// mean v2, anything unframed means v1. Detection is structural only
+    /// — it does not validate the files' contents.
+    pub fn detect(parts: &crate::recording::RecordingParts) -> RecordingVersion {
+        if parts.format.is_some() {
+            RecordingVersion::V3
+        } else if frame::is_framed(&parts.meta)
+            && frame::is_framed(&parts.chunks)
+            && frame::is_framed(&parts.inputs)
+        {
+            RecordingVersion::V2Framed
+        } else {
+            RecordingVersion::V1Legacy
+        }
+    }
+
+    /// The numeric format generation.
+    pub fn number(self) -> u64 {
+        match self {
+            RecordingVersion::V1Legacy => 1,
+            RecordingVersion::V2Framed => 2,
+            RecordingVersion::V3 => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for RecordingVersion {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "v{}", self.number())
+    }
+}
+
+/// The decoded contents of `format.qrv`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatManifest {
+    /// Recording-format generation ([`RECORDING_FORMAT_VERSION`] when
+    /// written by current code).
+    pub version: u64,
+    /// Frame-container version every framed file in the recording uses
+    /// ([`frame::VERSION`]).
+    pub container: u8,
+    /// Chunk-packet encoding of `chunks.qrl`.
+    pub encoding: Encoding,
+    /// Payload kinds present in the recording directory, in kind-code
+    /// order.
+    pub payloads: Vec<PayloadKind>,
+}
+
+impl FormatManifest {
+    /// The manifest current code writes for a recording saved with
+    /// `encoding`, with (`with_footprints`) or without a footprint
+    /// sidecar.
+    pub fn current(encoding: Encoding, with_footprints: bool) -> FormatManifest {
+        let mut payloads = vec![PayloadKind::ChunkLog, PayloadKind::InputLog, PayloadKind::Meta];
+        if with_footprints {
+            payloads.push(PayloadKind::FootprintLog);
+        }
+        payloads.push(PayloadKind::FormatManifest);
+        payloads.sort_by_key(|k| k.code());
+        FormatManifest {
+            version: RECORDING_FORMAT_VERSION,
+            container: frame::VERSION,
+            encoding,
+            payloads,
+        }
+    }
+
+    /// Serializes the manifest as a framed single-record container.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(8 + self.payloads.len());
+        varint::write_u64(&mut payload, self.version);
+        payload.push(self.container);
+        payload.push(self.encoding.tag());
+        varint::write_u64(&mut payload, self.payloads.len() as u64);
+        for kind in &self.payloads {
+            payload.push(kind.code());
+        }
+        let mut w = frame::Writer::new(PayloadKind::FormatManifest);
+        w.record(&payload);
+        w.finish()
+    }
+
+    /// Deserializes a manifest written by [`FormatManifest::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Unsupported`] for a manifest from a *newer*
+    /// format generation than this code understands (naming both
+    /// versions), and [`QrError::Corrupt`] with byte-offset context for
+    /// anything structurally malformed.
+    pub fn from_bytes(buf: &[u8]) -> Result<FormatManifest> {
+        let what = "format manifest";
+        let records = frame::read(buf, PayloadKind::FormatManifest, what)?;
+        let [payload] = records[..] else {
+            return Err(QrError::Corrupt {
+                what: what.into(),
+                offset: frame::HEADER_LEN as u64,
+                detail: format!("expected exactly 1 record, found {}", records.len()),
+            });
+        };
+        let base = frame::HEADER_LEN + 4;
+        let corrupt = |off: usize, detail: String| QrError::Corrupt {
+            what: what.into(),
+            offset: (base + off) as u64,
+            detail,
+        };
+        let mut off = 0usize;
+        let (version, n) =
+            varint::read_u64(payload).map_err(|e| corrupt(off, e.to_string()))?;
+        off += n;
+        if version > RECORDING_FORMAT_VERSION {
+            return Err(QrError::Unsupported(format!(
+                "recording format version {version} (newest supported {RECORDING_FORMAT_VERSION})"
+            )));
+        }
+        if version < RECORDING_FORMAT_VERSION {
+            // v1/v2 recordings have no format.qrv at all, so a manifest
+            // claiming an older generation is self-contradictory.
+            return Err(corrupt(0, format!("implausible format version {version}")));
+        }
+        let &container = payload.get(off).ok_or_else(|| corrupt(off, "truncated manifest".into()))?;
+        if container != frame::VERSION {
+            return Err(corrupt(
+                off,
+                format!("container version {container} does not match frame v{}", frame::VERSION),
+            ));
+        }
+        off += 1;
+        let &tag = payload.get(off).ok_or_else(|| corrupt(off, "truncated manifest".into()))?;
+        let encoding = Encoding::ALL
+            .into_iter()
+            .find(|e| e.tag() == tag)
+            .ok_or_else(|| corrupt(off, format!("unknown encoding tag {tag}")))?;
+        off += 1;
+        let (count, n) =
+            varint::read_u64(&payload[off..]).map_err(|e| corrupt(off, e.to_string()))?;
+        off += n;
+        if count as usize > PayloadKind::ALL.len() {
+            return Err(corrupt(off, format!("implausible payload count {count}")));
+        }
+        let mut payloads = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let &code =
+                payload.get(off).ok_or_else(|| corrupt(off, "truncated payload list".into()))?;
+            let kind = PayloadKind::from_code(code)
+                .ok_or_else(|| corrupt(off, format!("unknown payload kind {code}")))?;
+            if payloads.contains(&kind) {
+                return Err(corrupt(off, format!("duplicate payload kind {}", kind.name())));
+            }
+            payloads.push(kind);
+            off += 1;
+        }
+        if off != payload.len() {
+            return Err(corrupt(off, format!("{} trailing bytes", payload.len() - off)));
+        }
+        Ok(FormatManifest { version, container, encoding, payloads })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn current_manifest_round_trips_for_every_encoding() {
+        for encoding in Encoding::ALL {
+            for with_footprints in [false, true] {
+                let m = FormatManifest::current(encoding, with_footprints);
+                assert_eq!(m.version, RECORDING_FORMAT_VERSION);
+                let back = FormatManifest::from_bytes(&m.to_bytes()).unwrap();
+                assert_eq!(back, m);
+                assert_eq!(
+                    back.payloads.contains(&PayloadKind::FootprintLog),
+                    with_footprints
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn newer_format_version_is_refused_with_both_versions_named() {
+        let mut m = FormatManifest::current(Encoding::Delta, true);
+        m.version = 99;
+        let err = FormatManifest::from_bytes(&m.to_bytes()).unwrap_err();
+        let QrError::Unsupported(msg) = &err else {
+            panic!("expected Unsupported, got {err}");
+        };
+        assert!(msg.contains("version 99"), "{msg}");
+        assert!(msg.contains("newest supported 3"), "{msg}");
+    }
+
+    #[test]
+    fn older_format_version_in_a_manifest_is_contradictory() {
+        let mut m = FormatManifest::current(Encoding::Delta, false);
+        m.version = 2;
+        assert!(FormatManifest::from_bytes(&m.to_bytes()).is_err());
+    }
+
+    #[test]
+    fn structural_faults_are_corrupt_errors() {
+        let good = FormatManifest::current(Encoding::Raw, true).to_bytes();
+        // Truncations.
+        for cut in 0..good.len() {
+            let err = FormatManifest::from_bytes(&good[..cut]).unwrap_err();
+            assert!(
+                matches!(err, QrError::Corrupt { .. }),
+                "cut {cut}: {err}"
+            );
+        }
+        // Wrong payload kind.
+        let mut w = frame::Writer::new(PayloadKind::Meta);
+        w.record(&[3, frame::VERSION, 0, 0]);
+        assert!(FormatManifest::from_bytes(&w.finish()).is_err());
+        // Every single-bit flip is caught by the CRC or a field check.
+        for pos in 0..good.len() {
+            for bit in 0..8 {
+                let mut bad = good.clone();
+                bad[pos] ^= 1 << bit;
+                assert!(FormatManifest::from_bytes(&bad).is_err(), "flip {pos}.{bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn version_display_and_numbers() {
+        assert_eq!(RecordingVersion::V1Legacy.to_string(), "v1");
+        assert_eq!(RecordingVersion::V2Framed.number(), 2);
+        assert_eq!(RecordingVersion::V3.number(), RECORDING_FORMAT_VERSION);
+    }
+}

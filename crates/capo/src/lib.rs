@@ -24,13 +24,17 @@
 //! The output is a [`recording::Recording`]: logs + metadata sufficient
 //! for `qr-replay` to reproduce the execution exactly.
 
+pub mod format;
 pub mod input_log;
+pub mod migrate;
 pub mod overhead;
 pub mod recording;
 pub mod session;
 pub mod sphere;
 
+pub use format::{FormatManifest, RecordingVersion, RECORDING_FORMAT_VERSION};
 pub use input_log::{InputEvent, InputLog, InputSalvage};
+pub use migrate::{migrate, CrashPoint, MigrateReport};
 pub use overhead::{OverheadBreakdown, OverheadModel};
 pub use recording::{
     FileCheck, Recording, RecordingConfig, RecordingMode, RecordingParts, RecoveryInfo,

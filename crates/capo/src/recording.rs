@@ -267,6 +267,9 @@ impl Recording {
     pub const INPUTS_FILE: &'static str = "inputs.qrl";
     /// Footprint-log file name (absent in legacy recordings).
     pub const FOOTPRINTS_FILE: &'static str = "footprints.qrl";
+    /// Format-manifest file name (absent in v1/v2 recordings; see
+    /// [`crate::format`]).
+    pub const FORMAT_FILE: &'static str = "format.qrv";
 
     /// Serializes the recording into its per-file byte images — the
     /// exact bytes [`Recording::save`] would write to disk. Storage
@@ -280,11 +283,14 @@ impl Recording {
             fingerprint: self.fingerprint,
             console: self.console.clone(),
         };
+        let manifest =
+            crate::format::FormatManifest::current(encoding, self.footprints.is_some());
         RecordingParts {
             meta: self.meta.to_bytes(&outcome),
             chunks: self.chunks.to_bytes(encoding),
             inputs: self.inputs.to_bytes(),
             footprints: self.footprints.as_ref().map(|f| f.to_bytes()),
+            format: Some(manifest.to_bytes()),
         }
     }
 
@@ -298,6 +304,20 @@ impl Recording {
     /// malformed or version-mismatched images, [`QrError::LogDecode`]
     /// for internally inconsistent ones.
     pub fn from_parts(parts: &RecordingParts) -> Result<Recording> {
+        // A present format manifest must decode and agree with the chunk
+        // log's actual encoding; its absence is legal (v1/v2 layouts).
+        if let Some(buf) = &parts.format {
+            let manifest = crate::format::FormatManifest::from_bytes(buf)?;
+            if let Some(actual) = quickrec_core::Encoding::sniff_container(&parts.chunks) {
+                if actual != manifest.encoding {
+                    return Err(QrError::LogDecode(format!(
+                        "format manifest claims {} encoding but the chunk log is {}",
+                        manifest.encoding.name(),
+                        actual.name()
+                    )));
+                }
+            }
+        }
         let (meta, outcome) = RecordingMeta::from_bytes(&parts.meta)?;
         let chunks = ChunkLog::from_bytes(&parts.chunks)?;
         let inputs = InputLog::from_bytes(&parts.inputs)?;
@@ -419,6 +439,12 @@ impl Recording {
                 FootprintLog::from_bytes(buf).map(|_| ())
             }));
         }
+        // Same contract for the format manifest (v1/v2 layouts lack it).
+        if dir.join(Self::FORMAT_FILE).exists() {
+            files.push(FileCheck::run(dir, Self::FORMAT_FILE, |buf| {
+                crate::format::FormatManifest::from_bytes(buf).map(|_| ())
+            }));
+        }
         VerifyReport { files }
     }
 
@@ -448,8 +474,9 @@ fn read_file(dir: &std::path::Path, name: &str) -> Result<Vec<u8>> {
 }
 
 /// The per-file byte images of a saved recording — `meta.qrm`,
-/// `chunks.qrl`, `inputs.qrl` and the optional `footprints.qrl`
-/// sidecar, exactly as they appear on disk.
+/// `chunks.qrl`, `inputs.qrl`, the optional `footprints.qrl` sidecar
+/// and the optional `format.qrv` manifest, exactly as they appear on
+/// disk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordingParts {
     /// `meta.qrm` image.
@@ -460,6 +487,9 @@ pub struct RecordingParts {
     pub inputs: Vec<u8>,
     /// `footprints.qrl` image (`None` for legacy recordings).
     pub footprints: Option<Vec<u8>>,
+    /// `format.qrv` image (`None` for v1/v2 recordings; see
+    /// [`crate::format`]).
+    pub format: Option<Vec<u8>>,
 }
 
 impl RecordingParts {
@@ -473,6 +503,9 @@ impl RecordingParts {
         ];
         if let Some(fp) = &self.footprints {
             out.push((Recording::FOOTPRINTS_FILE, fp.as_slice()));
+        }
+        if let Some(fm) = &self.format {
+            out.push((Recording::FORMAT_FILE, fm.as_slice()));
         }
         out
     }
@@ -489,12 +522,14 @@ impl RecordingParts {
         let mut chunks = None;
         let mut inputs = None;
         let mut footprints = None;
+        let mut format = None;
         for (name, bytes) in files {
             match name.as_ref() {
                 n if n == Recording::META_FILE => meta = Some(bytes.clone()),
                 n if n == Recording::CHUNKS_FILE => chunks = Some(bytes.clone()),
                 n if n == Recording::INPUTS_FILE => inputs = Some(bytes.clone()),
                 n if n == Recording::FOOTPRINTS_FILE => footprints = Some(bytes.clone()),
+                n if n == Recording::FORMAT_FILE => format = Some(bytes.clone()),
                 other => {
                     return Err(QrError::Corrupt {
                         what: "recording file set".into(),
@@ -516,6 +551,7 @@ impl RecordingParts {
             chunks: require(chunks, Recording::CHUNKS_FILE)?,
             inputs: require(inputs, Recording::INPUTS_FILE)?,
             footprints,
+            format,
         })
     }
 
@@ -546,6 +582,7 @@ impl RecordingParts {
             chunks: read_file(dir, Recording::CHUNKS_FILE)?,
             inputs: read_file(dir, Recording::INPUTS_FILE)?,
             footprints: std::fs::read(dir.join(Recording::FOOTPRINTS_FILE)).ok(),
+            format: std::fs::read(dir.join(Recording::FORMAT_FILE)).ok(),
         })
     }
 }

@@ -62,9 +62,28 @@ pub enum PayloadKind {
     /// A trace-span journal (`qr-obs`): one record per begin/end/instant
     /// event.
     TraceJournal,
+    /// A recording-level format manifest (`format.qrv`): names the
+    /// recording format version, container version, chunk-log encoding
+    /// and the payload kinds present in the recording directory.
+    FormatManifest,
 }
 
 impl PayloadKind {
+    /// Every payload kind, in kind-byte order. The golden-trace
+    /// conformance suite matches over this exhaustively: a new variant
+    /// without golden-fixture coverage fails a test, not production.
+    pub const ALL: [PayloadKind; 9] = [
+        PayloadKind::ChunkLog,
+        PayloadKind::InputLog,
+        PayloadKind::Meta,
+        PayloadKind::FootprintLog,
+        PayloadKind::Wire,
+        PayloadKind::CompressedLog,
+        PayloadKind::StoreManifest,
+        PayloadKind::TraceJournal,
+        PayloadKind::FormatManifest,
+    ];
+
     /// Stable kind byte.
     pub fn code(self) -> u8 {
         match self {
@@ -76,6 +95,7 @@ impl PayloadKind {
             PayloadKind::CompressedLog => 5,
             PayloadKind::StoreManifest => 6,
             PayloadKind::TraceJournal => 7,
+            PayloadKind::FormatManifest => 8,
         }
     }
 
@@ -90,6 +110,7 @@ impl PayloadKind {
             5 => Some(PayloadKind::CompressedLog),
             6 => Some(PayloadKind::StoreManifest),
             7 => Some(PayloadKind::TraceJournal),
+            8 => Some(PayloadKind::FormatManifest),
             _ => None,
         }
     }
@@ -105,6 +126,7 @@ impl PayloadKind {
             PayloadKind::CompressedLog => "compressed log",
             PayloadKind::StoreManifest => "store manifest",
             PayloadKind::TraceJournal => "trace journal",
+            PayloadKind::FormatManifest => "format manifest",
         }
     }
 }
@@ -114,8 +136,12 @@ impl PayloadKind {
 pub enum FaultKind {
     /// The magic bytes did not match.
     BadMagic,
-    /// The format version is newer than this reader understands.
-    BadVersion,
+    /// The format version is newer than this reader understands; carries
+    /// the version byte actually found so reports can say both sides.
+    BadVersion {
+        /// The version byte the container header carried.
+        found: u8,
+    },
     /// The kind byte named no known payload.
     BadKind,
     /// The buffer ended inside the container header.
@@ -131,11 +157,24 @@ impl FaultKind {
     pub fn label(self) -> &'static str {
         match self {
             FaultKind::BadMagic => "bad-magic",
-            FaultKind::BadVersion => "bad-version",
+            FaultKind::BadVersion { .. } => "bad-version",
             FaultKind::BadKind => "bad-kind",
             FaultKind::TruncatedHeader => "truncated-header",
             FaultKind::TruncatedRecord => "truncated-record",
             FaultKind::ChecksumMismatch => "checksum-mismatch",
+        }
+    }
+
+    /// Self-diagnosing description for error details: like
+    /// [`FaultKind::label`], but a version fault also reports the found
+    /// vs. newest-supported version so a conformance failure on a future
+    /// trace names both sides.
+    pub fn detail(self) -> String {
+        match self {
+            FaultKind::BadVersion { found } => {
+                format!("bad-version (found v{found}, newest supported v{VERSION})")
+            }
+            other => other.label().to_string(),
         }
     }
 }
@@ -156,7 +195,7 @@ impl FrameFault {
         QrError::Corrupt {
             what: what.to_string(),
             offset: self.offset as u64,
-            detail: self.kind.label().to_string(),
+            detail: self.kind.detail(),
         }
     }
 }
@@ -294,7 +333,7 @@ pub fn scan(buf: &[u8]) -> Scan<'_> {
         return fault(FaultKind::BadMagic, 0);
     }
     if buf[4] != VERSION {
-        return fault(FaultKind::BadVersion, 4);
+        return fault(FaultKind::BadVersion { found: buf[4] }, 4);
     }
     let Some(kind) = PayloadKind::from_code(buf[5]) else {
         return fault(FaultKind::BadKind, 5);
@@ -467,13 +506,44 @@ mod tests {
         let mut buf = container(&[b"x"]);
         buf[4] = VERSION + 1;
         let scanned = scan(&buf);
-        assert_eq!(scanned.fault.unwrap().kind, FaultKind::BadVersion);
+        assert_eq!(scanned.fault.unwrap().kind, FaultKind::BadVersion { found: VERSION + 1 });
         match read(&buf, PayloadKind::ChunkLog, "test") {
             Err(QrError::Corrupt { offset, detail, .. }) => {
                 assert_eq!(offset, 4);
-                assert_eq!(detail, "bad-version");
+                // The detail names both sides of the mismatch, so a
+                // conformance failure on a future trace self-diagnoses.
+                assert_eq!(detail, format!("bad-version (found v{}, newest supported v{VERSION})", VERSION + 1));
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_kind_codes_round_trip_and_all_is_exhaustive() {
+        for kind in PayloadKind::ALL {
+            assert_eq!(PayloadKind::from_code(kind.code()), Some(kind));
+            // Forces a compile error (non-exhaustive match) when a new
+            // variant is added without updating ALL.
+            match kind {
+                PayloadKind::ChunkLog
+                | PayloadKind::InputLog
+                | PayloadKind::Meta
+                | PayloadKind::FootprintLog
+                | PayloadKind::Wire
+                | PayloadKind::CompressedLog
+                | PayloadKind::StoreManifest
+                | PayloadKind::TraceJournal
+                | PayloadKind::FormatManifest => {}
+            }
+        }
+        // Codes are dense from 0: everything below ALL.len() decodes,
+        // everything at or above it is rejected.
+        for code in 0..=255u8 {
+            let decoded = PayloadKind::from_code(code);
+            assert_eq!(decoded.is_some(), (code as usize) < PayloadKind::ALL.len(), "code {code}");
+            if let Some(kind) = decoded {
+                assert_eq!(kind.code(), code);
+            }
         }
     }
 

@@ -15,7 +15,9 @@
 //! - CRC-32 checksums and the crash-consistent framed container format
 //!   all on-disk logs are written in ([`crc32`], [`frame`]),
 //! - a deterministic, seedable hash / PRNG pair used for state
-//!   fingerprinting and signature hashing ([`fingerprint`], [`rng`]).
+//!   fingerprinting and signature hashing ([`fingerprint`], [`rng`]),
+//! - a minimal TOML-subset parser for the golden-conformance registries
+//!   ([`tomlmini`]).
 //!
 //! # Example
 //!
@@ -33,6 +35,7 @@ pub mod fingerprint;
 pub mod frame;
 pub mod ids;
 pub mod rng;
+pub mod tomlmini;
 pub mod varint;
 
 pub use error::{QrError, Result};

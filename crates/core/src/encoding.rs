@@ -243,6 +243,86 @@ impl Encoding {
         Ok(packets)
     }
 
+    /// Tolerantly decodes a **legacy** (unframed) stream, recovering the
+    /// longest cleanly-decodable packet prefix of a truncated or
+    /// corrupted log. The legacy format has no checksums, so "clean"
+    /// here means structurally decodable — a tear mid-packet stops the
+    /// salvage at the last whole packet. Never fails or panics:
+    /// corruption is *described*, not fatal.
+    pub fn salvage_stream(buf: &[u8]) -> SalvagedPackets {
+        let corrupt = |offset: usize, detail: String| QrError::Corrupt {
+            what: "legacy chunk stream".into(),
+            offset: offset as u64,
+            detail,
+        };
+        let gone = |err: QrError| SalvagedPackets {
+            packets: Vec::new(),
+            expected: None,
+            bytes_dropped: buf.len(),
+            corruption: Some(err),
+        };
+        let Some(&tag) = buf.first() else {
+            return gone(corrupt(0, "empty stream".into()));
+        };
+        let Some(encoding) = Encoding::from_tag(tag) else {
+            return gone(corrupt(0, format!("unknown encoding tag {tag}")));
+        };
+        let mut off = 1usize;
+        let (count, n) = match varint::read_u64(&buf[off..]) {
+            Ok(pair) => pair,
+            Err(e) => return gone(corrupt(off, e.to_string())),
+        };
+        off += n;
+        if count > buf.len() as u64 * 2 {
+            return gone(corrupt(1, format!("implausible packet count {count}")));
+        }
+        let mut packets = Vec::new();
+        let mut corruption = None;
+        let mut prev = Cycle(0);
+        for _ in 0..count {
+            match encoding.decode_packet(&buf[off..], prev) {
+                Ok((p, n)) => {
+                    off += n;
+                    prev = p.timestamp;
+                    packets.push(p);
+                }
+                Err(e) => {
+                    corruption = Some(corrupt(off, e.to_string()));
+                    break;
+                }
+            }
+        }
+        if corruption.is_none() && off != buf.len() {
+            corruption = Some(corrupt(
+                off,
+                format!("{} trailing bytes after {count} packets", buf.len() - off),
+            ));
+        }
+        SalvagedPackets {
+            packets,
+            expected: Some(count),
+            bytes_dropped: buf.len() - off.min(buf.len()),
+            corruption,
+        }
+    }
+
+    /// Identifies the packet encoding of a serialized chunk log without
+    /// fully decoding it — works on both the framed container (reads the
+    /// stream-header record's tag) and a legacy unframed stream (reads
+    /// the leading tag byte). Returns `None` when the bytes are not a
+    /// recognizable chunk log of either shape.
+    pub fn sniff_container(buf: &[u8]) -> Option<Encoding> {
+        if let Some(&tag @ 0..=2) = buf.first() {
+            return Encoding::from_tag(tag);
+        }
+        let scanned = frame::scan(buf);
+        if scanned.kind != Some(PayloadKind::ChunkLog) {
+            return None;
+        }
+        let header = scanned.records.first()?;
+        Encoding::parse_stream_header(header).ok().map(|(encoding, _)| encoding)
+    }
+
     /// Encodes a **framed** stream: a crash-consistent container whose
     /// record 0 commits the encoding tag and total packet count, followed
     /// by one CRC-32-protected record per [`FRAME_GROUP_PACKETS`]-packet
@@ -626,6 +706,74 @@ mod tests {
     }
 
     #[test]
+    fn legacy_salvage_recovers_longest_clean_prefix_of_truncations() {
+        let ps = packets();
+        for enc in Encoding::ALL {
+            let buf = enc.encode_stream(&ps);
+            for cut in 0..buf.len() {
+                let salvaged = Encoding::salvage_stream(&buf[..cut]);
+                assert!(salvaged.corruption.is_some(), "{enc:?} cut {cut}");
+                assert_eq!(
+                    salvaged.packets,
+                    ps[..salvaged.packets.len()],
+                    "{enc:?} cut {cut} salvaged a non-prefix"
+                );
+                // When the header survives (and the committed count is
+                // still plausible against the truncated length), the
+                // expected total is reported faithfully.
+                if let Some(expected) = salvaged.expected {
+                    assert_eq!(expected, ps.len() as u64, "{enc:?} cut {cut}");
+                }
+            }
+            // The intact stream salvages completely.
+            let whole = Encoding::salvage_stream(&buf);
+            assert!(whole.corruption.is_none());
+            assert_eq!(whole.packets, ps);
+            assert_eq!(whole.bytes_dropped, 0);
+        }
+    }
+
+    #[test]
+    fn legacy_salvage_reports_trailing_bytes_but_keeps_packets() {
+        let ps = packets();
+        let mut buf = Encoding::Delta.encode_stream(&ps);
+        buf.extend_from_slice(&[0xAA; 5]);
+        let salvaged = Encoding::salvage_stream(&buf);
+        assert_eq!(salvaged.packets, ps);
+        assert_eq!(salvaged.bytes_dropped, 5);
+        let err = salvaged.corruption.expect("trailing bytes must be reported");
+        assert!(err.to_string().contains("trailing bytes"), "{err}");
+    }
+
+    #[test]
+    fn legacy_salvage_handles_garbage_without_panicking() {
+        assert!(Encoding::salvage_stream(&[]).corruption.is_some());
+        assert!(Encoding::salvage_stream(&[9]).corruption.is_some());
+        // Valid tag, implausible count.
+        let mut buf = vec![Encoding::Raw.tag()];
+        varint::write_u64(&mut buf, u64::MAX / 2);
+        let salvaged = Encoding::salvage_stream(&buf);
+        assert!(salvaged.packets.is_empty());
+        assert!(salvaged.corruption.unwrap().to_string().contains("implausible"));
+    }
+
+    #[test]
+    fn sniff_container_identifies_both_shapes() {
+        let ps = packets();
+        for enc in Encoding::ALL {
+            assert_eq!(Encoding::sniff_container(&enc.encode_stream(&ps)), Some(enc));
+            assert_eq!(Encoding::sniff_container(&enc.encode_framed_stream(&ps)), Some(enc));
+            assert_eq!(Encoding::sniff_container(&enc.encode_framed_stream(&[])), Some(enc));
+        }
+        assert_eq!(Encoding::sniff_container(&[]), None);
+        assert_eq!(Encoding::sniff_container(&[9, 1, 2]), None);
+        // A framed container of the wrong payload kind is not a chunk log.
+        let mut w = frame::Writer::new(PayloadKind::InputLog);
+        w.record(&[Encoding::Delta.tag(), 0]);
+        assert_eq!(Encoding::sniff_container(&w.finish()), None);
+    }
+
+    #[test]
     fn framed_wrong_payload_kind_is_rejected() {
         let mut w = frame::Writer::new(PayloadKind::InputLog);
         w.record(&[Encoding::Delta.tag(), 0]);
@@ -677,10 +825,15 @@ mod randomized {
             let len = rng.below(256) as usize;
             let mut bytes: Vec<u8> = (0..len).map(|_| rng.next_u64() as u8).collect();
             let _ = Encoding::decode_stream(&bytes);
+            let _ = Encoding::salvage_stream(&bytes);
+            let _ = Encoding::sniff_container(&bytes);
             // Bias toward plausible streams: valid tag byte, random rest.
             if let Some(first) = bytes.first_mut() {
                 *first = rng.below(3) as u8;
                 let _ = Encoding::decode_stream(&bytes);
+                let salvaged = Encoding::salvage_stream(&bytes);
+                // Salvage of a mutated stream still yields decodable data.
+                let _ = salvaged.packets;
             }
         }
     }

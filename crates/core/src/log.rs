@@ -134,11 +134,18 @@ impl ChunkLog {
         Ok(ChunkLog { packets: Encoding::decode_stream(bytes)? })
     }
 
-    /// Tolerantly deserializes a framed log, recovering the longest
-    /// complete, checksum-valid packet prefix of a torn or corrupted
-    /// file (see [`Encoding::salvage_framed_stream`]).
+    /// Tolerantly deserializes a log, recovering the longest complete,
+    /// cleanly-decodable packet prefix of a torn or corrupted file.
+    /// Framed logs salvage at checksum-verified group granularity (see
+    /// [`Encoding::salvage_framed_stream`]); legacy unframed logs (same
+    /// leading-tag detection as [`ChunkLog::from_bytes`]) salvage at
+    /// packet granularity via [`Encoding::salvage_stream`].
     pub fn salvage_from_bytes(bytes: &[u8]) -> (ChunkLog, SalvagedPackets) {
-        let mut salvaged = Encoding::salvage_framed_stream(bytes);
+        let mut salvaged = if matches!(bytes.first(), Some(0..=2)) {
+            Encoding::salvage_stream(bytes)
+        } else {
+            Encoding::salvage_framed_stream(bytes)
+        };
         let log = ChunkLog { packets: std::mem::take(&mut salvaged.packets) };
         (log, salvaged)
     }
@@ -239,6 +246,32 @@ mod tests {
         let (torn, report) = ChunkLog::salvage_from_bytes(&bytes[..bytes.len() - 1]);
         assert!(report.corruption.is_some());
         assert_eq!(torn.packets(), &l.packets()[..torn.len()]);
+    }
+
+    #[test]
+    fn salvage_recovers_prefix_of_truncated_legacy_log() {
+        // Satellite coverage: the legacy-unframed compatibility path under
+        // salvage. A truncated legacy stream must yield the longest clean
+        // packet prefix with an honest report — and never panic.
+        let l = log();
+        for enc in Encoding::ALL {
+            let legacy = enc.encode_stream(l.packets());
+            // Intact stream salvages fully.
+            let (whole, report) = ChunkLog::salvage_from_bytes(&legacy);
+            assert_eq!(whole, l, "{enc:?}");
+            assert!(report.corruption.is_none(), "{enc:?}");
+            assert_eq!(report.expected, Some(l.len() as u64));
+            // Every truncation yields a clean prefix and a report.
+            for cut in 0..legacy.len() {
+                let (torn, report) = ChunkLog::salvage_from_bytes(&legacy[..cut]);
+                assert!(report.corruption.is_some(), "{enc:?} cut {cut}");
+                assert_eq!(
+                    torn.packets(),
+                    &l.packets()[..torn.len()],
+                    "{enc:?} cut {cut} salvaged a non-prefix"
+                );
+            }
+        }
     }
 
     #[test]

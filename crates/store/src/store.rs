@@ -339,6 +339,7 @@ mod tests {
             chunks: vec![7u8; 100_000],
             inputs: (0u32..5000).flat_map(|i| i.to_le_bytes()).collect(),
             footprints: None,
+            format: None,
         }
     }
 

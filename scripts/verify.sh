@@ -14,6 +14,24 @@ cargo build --release --workspace
 echo "== tests =="
 cargo test -q --workspace
 
+echo "== golden conformance: pinned fixtures must replay to their pins =="
+cargo test -q --test golden_conformance
+
+echo "== migrate smoke: legacy golden fixture upgrades and verifies =="
+migrate_dir=$(mktemp -d)
+cp tests/golden/v1/hello-delta/* "$migrate_dir"
+./target/release/quickrec migrate "$migrate_dir" | grep -q 'migrated v1 -> v3' || {
+  echo "migrate did not report a v1 -> v3 upgrade" >&2
+  exit 1
+}
+./target/release/quickrec verify "$migrate_dir" > /dev/null
+./target/release/quickrec migrate "$migrate_dir" | grep -q 'nothing to do' || {
+  echo "second migrate was not a no-op" >&2
+  exit 1
+}
+rm -rf "$migrate_dir"
+echo "legacy recording migrated in place, verified, and re-migrate is a no-op"
+
 echo "== repro smoke: serial vs parallel must match byte-for-byte =="
 serial=$(mktemp)
 parallel=$(mktemp)

@@ -5,6 +5,7 @@
 //! quickrec record   prog.pasm -o DIR [--cores N] [--hw-only] [--rsw] [--trace-out F]
 //! quickrec replay   prog.pasm DIR [--races] [--salvage] [--jobs N] [--trace-out F]
 //! quickrec verify   DIR                            log integrity check
+//! quickrec migrate  DIR                            upgrade to the current format
 //! quickrec analyze  DIR                            chunk-log forensics
 //! quickrec disasm   prog.pasm                      disassemble
 //! quickrec suite    [--threads N]                  run the workload suite
@@ -49,6 +50,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "record" => cmd_record(rest),
         "replay" => cmd_replay(rest),
         "verify" => cmd_verify(rest),
+        "migrate" => cmd_migrate(rest),
         "analyze" => cmd_analyze(rest),
         "timeline" => cmd_timeline(rest),
         "dot" => cmd_dot(rest),
@@ -73,6 +75,7 @@ fn usage() -> String {
      quickrec record   <prog.pasm> -o <dir> [--cores N] [--hw-only] [--rsw] [--trace-out FILE]\n  \
      quickrec replay   <prog.pasm> <dir> [--races] [--salvage] [--jobs N] [--trace-out FILE]\n  \
      quickrec verify   <dir>\n  \
+     quickrec migrate  <dir>                         upgrade a recording to the current format\n  \
      quickrec analyze  <dir>\n  \
      quickrec timeline <dir> [--rows N]\n  \
      quickrec dot      <dir>\n  \
@@ -349,6 +352,18 @@ fn cmd_verify(args: &[String]) -> Result<(), String> {
     } else {
         Err("recording failed verification".to_string())
     }
+}
+
+fn cmd_migrate(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [dir] = pos.as_slice() else { return Err(usage()) };
+    let dir_path = Path::new(dir.as_str());
+    if !dir_path.is_dir() {
+        return Err(format!("`{dir}` is not a recording directory: no such directory"));
+    }
+    let report = quickrec::migrate::migrate(dir_path).map_err(|e| e.to_string())?;
+    println!("{}", report.describe());
+    Ok(())
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {

@@ -54,8 +54,9 @@
 //! ```
 
 pub use qr_capo::{
-    record, InputEvent, InputLog, OverheadBreakdown, OverheadModel, Recording, RecordingConfig,
-    RecordingMode, RecordingSession, ReplaySphere,
+    migrate, record, FormatManifest, InputEvent, InputLog, OverheadBreakdown, OverheadModel,
+    Recording, RecordingConfig, RecordingMode, RecordingParts, RecordingSession, RecordingVersion,
+    ReplaySphere, RECORDING_FORMAT_VERSION,
 };
 pub use qr_common::{CoreId, Cycle, QrError, Result, ThreadId, VirtAddr};
 pub use qr_cpu::{CpuConfig, Machine};

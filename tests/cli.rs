@@ -135,6 +135,15 @@ fn verify_handles_directories_mixing_framed_and_legacy_logs() {
     let legacy = quickrec::Encoding::Raw.encode_stream(recording.chunks.packets());
     std::fs::write(logs_path.join("chunks.qrl"), &legacy).expect("rewrite chunk log");
 
+    // With the format manifest still claiming the original encoding, the
+    // mismatch is diagnosed instead of silently accepted.
+    let out = quickrec(&["replay", &prog, &logs]);
+    assert!(!out.status.success(), "stale format manifest must be rejected");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("format manifest"), "mismatch diagnosed: {err}");
+    // A genuinely old file set has no manifest at all; drop it.
+    std::fs::remove_file(logs_path.join("format.qrv")).expect("drop format manifest");
+
     let out = quickrec(&["verify", &logs]);
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
@@ -155,6 +164,100 @@ fn verify_handles_directories_mixing_framed_and_legacy_logs() {
         let stdout = String::from_utf8_lossy(&out.stdout);
         assert!(stdout.contains("verified exact"), "replay {extra:?}: {stdout}");
     }
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn migrate_upgrades_legacy_recordings_and_is_idempotent() {
+    let dir = scratch("migrate");
+    let (prog, logs) = recorded(&dir);
+    let logs_path = PathBuf::from(&logs);
+
+    // Downgrade the fresh recording to the v1 legacy shape: bare QRM1
+    // meta blob, unframed tag-prefixed logs, no sidecar, no manifest.
+    let recording = quickrec::Recording::load(&logs_path).expect("load recording");
+    let parts = quickrec::RecordingParts::read(&logs_path).expect("read parts");
+    let meta_records =
+        qr_common::frame::read(&parts.meta, qr_common::frame::PayloadKind::Meta, "meta")
+            .expect("unwrap meta frame");
+    std::fs::write(logs_path.join("meta.qrm"), meta_records[0]).unwrap();
+    std::fs::write(
+        logs_path.join("chunks.qrl"),
+        quickrec::Encoding::Delta.encode_stream(recording.chunks.packets()),
+    )
+    .unwrap();
+    std::fs::write(logs_path.join("inputs.qrl"), recording.inputs.to_legacy_bytes()).unwrap();
+    std::fs::remove_file(logs_path.join("footprints.qrl")).unwrap();
+    std::fs::remove_file(logs_path.join("format.qrv")).unwrap();
+
+    // Migrate upgrades in place and names both generations.
+    let out = quickrec(&["migrate", &logs]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("migrated v1 -> v3"), "report: {stdout}");
+    assert!(logs_path.join("format.qrv").exists(), "manifest written");
+
+    // The upgraded recording verifies and replays to the same execution.
+    assert!(quickrec(&["verify", &logs]).status.success());
+    let out = quickrec(&["replay", &prog, &logs]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("verified exact"));
+
+    // Second migrate is a reported no-op that changes no bytes.
+    let before: Vec<(String, Vec<u8>)> = {
+        let mut files: Vec<_> = std::fs::read_dir(&logs_path)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (e.file_name().into_string().unwrap(), std::fs::read(e.path()).unwrap())
+            })
+            .collect();
+        files.sort();
+        files
+    };
+    let out = quickrec(&["migrate", &logs]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("nothing to do"));
+    let mut after: Vec<_> = std::fs::read_dir(&logs_path)
+        .unwrap()
+        .map(|e| {
+            let e = e.unwrap();
+            (e.file_name().into_string().unwrap(), std::fs::read(e.path()).unwrap())
+        })
+        .collect();
+    after.sort();
+    assert_eq!(after, before, "second migrate modified bytes");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn migrate_rejects_missing_directories_and_corrupt_recordings() {
+    let dir = scratch("migrate-bad");
+
+    // Missing directory: one clear diagnosis.
+    let missing = dir.join("nope").to_str().unwrap().to_string();
+    let out = quickrec(&["migrate", &missing]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("not a recording directory"),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Corrupt source: refused, and the directory is left untouched.
+    let (_prog, logs) = recorded(&dir);
+    let logs_path = PathBuf::from(&logs);
+    let chunks = logs_path.join("chunks.qrl");
+    let mut bytes = std::fs::read(&chunks).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x01;
+    std::fs::write(&chunks, &bytes).unwrap();
+    let before = std::fs::read(&chunks).unwrap();
+    let out = quickrec(&["migrate", &logs]);
+    assert!(!out.status.success(), "corrupt recording must not migrate");
+    assert_eq!(std::fs::read(&chunks).unwrap(), before, "failed migrate touched the source");
 
     std::fs::remove_dir_all(&dir).ok();
 }

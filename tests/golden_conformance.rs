@@ -1,0 +1,835 @@
+//! Golden-trace conformance battery.
+//!
+//! `tests/golden/` holds small canonical recordings — every encoding in
+//! both the current (v3, framed + format manifest) and legacy (v1, bare
+//! meta + unframed logs) shapes — plus a committed store, a trace
+//! journal, a wire-protocol capture, and a registry of intentionally
+//! rejected artifacts. `MANIFEST.toml` pins replay fingerprints, file
+//! CRCs and salvage outcomes; `KNOWN_FAILURES.toml` pins the structured
+//! error each unsupported shape must produce.
+//!
+//! Regenerate the fixture tree (after an intentional format change)
+//! with:
+//!
+//! ```text
+//! QR_GOLDEN_REGEN=1 cargo test --test golden_conformance
+//! ```
+//!
+//! and review the resulting diff: every changed byte is a format
+//! change shipping to disk.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use qr_common::frame::{self, PayloadKind};
+use qr_common::{crc32, tomlmini, varint, QrError, SplitMix64};
+use quickrec::workloads::Scale;
+use quickrec::{
+    record, replay_and_verify, ChunkLog, Encoding, FormatManifest, Program, Recording,
+    RecordingConfig, RecordingParts, RecordingVersion,
+};
+
+/// Same two-syscall program the CLI contract tests record: console
+/// output, input events and chunks on both threads of a 2-core run.
+const PROGRAM: &str = "
+.entry main
+.text
+main:
+    movi r0, 2        ; SYS_WRITE
+    movi r1, msg
+    movi r2, 6
+    syscall
+    movi r0, 1        ; SYS_EXIT
+    movi r1, 0
+    syscall
+.data
+msg: .byte 0x68 0x65 0x6c 0x6c 0x6f 0x0a
+";
+
+fn golden_root() -> PathBuf {
+    PathBuf::from(concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden"))
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("quickrec-golden-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn parse_hex(s: &str) -> u64 {
+    let digits = s.strip_prefix("0x").unwrap_or(s);
+    u64::from_str_radix(digits, 16).unwrap_or_else(|e| panic!("bad hex {s:?}: {e}"))
+}
+
+fn encoding_named(name: &str) -> Encoding {
+    Encoding::ALL
+        .into_iter()
+        .find(|e| e.name() == name)
+        .unwrap_or_else(|| panic!("unknown encoding {name:?} in manifest"))
+}
+
+/// The workloads whose recordings are checked in. Both run on 2 cores so
+/// the logs exercise cross-thread chunk ordering without bloating the
+/// repo.
+fn generator_program(name: &str) -> Program {
+    match name {
+        "hello" => qr_isa::text::assemble("hello", PROGRAM).expect("assemble hello"),
+        "fft2" => {
+            let spec = quickrec::workloads::find("fft").expect("fft is in the suite");
+            (spec.build)(2, Scale::Test).expect("build fft")
+        }
+        other => panic!("unknown generator {other:?}"),
+    }
+}
+
+const GENERATORS: [&str; 2] = ["hello", "fft2"];
+
+/// Records each generator exactly once per test binary; every test that
+/// needs a live recording shares these.
+fn recordings() -> &'static [(&'static str, Recording)] {
+    static CACHE: OnceLock<Vec<(&'static str, Recording)>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        GENERATORS
+            .iter()
+            .map(|&name| {
+                let rec = record(generator_program(name), RecordingConfig::with_cores(2))
+                    .unwrap_or_else(|e| panic!("recording {name} failed: {e}"));
+                (name, rec)
+            })
+            .collect()
+    })
+}
+
+fn recording_for(name: &str) -> &'static Recording {
+    &recordings().iter().find(|(n, _)| *n == name).expect("known generator").1
+}
+
+/// Downgrades a recording to the v1 (legacy) on-disk shape: bare `QRM1`
+/// meta, unframed chunk stream, legacy input log, no sidecars.
+fn legacy_parts(rec: &Recording, encoding: Encoding) -> RecordingParts {
+    let v3 = rec.to_parts(encoding);
+    let meta = frame::read(&v3.meta, PayloadKind::Meta, "meta").expect("framed meta")[0].to_vec();
+    RecordingParts {
+        meta,
+        chunks: encoding.encode_stream(rec.chunks.packets()),
+        inputs: rec.inputs.to_legacy_bytes(),
+        footprints: None,
+        format: None,
+    }
+}
+
+fn copy_dir(src: &Path, dst: &Path) {
+    std::fs::create_dir_all(dst).expect("create copy target");
+    for entry in std::fs::read_dir(src).expect("read fixture dir") {
+        let entry = entry.expect("dir entry");
+        let to = dst.join(entry.file_name());
+        if entry.file_type().expect("file type").is_dir() {
+            copy_dir(&entry.path(), &to);
+        } else {
+            std::fs::copy(entry.path(), &to).expect("copy fixture file");
+        }
+    }
+}
+
+fn dir_snapshot(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .map(|e| {
+            let e = e.expect("dir entry");
+            (e.file_name().to_string_lossy().into_owned(), std::fs::read(e.path()).expect("read"))
+        })
+        .collect();
+    files.sort();
+    files
+}
+
+/// The deterministic trace journal committed as `trace/hello.qrt`.
+/// Wall-clock stamps are hand-set: golden bytes must not depend on the
+/// generating machine.
+fn golden_trace_events() -> Vec<qr_obs::TraceEvent> {
+    use qr_obs::{EventKind, TraceEvent};
+    let ev = |seq, kind, name: &str, thread, micros| TraceEvent {
+        seq,
+        kind,
+        name: name.to_string(),
+        thread,
+        session: 1,
+        micros,
+    };
+    vec![
+        ev(0, EventKind::Begin, "record.run", 0, 10),
+        ev(1, EventKind::Begin, "store.put", 0, 25),
+        ev(2, EventKind::Instant, "store.block", 1, 30),
+        ev(3, EventKind::End, "store.put", 0, 40),
+        ev(4, EventKind::End, "record.run", 0, 90),
+    ]
+}
+
+/// The wire capture committed as `wire/requests.qrw`: one framed Wire
+/// container, one request per record.
+fn golden_wire_requests() -> Vec<qr_server::proto::Request> {
+    use qr_server::proto::Request;
+    vec![
+        Request::Ping,
+        Request::SubmitWorkload {
+            name: "golden".to_string(),
+            workload: "fft".to_string(),
+            threads: 2,
+            scale: Scale::Test,
+            encoding: Encoding::Delta,
+        },
+        Request::Fetch { id: 3 },
+    ]
+}
+
+/// The byte offset at which the salvage pin truncates a chunk log.
+fn salvage_cut(chunks: &[u8]) -> usize {
+    chunks.len() * 2 / 3
+}
+
+fn salvage_count(chunks: &[u8], cut: usize) -> usize {
+    let (log, _report) = ChunkLog::salvage_from_bytes(&chunks[..cut]);
+    log.packets().len()
+}
+
+/// One entry in the known-failures registry, with its generator.
+struct Reject {
+    name: &'static str,
+    file: &'static str,
+    decoder: &'static str,
+    error_contains: String,
+    reason: &'static str,
+    bytes: Vec<u8>,
+}
+
+fn reject_fixtures() -> Vec<Reject> {
+    let hello = recording_for("hello");
+    let parts = hello.to_parts(Encoding::Raw);
+
+    let mut bad_version = parts.chunks.clone();
+    bad_version[4] = 2; // container version byte
+
+    let mut format_v99 = frame::Writer::new(PayloadKind::FormatManifest);
+    let mut payload = Vec::new();
+    varint::write_u64(&mut payload, 99);
+    payload.push(frame::VERSION);
+    payload.push(Encoding::Raw.tag());
+    varint::write_u64(&mut payload, 0);
+    format_v99.record(&payload);
+
+    let mut store_v2 = frame::Writer::new(PayloadKind::StoreManifest);
+    let mut payload = Vec::new();
+    varint::write_u64(&mut payload, 2);
+    store_v2.record(&payload);
+
+    let mut trace_bad_kind = frame::Writer::new(PayloadKind::TraceJournal);
+    trace_bad_kind.record(&[0x01]); // count record: 1 committed event
+    trace_bad_kind.record(&[0x00, 0x07]); // seq 0, event-kind byte 7
+
+    let bare_meta =
+        frame::read(&parts.meta, PayloadKind::Meta, "meta").expect("framed meta")[0].to_vec();
+    let mut meta_trailing = frame::Writer::new(PayloadKind::Meta);
+    meta_trailing.record(&[bare_meta, vec![0]].concat());
+
+    vec![
+        Reject {
+            name: "future-frame-version",
+            file: "rejects/chunks-bad-version.qrl",
+            decoder: "chunk-log",
+            error_contains: "bad-version (found v2, newest supported v1)".to_string(),
+            reason: "containers from a future frame format are refused naming both versions",
+            bytes: bad_version,
+        },
+        Reject {
+            name: "wrong-payload-kind",
+            file: "rejects/meta-as-chunks.qrl",
+            decoder: "chunk-log",
+            error_contains: "expected a chunk log".to_string(),
+            reason: "a well-formed container of the wrong kind is never silently decoded",
+            bytes: parts.meta.clone(),
+        },
+        Reject {
+            name: "legacy-unknown-tag",
+            file: "rejects/legacy-tag9.qrl",
+            decoder: "chunk-log-legacy",
+            error_contains: "unknown encoding tag 9".to_string(),
+            reason: "legacy streams with an unassigned encoding tag are refused up front",
+            bytes: vec![9],
+        },
+        Reject {
+            name: "future-recording-format",
+            file: "rejects/format-v99.qrv",
+            decoder: "format-manifest",
+            error_contains: "recording format version 99 (newest supported 3)".to_string(),
+            reason: "recordings from a future format generation are refused, not misread",
+            bytes: format_v99.finish(),
+        },
+        Reject {
+            name: "future-store-manifest",
+            file: "rejects/store-manifest-v2.qrs",
+            decoder: "store-manifest",
+            error_contains: "unsupported manifest version 2".to_string(),
+            reason: "store entries written by a newer store are refused by version",
+            bytes: store_v2.finish(),
+        },
+        Reject {
+            name: "trace-unknown-event-kind",
+            file: "rejects/trace-bad-kind.qrt",
+            decoder: "trace",
+            error_contains: "unknown event kind 7".to_string(),
+            reason: "trace journals with unassigned event kinds fail structurally",
+            bytes: trace_bad_kind.finish(),
+        },
+        Reject {
+            name: "wire-unknown-request",
+            file: "rejects/wire-bad-tag.qrw",
+            decoder: "wire-request",
+            error_contains: "unknown request tag 200".to_string(),
+            reason: "unassigned wire request tags are a protocol error, not a crash",
+            bytes: vec![200],
+        },
+        Reject {
+            name: "meta-trailing-bytes",
+            file: "rejects/meta-trailing.qrm",
+            decoder: "recording",
+            error_contains: "trailing bytes".to_string(),
+            reason: "metadata blobs longer than their declared fields are refused",
+            bytes: meta_trailing.finish(),
+        },
+    ]
+}
+
+fn run_decoder(decoder: &str, bytes: &[u8]) -> std::result::Result<(), QrError> {
+    match decoder {
+        "chunk-log" => ChunkLog::from_bytes(bytes).map(|_| ()),
+        "chunk-log-legacy" => ChunkLog::from_legacy_bytes(bytes).map(|_| ()),
+        "format-manifest" => FormatManifest::from_bytes(bytes).map(|_| ()),
+        "store-manifest" => qr_store::Manifest::from_bytes(bytes).map(|_| ()),
+        "trace" => qr_obs::trace::from_bytes(bytes).map(|_| ()),
+        "wire-request" => qr_server::proto::decode_request(bytes).map(|_| ()),
+        "recording" => {
+            // The reject file replaces the meta of an otherwise-good
+            // recording; the whole-recording decoder must refuse it.
+            let mut parts = recording_for("hello").to_parts(Encoding::Raw);
+            parts.meta = bytes.to_vec();
+            Recording::from_parts(&parts).map(|_| ())
+        }
+        other => panic!("unknown decoder {other:?} in KNOWN_FAILURES.toml"),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regeneration
+// ---------------------------------------------------------------------
+
+/// Regenerates the whole fixture tree when `QR_GOLDEN_REGEN=1`.
+/// Every test funnels through here first, so a regen run both rewrites
+/// and immediately re-validates the tree.
+fn maybe_regen() {
+    static ONCE: OnceLock<()> = OnceLock::new();
+    ONCE.get_or_init(|| {
+        if std::env::var("QR_GOLDEN_REGEN").as_deref() == Ok("1") {
+            regenerate();
+        }
+    });
+}
+
+fn regenerate() {
+    let root = golden_root();
+    for sub in ["v3", "v1", "store", "trace", "wire", "rejects"] {
+        let dir = root.join(sub);
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).expect("create fixture subdir");
+    }
+
+    let mut manifest = String::from(
+        "# Golden-trace conformance manifest. Every value here is a pinned\n\
+         # compatibility promise. Regenerate (and review the diff!) with:\n\
+         #   QR_GOLDEN_REGEN=1 cargo test --test golden_conformance\n\
+         version = 3\n",
+    );
+
+    for &gen in &GENERATORS {
+        let rec = recording_for(gen);
+        for encoding in Encoding::ALL {
+            let name = format!("{gen}-{}", encoding.name());
+
+            let v3 = rec.to_parts(encoding);
+            let v3_dir = root.join("v3").join(&name);
+            v3.save(&v3_dir).expect("save v3 fixture");
+            let cut = salvage_cut(&v3.chunks);
+            manifest.push_str(&format!(
+                "\n[[fixture]]\nname = \"{name}\"\ngenerator = \"{gen}\"\n\
+                 encoding = \"{}\"\npath = \"v3/{name}\"\nfingerprint = \"0x{:016x}\"\n\
+                 chunks = {}\nsalvage_cut = {cut}\nsalvage_chunks = {}\n",
+                encoding.name(),
+                rec.fingerprint,
+                rec.chunks.packets().len(),
+                salvage_count(&v3.chunks, cut),
+            ));
+            let files = v3.files();
+            let names: Vec<String> = files.iter().map(|(n, _)| format!("\"{n}\"")).collect();
+            let crcs: Vec<String> = files
+                .iter()
+                .map(|(_, bytes)| format!("\"0x{:08x}\"", crc32::checksum(bytes)))
+                .collect();
+            manifest.push_str(&format!(
+                "files = [{}]\ncrcs = [{}]\n",
+                names.join(", "),
+                crcs.join(", ")
+            ));
+
+            let v1 = legacy_parts(rec, encoding);
+            let v1_dir = root.join("v1").join(&name);
+            std::fs::create_dir_all(&v1_dir).expect("create v1 dir");
+            for (file, bytes) in v1.files() {
+                std::fs::write(v1_dir.join(file), bytes).expect("write v1 file");
+            }
+            let cut = salvage_cut(&v1.chunks);
+            manifest.push_str(&format!(
+                "\n[[legacy]]\nname = \"{name}\"\ngenerator = \"{gen}\"\n\
+                 encoding = \"{}\"\npath = \"v1/{name}\"\nfingerprint = \"0x{:016x}\"\n\
+                 salvage_cut = {cut}\nsalvage_chunks = {}\n",
+                encoding.name(),
+                rec.fingerprint,
+                salvage_count(&v1.chunks, cut),
+            ));
+        }
+    }
+
+    // Store: two committed entries, one per generator. The store layout
+    // (manifest + block compression) is timestamp-free, so these bytes
+    // are reproducible.
+    let store = qr_store::RecordingStore::open(&root.join("store")).expect("open golden store");
+    for (gen, encoding) in [("hello", Encoding::Delta), ("fft2", Encoding::Raw)] {
+        let rec = recording_for(gen);
+        let id = store
+            .put_parts(gen, &rec.to_parts(encoding), encoding, rec.fingerprint)
+            .expect("commit store fixture");
+        manifest.push_str(&format!(
+            "\n[[store_entry]]\nid = {id}\nname = \"{gen}\"\ngenerator = \"{gen}\"\n\
+             encoding = \"{}\"\nfingerprint = \"0x{:016x}\"\n",
+            encoding.name(),
+            rec.fingerprint,
+        ));
+    }
+
+    let trace = qr_obs::trace::to_bytes(&golden_trace_events());
+    std::fs::write(root.join("trace/hello.qrt"), &trace).expect("write trace fixture");
+    manifest.push_str(&format!(
+        "\n[[aux]]\nname = \"trace-hello\"\npath = \"trace/hello.qrt\"\nkind = \"trace-journal\"\n\
+         records = {}\ncrc = \"0x{:08x}\"\n",
+        golden_trace_events().len(),
+        crc32::checksum(&trace),
+    ));
+
+    let mut wire = frame::Writer::new(PayloadKind::Wire);
+    for req in &golden_wire_requests() {
+        wire.record(&qr_server::proto::encode_request(req));
+    }
+    let wire = wire.finish();
+    std::fs::write(root.join("wire/requests.qrw"), &wire).expect("write wire fixture");
+    manifest.push_str(&format!(
+        "\n[[aux]]\nname = \"wire-requests\"\npath = \"wire/requests.qrw\"\nkind = \"wire\"\n\
+         records = {}\ncrc = \"0x{:08x}\"\n",
+        golden_wire_requests().len(),
+        crc32::checksum(&wire),
+    ));
+
+    let mut failures = String::from(
+        "# Shapes the current readers must REFUSE, and how. Each entry is\n\
+         # asserted by tests/golden_conformance.rs; the reject files are\n\
+         # regenerated together with this registry by:\n\
+         #   QR_GOLDEN_REGEN=1 cargo test --test golden_conformance\n",
+    );
+    for reject in reject_fixtures() {
+        std::fs::write(root.join(reject.file), &reject.bytes).expect("write reject fixture");
+        failures.push_str(&format!(
+            "\n[[reject]]\nname = \"{}\"\nfile = \"{}\"\ndecoder = \"{}\"\n\
+             error_contains = \"{}\"\nreason = \"{}\"\n",
+            reject.name,
+            reject.file,
+            reject.decoder,
+            tomlmini::escape(&reject.error_contains),
+            reject.reason,
+        ));
+    }
+
+    std::fs::write(root.join("MANIFEST.toml"), manifest).expect("write manifest");
+    std::fs::write(root.join("KNOWN_FAILURES.toml"), failures).expect("write known failures");
+}
+
+fn manifest_doc() -> tomlmini::Doc {
+    maybe_regen();
+    let text = std::fs::read_to_string(golden_root().join("MANIFEST.toml"))
+        .expect("tests/golden/MANIFEST.toml (run QR_GOLDEN_REGEN=1 to create)");
+    tomlmini::parse(&text).expect("parse MANIFEST.toml")
+}
+
+// ---------------------------------------------------------------------
+// Conformance battery
+// ---------------------------------------------------------------------
+
+#[test]
+fn fixtures_replay_to_pinned_fingerprints() {
+    let doc = manifest_doc();
+    let fixtures = doc.sections_named("fixture");
+    assert_eq!(fixtures.len(), GENERATORS.len() * Encoding::ALL.len());
+    for fx in fixtures {
+        let name = fx.require_str("name").unwrap();
+        let dir = golden_root().join(fx.require_str("path").unwrap());
+        let parts = RecordingParts::read(&dir).expect("read fixture");
+        assert_eq!(RecordingVersion::detect(&parts), RecordingVersion::V3, "{name}");
+        let rec = Recording::from_parts(&parts).expect("decode fixture");
+        let program = generator_program(fx.require_str("generator").unwrap());
+        let outcome = replay_and_verify(&program, &rec)
+            .unwrap_or_else(|e| panic!("replaying {name}: {e}"));
+        let pinned = parse_hex(fx.require_str("fingerprint").unwrap());
+        assert_eq!(outcome.fingerprint, pinned, "fixture {name} diverged from its pin");
+        assert_eq!(
+            rec.chunks.packets().len() as i64,
+            fx.require_int("chunks").unwrap(),
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn fixture_file_crcs_match_manifest() {
+    let doc = manifest_doc();
+    for fx in doc.sections_named("fixture") {
+        let dir = golden_root().join(fx.require_str("path").unwrap());
+        let names = fx.get("files").and_then(|v| v.as_array()).expect("files array");
+        let crcs = fx.get("crcs").and_then(|v| v.as_array()).expect("crcs array");
+        assert_eq!(names.len(), crcs.len());
+        for (file, crc) in names.iter().zip(crcs) {
+            let file = file.as_str().expect("file name");
+            let bytes = std::fs::read(dir.join(file)).expect("read pinned file");
+            assert_eq!(
+                crc32::checksum(&bytes),
+                parse_hex(crc.as_str().expect("crc string")) as u32,
+                "{} drifted from its pinned CRC",
+                dir.join(file).display()
+            );
+        }
+    }
+}
+
+#[test]
+fn regenerating_fixtures_is_byte_identical() {
+    let doc = manifest_doc();
+    for fx in doc.sections_named("fixture") {
+        let name = fx.require_str("name").unwrap();
+        let rec = recording_for(fx.require_str("generator").unwrap());
+        let encoding = encoding_named(fx.require_str("encoding").unwrap());
+        let dir = golden_root().join(fx.require_str("path").unwrap());
+        for (file, bytes) in rec.to_parts(encoding).files() {
+            let pinned = std::fs::read(dir.join(file)).expect("read pinned file");
+            assert_eq!(
+                bytes,
+                pinned.as_slice(),
+                "re-recording {name} no longer reproduces {file} byte-for-byte"
+            );
+        }
+    }
+}
+
+#[test]
+fn salvage_outcomes_match_pins() {
+    let doc = manifest_doc();
+    let mut checked = 0;
+    for section in ["fixture", "legacy"] {
+        for fx in doc.sections_named(section) {
+            let name = fx.require_str("name").unwrap();
+            let dir = golden_root().join(fx.require_str("path").unwrap());
+            let chunks = std::fs::read(dir.join("chunks.qrl")).expect("read chunk log");
+            let cut = fx.require_int("salvage_cut").unwrap() as usize;
+            let (log, _report) = ChunkLog::salvage_from_bytes(&chunks[..cut]);
+            assert_eq!(
+                log.packets().len() as i64,
+                fx.require_int("salvage_chunks").unwrap(),
+                "salvage of {section}/{name} cut at {cut} drifted from its pin"
+            );
+            checked += 1;
+        }
+    }
+    assert_eq!(checked, 2 * GENERATORS.len() * Encoding::ALL.len());
+}
+
+#[test]
+fn version_matrix_migrates_every_generation_to_current() {
+    let doc = manifest_doc();
+    let tmp = scratch("matrix");
+    for fx in doc.sections_named("legacy") {
+        let name = fx.require_str("name").unwrap();
+        let pinned = parse_hex(fx.require_str("fingerprint").unwrap());
+        let v3_dir = golden_root().join(format!("v3/{name}"));
+
+        // v1 → v3.
+        let dir = tmp.join(format!("v1-{name}"));
+        copy_dir(&golden_root().join(fx.require_str("path").unwrap()), &dir);
+        let report = quickrec::migrate::migrate(&dir).expect("migrate v1");
+        assert!(report.changed, "{name}: v1 migrate must rewrite");
+        assert_eq!((report.from.number(), report.to.number()), (1, 3), "{name}");
+        assert_eq!(report.fingerprint, pinned, "{name}: migrate changed the execution");
+
+        // v2 (v3 minus the format manifest) → v3 must land byte-identical
+        // to the committed v3 fixture.
+        let dir = tmp.join(format!("v2-{name}"));
+        copy_dir(&v3_dir, &dir);
+        std::fs::remove_file(dir.join("format.qrv")).expect("strip format manifest");
+        let report = quickrec::migrate::migrate(&dir).expect("migrate v2");
+        assert_eq!(
+            (report.from.number(), report.to.number(), report.changed),
+            (2, 3, true),
+            "{name}"
+        );
+        assert_eq!(
+            dir_snapshot(&dir),
+            dir_snapshot(&v3_dir),
+            "{name}: v2 migrate is not byte-identical to the committed v3 fixture"
+        );
+
+        // Migrating a current recording is a byte-level no-op.
+        let before = dir_snapshot(&dir);
+        let report = quickrec::migrate::migrate(&dir).expect("re-migrate");
+        assert!(!report.changed, "{name}: second migrate must be a no-op");
+        assert_eq!(dir_snapshot(&dir), before, "{name}: no-op migrate changed bytes");
+
+        // Replay after migration still matches the pin.
+        let rec = Recording::load(&dir).expect("load migrated");
+        let program = generator_program(fx.require_str("generator").unwrap());
+        let outcome = replay_and_verify(&program, &rec).expect("replay migrated");
+        assert_eq!(outcome.fingerprint, pinned, "{name}");
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn interrupted_migrations_always_recover() {
+    use quickrec::migrate::{migrate_with_crash, CrashPoint};
+    maybe_regen();
+    let tmp = scratch("crash");
+    let src = golden_root().join("v1/hello-delta");
+    let pinned = {
+        let doc = manifest_doc();
+        let fx = doc.sections_named("legacy");
+        let fx = fx.iter().find(|f| f.require_str("name").unwrap() == "hello-delta").unwrap();
+        parse_hex(fx.require_str("fingerprint").unwrap())
+    };
+    for (i, crash) in
+        [CrashPoint::AfterStage, CrashPoint::AfterBackup, CrashPoint::AfterSwap].iter().enumerate()
+    {
+        let dir = tmp.join(format!("crash-{i}"));
+        copy_dir(&src, &dir);
+        let err = migrate_with_crash(&dir, Some(*crash)).expect_err("injected crash");
+        assert!(err.to_string().contains("injected crash"), "{err}");
+        // A fresh migrate (which runs recovery first) must complete the
+        // upgrade no matter where the previous run died.
+        let report = quickrec::migrate::migrate(&dir).expect("migrate after crash");
+        assert_eq!(report.to.number(), 3);
+        assert_eq!(report.fingerprint, pinned, "crash point {i} corrupted the recording");
+        let leftovers: Vec<String> = std::fs::read_dir(&tmp)
+            .expect("read scratch")
+            .map(|e| e.expect("entry").file_name().to_string_lossy().into_owned())
+            .filter(|n| n.starts_with(".qr-migrate-"))
+            .collect();
+        assert!(leftovers.is_empty(), "crash point {i} left protocol dirs: {leftovers:?}");
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn store_entries_fetch_byte_identical_parts() {
+    let doc = manifest_doc();
+    // Copy the committed store first: opening a store is allowed to sweep
+    // staging litter, and the golden tree must never be written by tests.
+    let tmp = scratch("store");
+    copy_dir(&golden_root().join("store"), &tmp);
+    let store = qr_store::RecordingStore::open(&tmp).expect("open store fixture");
+    let entries = doc.sections_named("store_entry");
+    assert_eq!(entries.len(), 2);
+    for entry in entries {
+        let id = entry.require_int("id").unwrap() as u64;
+        let (manifest, parts) = store.fetch_parts(id).expect("fetch store entry");
+        assert_eq!(manifest.name, entry.require_str("name").unwrap());
+        assert_eq!(manifest.encoding, encoding_named(entry.require_str("encoding").unwrap()));
+        let pinned = parse_hex(entry.require_str("fingerprint").unwrap());
+        assert_eq!(manifest.fingerprint, pinned);
+        // The store round-trip must hand back exactly the committed v3
+        // fixture bytes for the same generator + encoding.
+        let golden =
+            golden_root().join(format!("v3/{}-{}", manifest.name, manifest.encoding.name()));
+        for (file, bytes) in parts.files() {
+            let pinned = std::fs::read(golden.join(file)).expect("read pinned file");
+            assert_eq!(bytes, pinned.as_slice(), "store entry {id} {file} differs from fixture");
+        }
+        assert!(store.verify(id).expect("verify store entry").all_ok());
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn trace_and_wire_fixtures_round_trip() {
+    let doc = manifest_doc();
+    for aux in doc.sections_named("aux") {
+        let path = golden_root().join(aux.require_str("path").unwrap());
+        let bytes = std::fs::read(&path).expect("read aux fixture");
+        assert_eq!(crc32::checksum(&bytes), parse_hex(aux.require_str("crc").unwrap()) as u32);
+        let records = aux.require_int("records").unwrap() as usize;
+        match aux.require_str("kind").unwrap() {
+            "trace-journal" => {
+                let events = qr_obs::trace::from_bytes(&bytes).expect("decode trace");
+                assert_eq!(events.len(), records);
+                assert_eq!(events, golden_trace_events());
+                assert_eq!(qr_obs::trace::to_bytes(&events), bytes, "trace re-encode drifted");
+            }
+            "wire" => {
+                let payloads =
+                    frame::read(&bytes, PayloadKind::Wire, "wire capture").expect("framed wire");
+                assert_eq!(payloads.len(), records);
+                for (payload, expected) in payloads.iter().zip(golden_wire_requests()) {
+                    let req = qr_server::proto::decode_request(payload).expect("decode request");
+                    assert_eq!(req, expected);
+                    assert_eq!(
+                        qr_server::proto::encode_request(&req).as_slice(),
+                        *payload,
+                        "wire re-encode drifted"
+                    );
+                }
+            }
+            other => panic!("unknown aux kind {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn encodings_are_differentially_equivalent() {
+    maybe_regen();
+    // The same seeded execution, stored under every encoding, must
+    // round-trip through disk to one replay fingerprint.
+    let tmp = scratch("diff");
+    let mut rng = SplitMix64::new(0x90_1d_e2);
+    for case in 0..3u32 {
+        let mut cfg = RecordingConfig::with_cores(2);
+        cfg.os.input_seed = rng.next_u64();
+        let program = generator_program("hello");
+        let rec = record(program.clone(), cfg).expect("record seeded run");
+        let mut fingerprints = Vec::new();
+        for encoding in Encoding::ALL {
+            let dir = tmp.join(format!("case-{case}-{}", encoding.name()));
+            rec.to_parts(encoding).save(&dir).expect("save");
+            let loaded = Recording::load(&dir).expect("load");
+            let outcome = replay_and_verify(&program, &loaded).expect("replay");
+            fingerprints.push(outcome.fingerprint);
+        }
+        assert_eq!(fingerprints[0], rec.fingerprint, "case {case}");
+        assert!(
+            fingerprints.iter().all(|&f| f == fingerprints[0]),
+            "case {case}: encodings diverged: {fingerprints:x?}"
+        );
+    }
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+#[test]
+fn mutated_fixtures_fail_structurally_never_panic() {
+    maybe_regen();
+    let dir = golden_root().join("v3/hello-packed");
+    let clean = RecordingParts::read(&dir).expect("read fixture");
+    let baseline = Recording::from_parts(&clean).expect("clean fixture decodes").fingerprint;
+    let mut rng = SplitMix64::new(0xbadf00d);
+    let files = clean.files().len();
+    for trial in 0..120 {
+        let mut parts = clean.clone();
+        let target = rng.below(files as u64) as usize;
+        {
+            let (name, _) = parts.files()[target];
+            let bytes: &mut Vec<u8> = match name {
+                "meta.qrm" => &mut parts.meta,
+                "chunks.qrl" => &mut parts.chunks,
+                "inputs.qrl" => &mut parts.inputs,
+                "footprints.qrl" => parts.footprints.as_mut().expect("fixture has footprints"),
+                "format.qrv" => parts.format.as_mut().expect("fixture has format manifest"),
+                other => panic!("unexpected part {other:?}"),
+            };
+            let bit = rng.below(bytes.len() as u64 * 8);
+            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+        }
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Recording::from_parts(&parts).map(|rec| rec.fingerprint)
+        }));
+        match outcome {
+            Err(_) => panic!("trial {trial}: bit flip caused a panic"),
+            // Every byte of every v3 file sits under a frame CRC, so a
+            // flip may only surface as a structured error...
+            Ok(Err(QrError::Corrupt { .. }))
+            | Ok(Err(QrError::LogDecode(_)))
+            | Ok(Err(QrError::Unsupported(_))) => {}
+            Ok(Err(other)) => panic!("trial {trial}: unstructured failure {other:?}"),
+            // ...except a flip that only touches salvage-irrelevant
+            // padding cannot happen here: decode must not quietly
+            // produce a different execution.
+            Ok(Ok(fp)) => assert_eq!(fp, baseline, "trial {trial}: silent corruption"),
+        }
+    }
+}
+
+#[test]
+fn every_payload_kind_is_covered_by_a_fixture() {
+    maybe_regen();
+    let root = golden_root();
+    // Exhaustive match, no wildcard: adding a PayloadKind without
+    // extending the golden suite fails to compile right here.
+    for kind in PayloadKind::ALL {
+        let covering: PathBuf = match kind {
+            PayloadKind::ChunkLog => root.join("v3/hello-raw/chunks.qrl"),
+            PayloadKind::InputLog => root.join("v3/hello-raw/inputs.qrl"),
+            PayloadKind::Meta => root.join("v3/hello-raw/meta.qrm"),
+            PayloadKind::FootprintLog => root.join("v3/hello-raw/footprints.qrl"),
+            PayloadKind::Wire => root.join("wire/requests.qrw"),
+            PayloadKind::CompressedLog => root.join("store/rec-00000001/chunks.qrl.z"),
+            PayloadKind::StoreManifest => root.join("store/rec-00000001/manifest.qrs"),
+            PayloadKind::TraceJournal => root.join("trace/hello.qrt"),
+            PayloadKind::FormatManifest => root.join("v3/hello-raw/format.qrv"),
+        };
+        let bytes = std::fs::read(&covering).unwrap_or_else(|e| {
+            panic!("no golden fixture covers {}: {} ({e})", kind.name(), covering.display())
+        });
+        assert!(frame::is_framed(&bytes), "{} fixture is not framed", kind.name());
+        assert_eq!(
+            bytes[frame::HEADER_LEN - 1],
+            kind.code(),
+            "{} fixture carries the wrong kind byte",
+            kind.name()
+        );
+    }
+}
+
+#[test]
+fn known_failures_are_rejected_with_pinned_errors() {
+    maybe_regen();
+    let text = std::fs::read_to_string(golden_root().join("KNOWN_FAILURES.toml"))
+        .expect("tests/golden/KNOWN_FAILURES.toml");
+    let doc = tomlmini::parse(&text).expect("parse KNOWN_FAILURES.toml");
+    let rejects = doc.sections_named("reject");
+    assert_eq!(rejects.len(), reject_fixtures().len(), "registry out of sync with generators");
+    for reject in rejects {
+        let name = reject.require_str("name").unwrap();
+        let bytes = std::fs::read(golden_root().join(reject.require_str("file").unwrap()))
+            .expect("read reject fixture");
+        let needle = reject.require_str("error_contains").unwrap();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_decoder(reject.require_str("decoder").unwrap(), &bytes)
+        }));
+        match result {
+            Err(_) => panic!("{name}: decoder panicked"),
+            Ok(Ok(())) => panic!("{name}: decoder accepted a shape pinned as unsupported"),
+            Ok(Err(err)) => assert!(
+                err.to_string().contains(needle),
+                "{name}: error {err:?} does not contain pinned text {needle:?}"
+            ),
+        }
+    }
+}
