@@ -26,7 +26,7 @@ pub const ALL_IDS: [&str; 22] = [
 /// `repro all` — their numbers vary run to run, so including them would
 /// break the harness guarantee that parallel output is byte-identical
 /// to `--serial` — and must be invoked explicitly (like `cargo bench`).
-pub const WALL_CLOCK_IDS: [&str; 2] = ["e10b", "e13"];
+pub const WALL_CLOCK_IDS: [&str; 3] = ["e10b", "e13", "e14"];
 
 /// What an experiment prints after its table.
 enum Footer {
@@ -73,6 +73,7 @@ pub fn plan(id: &str) -> Option<Experiment> {
         "e11" => e11(),
         "e12" => e12(),
         "e13" => e13(),
+        "e14" => e14(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),
@@ -1004,6 +1005,191 @@ fn e13() -> Experiment {
         footer: Footer::Static(
             "(slice-by-8 CRC and the hash-chain matcher are the production paths; the scalar \
              CRC and greedy matcher exist as references for this differential gate)",
+        ),
+    }
+}
+
+/// E14 — time-travel seek latency versus checkpoint interval: how fast
+/// the persisted `checkpoints.qrc` index lands a replayer on an
+/// arbitrary timeline event, compared to replaying from scratch.
+///
+/// Wall-clock (see [`WALL_CLOCK_IDS`]), invoked explicitly. Writes a
+/// machine-readable summary to `BENCH_seek.json` (path overridable via
+/// `QR_BENCH_JSON`, measurement window via `QR_BENCH_MS`). Like e13,
+/// the run *fails* only on differential drift — an indexed seek or
+/// query disagreeing with the from-scratch answer — never on a latency
+/// threshold, so CI stays immune to host-load flake.
+fn e14() -> Experiment {
+    let job: Job = Box::new(|cache: &BuildCache| {
+        use qr_replay::{CheckpointIndex, QueryEngine, ReplayQuery};
+
+        let ms = std::env::var("QR_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(400)
+            .max(1);
+        let window = std::time::Duration::from_millis(ms);
+        const INTERVALS: [usize; 4] = [4, 8, 16, 32];
+        const THREADS: usize = 3;
+
+        // Deterministic seek targets for a timeline: the boundary
+        // positions plus a seeded spread. The same targets feed both
+        // the drift gate and the latency loop, so the two always talk
+        // about the same work.
+        let targets_for = |len: usize, seed: u64| -> Vec<usize> {
+            let mut rng = qr_common::SplitMix64::new(seed);
+            let mut targets = vec![0, len / 2, len.saturating_sub(1)];
+            targets.extend((0..8).map(|_| rng.below(len as u64) as usize));
+            targets
+        };
+        // Events an indexed seek to `target` re-executes: the gap back
+        // to the nearest checkpoint at or before the target.
+        let reexec = |index: &CheckpointIndex, target: usize| -> u64 {
+            let floor = index
+                .keys
+                .iter()
+                .take_while(|k| k.position <= target as u64)
+                .last()
+                .map_or(0, |k| k.position);
+            target as u64 - floor
+        };
+
+        // Differential drift gate, deterministic and windowless: every
+        // indexed seek and query must match the from-scratch engine on
+        // several workloads across every interval.
+        let mut cases = 0u64;
+        let mut drift = 0u64;
+        let mut first_drift = String::new();
+        for (w, name) in ["fft", "lu", "radix"].iter().enumerate() {
+            let spec = qr_workloads::suite::find(name).expect("suite member");
+            let program = cache.program(&spec, THREADS, Scale::Test)?;
+            let recording = record_workload_with(cache, &spec, THREADS, Scale::Test,
+                full_cfg(THREADS))?;
+            let scratch = QueryEngine::new(&program, &recording)?;
+            let len = scratch.timeline_len();
+            for interval in INTERVALS {
+                let index = CheckpointIndex::build(&program, &recording, interval)?;
+                let mut indexed = QueryEngine::new(&program, &recording)?;
+                indexed.attach_index(index)?;
+                for target in targets_for(len, 0x5EEC_0DE + w as u64) {
+                    cases += 1;
+                    let a = indexed.seek(target)?;
+                    let b = scratch.seek(target)?;
+                    if a.partial_fingerprint() != b.partial_fingerprint()
+                        || a.instructions_so_far() != b.instructions_so_far()
+                        || a.console_so_far() != b.console_so_far()
+                    {
+                        drift += 1;
+                        if first_drift.is_empty() {
+                            first_drift =
+                                format!("{name}/interval {interval}: seek {target} diverged");
+                        }
+                    }
+                }
+                cases += 1;
+                let query = ReplayQuery::ReverseStep { events: (len as u64 / 3).max(1) };
+                if indexed.execute(query, None)?.to_bytes()
+                    != scratch.execute(query, None)?.to_bytes()
+                {
+                    drift += 1;
+                    if first_drift.is_empty() {
+                        first_drift = format!("{name}/interval {interval}: {query} diverged");
+                    }
+                }
+            }
+        }
+
+        // Latency measurement on one workload: mean seek time over the
+        // rotating target set, from scratch and through each interval.
+        let spec = qr_workloads::suite::find("lu").expect("suite member");
+        let program = cache.program(&spec, THREADS, Scale::Test)?;
+        let recording =
+            record_workload_with(cache, &spec, THREADS, Scale::Test, full_cfg(THREADS))?;
+        let scratch = QueryEngine::new(&program, &recording)?;
+        let len = scratch.timeline_len();
+        let targets = targets_for(len, 0x5EEC_0DE);
+        let mean_us = |engine: &QueryEngine| {
+            let mut next = 0usize;
+            let (iters, elapsed) = crate::timing::measure(window, || {
+                let target = targets[next % targets.len()];
+                next += 1;
+                engine.seek(target).expect("benchmark seek")
+            });
+            elapsed.as_secs_f64() * 1e6 / iters.max(1) as f64
+        };
+
+        let scratch_us = mean_us(&scratch);
+        let mut out = JobOutput::default();
+        out.rows.push(vec![
+            "from scratch".into(),
+            format!("{scratch_us:.1}"),
+            format!("{:.1}", targets.iter().map(|&t| t as f64).sum::<f64>()
+                / targets.len() as f64),
+            "1.00x".into(),
+        ]);
+        let mut interval_fields = Vec::new();
+        for interval in INTERVALS {
+            let index = CheckpointIndex::build(&program, &recording, interval)?;
+            let index_bytes = index.to_bytes().len();
+            let mean_reexec = targets.iter().map(|&t| reexec(&index, t) as f64).sum::<f64>()
+                / targets.len() as f64;
+            let mut indexed = QueryEngine::new(&program, &recording)?;
+            indexed.attach_index(index)?;
+            let us = mean_us(&indexed);
+            out.rows.push(vec![
+                format!("interval {interval}"),
+                format!("{us:.1}"),
+                format!("{mean_reexec:.1}"),
+                format!("{:.2}x", scratch_us / us.max(f64::MIN_POSITIVE)),
+            ]);
+            interval_fields.push(format!(
+                "    {{ \"interval\": {interval}, \"mean_seek_us\": {us:.2}, \
+                 \"mean_reexec_events\": {mean_reexec:.2}, \"index_bytes\": {index_bytes} }}"
+            ));
+        }
+        out.rows.push(vec![
+            "differential".into(),
+            format!("{cases} cases"),
+            format!("{drift} drift"),
+            if drift == 0 { "PASS".into() } else { "FAIL".into() },
+        ]);
+
+        let json_path =
+            std::env::var("QR_BENCH_JSON").unwrap_or_else(|_| "BENCH_seek.json".into());
+        let json = format!(
+            "{{\n  \"experiment\": \"e14\",\n  \"bench_ms\": {ms},\n  \"workload\": \"lu\",\n\
+             \x20 \"threads\": {THREADS},\n  \"timeline_len\": {len},\n  \
+             \"scratch_seek_us\": {scratch_us:.2},\n  \"intervals\": [\n{}\n  ],\n  \
+             \"differential\": {{\n    \"cases\": {cases},\n    \"drift\": {drift}\n  }}\n}}\n",
+            interval_fields.join(",\n"),
+        );
+        std::fs::write(&json_path, json).map_err(|e| QrError::Execution {
+            detail: format!("writing {json_path}: {e}"),
+        })?;
+
+        if drift > 0 {
+            return Err(QrError::Execution {
+                detail: format!("time-travel seek drift ({drift}/{cases}): {first_drift}"),
+            });
+        }
+        Ok(out)
+    });
+    Experiment {
+        id: "e14",
+        title: "time-travel seek latency vs checkpoint interval",
+        note: "wall-clock latencies vary with the host; the differential row is the only \
+         pass/fail signal — indexed seeks and queries must match the from-scratch engine \
+         (summary written to BENCH_seek.json, QR_BENCH_JSON to override)",
+        header: vec![
+            "configuration".into(),
+            "mean seek us".into(),
+            "mean reexec events".into(),
+            "speedup".into(),
+        ],
+        jobs: vec![job],
+        footer: Footer::Static(
+            "(the interval trades sidecar bytes for seek latency: smaller intervals re-execute \
+             fewer events per seek but persist more snapshots — see DESIGN.md, decision 12)",
         ),
     }
 }

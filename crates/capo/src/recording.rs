@@ -270,6 +270,10 @@ impl Recording {
     /// Format-manifest file name (absent in v1/v2 recordings; see
     /// [`crate::format`]).
     pub const FORMAT_FILE: &'static str = "format.qrv";
+    /// Checkpoint-index sidecar file name (optional: a recording without
+    /// one replays from scratch, and the index can be regenerated from
+    /// the logs at any time).
+    pub const CHECKPOINTS_FILE: &'static str = "checkpoints.qrc";
 
     /// Serializes the recording into its per-file byte images — the
     /// exact bytes [`Recording::save`] would write to disk. Storage
@@ -291,6 +295,7 @@ impl Recording {
             inputs: self.inputs.to_bytes(),
             footprints: self.footprints.as_ref().map(|f| f.to_bytes()),
             format: Some(manifest.to_bytes()),
+            checkpoints: None,
         }
     }
 
@@ -445,6 +450,14 @@ impl Recording {
                 crate::format::FormatManifest::from_bytes(buf).map(|_| ())
             }));
         }
+        // The checkpoint index is a replay cache: optional, and checked
+        // here at the container level only (the replayer owns its inner
+        // layout and regenerates it when absent).
+        if dir.join(Self::CHECKPOINTS_FILE).exists() {
+            files.push(FileCheck::run(dir, Self::CHECKPOINTS_FILE, |buf| {
+                frame::read(buf, PayloadKind::CheckpointIndex, "checkpoint index").map(|_| ())
+            }));
+        }
         VerifyReport { files }
     }
 
@@ -474,9 +487,9 @@ fn read_file(dir: &std::path::Path, name: &str) -> Result<Vec<u8>> {
 }
 
 /// The per-file byte images of a saved recording — `meta.qrm`,
-/// `chunks.qrl`, `inputs.qrl`, the optional `footprints.qrl` sidecar
-/// and the optional `format.qrv` manifest, exactly as they appear on
-/// disk.
+/// `chunks.qrl`, `inputs.qrl`, the optional `footprints.qrl` sidecar,
+/// the optional `format.qrv` manifest and the optional
+/// `checkpoints.qrc` index, exactly as they appear on disk.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RecordingParts {
     /// `meta.qrm` image.
@@ -490,6 +503,9 @@ pub struct RecordingParts {
     /// `format.qrv` image (`None` for v1/v2 recordings; see
     /// [`crate::format`]).
     pub format: Option<Vec<u8>>,
+    /// `checkpoints.qrc` image (`None` until a checkpoint index is
+    /// attached; always optional and regenerable).
+    pub checkpoints: Option<Vec<u8>>,
 }
 
 impl RecordingParts {
@@ -507,7 +523,31 @@ impl RecordingParts {
         if let Some(fm) = &self.format {
             out.push((Recording::FORMAT_FILE, fm.as_slice()));
         }
+        if let Some(cp) = &self.checkpoints {
+            out.push((Recording::CHECKPOINTS_FILE, cp.as_slice()));
+        }
         out
+    }
+
+    /// Attaches a serialized checkpoint index and, when a format
+    /// manifest is present, rewrites it so the manifest's payload list
+    /// keeps describing exactly what the recording directory holds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the manifest's decode error when the existing
+    /// `format.qrv` is unreadable (the index is not attached then).
+    pub fn attach_checkpoints(&mut self, bytes: Vec<u8>) -> Result<()> {
+        if let Some(buf) = &self.format {
+            let mut manifest = crate::format::FormatManifest::from_bytes(buf)?;
+            if !manifest.payloads.contains(&PayloadKind::CheckpointIndex) {
+                manifest.payloads.push(PayloadKind::CheckpointIndex);
+                manifest.payloads.sort_by_key(|k| k.code());
+            }
+            self.format = Some(manifest.to_bytes());
+        }
+        self.checkpoints = Some(bytes);
+        Ok(())
     }
 
     /// Assembles parts from `(file name, bytes)` pairs (the inverse of
@@ -523,6 +563,7 @@ impl RecordingParts {
         let mut inputs = None;
         let mut footprints = None;
         let mut format = None;
+        let mut checkpoints = None;
         for (name, bytes) in files {
             match name.as_ref() {
                 n if n == Recording::META_FILE => meta = Some(bytes.clone()),
@@ -530,6 +571,7 @@ impl RecordingParts {
                 n if n == Recording::INPUTS_FILE => inputs = Some(bytes.clone()),
                 n if n == Recording::FOOTPRINTS_FILE => footprints = Some(bytes.clone()),
                 n if n == Recording::FORMAT_FILE => format = Some(bytes.clone()),
+                n if n == Recording::CHECKPOINTS_FILE => checkpoints = Some(bytes.clone()),
                 other => {
                     return Err(QrError::Corrupt {
                         what: "recording file set".into(),
@@ -552,6 +594,7 @@ impl RecordingParts {
             inputs: require(inputs, Recording::INPUTS_FILE)?,
             footprints,
             format,
+            checkpoints,
         })
     }
 
@@ -583,6 +626,7 @@ impl RecordingParts {
             inputs: read_file(dir, Recording::INPUTS_FILE)?,
             footprints: std::fs::read(dir.join(Recording::FOOTPRINTS_FILE)).ok(),
             format: std::fs::read(dir.join(Recording::FORMAT_FILE)).ok(),
+            checkpoints: std::fs::read(dir.join(Recording::CHECKPOINTS_FILE)).ok(),
         })
     }
 }

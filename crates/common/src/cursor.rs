@@ -1,0 +1,189 @@
+//! A positional byte reader for fixed layouts.
+//!
+//! The checkpoint snapshots introduced for time-travel replay serialize
+//! machine state (register files, cache metadata, store buffers, memory
+//! pages) as flat little-endian fields and LEB128 varints. Every decode
+//! is reachable from untrusted bytes, so each primitive here returns a
+//! structured [`QrError::Corrupt`] carrying the byte offset where the
+//! read failed instead of panicking or silently truncating.
+//!
+//! Writers don't need a mirror type: appending to a `Vec<u8>` with
+//! `to_le_bytes` / [`crate::varint::write_u64`] is already infallible.
+
+use crate::error::{QrError, Result};
+use crate::varint;
+
+/// Cursor over a byte buffer with structured out-of-bounds errors.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    what: &'a str,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Starts reading `buf` from the front; `what` names the artifact
+    /// being decoded in error messages.
+    pub fn new(buf: &'a [u8], what: &'a str) -> ByteReader<'a> {
+        ByteReader { buf, pos: 0, what }
+    }
+
+    /// Current byte offset.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> QrError {
+        QrError::Corrupt {
+            what: self.what.to_string(),
+            offset: self.pos as u64,
+            detail: detail.into(),
+        }
+    }
+
+    /// Takes `len` raw bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] if fewer than `len` bytes remain.
+    pub fn bytes(&mut self, len: usize) -> Result<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(self.corrupt(format!(
+                "need {len} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let out = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(out)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on a truncated buffer.
+    pub fn u8(&mut self) -> Result<u8> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on a truncated buffer.
+    pub fn u32(&mut self) -> Result<u32> {
+        let b = self.bytes(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on a truncated buffer.
+    pub fn u64(&mut self) -> Result<u64> {
+        let b = self.bytes(8)?;
+        Ok(u64::from_le_bytes([b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7]]))
+    }
+
+    /// Reads an unsigned LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on truncation or overflow.
+    pub fn varint(&mut self) -> Result<u64> {
+        let (value, len) = varint::read_u64(&self.buf[self.pos..])
+            .map_err(|e| self.corrupt(e.to_string()))?;
+        self.pos += len;
+        Ok(value)
+    }
+
+    /// Reads a varint and checks it fits a `usize` count bounded by
+    /// `max` (guards against implausible lengths driving allocations).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] if the value exceeds `max`.
+    pub fn count(&mut self, max: u64) -> Result<usize> {
+        let at = self.pos;
+        let value = self.varint()?;
+        if value > max {
+            return Err(QrError::Corrupt {
+                what: self.what.to_string(),
+                offset: at as u64,
+                detail: format!("implausible count {value} (max {max})"),
+            });
+        }
+        Ok(value as usize)
+    }
+
+    /// Asserts the buffer was fully consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] naming the number of trailing bytes.
+    pub fn finish(self) -> Result<()> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut buf = Vec::new();
+        buf.push(7u8);
+        buf.extend_from_slice(&0xdead_beefu32.to_le_bytes());
+        buf.extend_from_slice(&0x1122_3344_5566_7788u64.to_le_bytes());
+        varint::write_u64(&mut buf, 300);
+        let mut r = ByteReader::new(&buf, "test");
+        assert_eq!(r.u8().unwrap(), 7);
+        assert_eq!(r.u32().unwrap(), 0xdead_beef);
+        assert_eq!(r.u64().unwrap(), 0x1122_3344_5566_7788);
+        assert_eq!(r.varint().unwrap(), 300);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncation_is_a_structured_error_with_offset() {
+        let buf = [1u8, 2];
+        let mut r = ByteReader::new(&buf, "snapshot");
+        assert_eq!(r.u8().unwrap(), 1);
+        let err = r.u32().unwrap_err();
+        match err {
+            QrError::Corrupt { what, offset, .. } => {
+                assert_eq!(what, "snapshot");
+                assert_eq!(offset, 1);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let buf = [0u8; 3];
+        let mut r = ByteReader::new(&buf, "test");
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn implausible_counts_are_rejected() {
+        let mut buf = Vec::new();
+        varint::write_u64(&mut buf, 1_000_000);
+        let mut r = ByteReader::new(&buf, "test");
+        let err = r.count(1000).unwrap_err();
+        assert!(err.to_string().contains("implausible count"), "{err}");
+    }
+}

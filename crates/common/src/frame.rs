@@ -66,13 +66,17 @@ pub enum PayloadKind {
     /// recording format version, container version, chunk-log encoding
     /// and the payload kinds present in the recording directory.
     FormatManifest,
+    /// A persisted replay-checkpoint index (`checkpoints.qrc`): record 0
+    /// is the seek index (keys per checkpoint), then one record per
+    /// serialized checkpoint snapshot.
+    CheckpointIndex,
 }
 
 impl PayloadKind {
     /// Every payload kind, in kind-byte order. The golden-trace
     /// conformance suite matches over this exhaustively: a new variant
     /// without golden-fixture coverage fails a test, not production.
-    pub const ALL: [PayloadKind; 9] = [
+    pub const ALL: [PayloadKind; 10] = [
         PayloadKind::ChunkLog,
         PayloadKind::InputLog,
         PayloadKind::Meta,
@@ -82,6 +86,7 @@ impl PayloadKind {
         PayloadKind::StoreManifest,
         PayloadKind::TraceJournal,
         PayloadKind::FormatManifest,
+        PayloadKind::CheckpointIndex,
     ];
 
     /// Stable kind byte.
@@ -96,6 +101,7 @@ impl PayloadKind {
             PayloadKind::StoreManifest => 6,
             PayloadKind::TraceJournal => 7,
             PayloadKind::FormatManifest => 8,
+            PayloadKind::CheckpointIndex => 9,
         }
     }
 
@@ -111,6 +117,7 @@ impl PayloadKind {
             6 => Some(PayloadKind::StoreManifest),
             7 => Some(PayloadKind::TraceJournal),
             8 => Some(PayloadKind::FormatManifest),
+            9 => Some(PayloadKind::CheckpointIndex),
             _ => None,
         }
     }
@@ -127,6 +134,7 @@ impl PayloadKind {
             PayloadKind::StoreManifest => "store manifest",
             PayloadKind::TraceJournal => "trace journal",
             PayloadKind::FormatManifest => "format manifest",
+            PayloadKind::CheckpointIndex => "checkpoint index",
         }
     }
 }
@@ -533,7 +541,8 @@ mod tests {
                 | PayloadKind::CompressedLog
                 | PayloadKind::StoreManifest
                 | PayloadKind::TraceJournal
-                | PayloadKind::FormatManifest => {}
+                | PayloadKind::FormatManifest
+                | PayloadKind::CheckpointIndex => {}
             }
         }
         // Codes are dense from 0: everything below ALL.len() decodes,

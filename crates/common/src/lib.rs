@@ -30,6 +30,7 @@
 //! ```
 
 pub mod crc32;
+pub mod cursor;
 pub mod error;
 pub mod fingerprint;
 pub mod frame;

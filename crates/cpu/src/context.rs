@@ -57,6 +57,31 @@ impl CpuContext {
         &self.regs
     }
 
+    /// Serializes the context (registers, pc, retired count) for
+    /// checkpoint snapshots.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        for &r in &self.regs {
+            out.extend_from_slice(&r.to_le_bytes());
+        }
+        out.extend_from_slice(&self.pc.0.to_le_bytes());
+        qr_common::varint::write_u64(out, self.retired);
+    }
+
+    /// Inverse of [`CpuContext::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`qr_common::QrError::Corrupt`] on truncated bytes.
+    pub fn load_state(r: &mut qr_common::cursor::ByteReader<'_>) -> qr_common::Result<CpuContext> {
+        let mut regs = [0u32; 16];
+        for slot in &mut regs {
+            *slot = r.u32()?;
+        }
+        let pc = VirtAddr(r.u32()?);
+        let retired = r.varint()?;
+        Ok(CpuContext { regs, pc, retired })
+    }
+
     /// Folds this context into a fingerprint (replay validation).
     pub fn fingerprint_into(&self, fp: &mut Fingerprint) {
         for &r in &self.regs {

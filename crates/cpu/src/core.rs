@@ -65,6 +65,33 @@ impl Core {
     pub fn count_retired(&mut self) {
         self.retired += 1;
     }
+
+    /// Serializes the core (running context, cycle and retired counters)
+    /// for checkpoint snapshots.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        match &self.context {
+            Some(ctx) => {
+                out.push(1);
+                ctx.save_state(out);
+            }
+            None => out.push(0),
+        }
+        qr_common::varint::write_u64(out, self.cycles);
+        qr_common::varint::write_u64(out, self.retired);
+    }
+
+    /// Inverse of [`Core::save_state`].
+    pub(crate) fn load_state(
+        r: &mut qr_common::cursor::ByteReader<'_>,
+    ) -> qr_common::Result<Core> {
+        let context = match r.u8()? {
+            0 => None,
+            _ => Some(CpuContext::load_state(r)?),
+        };
+        let cycles = r.varint()?;
+        let retired = r.varint()?;
+        Ok(Core { context, cycles, retired })
+    }
 }
 
 #[cfg(test)]

@@ -167,6 +167,42 @@ impl Machine {
         self.mem.drain_all(core)
     }
 
+    /// Serializes the complete machine state (every core's context and
+    /// counters plus the whole memory hierarchy) for checkpoint
+    /// snapshots. The program and configuration are *not* serialized:
+    /// restore with [`Machine::restore_state`] into a machine built from
+    /// the same program and configuration.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        qr_common::varint::write_u64(out, self.cores.len() as u64);
+        for core in &self.cores {
+            core.save_state(out);
+        }
+        self.mem.save_state(out);
+    }
+
+    /// Overwrites this machine's state from bytes produced by
+    /// [`Machine::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on truncated or implausible bytes, or
+    /// a core-count mismatch with this machine's configuration; `self`
+    /// may be partially overwritten on error and must be discarded.
+    pub fn restore_state(&mut self, r: &mut qr_common::cursor::ByteReader<'_>) -> Result<()> {
+        let cores = r.count(256)?;
+        if cores != self.cores.len() {
+            return Err(QrError::Corrupt {
+                what: "checkpoint machine state".into(),
+                offset: r.pos() as u64,
+                detail: format!("snapshot has {cores} cores, machine has {}", self.cores.len()),
+            });
+        }
+        for core in &mut self.cores {
+            *core = Core::load_state(r)?;
+        }
+        self.mem.restore_state(r)
+    }
+
     /// Steps one instruction on `core`.
     pub fn step(&mut self, core_id: CoreId) -> StepResult {
         let idx = core_id.index();

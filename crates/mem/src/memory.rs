@@ -142,6 +142,44 @@ impl PagedMemory {
         self.regions.iter().map(|&(s, e)| (VirtAddr(s), e - s))
     }
 
+    /// Serializes regions and allocated pages (checkpoint snapshots).
+    /// Page order is the `BTreeMap` key order, so the bytes are a
+    /// deterministic function of the architectural state.
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        qr_common::varint::write_u64(out, self.regions.len() as u64);
+        for &(s, e) in &self.regions {
+            out.extend_from_slice(&s.to_le_bytes());
+            out.extend_from_slice(&e.to_le_bytes());
+        }
+        qr_common::varint::write_u64(out, self.pages.len() as u64);
+        for (&num, page) in &self.pages {
+            out.extend_from_slice(&num.to_le_bytes());
+            out.extend_from_slice(page);
+        }
+    }
+
+    /// Inverse of [`PagedMemory::save_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on truncated or implausible bytes.
+    pub(crate) fn load_state(r: &mut qr_common::cursor::ByteReader<'_>) -> Result<PagedMemory> {
+        let mut mem = PagedMemory::new();
+        let regions = r.count(1 << 20)?;
+        for _ in 0..regions {
+            let s = r.u32()?;
+            let e = r.u32()?;
+            mem.regions.push((s, e));
+        }
+        let pages = r.count(1 << 20)?;
+        for _ in 0..pages {
+            let num = r.u32()?;
+            let bytes = r.bytes(PAGE_BYTES as usize)?;
+            mem.pages.insert(num, bytes.to_vec().into_boxed_slice());
+        }
+        Ok(mem)
+    }
+
     /// Hashes the contents of all mapped regions into a fingerprint field.
     pub fn fingerprint_into(&self, fp: &mut qr_common::Fingerprint) {
         for (base, len) in self.regions.iter().map(|&(s, e)| (s, e - s)) {

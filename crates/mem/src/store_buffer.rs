@@ -120,6 +120,37 @@ impl StoreBuffer {
     pub fn iter(&self) -> impl Iterator<Item = &PendingStore> {
         self.entries.iter()
     }
+
+    /// Serializes the pending stores oldest-first (checkpoint snapshots).
+    pub(crate) fn save_state(&self, out: &mut Vec<u8>) {
+        qr_common::varint::write_u64(out, self.entries.len() as u64);
+        for store in &self.entries {
+            out.extend_from_slice(&store.addr.0.to_le_bytes());
+            out.push(store.width as u8);
+            out.extend_from_slice(&store.value.to_le_bytes());
+        }
+    }
+
+    /// Inverse of [`StoreBuffer::save_state`] for a buffer of the given
+    /// capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on truncated or implausible bytes.
+    pub(crate) fn load_state(
+        r: &mut qr_common::cursor::ByteReader<'_>,
+        capacity: usize,
+    ) -> qr_common::Result<StoreBuffer> {
+        let mut sb = StoreBuffer::new(capacity);
+        let len = r.count(capacity as u64)?;
+        for _ in 0..len {
+            let addr = VirtAddr(r.u32()?);
+            let width = r.u8()? as u32;
+            let value = r.u32()?;
+            sb.entries.push_back(PendingStore { addr, width, value });
+        }
+        Ok(sb)
+    }
 }
 
 #[cfg(test)]

@@ -413,6 +413,97 @@ impl MemorySystem {
     pub fn map_region(&mut self, base: VirtAddr, len: u32) -> Result<()> {
         self.mem.map_region(base, len)
     }
+
+    // ----- checkpoint state serialization ------------------------------
+
+    /// Serializes the complete architectural and micro-architectural
+    /// state (memory contents, cache metadata, store buffers, clock,
+    /// counters). The bytes are a deterministic function of the state,
+    /// and restoring them with [`MemorySystem::restore_state`] into a
+    /// system of the same configuration reproduces execution bit-for-bit
+    /// — including miss/eviction behavior and bus timestamps.
+    pub fn save_state(&self, out: &mut Vec<u8>) {
+        self.mem.save_state(out);
+        for cache in &self.caches {
+            cache.save_state(out);
+        }
+        for buffer in &self.buffers {
+            buffer.save_state(out);
+        }
+        qr_common::varint::write_u64(out, self.clock.now().0);
+        qr_common::varint::write_u64(out, self.stats.cores.len() as u64);
+        for core in &self.stats.cores {
+            for field in [
+                core.loads,
+                core.load_forwards,
+                core.stores,
+                core.drains,
+                core.load_misses,
+                core.store_misses,
+                core.upgrades,
+                core.evictions,
+                core.writebacks,
+                core.atomics,
+                core.interventions,
+                core.forced_drains,
+            ] {
+                qr_common::varint::write_u64(out, field);
+            }
+        }
+        for txns in self.stats.bus_txns {
+            qr_common::varint::write_u64(out, txns);
+        }
+    }
+
+    /// Overwrites this system's state from bytes produced by
+    /// [`MemorySystem::save_state`]. The configuration (cache geometry,
+    /// buffer capacity, core count) is taken from `self`, not the bytes —
+    /// the caller must have built the system with the same configuration
+    /// the snapshot was taken under.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on truncated or implausible bytes;
+    /// `self` may be partially overwritten on error and must be discarded.
+    pub fn restore_state(&mut self, r: &mut qr_common::cursor::ByteReader<'_>) -> Result<()> {
+        self.mem = PagedMemory::load_state(r)?;
+        for cache in &mut self.caches {
+            *cache = Cache::load_state(r, self.cfg.l1_sets, self.cfg.l1_ways)?;
+        }
+        for buffer in &mut self.buffers {
+            *buffer = StoreBuffer::load_state(r, self.cfg.store_buffer_entries)?;
+        }
+        self.clock = GlobalClock::restore(r.varint()?);
+        let cores = r.count(256)?;
+        if cores != self.stats.cores.len() {
+            return Err(QrError::Corrupt {
+                what: "checkpoint memory state".into(),
+                offset: r.pos() as u64,
+                detail: format!(
+                    "snapshot has {cores} cores, machine has {}",
+                    self.stats.cores.len()
+                ),
+            });
+        }
+        for core in &mut self.stats.cores {
+            core.loads = r.varint()?;
+            core.load_forwards = r.varint()?;
+            core.stores = r.varint()?;
+            core.drains = r.varint()?;
+            core.load_misses = r.varint()?;
+            core.store_misses = r.varint()?;
+            core.upgrades = r.varint()?;
+            core.evictions = r.varint()?;
+            core.writebacks = r.varint()?;
+            core.atomics = r.varint()?;
+            core.interventions = r.varint()?;
+            core.forced_drains = r.varint()?;
+        }
+        for txns in &mut self.stats.bus_txns {
+            *txns = r.varint()?;
+        }
+        Ok(())
+    }
 }
 
 /// Iterates the cache lines covered by `[addr, addr + len)`.
@@ -621,5 +712,52 @@ mod tests {
     #[test]
     fn zero_cores_rejected() {
         assert!(MemorySystem::new(MemConfig::default(), 0).is_err());
+    }
+
+    #[test]
+    fn state_snapshot_round_trips_and_resumes_identically() {
+        let mut s = sys(2);
+        s.write(C0, VirtAddr(0x1000), 4, 42).unwrap();
+        s.read(C1, VirtAddr(0x1040), 4).unwrap();
+        s.write(C1, VirtAddr(0x1080), 2, 7).unwrap();
+        let mut snap = Vec::new();
+        s.save_state(&mut snap);
+
+        let mut restored = MemorySystem::new(MemConfig::default(), 2).unwrap();
+        let mut r = qr_common::cursor::ByteReader::new(&snap, "snapshot");
+        restored.restore_state(&mut r).unwrap();
+        r.finish().unwrap();
+
+        // Same pending stores, same clock, same counters.
+        assert_eq!(restored.pending_stores(C0), s.pending_stores(C0));
+        assert_eq!(restored.pending_stores(C1), s.pending_stores(C1));
+        assert_eq!(restored.now(), s.now());
+        assert_eq!(restored.stats(), s.stats());
+        // Divergent futures stay identical: run the same accesses on both.
+        for m in [&mut s, &mut restored] {
+            m.drain_all(C0).unwrap();
+            m.read(C1, VirtAddr(0x1000), 4).unwrap();
+        }
+        assert_eq!(restored.stats(), s.stats());
+        assert_eq!(restored.now(), s.now());
+        let mut snap2a = Vec::new();
+        let mut snap2b = Vec::new();
+        s.save_state(&mut snap2a);
+        restored.save_state(&mut snap2b);
+        assert_eq!(snap2a, snap2b, "snapshots of equal states are byte-identical");
+    }
+
+    #[test]
+    fn truncated_snapshot_is_a_structured_error() {
+        let mut s = sys(1);
+        s.write(C0, VirtAddr(0x1000), 4, 1).unwrap();
+        let mut snap = Vec::new();
+        s.save_state(&mut snap);
+        for cut in [0, 1, snap.len() / 2, snap.len() - 1] {
+            let mut fresh = MemorySystem::new(MemConfig::default(), 1).unwrap();
+            let mut r = qr_common::cursor::ByteReader::new(&snap[..cut], "snapshot");
+            let outcome = fresh.restore_state(&mut r).and_then(|()| r.finish());
+            assert!(outcome.is_err(), "cut at {cut} must fail");
+        }
     }
 }

@@ -36,9 +36,14 @@ pub mod parallel;
 pub mod races;
 pub mod replayer;
 pub mod salvage;
+pub mod timetravel;
 
 pub use outcome::ReplayOutcome;
 pub use parallel::{replay_parallel, replay_parallel_and_verify, ParallelReplayer};
 pub use races::{Race, RaceDetector, RaceReport};
 pub use replayer::{replay, replay_and_verify, replay_with_race_detection, ReplayCheckpoint, Replayer};
 pub use salvage::{salvage_replay, salvage_replay_dir, SalvageReport};
+pub use timetravel::{
+    timeline_descriptors, CheckpointIndex, CheckpointKey, EventDescriptor, EventKind, QueryEngine,
+    QueryPlan, QueryResult, ReplayQuery, CHECKPOINT_INDEX_VERSION,
+};

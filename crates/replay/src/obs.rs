@@ -107,6 +107,42 @@ pub(crate) fn lines_pushed(n: usize) {
     }
 }
 
+/// Accounts one corrupt (or mismatched) persisted checkpoint index that
+/// was silently degraded to from-scratch replay. The degradation is
+/// invisible in results — this counter is the only way to see it.
+pub(crate) fn index_corrupt() {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    if qr_obs::enabled() {
+        HANDLE
+            .get_or_init(|| {
+                qr_obs::global().counter(
+                    "qr_replay_index_corrupt_total",
+                    "Persisted checkpoint indexes rejected and degraded to from-scratch replay",
+                    &[],
+                )
+            })
+            .inc();
+    }
+}
+
+/// Accounts one seek, labeled by whether a persisted checkpoint cut the
+/// re-execution distance or the replay started from scratch.
+pub(crate) fn seek(used_index: bool) {
+    static HANDLES: OnceLock<[Arc<Counter>; 2]> = OnceLock::new();
+    if qr_obs::enabled() {
+        let pair = HANDLES.get_or_init(|| {
+            ["scratch", "index"].map(|source| {
+                qr_obs::global().counter(
+                    "qr_replay_seeks_total",
+                    "Time-travel seeks, by whether a checkpoint index was used",
+                    &[("source", source)],
+                )
+            })
+        });
+        pair[usize::from(used_index)].inc();
+    }
+}
+
 /// Accounts one TSO store-buffer boundary drain.
 pub(crate) fn store_buffer_drain() {
     static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();

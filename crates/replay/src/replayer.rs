@@ -112,6 +112,229 @@ impl ReplayCheckpoint {
     pub fn instructions(&self) -> u64 {
         self.instructions
     }
+
+    /// Chunks replayed up to this checkpoint.
+    pub fn chunks_replayed(&self) -> usize {
+        self.chunks_replayed
+    }
+
+    /// Input events injected up to this checkpoint.
+    pub fn inputs_injected(&self) -> usize {
+        self.inputs_injected
+    }
+
+    /// Serializes the snapshot (machine state, per-thread replay state,
+    /// console, counters) so it can be persisted in a `checkpoints.qrc`
+    /// sidecar. The bytes are a deterministic function of the state.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        use qr_common::varint::write_u64;
+        let mut out = Vec::new();
+        let mut machine = Vec::new();
+        self.machine.save_state(&mut machine);
+        write_u64(&mut out, machine.len() as u64);
+        out.extend_from_slice(&machine);
+        write_u64(&mut out, self.threads.len() as u64);
+        for t in &self.threads {
+            out.push(t.created as u8);
+            match t.exit_code {
+                Some(code) => {
+                    out.push(1);
+                    out.extend_from_slice(&code.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+            match t.handler {
+                Some(addr) => {
+                    out.push(1);
+                    out.extend_from_slice(&addr.0.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+            match &t.signal_saved {
+                Some(ctx) => {
+                    out.push(1);
+                    ctx.save_state(&mut out);
+                }
+                None => out.push(0),
+            }
+            write_u64(&mut out, t.nondet.len() as u64);
+            for &(kind, value) in &t.nondet {
+                out.push(match kind {
+                    NondetKind::Rdtsc => 0,
+                    NondetKind::Rdrand => 1,
+                });
+                out.extend_from_slice(&value.to_le_bytes());
+            }
+            match t.last_reason {
+                Some(reason) => {
+                    out.push(1);
+                    out.push(reason.code());
+                }
+                None => out.push(0),
+            }
+        }
+        write_u64(&mut out, self.console.len() as u64);
+        out.extend_from_slice(&self.console);
+        write_u64(&mut out, self.instructions);
+        write_u64(&mut out, self.chunks_replayed as u64);
+        write_u64(&mut out, self.inputs_injected as u64);
+        write_u64(&mut out, self.timeline_pos as u64);
+        out.extend_from_slice(&self.program_fingerprint.to_le_bytes());
+        out
+    }
+
+    /// Inverse of [`ReplayCheckpoint::to_bytes`]: rebuilds a snapshot
+    /// for the given (program, recording) pair. The machine is
+    /// reconstructed from the recording's configuration, then overwritten
+    /// with the serialized state, so a resumed replay is bit-for-bit
+    /// identical to one resumed from the in-memory checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] on malformed bytes.
+    pub fn from_bytes(program: &Program, recording: &Recording, buf: &[u8]) -> Result<ReplayCheckpoint> {
+        let mut r = qr_common::cursor::ByteReader::new(buf, "checkpoint snapshot");
+        let machine_len = r.count(buf.len() as u64)?;
+        let machine_bytes = r.bytes(machine_len)?;
+        let mut machine = Machine::new(program.clone(), replay_cpu_config(recording)?)?;
+        let mut mr = qr_common::cursor::ByteReader::new(machine_bytes, "checkpoint machine state");
+        machine.restore_state(&mut mr)?;
+        mr.finish()?;
+        let num_threads = r.count(250)?;
+        let mut threads = Vec::with_capacity(num_threads);
+        for _ in 0..num_threads {
+            let created = r.u8()? != 0;
+            let exit_code = match r.u8()? {
+                0 => None,
+                _ => Some(r.u32()?),
+            };
+            let handler = match r.u8()? {
+                0 => None,
+                _ => Some(VirtAddr(r.u32()?)),
+            };
+            let signal_saved = match r.u8()? {
+                0 => None,
+                _ => Some(CpuContext::load_state(&mut r)?),
+            };
+            let nondet_len = r.count(1 << 24)?;
+            let mut nondet = VecDeque::with_capacity(nondet_len);
+            for _ in 0..nondet_len {
+                let kind = match r.u8()? {
+                    0 => NondetKind::Rdtsc,
+                    1 => NondetKind::Rdrand,
+                    code => {
+                        return Err(QrError::Corrupt {
+                            what: "checkpoint snapshot".into(),
+                            offset: r.pos() as u64,
+                            detail: format!("unknown nondet kind {code}"),
+                        })
+                    }
+                };
+                nondet.push_back((kind, r.u32()?));
+            }
+            let last_reason = match r.u8()? {
+                0 => None,
+                _ => {
+                    let code = r.u8()?;
+                    Some(TerminationReason::from_code(code).ok_or_else(|| QrError::Corrupt {
+                        what: "checkpoint snapshot".into(),
+                        offset: r.pos() as u64,
+                        detail: format!("unknown termination reason {code}"),
+                    })?)
+                }
+            };
+            threads.push(ReplayThread {
+                created,
+                exit_code,
+                handler,
+                signal_saved,
+                nondet,
+                last_reason,
+            });
+        }
+        let console_len = r.count(1 << 30)?;
+        let console = r.bytes(console_len)?.to_vec();
+        let instructions = r.varint()?;
+        let chunks_replayed = r.varint()? as usize;
+        let inputs_injected = r.varint()? as usize;
+        let timeline_pos = r.varint()? as usize;
+        let program_fingerprint = r.u64()?;
+        r.finish()?;
+        Ok(ReplayCheckpoint {
+            machine,
+            threads,
+            console,
+            instructions,
+            chunks_replayed,
+            inputs_injected,
+            timeline_pos,
+            program_fingerprint,
+        })
+    }
+}
+
+/// The CPU configuration a replay of `recording` runs under: one virtual
+/// core per recorded thread, the recorded drain interval and memory
+/// hierarchy. Shared by [`Replayer::new`] and checkpoint restoration so
+/// a deserialized snapshot resumes on an identically-configured machine.
+///
+/// # Errors
+///
+/// Returns [`QrError::Unsupported`] for recordings with more than 250
+/// threads.
+pub(crate) fn replay_cpu_config(recording: &Recording) -> Result<CpuConfig> {
+    let max_tid = recording
+        .chunks
+        .packets()
+        .iter()
+        .map(|p| p.tid.0)
+        .chain(recording.inputs.events().iter().map(|e| e.tid().0))
+        .max()
+        .unwrap_or(0);
+    let num_threads = max_tid as usize + 1;
+    if num_threads > 250 {
+        return Err(QrError::Unsupported(format!(
+            "replay supports at most 250 threads, recording has {num_threads}"
+        )));
+    }
+    Ok(CpuConfig {
+        num_cores: num_threads,
+        drain_interval: recording.meta.cpu.drain_interval,
+        mem: recording.meta.cpu.mem.clone(),
+    })
+}
+
+/// Builds the merged, timestamp-ordered timeline of chunks and input
+/// events for `recording` — the event sequence every replay (full,
+/// checkpointed, or seeked) steps through.
+///
+/// # Errors
+///
+/// Returns [`QrError::ReplayDivergence`] for duplicate timestamps, or
+/// log-decode errors from the chunk schedule.
+pub(crate) fn merged_timeline(recording: &Recording) -> Result<Vec<TimelineEvent>> {
+    let schedule = recording.chunks.replay_schedule()?;
+    let mut timeline: Vec<(Cycle, TimelineEvent)> = schedule
+        .into_iter()
+        .map(|p| (p.timestamp, TimelineEvent::Chunk(p)))
+        .chain(
+            recording
+                .inputs
+                .events()
+                .iter()
+                .map(|e| (e.ts(), TimelineEvent::Input(e.clone()))),
+        )
+        .collect();
+    timeline.sort_by_key(|(ts, _)| *ts);
+    for window in timeline.windows(2) {
+        if window[0].0 == window[1].0 {
+            return Err(QrError::ReplayDivergence(format!(
+                "duplicate timeline timestamp {}",
+                window[0].0
+            )));
+        }
+    }
+    Ok(timeline.into_iter().map(|(_, e)| e).collect())
 }
 
 impl<'a> Replayer<'a> {
@@ -130,25 +353,8 @@ impl<'a> Replayer<'a> {
                 "program image does not match the recording".into(),
             ));
         }
-        let max_tid = recording
-            .chunks
-            .packets()
-            .iter()
-            .map(|p| p.tid.0)
-            .chain(recording.inputs.events().iter().map(|e| e.tid().0))
-            .max()
-            .unwrap_or(0);
-        let num_threads = max_tid as usize + 1;
-        if num_threads > 250 {
-            return Err(QrError::Unsupported(format!(
-                "replay supports at most 250 threads, recording has {num_threads}"
-            )));
-        }
-        let cpu = CpuConfig {
-            num_cores: num_threads,
-            drain_interval: recording.meta.cpu.drain_interval,
-            mem: recording.meta.cpu.mem.clone(),
-        };
+        let cpu = replay_cpu_config(recording)?;
+        let num_threads = cpu.num_cores;
         let machine = Machine::new(program.clone(), cpu)?;
         let threads = (0..num_threads)
             .map(|i| ReplayThread {
@@ -357,25 +563,7 @@ impl<'a> Replayer<'a> {
     /// Builds the merged, timestamp-ordered timeline of chunks and
     /// input events.
     fn build_timeline(&self) -> Result<Vec<TimelineEvent>> {
-        let schedule = self.recording.chunks.replay_schedule()?;
-        let mut timeline: Vec<(Cycle, TimelineEvent)> = schedule
-            .into_iter()
-            .map(|p| (p.timestamp, TimelineEvent::Chunk(p)))
-            .chain(
-                self.recording
-                    .inputs
-                    .events()
-                    .iter()
-                    .map(|e| (e.ts(), TimelineEvent::Input(e.clone()))),
-            )
-            .collect();
-        timeline.sort_by_key(|(ts, _)| *ts);
-        for window in timeline.windows(2) {
-            if window[0].0 == window[1].0 {
-                return Err(self.diverged(format!("duplicate timeline timestamp {}", window[0].0)));
-            }
-        }
-        Ok(timeline.into_iter().map(|(_, e)| e).collect())
+        merged_timeline(self.recording)
     }
 
     fn process_event(&mut self, event: &TimelineEvent) -> Result<()> {
@@ -706,7 +894,7 @@ impl<'a> Replayer<'a> {
 }
 
 #[derive(Debug, Clone)]
-enum TimelineEvent {
+pub(crate) enum TimelineEvent {
     Chunk(ChunkPacket),
     Input(InputEvent),
 }

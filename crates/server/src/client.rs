@@ -130,6 +130,32 @@ impl Client {
         }
     }
 
+    /// Runs a time-travel query against session `id`; returns the
+    /// answer payload ([`qr_replay::QueryPlan`] bytes for a dry run,
+    /// [`qr_replay::QueryResult`] bytes otherwise) and whether it was
+    /// served from the server's idempotence cache.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] for transport failures, a server
+    /// error reply, or an unexpected reply.
+    pub fn query(
+        &mut self,
+        id: u64,
+        query: qr_replay::ReplayQuery,
+        dry_run: bool,
+        max_events: u64,
+        replay_id: u64,
+    ) -> Result<(bool, Vec<u8>)> {
+        match self.call(&Request::Query { id, query, dry_run, max_events, replay_id })? {
+            Response::QueryAnswer { cached, payload } => Ok((cached, payload)),
+            Response::Error { message } => Err(QrError::Execution { detail: message }),
+            other => Err(QrError::Execution {
+                detail: format!("unexpected QUERY response: {other:?}"),
+            }),
+        }
+    }
+
     /// Polls JOBS until session `id` reaches a terminal state (or
     /// `timeout` elapses), returning its final row.
     ///

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 /// Wire-request kinds, indexed by the position returned by
 /// [`kind_index`]. One label value per [`Request`] variant.
-const KINDS: [&str; 11] = [
+const KINDS: [&str; 12] = [
     "ping",
     "submit_workload",
     "submit_program",
@@ -25,6 +25,7 @@ const KINDS: [&str; 11] = [
     "races",
     "shutdown",
     "metrics",
+    "query",
 ];
 
 fn kind_index(request: &Request) -> usize {
@@ -40,6 +41,7 @@ fn kind_index(request: &Request) -> usize {
         Request::Races { .. } => 8,
         Request::Shutdown => 9,
         Request::Metrics => 10,
+        Request::Query { .. } => 11,
     }
 }
 
@@ -48,8 +50,8 @@ pub(crate) fn kind_label(request: &Request) -> &'static str {
     KINDS[kind_index(request)]
 }
 
-fn request_counters() -> &'static [Arc<Counter>; 11] {
-    static CELL: OnceLock<[Arc<Counter>; 11]> = OnceLock::new();
+fn request_counters() -> &'static [Arc<Counter>; 12] {
+    static CELL: OnceLock<[Arc<Counter>; 12]> = OnceLock::new();
     CELL.get_or_init(|| {
         KINDS.map(|kind| {
             qr_obs::global().counter(
@@ -61,8 +63,8 @@ fn request_counters() -> &'static [Arc<Counter>; 11] {
     })
 }
 
-fn latency_histograms() -> &'static [Arc<Histogram>; 11] {
-    static CELL: OnceLock<[Arc<Histogram>; 11]> = OnceLock::new();
+fn latency_histograms() -> &'static [Arc<Histogram>; 12] {
+    static CELL: OnceLock<[Arc<Histogram>; 12]> = OnceLock::new();
     CELL.get_or_init(|| {
         KINDS.map(|kind| {
             qr_obs::global().histogram(
@@ -201,5 +203,26 @@ pub(crate) fn task_panicked() {
 pub(crate) fn drain_finished(start: Option<Instant>) {
     if let Some(start) = start {
         drain_histogram().observe_since(start);
+    }
+}
+
+fn query_counters() -> &'static [Arc<Counter>; 2] {
+    static CELL: OnceLock<[Arc<Counter>; 2]> = OnceLock::new();
+    CELL.get_or_init(|| {
+        ["executed", "cached"].map(|outcome| {
+            qr_obs::global().counter(
+                "qr_server_queries_total",
+                "Time-travel queries answered, by outcome (executed vs idempotence-cache hit).",
+                &[("outcome", outcome)],
+            )
+        })
+    })
+}
+
+/// Counts one answered time-travel query; `cached` marks an
+/// idempotence-cache hit that skipped re-execution.
+pub(crate) fn query_answered(cached: bool) {
+    if qr_obs::enabled() {
+        query_counters()[usize::from(cached)].inc();
     }
 }

@@ -18,6 +18,7 @@
 
 use qr_common::frame::{self, PayloadKind};
 use qr_common::{crc32, varint, QrError, Result};
+use qr_replay::ReplayQuery;
 use quickrec_core::Encoding;
 use qr_workloads::Scale;
 use std::io::{Read, Write};
@@ -204,6 +205,24 @@ pub enum Request {
     /// The server's `qr-obs` metrics registry, rendered as text
     /// exposition.
     Metrics,
+    /// Run a time-travel query against a completed session's recording
+    /// (synchronously — queries are reads, not jobs).
+    Query {
+        /// Session id.
+        id: u64,
+        /// What slice of the timeline to materialize.
+        query: ReplayQuery,
+        /// Plan only: answer with the [`qr_replay::QueryPlan`] bytes
+        /// instead of executing the replay.
+        dry_run: bool,
+        /// Refuse queries that would re-execute more than this many
+        /// timeline events (0 = unlimited).
+        max_events: u64,
+        /// Client-chosen idempotence key: a repeated non-zero id
+        /// returns the cached result without re-executing (0 = no
+        /// deduplication).
+        replay_id: u64,
+    },
 }
 
 /// Lifecycle of one session's current/last job.
@@ -329,6 +348,15 @@ pub enum Response {
     Metrics {
         /// Prometheus-style text exposition of the server's registry.
         text: String,
+    },
+    /// Reply to [`Request::Query`].
+    QueryAnswer {
+        /// True when a repeated `replay_id` was answered from the
+        /// session's idempotence cache without re-executing.
+        cached: bool,
+        /// [`qr_replay::QueryPlan`] bytes for a dry run, otherwise
+        /// [`qr_replay::QueryResult`] bytes.
+        payload: Vec<u8>,
     },
 }
 
@@ -466,6 +494,14 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
         }
         Request::Shutdown => out.push(9),
         Request::Metrics => out.push(10),
+        Request::Query { id, query, dry_run, max_events, replay_id } => {
+            out.push(11);
+            varint::write_u64(&mut out, *id);
+            put_bytes(&mut out, &query.to_bytes());
+            out.push(u8::from(*dry_run));
+            varint::write_u64(&mut out, *max_events);
+            varint::write_u64(&mut out, *replay_id);
+        }
     }
     out
 }
@@ -502,6 +538,22 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
         8 => Request::Races { id: d.u64("session id")? },
         9 => Request::Shutdown,
         10 => Request::Metrics,
+        11 => {
+            let id = d.u64("session id")?;
+            let query = ReplayQuery::from_bytes(&d.bytes("query bytes")?)?;
+            let dry_run = match d.byte("dry-run flag")? {
+                0 => false,
+                1 => true,
+                t => return Err(corrupt(d.off as u64 - 1, format!("unknown dry-run flag {t}"))),
+            };
+            Request::Query {
+                id,
+                query,
+                dry_run,
+                max_events: d.u64("max events")?,
+                replay_id: d.u64("replay id")?,
+            }
+        }
         t => return Err(corrupt(0, format!("unknown request tag {t}"))),
     };
     d.finish()?;
@@ -582,6 +634,11 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Metrics { text } => {
             out.push(9);
             put_str(&mut out, text);
+        }
+        Response::QueryAnswer { cached, payload } => {
+            out.push(10);
+            out.push(u8::from(*cached));
+            put_bytes(&mut out, payload);
         }
     }
     out
@@ -677,6 +734,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
         7 => Response::ShuttingDown,
         8 => Response::Error { message: d.string("error message")? },
         9 => Response::Metrics { text: d.string("metrics text")? },
+        10 => {
+            let cached = match d.byte("cached flag")? {
+                0 => false,
+                1 => true,
+                t => return Err(corrupt(d.off as u64 - 1, format!("unknown cached flag {t}"))),
+            };
+            Response::QueryAnswer { cached, payload: d.bytes("answer payload")? }
+        }
         t => return Err(corrupt(0, format!("unknown response tag {t}"))),
     };
     d.finish()?;
@@ -711,6 +776,20 @@ mod tests {
             Request::Races { id: 3 },
             Request::Shutdown,
             Request::Metrics,
+            Request::Query {
+                id: 4,
+                query: ReplayQuery::Range { start: 2, end: 9 },
+                dry_run: false,
+                max_events: 0,
+                replay_id: 0,
+            },
+            Request::Query {
+                id: 5,
+                query: ReplayQuery::ReverseStep { events: 3 },
+                dry_run: true,
+                max_events: 1000,
+                replay_id: 0xDEAD_BEEF,
+            },
         ]
     }
 
@@ -767,6 +846,7 @@ mod tests {
                 text: "# TYPE qr_server_requests_total counter\nqr_server_requests_total{kind=\"ping\"} 1\n"
                     .into(),
             },
+            Response::QueryAnswer { cached: true, payload: vec![0xAB, 0, 7] },
         ]
     }
 

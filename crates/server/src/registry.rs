@@ -66,6 +66,10 @@ pub struct Session {
     pub store_id: u64,
     /// Per-session operation counters.
     pub stats: SessionStats,
+    /// Idempotence cache for QUERY: replay id → serialized answer. A
+    /// repeated non-zero replay id is served from here without
+    /// re-executing.
+    pub query_cache: HashMap<u64, Vec<u8>>,
 }
 
 /// Sharded id → [`Session`] map.
@@ -172,6 +176,7 @@ mod tests {
             fingerprint: 0,
             store_id: 0,
             stats: SessionStats::default(),
+            query_cache: HashMap::new(),
         }
     }
 

@@ -17,9 +17,10 @@ use crate::proto::{
     self, Endpoint, JobState, Request, Response, SessionStats, StatsReport,
 };
 use crate::registry::{Registry, Session, SessionSource};
-use qr_capo::{record, RecordingConfig};
+use qr_capo::{record, Recording, RecordingConfig};
 use qr_common::{QrError, Result};
 use qr_isa::Program;
+use qr_replay::{QueryEngine, ReplayQuery};
 use qr_store::RecordingStore;
 use quickrec_core::Encoding;
 use std::io::{Read, Write};
@@ -441,6 +442,67 @@ fn handle_request(request: Request, shared: &Arc<Shared>, pool: &Arc<WorkerPool>
         Request::Races { id } => submit_followup(shared, pool, id, "races"),
         Request::Shutdown => Response::ShuttingDown,
         Request::Metrics => Response::Metrics { text: qr_obs::global().render() },
+        Request::Query { id, query, dry_run, max_events, replay_id } => {
+            handle_query(shared, id, query, dry_run, max_events, replay_id)
+        }
+    }
+}
+
+/// Timeline events between persisted checkpoints for recordings made by
+/// this daemon: small enough that any seek re-executes only a short
+/// tail, large enough that the sidecar stays a fraction of the log.
+const CHECKPOINT_INTERVAL: usize = 25;
+
+/// Answers a QUERY synchronously on the connection thread: queries are
+/// reads over an immutable store entry, so they bypass the job queue.
+fn handle_query(
+    shared: &Arc<Shared>,
+    id: u64,
+    query: ReplayQuery,
+    dry_run: bool,
+    max_events: u64,
+    replay_id: u64,
+) -> Response {
+    let session = match completed_session(shared, id) {
+        Ok(session) => session,
+        Err(resp) => return resp,
+    };
+    // Idempotence: a repeated replay id answers from the cache without
+    // touching the store or re-executing anything. Dry runs execute
+    // nothing, so they neither consult nor populate the cache.
+    if !dry_run && replay_id != 0 {
+        if let Some(payload) = session.query_cache.get(&replay_id) {
+            crate::obs::query_answered(true);
+            return Response::QueryAnswer { cached: true, payload: payload.clone() };
+        }
+    }
+    let outcome = (|| -> Result<Vec<u8>> {
+        let (program, _) = build_program(&session.source)?;
+        let (_, parts) = shared.store.fetch_parts(session.store_id)?;
+        let recording = Recording::from_parts(&parts)?;
+        let mut engine = QueryEngine::new(&program, &recording)?;
+        if let Some(bytes) = parts.checkpoints.as_deref() {
+            // A torn sidecar silently degrades to from-scratch seeks.
+            engine.attach_index_bytes(bytes);
+        }
+        if dry_run {
+            Ok(engine.plan(query)?.to_bytes())
+        } else {
+            let limit = (max_events != 0).then_some(max_events);
+            Ok(engine.execute(query, limit)?.to_bytes())
+        }
+    })();
+    match outcome {
+        Ok(payload) => {
+            if !dry_run && replay_id != 0 {
+                shared.registry.update(id, |s| {
+                    s.query_cache.insert(replay_id, payload.clone());
+                });
+            }
+            crate::obs::query_answered(false);
+            Response::QueryAnswer { cached: false, payload }
+        }
+        Err(e) => Response::Error { message: e.to_string() },
     }
 }
 
@@ -476,6 +538,7 @@ fn submit_record(
         fingerprint: 0,
         store_id: 0,
         stats: SessionStats::default(),
+        query_cache: std::collections::HashMap::new(),
     });
     let task_shared = Arc::clone(shared);
     let submitted = pool.try_submit(Box::new(move || run_record_job(&task_shared, id)));
@@ -552,7 +615,7 @@ fn run_record_job(shared: &Arc<Shared>, id: u64) {
     let Some(session) = shared.registry.get(id) else { return };
     let outcome = (|| -> Result<(u64, u64, u64, u64, u64)> {
         let (program, cores) = build_program(&session.source)?;
-        let recording = record(program, RecordingConfig::with_cores(cores))?;
+        let recording = record(program.clone(), RecordingConfig::with_cores(cores))?;
         if let SessionSource::Workload { workload, threads, scale } = &session.source {
             // Suite workloads are self-validating: exit code == the
             // sequential mirror's checksum.
@@ -568,7 +631,21 @@ fn run_record_job(shared: &Arc<Shared>, id: u64) {
                 }
             }
         }
-        let store_id = shared.store.put(&session.name, &recording, session.encoding)?;
+        let mut parts = recording.to_parts(session.encoding);
+        // Persist the time-travel seek index next to the logs. A failed
+        // build degrades to an index-less recording: queries still work,
+        // every seek just replays from scratch.
+        if let Ok(index) =
+            qr_replay::CheckpointIndex::build(&program, &recording, CHECKPOINT_INTERVAL)
+        {
+            parts.attach_checkpoints(index.to_bytes())?;
+        }
+        let store_id = shared.store.put_parts(
+            &session.name,
+            &parts,
+            session.encoding,
+            recording.fingerprint,
+        )?;
         let manifest = shared.store.manifest(store_id)?;
         Ok((
             store_id,

@@ -44,6 +44,9 @@ echo "repro output identical across modes"
 echo "== parallel replay: serial-equivalence battery =="
 cargo test -q --test parallel_replay_equivalence
 
+echo "== time travel: indexed-vs-scratch query equivalence battery =="
+cargo test -q --test time_travel_equivalence
+
 echo "== parallel replay smoke: E9b speedups, fingerprints byte-identical =="
 ./target/release/repro e9b > /dev/null
 echo "parallel replay verified against serial on the whole suite"
@@ -57,6 +60,16 @@ grep -q '"drift": 0' "$hotpath_json" || {
 }
 rm -f "$hotpath_json"
 echo "fast and reference codec paths byte-identical on every suite artifact"
+
+echo "== time-travel seek differential smoke: indexed vs scratch (E14) =="
+seek_json=$(mktemp)
+QR_BENCH_MS=50 QR_BENCH_JSON="$seek_json" ./target/release/repro e14 > /dev/null
+grep -q '"drift": 0' "$seek_json" || {
+  echo "E14 reported seek drift or wrote no summary" >&2
+  exit 1
+}
+rm -f "$seek_json"
+echo "indexed seeks and queries byte-identical to from-scratch replay at every interval"
 
 echo "== fault-injection smoke: bounded mutated-recording campaign =="
 ./target/release/repro r1 --fuzz-iters 200 > /dev/null
@@ -72,17 +85,38 @@ for _ in $(seq 1 100); do
   [ -S "$smoke_dir/qd.sock" ] && break
   sleep 0.1
 done
+if ! [ -S "$smoke_dir/qd.sock" ]; then
+  echo "daemon socket never appeared; serve log follows" >&2
+  cat "$smoke_dir/serve.log" >&2
+  exit 1
+fi
 ./target/release/quickrec submit --socket "$smoke_dir/qd.sock" \
   --workload fft --threads 2 --scale test > /dev/null
 ./target/release/quickrec fetch --socket "$smoke_dir/qd.sock" 1 -o "$smoke_dir/fetched" > /dev/null
 ./target/release/quickrec verify "$smoke_dir/fetched" > /dev/null
+# Time-travel queries against the session just recorded: a dry run
+# prints the plan, a real query executes, and repeating its replay id
+# must answer from the idempotence cache.
+./target/release/quickrec query --socket "$smoke_dir/qd.sock" 1 --range 0..2 --dry-run \
+  | grep -q '^plan:' || {
+  echo "query --dry-run did not print a plan" >&2
+  exit 1
+}
+./target/release/quickrec query --socket "$smoke_dir/qd.sock" 1 \
+  --reverse-step 2 --replay-id 7 > /dev/null
+./target/release/quickrec query --socket "$smoke_dir/qd.sock" 1 \
+  --reverse-step 2 --replay-id 7 | grep -q 'idempotence cache' || {
+  echo "repeated replay id was not served from the cache" >&2
+  exit 1
+}
 # Scrape the live daemon's metrics. `stats --metrics` runs the text
 # through qr_obs::parse_exposition before printing, so a zero exit means
 # the exposition is well-formed; still assert the families that the
 # record job just exercised actually showed up.
 ./target/release/quickrec stats --socket "$smoke_dir/qd.sock" --metrics > "$smoke_dir/metrics.txt"
 for family in qr_server_requests_total qr_server_request_latency_us \
-              qr_recorder_chunks_total qr_store_encode_latency_us; do
+              qr_server_queries_total qr_recorder_chunks_total \
+              qr_store_encode_latency_us; do
   if ! grep -q "^$family" "$smoke_dir/metrics.txt"; then
     echo "metrics exposition is missing family $family" >&2
     exit 1
@@ -97,6 +131,10 @@ echo "metrics exposition scraped from the live daemon and parsed"
 wait "$server_pid"
 if ls "$smoke_dir/store"/.tmp-* > /dev/null 2>&1; then
   echo "daemon shutdown left staging dirs behind" >&2
+  exit 1
+fi
+if [ -e "$smoke_dir/qd.sock" ]; then
+  echo "daemon shutdown left a stale socket behind" >&2
   exit 1
 fi
 echo "daemon round trip verified (recorded via the service, fetched, verified locally)"

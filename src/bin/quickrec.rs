@@ -12,6 +12,9 @@
 //! quickrec serve    (--socket P | --tcp A) [...]   run the quickrecd daemon
 //! quickrec submit   --socket P (--workload W | prog.pasm)   queue a RECORD job
 //! quickrec fetch    --socket P ID -o DIR           download a stored recording
+//! quickrec query    --socket P ID (--range A..B | --thread T | --window A..B |
+//!                   --before-divergence K | --reverse-step N) [--dry-run]
+//!                   [--max-events M] [--replay-id R]   time-travel query
 //! quickrec jobs     --socket P                     list sessions
 //! quickrec stats    --socket P [--metrics]         server + session counters
 //! quickrec shutdown --socket P                     graceful daemon shutdown
@@ -59,6 +62,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "serve" => qr_server::daemon::run(rest),
         "submit" => cmd_submit(rest),
         "fetch" => cmd_fetch(rest),
+        "query" => cmd_query(rest),
         "jobs" => cmd_jobs(rest),
         "stats" => cmd_stats(rest),
         "shutdown" => cmd_shutdown(rest),
@@ -84,6 +88,7 @@ fn usage() -> String {
      quickrec serve    (--socket PATH | --tcp ADDR) [--store DIR] [--workers N] [--shards N] [--queue N]\n  \
      quickrec submit   (--socket PATH | --tcp ADDR) (--workload NAME [--threads N] [--scale S] | <prog.pasm> [--cores N]) [--name LABEL] [--encoding E] [--no-wait]\n  \
      quickrec fetch    (--socket PATH | --tcp ADDR) <id> -o <dir>\n  \
+     quickrec query    (--socket PATH | --tcp ADDR) <id> (--range A..B | --thread T | --window A..B | --before-divergence K | --reverse-step N) [--dry-run] [--max-events M] [--replay-id R]\n  \
      quickrec jobs     (--socket PATH | --tcp ADDR)\n  \
      quickrec stats    (--socket PATH | --tcp ADDR) [--metrics]\n  \
      quickrec shutdown (--socket PATH | --tcp ADDR)"
@@ -119,6 +124,13 @@ fn positional(args: &[String]) -> Vec<&String> {
             || a == "--name"
             || a == "--timeout"
             || a == "--trace-out"
+            || a == "--range"
+            || a == "--thread"
+            || a == "--window"
+            || a == "--before-divergence"
+            || a == "--reverse-step"
+            || a == "--max-events"
+            || a == "--replay-id"
         {
             skip = true;
             continue;
@@ -559,6 +571,109 @@ fn cmd_fetch(args: &[String]) -> Result<(), String> {
         Response::Error { message } => Err(message),
         other => Err(format!("unexpected response {other:?}")),
     }
+}
+
+fn parse_span(flag: &str, v: &str) -> Result<(u64, u64), String> {
+    let parsed = v.split_once("..").and_then(|(a, b)| {
+        Some((a.trim().parse::<u64>().ok()?, b.trim().parse::<u64>().ok()?))
+    });
+    parsed.ok_or(format!("bad {flag} value `{v}` (need START..END)"))
+}
+
+fn query_arg(args: &[String]) -> Result<quickrec::ReplayQuery, String> {
+    use quickrec::ReplayQuery;
+    let mut chosen = Vec::new();
+    if let Some(v) = flag_value(args, "--range") {
+        let (start, end) = parse_span("--range", &v)?;
+        chosen.push(ReplayQuery::Range { start, end });
+    }
+    if let Some(v) = flag_value(args, "--thread") {
+        let tid: u32 = v.parse().map_err(|_| format!("bad --thread value `{v}`"))?;
+        chosen.push(ReplayQuery::Thread { tid: quickrec::ThreadId(tid) });
+    }
+    if let Some(v) = flag_value(args, "--window") {
+        let (start, end) = parse_span("--window", &v)?;
+        chosen.push(ReplayQuery::Window { start, end });
+    }
+    if let Some(v) = flag_value(args, "--before-divergence") {
+        let instructions: u64 =
+            v.parse().map_err(|_| format!("bad --before-divergence value `{v}`"))?;
+        chosen.push(ReplayQuery::BeforeDivergence { instructions });
+    }
+    if let Some(v) = flag_value(args, "--reverse-step") {
+        let events: u64 = v.parse().map_err(|_| format!("bad --reverse-step value `{v}`"))?;
+        chosen.push(ReplayQuery::ReverseStep { events });
+    }
+    match chosen.as_slice() {
+        [query] => Ok(*query),
+        [] => Err("query needs exactly one of --range, --thread, --window, \
+                   --before-divergence or --reverse-step"
+            .to_string()),
+        _ => Err("query takes exactly one of --range, --thread, --window, \
+                  --before-divergence or --reverse-step, not several"
+            .to_string()),
+    }
+}
+
+fn cmd_query(args: &[String]) -> Result<(), String> {
+    let pos = positional(args);
+    let [id] = pos.as_slice() else { return Err(usage()) };
+    let id: u64 = id.parse().map_err(|_| format!("bad session id `{id}`"))?;
+    let query = query_arg(args)?;
+    let max_events: u64 = match flag_value(args, "--max-events") {
+        None => 0,
+        Some(v) => v.parse().map_err(|_| format!("bad --max-events value `{v}`"))?,
+    };
+    let replay_id: u64 = match flag_value(args, "--replay-id") {
+        None => 0,
+        Some(v) => v.parse().map_err(|_| format!("bad --replay-id value `{v}`"))?,
+    };
+    let dry_run = has_flag(args, "--dry-run");
+    let mut client = connect(args)?;
+    let (cached, payload) =
+        client.query(id, query, dry_run, max_events, replay_id).map_err(|e| e.to_string())?;
+    if dry_run {
+        let plan = quickrec::QueryPlan::from_bytes(&payload).map_err(|e| e.to_string())?;
+        print!("{}", plan.render());
+        return Ok(());
+    }
+    let result = quickrec::QueryResult::from_bytes(&payload).map_err(|e| e.to_string())?;
+    if cached {
+        println!("(served from the idempotence cache, replay id {replay_id})");
+    }
+    println!(
+        "query: {} -> events [{}, {}) of session {id}",
+        result.query, result.start, result.end
+    );
+    const SHOWN: usize = 24;
+    for e in result.events.iter().take(SHOWN) {
+        println!(
+            "  event {:>6}  {:<8} {}  ts {:>8}  icount {:>6}  detail {}",
+            e.pos,
+            e.kind.label(),
+            e.tid,
+            e.timestamp.0,
+            e.icount,
+            e.detail
+        );
+    }
+    if result.events.len() > SHOWN {
+        println!("  ... {} more event(s)", result.events.len() - SHOWN);
+    }
+    if !result.console.is_empty() {
+        println!("console inside span:");
+        print!("{}", String::from_utf8_lossy(&result.console));
+    }
+    println!(
+        "{} event(s), {} instruction(s) re-executed; fingerprint {:016x}",
+        result.events.len(),
+        result.instructions,
+        result.fingerprint
+    );
+    if let Some(msg) = &result.diverged {
+        println!("replay diverged inside the span: {msg}");
+    }
+    Ok(())
 }
 
 fn cmd_jobs(args: &[String]) -> Result<(), String> {

@@ -64,7 +64,9 @@ pub use qr_isa::{Asm, Program};
 pub use qr_mem::{MemConfig, TsoMode};
 pub use qr_os::{run_native, OsConfig, RunOutcome};
 pub use qr_replay::{replay, replay_and_verify, replay_parallel, replay_parallel_and_verify,
-    ParallelReplayer, ReplayOutcome, Replayer};
+    timeline_descriptors, CheckpointIndex, EventDescriptor, EventKind, ParallelReplayer,
+    QueryEngine, QueryPlan, QueryResult, ReplayCheckpoint, ReplayOutcome, ReplayQuery, Replayer,
+    CHECKPOINT_INDEX_VERSION};
 pub use quickrec_core::{ChunkLog, ChunkPacket, Encoding, MrrConfig, TerminationReason};
 
 /// The SPLASH-2-style workload suite (re-exported from [`qr_workloads`]).

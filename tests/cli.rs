@@ -363,6 +363,98 @@ fn socket_exists(path: &str) -> bool {
 }
 
 #[test]
+fn daemon_time_travel_queries_cover_every_variant_dry_run_and_limits() {
+    let dir = scratch("query");
+    let socket = dir.join("qd.sock");
+    let socket = socket.to_str().unwrap();
+    let store = dir.join("store");
+    let prog = dir.join("prog.pasm");
+    std::fs::write(&prog, PROGRAM).expect("write program");
+
+    let mut server = Command::new(env!("CARGO_BIN_EXE_quickrec"))
+        .args(["serve", "--socket", socket, "--store", store.to_str().unwrap(), "--workers", "2"])
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn quickrec serve");
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+    while !socket_exists(socket) && std::time::Instant::now() < deadline {
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+
+    let out = quickrec(&["submit", "--socket", socket, prog.to_str().unwrap(), "--cores", "2"]);
+    assert!(out.status.success(), "submit failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Every query variant answers over the wire.
+    for variant in [
+        &["--range", "0..2"][..],
+        &["--thread", "0"][..],
+        &["--window", "0..4"][..],
+        &["--before-divergence", "8"][..],
+        &["--reverse-step", "1"][..],
+    ] {
+        let mut args = vec!["query", "--socket", socket, "1"];
+        args.extend_from_slice(variant);
+        let out = quickrec(&args);
+        assert!(
+            out.status.success(),
+            "query {variant:?} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("query:") && stdout.contains("fingerprint"), "{variant:?}: {stdout}");
+    }
+
+    // Dry run prints the plan — span, resume point, cost — and no result.
+    let out = quickrec(&["query", "--socket", socket, "1", "--range", "0..2", "--dry-run"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("plan: chunks 0..2"), "plan rendered: {stdout}");
+    assert!(stdout.contains("events to re-execute"), "cost rendered: {stdout}");
+    assert!(!stdout.contains("fingerprint"), "dry run must not execute: {stdout}");
+
+    // A query over the safety limit is refused with a clean nonzero
+    // exit; an out-of-range span is a structured error, not a panic.
+    let out = quickrec(&["query", "--socket", socket, "1", "--thread", "0", "--max-events", "1"]);
+    assert!(!out.status.success(), "over-limit query must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("exceeding max-events 1"), "limit named: {err}");
+    let out = quickrec(&["query", "--socket", socket, "1", "--window", "0..100000"]);
+    assert!(!out.status.success(), "out-of-range window must exit nonzero");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("beyond the recording"), "range fault named: {err}");
+
+    // Repeating a replay id is served from the idempotence cache.
+    let first = quickrec(&["query", "--socket", socket, "1", "--thread", "0", "--replay-id", "7"]);
+    assert!(first.status.success(), "{}", String::from_utf8_lossy(&first.stderr));
+    let repeat = quickrec(&["query", "--socket", socket, "1", "--thread", "0", "--replay-id", "7"]);
+    assert!(repeat.status.success(), "{}", String::from_utf8_lossy(&repeat.stderr));
+    let stdout = String::from_utf8_lossy(&repeat.stdout);
+    assert!(stdout.contains("idempotence cache"), "cache hit reported: {stdout}");
+
+    // Zero or several variants, and malformed spans, are usage errors.
+    for bad in [
+        &[][..],
+        &["--range", "0..2", "--thread", "0"][..],
+        &["--range", "2"][..],
+        &["--thread", "minus-one"][..],
+    ] {
+        let mut args = vec!["query", "--socket", socket, "1"];
+        args.extend_from_slice(bad);
+        let out = quickrec(&args);
+        assert!(!out.status.success(), "query {bad:?} should fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("query") || err.contains("bad --"), "{bad:?}: {err}");
+    }
+
+    let out = quickrec(&["shutdown", "--socket", socket]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let status = server.wait().expect("server exit");
+    assert!(status.success(), "daemon must exit cleanly after shutdown");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn salvage_replay_recovers_from_a_torn_log_where_strict_replay_refuses() {
     let dir = scratch("salvage");
     let (prog, logs) = recorded(&dir);

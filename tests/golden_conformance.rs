@@ -25,8 +25,8 @@ use qr_common::frame::{self, PayloadKind};
 use qr_common::{crc32, tomlmini, varint, QrError, SplitMix64};
 use quickrec::workloads::Scale;
 use quickrec::{
-    record, replay_and_verify, ChunkLog, Encoding, FormatManifest, Program, Recording,
-    RecordingConfig, RecordingParts, RecordingVersion,
+    record, replay_and_verify, CheckpointIndex, ChunkLog, Encoding, FormatManifest, Program,
+    QueryEngine, Recording, RecordingConfig, RecordingParts, RecordingVersion,
 };
 
 /// Same two-syscall program the CLI contract tests record: console
@@ -116,7 +116,30 @@ fn legacy_parts(rec: &Recording, encoding: Encoding) -> RecordingParts {
         inputs: rec.inputs.to_legacy_bytes(),
         footprints: None,
         format: None,
+        checkpoints: None,
     }
+}
+
+/// Checkpoint-index fixtures: (generator, encoding, checkpoint interval).
+const CHECKPOINT_FIXTURES: [(&str, Encoding, usize); 2] =
+    [("hello", Encoding::Delta, 4), ("fft2", Encoding::Raw, 16)];
+
+/// A recording's parts with a freshly built checkpoint index attached
+/// (and the format manifest rewritten to list it).
+fn checkpoint_parts(gen: &str, encoding: Encoding, interval: usize) -> RecordingParts {
+    let rec = recording_for(gen);
+    let program = generator_program(gen);
+    let index = CheckpointIndex::build(&program, rec, interval)
+        .unwrap_or_else(|e| panic!("building {gen} checkpoint index: {e}"));
+    let mut parts = rec.to_parts(encoding);
+    parts.attach_checkpoints(index.to_bytes()).expect("attach checkpoint index");
+    parts
+}
+
+/// Seek targets every checkpoint fixture pins: the start, an interior
+/// position, the last event, and one-past-the-end.
+fn checkpoint_seek_targets(timeline_len: usize) -> Vec<usize> {
+    vec![0, timeline_len / 3, timeline_len.saturating_sub(1), timeline_len]
 }
 
 fn copy_dir(src: &Path, dst: &Path) {
@@ -227,6 +250,11 @@ fn reject_fixtures() -> Vec<Reject> {
     trace_bad_kind.record(&[0x01]); // count record: 1 committed event
     trace_bad_kind.record(&[0x00, 0x07]); // seq 0, event-kind byte 7
 
+    let mut checkpoints_v99 = frame::Writer::new(PayloadKind::CheckpointIndex);
+    let mut payload = Vec::new();
+    varint::write_u64(&mut payload, 99);
+    checkpoints_v99.record(&payload);
+
     let bare_meta =
         frame::read(&parts.meta, PayloadKind::Meta, "meta").expect("framed meta")[0].to_vec();
     let mut meta_trailing = frame::Writer::new(PayloadKind::Meta);
@@ -290,6 +318,14 @@ fn reject_fixtures() -> Vec<Reject> {
             bytes: vec![200],
         },
         Reject {
+            name: "future-checkpoint-index",
+            file: "rejects/checkpoints-v99.qrc",
+            decoder: "checkpoint-index",
+            error_contains: "checkpoint index version 99".to_string(),
+            reason: "checkpoint indexes from a future layout are refused by version, not misread",
+            bytes: checkpoints_v99.finish(),
+        },
+        Reject {
             name: "meta-trailing-bytes",
             file: "rejects/meta-trailing.qrm",
             decoder: "recording",
@@ -308,6 +344,7 @@ fn run_decoder(decoder: &str, bytes: &[u8]) -> std::result::Result<(), QrError> 
         "store-manifest" => qr_store::Manifest::from_bytes(bytes).map(|_| ()),
         "trace" => qr_obs::trace::from_bytes(bytes).map(|_| ()),
         "wire-request" => qr_server::proto::decode_request(bytes).map(|_| ()),
+        "checkpoint-index" => CheckpointIndex::from_bytes(bytes).map(|_| ()),
         "recording" => {
             // The reject file replaces the meta of an otherwise-good
             // recording; the whole-recording decoder must refuse it.
@@ -337,7 +374,7 @@ fn maybe_regen() {
 
 fn regenerate() {
     let root = golden_root();
-    for sub in ["v3", "v1", "store", "trace", "wire", "rejects"] {
+    for sub in ["v3", "v1", "checkpoints", "store", "trace", "wire", "rejects"] {
         let dir = root.join(sub);
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).expect("create fixture subdir");
@@ -396,6 +433,38 @@ fn regenerate() {
                 salvage_count(&v1.chunks, cut),
             ));
         }
+    }
+
+    // Checkpoint-index fixtures: full recording directories with a
+    // `checkpoints.qrc` sidecar attached, plus pinned seek-result
+    // fingerprints (the time-travel compatibility promise).
+    for (gen, encoding, interval) in CHECKPOINT_FIXTURES {
+        let name = format!("{gen}-{}", encoding.name());
+        let parts = checkpoint_parts(gen, encoding, interval);
+        let dir = root.join("checkpoints").join(&name);
+        parts.save(&dir).expect("save checkpoint fixture");
+        let rec = recording_for(gen);
+        let program = generator_program(gen);
+        let engine = QueryEngine::new(&program, rec).expect("build query engine");
+        let targets = checkpoint_seek_targets(engine.timeline_len());
+        let fingerprints: Vec<String> = targets
+            .iter()
+            .map(|&t| {
+                let rp = engine.seek(t).expect("seek for pin");
+                format!("\"0x{:016x}\"", rp.partial_fingerprint())
+            })
+            .collect();
+        let index_bytes = parts.checkpoints.as_ref().expect("attached index");
+        manifest.push_str(&format!(
+            "\n[[checkpoint]]\nname = \"{name}\"\ngenerator = \"{gen}\"\nencoding = \"{}\"\n\
+             path = \"checkpoints/{name}\"\ninterval = {interval}\ntimeline_len = {}\n\
+             crc = \"0x{:08x}\"\nseek_targets = [{}]\nseek_fingerprints = [{}]\n",
+            encoding.name(),
+            engine.timeline_len(),
+            crc32::checksum(index_bytes),
+            targets.iter().map(|t| t.to_string()).collect::<Vec<_>>().join(", "),
+            fingerprints.join(", "),
+        ));
     }
 
     // Store: two committed entries, one per generator. The store layout
@@ -641,6 +710,87 @@ fn interrupted_migrations_always_recover() {
 }
 
 #[test]
+fn checkpoint_fixtures_seek_to_pinned_fingerprints() {
+    let doc = manifest_doc();
+    let sections = doc.sections_named("checkpoint");
+    assert_eq!(sections.len(), CHECKPOINT_FIXTURES.len());
+    for fx in sections {
+        let name = fx.require_str("name").unwrap();
+        let gen = fx.require_str("generator").unwrap();
+        let interval = fx.require_int("interval").unwrap() as usize;
+        let dir = golden_root().join(fx.require_str("path").unwrap());
+        let parts = RecordingParts::read(&dir).expect("read checkpoint fixture");
+        let index_bytes = parts.checkpoints.clone().expect("fixture has checkpoints.qrc");
+        assert_eq!(
+            crc32::checksum(&index_bytes),
+            parse_hex(fx.require_str("crc").unwrap()) as u32,
+            "{name}: checkpoints.qrc drifted from its pinned CRC"
+        );
+
+        // The rewritten format manifest must list the new payload kind.
+        let manifest = FormatManifest::from_bytes(parts.format.as_ref().expect("format manifest"))
+            .expect("decode manifest");
+        assert!(
+            manifest.payloads.contains(&PayloadKind::CheckpointIndex),
+            "{name}: manifest does not list the checkpoint index"
+        );
+
+        let rec = Recording::from_parts(&parts).expect("decode checkpoint fixture");
+        let program = generator_program(gen);
+
+        // Rebuilding the index from the logs is byte-identical: the
+        // sidecar is a pure function of the recording.
+        let rebuilt = CheckpointIndex::build(&program, &rec, interval).expect("rebuild index");
+        assert_eq!(rebuilt.to_bytes(), index_bytes, "{name}: index regeneration drifted");
+
+        // Every pinned seek target lands on the pinned fingerprint,
+        // both through the persisted index and from scratch.
+        let mut with_index = QueryEngine::new(&program, &rec).expect("engine");
+        assert!(with_index.attach_index_bytes(&index_bytes), "{name}: fixture index rejected");
+        let without_index = QueryEngine::new(&program, &rec).expect("engine");
+        let targets = fx.get("seek_targets").and_then(|v| v.as_array()).expect("seek_targets");
+        let pins = fx.get("seek_fingerprints").and_then(|v| v.as_array()).expect("pins");
+        assert_eq!(targets.len(), pins.len());
+        for (target, pin) in targets.iter().zip(pins) {
+            let target = target.as_int().expect("seek target") as usize;
+            let pin = parse_hex(pin.as_str().expect("fingerprint"));
+            for (engine, how) in [(&with_index, "indexed"), (&without_index, "from scratch")] {
+                let rp = engine.seek(target).expect("seek");
+                assert_eq!(rp.position(), target, "{name}@{target} ({how})");
+                assert_eq!(
+                    rp.partial_fingerprint(),
+                    pin,
+                    "{name}: {how} seek to {target} diverged from its pin"
+                );
+            }
+        }
+
+        // Out of range: a structured error, never a panic.
+        let len = fx.require_int("timeline_len").unwrap() as usize;
+        let err = with_index.seek(len + 1).expect_err("out-of-range seek");
+        assert!(matches!(err, QrError::InvalidConfig(_)), "{name}: {err:?}");
+
+        // `quickrec migrate` treats the sidecar-bearing recording as
+        // current (byte-level no-op, sidecar preserved) and treats an
+        // index-less copy as equally valid: the index is optional and
+        // regenerable, never required.
+        let tmp = scratch(&format!("ckpt-{name}"));
+        let with_dir = tmp.join("with-index");
+        copy_dir(&dir, &with_dir);
+        let report = quickrec::migrate::migrate(&with_dir).expect("migrate with index");
+        assert!(!report.changed, "{name}: migrate rewrote a current recording");
+        assert_eq!(dir_snapshot(&with_dir), dir_snapshot(&dir), "{name}: migrate changed bytes");
+        let stripped_dir = tmp.join("index-less");
+        copy_dir(&dir, &stripped_dir);
+        std::fs::remove_file(stripped_dir.join("checkpoints.qrc")).expect("strip index");
+        let report = quickrec::migrate::migrate(&stripped_dir).expect("migrate index-less");
+        assert!(!report.changed, "{name}: index-less recording is not treated as current");
+        Recording::load(&stripped_dir).expect("index-less recording loads");
+        std::fs::remove_dir_all(&tmp).ok();
+    }
+}
+
+#[test]
 fn store_entries_fetch_byte_identical_parts() {
     let doc = manifest_doc();
     // Copy the committed store first: opening a store is allowed to sweep
@@ -793,6 +943,7 @@ fn every_payload_kind_is_covered_by_a_fixture() {
             PayloadKind::StoreManifest => root.join("store/rec-00000001/manifest.qrs"),
             PayloadKind::TraceJournal => root.join("trace/hello.qrt"),
             PayloadKind::FormatManifest => root.join("v3/hello-raw/format.qrv"),
+            PayloadKind::CheckpointIndex => root.join("checkpoints/hello-delta/checkpoints.qrc"),
         };
         let bytes = std::fs::read(&covering).unwrap_or_else(|e| {
             panic!("no golden fixture covers {}: {} ({e})", kind.name(), covering.display())

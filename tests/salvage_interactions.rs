@@ -5,9 +5,9 @@
 //! conflict-dependency scheduler (which must instead *fall back* to
 //! serial when the footprint sidecar itself lost its tail).
 
-use qr_replay::{salvage_replay_dir, ParallelReplayer, Replayer};
+use qr_replay::{salvage_replay_dir, CheckpointIndex, ParallelReplayer, QueryEngine, ReplayQuery, Replayer};
 use quickrec::workloads::{find, Scale};
-use quickrec::{record, Encoding, Program, Recording, RecordingConfig};
+use quickrec::{record, Encoding, Program, Recording, RecordingConfig, RecordingParts};
 
 fn recorded() -> (Program, Recording) {
     let spec = find("lu").expect("lu exists");
@@ -86,6 +86,39 @@ fn a_salvage_survivor_replays_in_parallel_when_footprints_survive() {
     assert_eq!(parallel.exit_code, serial.exit_code);
     assert_eq!(parallel.instructions, serial.instructions);
     parallel.verify_against(&salvaged).unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn a_salvage_survivor_keeps_its_seek_index_and_a_torn_one_degrades() {
+    let (program, recording) = recorded();
+    let index = CheckpointIndex::build(&program, &recording, 8).unwrap();
+    let dir = saved(&recording, "timetravel");
+    std::fs::write(dir.join(Recording::CHECKPOINTS_FILE), index.to_bytes()).unwrap();
+    append_garbage(&dir);
+
+    // The tear cost only the appended garbage, so the survivor still
+    // carries the recorded fingerprint and the persisted index binds.
+    let (salvaged, recovery) = Recording::load_salvaged(&dir).unwrap();
+    assert!(!recovery.is_clean());
+    let sidecar = RecordingParts::read(&dir).unwrap().checkpoints.expect("sidecar survives");
+    let scratch = QueryEngine::new(&program, &salvaged).unwrap();
+    let mut engine = QueryEngine::new(&program, &salvaged).unwrap();
+    assert!(engine.attach_index_bytes(&sidecar), "survivor keeps its seek index");
+    let query = ReplayQuery::ReverseStep { events: 4 };
+    let indexed = engine.execute(query, None).unwrap();
+    assert_eq!(
+        indexed.to_bytes(),
+        scratch.execute(query, None).unwrap().to_bytes(),
+        "indexed query over a salvage survivor matches scratch bit for bit"
+    );
+
+    // A tear through the sidecar itself must not take queries down:
+    // attach refuses, the engine silently answers from scratch.
+    let mut degraded = QueryEngine::new(&program, &salvaged).unwrap();
+    assert!(!degraded.attach_index_bytes(&sidecar[..sidecar.len() / 2]));
+    assert!(!degraded.has_index());
+    assert_eq!(degraded.execute(query, None).unwrap().to_bytes(), indexed.to_bytes());
     std::fs::remove_dir_all(&dir).ok();
 }
 
