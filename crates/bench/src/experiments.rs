@@ -14,7 +14,7 @@ use qr_capo::{InputEvent, RecordingConfig};
 use qr_common::QrError;
 use qr_mem::TsoMode;
 use qr_workloads::{suite, Scale, WorkloadSpec};
-use quickrec_core::{Encoding, MrrConfig, TerminationReason};
+use quickrec_core::{Encoding, MrrConfig, OrderMode, TerminationReason};
 
 /// Every deterministic experiment id, in report order (`repro all`).
 pub const ALL_IDS: [&str; 22] = [
@@ -26,7 +26,7 @@ pub const ALL_IDS: [&str; 22] = [
 /// `repro all` — their numbers vary run to run, so including them would
 /// break the harness guarantee that parallel output is byte-identical
 /// to `--serial` — and must be invoked explicitly (like `cargo bench`).
-pub const WALL_CLOCK_IDS: [&str; 3] = ["e10b", "e13", "e14"];
+pub const WALL_CLOCK_IDS: [&str; 4] = ["e10b", "e13", "e14", "e15"];
 
 /// What an experiment prints after its table.
 enum Footer {
@@ -74,6 +74,7 @@ pub fn plan(id: &str) -> Option<Experiment> {
         "e12" => e12(),
         "e13" => e13(),
         "e14" => e14(),
+        "e15" => e15(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),
@@ -589,6 +590,7 @@ fn e10b() -> Experiment {
                     threads: 2,
                     scale: Scale::Small,
                     encoding: Encoding::Delta,
+                    order: OrderMode::TotalOrder,
                 })? {
                     Response::Submitted { id } => ids.push(id),
                     other => {
@@ -1190,6 +1192,223 @@ fn e14() -> Experiment {
         footer: Footer::Static(
             "(the interval trades sidecar bytes for seek latency: smaller intervals re-execute \
              fewer events per seek but persist more snapshots — see DESIGN.md, decision 12)",
+        ),
+    }
+}
+
+/// E15 — ordering-log cost versus core count: the bytes each ordering
+/// authority needs per recorded instruction as the same 16-thread
+/// workloads run on a machine growing from 2 to 16 cores. Total order
+/// serializes the global chunk timestamps (delta-varint over the
+/// replay schedule, the minimal encoding of that authority); partial
+/// order serializes `order.qrp` — explicit happens-before edges only.
+/// More cores mean more concurrency and therefore more chunk splits —
+/// every one of which needs a timestamp — while the edge set tracks
+/// the program's actual communication, which core count does not
+/// change.
+///
+/// Wall-clock (see [`WALL_CLOCK_IDS`]) because it also reports record
+/// wall time, so it is invoked explicitly. Writes a machine-readable
+/// summary to `BENCH_order.json` (path overridable via
+/// `QR_BENCH_JSON`). Like e13/e14, the run *fails* only on
+/// deterministic gates — a partial-order replay fingerprint diverging
+/// from the total-order replay of the same seeded execution, or the
+/// partial-order bytes/instr growing 2→16 cores at least as fast as
+/// the total-order bytes/instr — never on a time threshold, so CI
+/// stays immune to host-load flake.
+fn e15() -> Experiment {
+    let job: Job = Box::new(|cache: &BuildCache| {
+        use qr_common::varint;
+
+        let core_counts = [2usize, 4, 8, 16];
+        let threads = 16usize;
+        let names = ["fft", "lu", "radix"];
+
+        struct Point {
+            cores: usize,
+            instructions: u64,
+            total_bytes: usize,
+            partial_bytes: usize,
+            edges: usize,
+            total_ms: f64,
+            partial_ms: f64,
+            drift: u64,
+        }
+        let mut points = Vec::new();
+        let mut cases = 0u64;
+        let mut first_drift = String::new();
+
+        for cores in core_counts {
+            let mut point = Point {
+                cores,
+                instructions: 0,
+                total_bytes: 0,
+                partial_bytes: 0,
+                edges: 0,
+                total_ms: 0.0,
+                partial_ms: 0.0,
+                drift: 0,
+            };
+            for name in names {
+                let spec = qr_workloads::suite::find(name).expect("suite member");
+                let program = cache.program(&spec, threads, Scale::Small)?;
+
+                let started = std::time::Instant::now();
+                let total =
+                    record_workload_with(cache, &spec, threads, Scale::Small, RecordingConfig::with_cores(cores))?;
+                point.total_ms += started.elapsed().as_secs_f64() * 1e3;
+
+                let mut cfg = RecordingConfig::with_cores(cores);
+                cfg.order = OrderMode::PartialOrder;
+                let started = std::time::Instant::now();
+                let partial = record_workload_with(cache, &spec, threads, Scale::Small, cfg)?;
+                point.partial_ms += started.elapsed().as_secs_f64() * 1e3;
+
+                // Total-order ordering bytes: the global timestamps in
+                // schedule order, delta-varint coded.
+                let mut ts_bytes = Vec::new();
+                let mut prev = 0u64;
+                for packet in total.chunks.replay_schedule()? {
+                    varint::write_u64(&mut ts_bytes, packet.timestamp.0 - prev);
+                    prev = packet.timestamp.0;
+                }
+                let order = partial.order.as_ref().expect("partial-order recording");
+                point.instructions += total.instructions;
+                point.total_bytes += ts_bytes.len();
+                point.partial_bytes += order.byte_size();
+                point.edges += order.edges().len();
+
+                // Drift gate: the partial-order replay must land on the
+                // total-order fingerprint of the same seeded execution.
+                cases += 1;
+                let serial = qr_replay::replay(&program, &total)?;
+                match qr_replay::replay_ordered_and_verify(&program, &partial, 2) {
+                    Ok(outcome) if outcome.fingerprint == serial.fingerprint => {}
+                    Ok(outcome) => {
+                        point.drift += 1;
+                        if first_drift.is_empty() {
+                            first_drift = format!(
+                                "{name}@{cores}c: ordered fingerprint {:#018x} != total {:#018x}",
+                                outcome.fingerprint, serial.fingerprint
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        point.drift += 1;
+                        if first_drift.is_empty() {
+                            first_drift = format!("{name}@{cores}c: ordered replay failed: {e}");
+                        }
+                    }
+                }
+            }
+            points.push(point);
+        }
+
+        let per_kinstr = |bytes: usize, instr: u64| 1e3 * bytes as f64 / instr.max(1) as f64;
+        let drift: u64 = points.iter().map(|p| p.drift).sum();
+
+        // Growth gate: scaling 2→16 cores must cost partial order
+        // strictly less relative byte growth than total order. Both
+        // series are deterministic (seeded executions), so this gate is
+        // as replayable as the fingerprint one.
+        let growth = |bytes: fn(&Point) -> usize| {
+            let lo = &points[0];
+            let hi = &points[points.len() - 1];
+            per_kinstr(bytes(hi), hi.instructions) / per_kinstr(bytes(lo), lo.instructions)
+        };
+        let total_growth = growth(|p| p.total_bytes);
+        let partial_growth = growth(|p| p.partial_bytes);
+        let growth_ok = partial_growth < total_growth;
+
+        let mut out = JobOutput::default();
+        for p in &points {
+            out.rows.push(vec![
+                p.cores.to_string(),
+                format!("{} ({:.2})", p.total_bytes, per_kinstr(p.total_bytes, p.instructions)),
+                format!("{} ({:.2})", p.partial_bytes, per_kinstr(p.partial_bytes, p.instructions)),
+                p.edges.to_string(),
+                format!("{:.2}x", p.partial_bytes as f64 / p.total_bytes.max(1) as f64),
+                format!("{:.0}/{:.0}", p.total_ms, p.partial_ms),
+                if p.drift == 0 { "PASS".into() } else { format!("{} DRIFT", p.drift) },
+            ]);
+        }
+        out.rows.push(vec![
+            "growth 2→16".into(),
+            format!("{total_growth:.2}x"),
+            format!("{partial_growth:.2}x"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            if growth_ok { "PASS".into() } else { "FAIL".into() },
+        ]);
+
+        // Machine-readable summary, hand-rolled JSON (no external crates).
+        let json_path =
+            std::env::var("QR_BENCH_JSON").unwrap_or_else(|_| "BENCH_order.json".into());
+        let point_fields = points
+            .iter()
+            .map(|p| {
+                format!(
+                    "    {{\n      \"cores\": {},\n      \"instructions\": {},\n      \
+                     \"total_order_bytes\": {},\n      \"total_order_bytes_per_kinstr\": \
+                     {:.4},\n      \"partial_order_bytes\": {},\n      \
+                     \"partial_order_bytes_per_kinstr\": {:.4},\n      \"edges\": {},\n      \
+                     \"record_ms_total_order\": {:.1},\n      \"record_ms_partial_order\": \
+                     {:.1},\n      \"drift\": {}\n    }}",
+                    p.cores,
+                    p.instructions,
+                    p.total_bytes,
+                    per_kinstr(p.total_bytes, p.instructions),
+                    p.partial_bytes,
+                    per_kinstr(p.partial_bytes, p.instructions),
+                    p.edges,
+                    p.total_ms,
+                    p.partial_ms,
+                    p.drift,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!(
+            "{{\n  \"experiment\": \"e15\",\n  \"workloads\": [\"fft\", \"lu\", \"radix\"],\n  \
+             \"threads\": 16,\n  \
+             \"core_counts\": [2, 4, 8, 16],\n  \"points\": [\n{point_fields}\n  ],\n  \
+             \"growth_2_to_16\": {{\n    \"total_order\": {total_growth:.4},\n    \
+             \"partial_order\": {partial_growth:.4},\n    \"partial_grows_slower\": {growth_ok}\n  \
+             }},\n  \"drift\": {{\n    \"cases\": {cases},\n    \"drift\": {drift}\n  }}\n}}\n",
+        );
+        std::fs::write(&json_path, json).map_err(|e| QrError::Execution {
+            detail: format!("writing {json_path}: {e}"),
+        })?;
+
+        if drift > 0 {
+            return Err(QrError::Execution {
+                detail: format!("ordering drift ({drift}/{cases}): {first_drift}"),
+            });
+        }
+        if !growth_ok {
+            return Err(QrError::Execution {
+                detail: format!(
+                    "partial-order bytes/instr grew {partial_growth:.2}x from 2 to 16 cores, \
+                     total order only {total_growth:.2}x"
+                ),
+            });
+        }
+        Ok(out)
+    });
+    Experiment {
+        id: "e15",
+        title: "ordering-log bytes vs core count: total order vs partial order",
+        note: "bytes column shows total (bytes/kinstr); wall times vary with the host; the \
+         drift and growth columns are the only pass/fail signals (summary written to \
+         BENCH_order.json, QR_BENCH_JSON to override)",
+        header: vec!["cores".into(), "total-order B".into(), "partial-order B".into(),
+            "edges".into(), "partial/total".into(), "rec ms t/p".into(), "gate".into()],
+        jobs: vec![job],
+        footer: Footer::Static(
+            "(total order serializes every chunk's global timestamp; partial order only the \
+             happens-before edges that constrain replay, so its cost tracks actual sharing, \
+             not core count)",
         ),
     }
 }

@@ -25,7 +25,7 @@ use qr_capo::{InputLog, InputSalvage, Recording, RecoveryInfo};
 use qr_common::{frame, Fingerprint, QrError, Result, SplitMix64};
 use qr_isa::Program;
 use qr_workloads::{Scale, WorkloadSpec};
-use quickrec_core::{ChunkLog, Encoding, SalvagedPackets};
+use quickrec_core::{ChunkLog, Encoding, OrderLog, OrderMode, SalvagedPackets};
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -173,6 +173,24 @@ pub fn job_seed(parts: &[&str]) -> u64 {
     fp.digest()
 }
 
+/// Which serialized log a fuzz case damages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Target {
+    Chunks,
+    Inputs,
+    Order,
+}
+
+impl Target {
+    fn label(self) -> &'static str {
+        match self {
+            Target::Chunks => "chunk",
+            Target::Inputs => "input",
+            Target::Order => "order",
+        }
+    }
+}
+
 /// What the clean (unmutated) execution produced — the reference every
 /// salvaged prefix is checked against.
 struct CleanBaseline {
@@ -218,14 +236,87 @@ fn clean_input_salvage() -> InputSalvage {
 /// replay neither verifies exactly nor errors structurally — is an
 /// error. Panics inside decode or replay propagate and fail the
 /// harness, which is the "never panics" half of the contract.
+/// Runs one fuzz case against the `order.qrp` sidecar: strict decode
+/// must reject or accept structurally, salvage must recover a clean
+/// *prefix* of the recorded edge set, and an ordered replay under the
+/// (possibly weaker) salvaged constraints must either verify exactly or
+/// refuse with a structured error — never panic, never silently
+/// diverge.
+fn check_order_case(
+    program: &Program,
+    recording: &Recording,
+    mutated: &[u8],
+    original: &[u8],
+) -> Result<CaseOutcome> {
+    let violation = |detail: String| QrError::Execution { detail };
+    let clean = recording.order.as_ref().expect("order campaign needs a partial-order recording");
+
+    // Strict decode: must fail structurally or succeed — panics abort.
+    let strict = OrderLog::from_bytes(mutated);
+    let rejected = strict.is_err();
+
+    // Salvage: never fails, and strict/salvage verdicts always agree
+    // (the order log has no legacy routing).
+    let (salvaged, info) = OrderLog::salvage_from_bytes(mutated);
+    if rejected != info.corruption.is_some() {
+        return Err(violation(format!(
+            "strict decode ({}) and salvage ({}) disagree",
+            if rejected { "rejected" } else { "accepted" },
+            if info.corruption.is_some() { "corrupt" } else { "intact" },
+        )));
+    }
+
+    // Prefix contract: salvage may only drop edges from the tail, never
+    // invent or reorder them, and a surviving header matches the clean
+    // thread map exactly.
+    if !clean.edges().starts_with(salvaged.edges()) {
+        return Err(violation(format!(
+            "salvaged {} edge(s) are not a prefix of the clean {}",
+            salvaged.edges().len(),
+            clean.edges().len()
+        )));
+    }
+    if !salvaged.threads().is_empty() && salvaged.threads() != clean.threads() {
+        return Err(violation("salvaged thread map differs from the clean header".into()));
+    }
+    if !rejected && mutated == original && salvaged.edges() != clean.edges() {
+        return Err(violation("no-op mutation lost edges".into()));
+    }
+
+    // Replay contract: ordered replay under the salvaged constraint set
+    // either reproduces the recorded outcome exactly or errors
+    // structurally (a dropped binding edge surfaces as a divergence).
+    let mut damaged = recording.clone();
+    damaged.order = Some(salvaged.clone());
+    let replayed_exact =
+        match qr_replay::replay_ordered(program, &damaged, 2).map(|o| o.verify_against(recording)) {
+            Ok(Ok(())) => true,
+            Ok(Err(_)) | Err(_) => false,
+        };
+    if !rejected && mutated == original && !replayed_exact {
+        return Err(violation("no-op mutation did not replay exactly".into()));
+    }
+
+    let salvaged_fraction = if clean.edges().is_empty() {
+        1.0
+    } else {
+        salvaged.edges().len() as f64 / clean.edges().len() as f64
+    };
+    Ok(CaseOutcome { rejected, salvaged_fraction })
+}
+
 fn check_case(
     program: &Program,
     recording: &Recording,
     clean: &CleanBaseline,
-    target_chunks: bool,
+    target: Target,
     mutated: &[u8],
     original: &[u8],
 ) -> Result<CaseOutcome> {
+    if target == Target::Order {
+        return check_order_case(program, recording, mutated, original);
+    }
+    let target_chunks = target == Target::Chunks;
     let violation = |detail: String| QrError::Execution { detail };
 
     // Strict decode: must fail structurally or succeed — panics abort.
@@ -252,11 +343,11 @@ fn check_case(
     let recovery = if target_chunks {
         let (chunks, info) = ChunkLog::salvage_from_bytes(mutated);
         damaged.chunks = chunks;
-        RecoveryInfo { chunks: info, inputs: clean_input_salvage() }
+        RecoveryInfo { chunks: info, inputs: clean_input_salvage(), order: None }
     } else {
         let (inputs, info) = InputLog::salvage_from_bytes(mutated);
         damaged.inputs = inputs;
-        RecoveryInfo { chunks: clean_chunk_salvage(), inputs: info }
+        RecoveryInfo { chunks: clean_chunk_salvage(), inputs: info, order: None }
     };
     let flagged = recovery.chunks.corruption.is_some() || recovery.inputs.corruption.is_some();
     if !routed_legacy && rejected != flagged {
@@ -346,7 +437,12 @@ pub fn fuzz_job(
 ) -> Result<JobOutput> {
     let threads = 2;
     let program = cache.program(spec, threads, Scale::Test)?;
-    let recording = record_workload_with(cache, spec, threads, Scale::Test, full_cfg(threads))?;
+    // Record in partial-order mode so the campaign covers all three
+    // serialized logs; the chunk and input bytes are unaffected by the
+    // mode (the equivalence battery pins that).
+    let mut cfg = full_cfg(threads);
+    cfg.order = OrderMode::PartialOrder;
+    let recording = record_workload_with(cache, spec, threads, Scale::Test, cfg)?;
     let clean = CleanBaseline {
         console: recording.console.clone(),
         instructions: recording.instructions,
@@ -354,23 +450,32 @@ pub fn fuzz_job(
     };
     let chunk_bytes = recording.chunks.to_bytes(encoding);
     let input_bytes = recording.inputs.to_bytes();
+    let order_bytes = recording.order.as_ref().expect("partial-order recording").to_bytes();
 
     let seed = job_seed(&["r1", spec.name, encoding.name(), mutator.name()]);
     let mut rng = SplitMix64::new(seed);
     let mut rejected = 0usize;
     let mut fraction_sum = 0.0f64;
     for case in 0..cases {
-        let target_chunks = rng.chance(1, 2);
-        let original = if target_chunks { &chunk_bytes } else { &input_bytes };
+        let target = match rng.below(3) {
+            0 => Target::Chunks,
+            1 => Target::Inputs,
+            _ => Target::Order,
+        };
+        let original = match target {
+            Target::Chunks => &chunk_bytes,
+            Target::Inputs => &input_bytes,
+            Target::Order => &order_bytes,
+        };
         let mutated = mutator.apply(original, &mut rng);
-        let outcome = check_case(&program, &recording, &clean, target_chunks, &mutated, original)
+        let outcome = check_case(&program, &recording, &clean, target, &mutated, original)
             .map_err(|e| QrError::Execution {
                 detail: format!(
                     "{}/{}/{} case {case}/{cases} (seed {seed:#018x}, {} log): {e}",
                     spec.name,
                     encoding.name(),
                     mutator.name(),
-                    if target_chunks { "chunk" } else { "input" },
+                    target.label(),
                 ),
             })?;
         rejected += outcome.rejected as usize;

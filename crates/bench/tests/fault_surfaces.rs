@@ -8,7 +8,7 @@
 use qr_bench::fault::{job_seed, Mutator};
 use qr_common::{QrError, SplitMix64};
 use qr_server::proto::{self, Request, Response};
-use quickrec_core::Encoding;
+use quickrec_core::{Encoding, OrderMode};
 use std::io::Cursor;
 
 const CASES_PER_SURFACE: usize = 400;
@@ -23,12 +23,14 @@ fn wire_corpus() -> Vec<Vec<u8>> {
             threads: 4,
             scale: qr_workloads::Scale::Small,
             encoding: Encoding::Delta,
+            order: OrderMode::TotalOrder,
         },
         Request::SubmitProgram {
             name: "prog".into(),
             source: ".entry main\n.text\nmain: movi r0, 1\nsyscall\n".into(),
             cores: 2,
             encoding: Encoding::Packed,
+            order: OrderMode::TotalOrder,
         },
         Request::Jobs,
         Request::Stats,

@@ -9,13 +9,14 @@
 //! and so `quickrec migrate` can state precisely what it upgraded from
 //! and to.
 //!
-//! Three recording-format generations exist (see `docs/TRACE_FORMAT.md`):
+//! Four recording-format generations exist (see `docs/TRACE_FORMAT.md`):
 //!
 //! | Version | Shape |
 //! |---|---|
 //! | v1 | legacy: bare `QRM1` meta blob, unframed tag-prefixed logs, no footprints |
 //! | v2 | all files framed (`QRCF`), optional footprint sidecar, no `format.qrv` |
-//! | v3 | v2 plus this manifest (current) |
+//! | v3 | v2 plus this manifest (the default generation) |
+//! | v4 | v3 plus the `order.qrp` partial-order sidecar (`--order partial` only) |
 //!
 //! The manifest itself is one CRC-32-protected record in a framed
 //! container of kind [`PayloadKind::FormatManifest`]:
@@ -29,8 +30,14 @@ use qr_common::frame::{self, PayloadKind};
 use qr_common::{varint, QrError, Result};
 use quickrec_core::Encoding;
 
-/// The recording-format generation current code writes.
+/// The recording-format generation current code writes by default.
+/// Total-order recordings stay at this generation so their bytes are
+/// unchanged by the existence of partial-order recording.
 pub const RECORDING_FORMAT_VERSION: u64 = 3;
+
+/// The generation written for partial-order recordings: v3 plus the
+/// `order.qrp` sidecar listed in the manifest's payload set.
+pub const PARTIAL_ORDER_FORMAT_VERSION: u64 = 4;
 
 /// The shape of a saved recording, as detected from its file set.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -39,17 +46,22 @@ pub enum RecordingVersion {
     V1Legacy,
     /// Framed layout without a format manifest.
     V2Framed,
-    /// Current layout: framed files plus `format.qrv`.
+    /// Default current layout: framed files plus `format.qrv`.
     V3,
+    /// Partial-order layout: v3 plus the `order.qrp` sidecar.
+    V4,
 }
 
 impl RecordingVersion {
     /// Detects the format generation of a saved recording from the shape
-    /// of its file set: a `format.qrv` means v3, all-framed core files
-    /// mean v2, anything unframed means v1. Detection is structural only
-    /// — it does not validate the files' contents.
+    /// of its file set: an `order.qrp` means v4, a `format.qrv` alone
+    /// means v3, all-framed core files mean v2, anything unframed means
+    /// v1. Detection is structural only — it does not validate the
+    /// files' contents.
     pub fn detect(parts: &crate::recording::RecordingParts) -> RecordingVersion {
-        if parts.format.is_some() {
+        if parts.order.is_some() {
+            RecordingVersion::V4
+        } else if parts.format.is_some() {
             RecordingVersion::V3
         } else if frame::is_framed(&parts.meta)
             && frame::is_framed(&parts.chunks)
@@ -67,6 +79,7 @@ impl RecordingVersion {
             RecordingVersion::V1Legacy => 1,
             RecordingVersion::V2Framed => 2,
             RecordingVersion::V3 => 3,
+            RecordingVersion::V4 => 4,
         }
     }
 }
@@ -112,6 +125,18 @@ impl FormatManifest {
         }
     }
 
+    /// Upgrades the manifest to the partial-order generation: the
+    /// `order.qrp` sidecar joins the payload list and the version becomes
+    /// [`PARTIAL_ORDER_FORMAT_VERSION`].
+    pub fn with_order(mut self) -> FormatManifest {
+        if !self.payloads.contains(&PayloadKind::OrderLog) {
+            self.payloads.push(PayloadKind::OrderLog);
+            self.payloads.sort_by_key(|k| k.code());
+        }
+        self.version = PARTIAL_ORDER_FORMAT_VERSION;
+        self
+    }
+
     /// Serializes the manifest as a framed single-record container.
     pub fn to_bytes(&self) -> Vec<u8> {
         let mut payload = Vec::with_capacity(8 + self.payloads.len());
@@ -155,9 +180,9 @@ impl FormatManifest {
         let (version, n) =
             varint::read_u64(payload).map_err(|e| corrupt(off, e.to_string()))?;
         off += n;
-        if version > RECORDING_FORMAT_VERSION {
+        if version > PARTIAL_ORDER_FORMAT_VERSION {
             return Err(QrError::Unsupported(format!(
-                "recording format version {version} (newest supported {RECORDING_FORMAT_VERSION})"
+                "recording format version {version} (newest supported {PARTIAL_ORDER_FORMAT_VERSION})"
             )));
         }
         if version < RECORDING_FORMAT_VERSION {
@@ -200,6 +225,18 @@ impl FormatManifest {
         if off != payload.len() {
             return Err(corrupt(off, format!("{} trailing bytes", payload.len() - off)));
         }
+        // The version and the payload list must agree: v4 is *defined*
+        // by the presence of the ordering sidecar.
+        let has_order = payloads.contains(&PayloadKind::OrderLog);
+        if (version == PARTIAL_ORDER_FORMAT_VERSION) != has_order {
+            return Err(corrupt(
+                0,
+                format!(
+                    "format version {version} contradicts its payload list ({} order log)",
+                    if has_order { "has" } else { "no" }
+                ),
+            ));
+        }
         Ok(FormatManifest { version, container, encoding, payloads })
     }
 }
@@ -233,7 +270,35 @@ mod tests {
             panic!("expected Unsupported, got {err}");
         };
         assert!(msg.contains("version 99"), "{msg}");
-        assert!(msg.contains("newest supported 3"), "{msg}");
+        assert!(msg.contains("newest supported 4"), "{msg}");
+    }
+
+    #[test]
+    fn with_order_bumps_to_v4_and_round_trips() {
+        for encoding in Encoding::ALL {
+            let m = FormatManifest::current(encoding, true).with_order();
+            assert_eq!(m.version, PARTIAL_ORDER_FORMAT_VERSION);
+            assert!(m.payloads.contains(&PayloadKind::OrderLog));
+            let codes: Vec<u8> = m.payloads.iter().map(|k| k.code()).collect();
+            assert!(codes.windows(2).all(|w| w[0] < w[1]), "payloads sorted: {codes:?}");
+            assert_eq!(FormatManifest::from_bytes(&m.to_bytes()).unwrap(), m);
+            // Idempotent.
+            assert_eq!(m.clone().with_order(), m);
+        }
+    }
+
+    #[test]
+    fn version_payload_contradictions_are_corrupt() {
+        // v4 without the order payload.
+        let mut m = FormatManifest::current(Encoding::Delta, true);
+        m.version = PARTIAL_ORDER_FORMAT_VERSION;
+        let err = FormatManifest::from_bytes(&m.to_bytes()).unwrap_err();
+        assert!(matches!(err, QrError::Corrupt { .. }), "{err}");
+        // v3 claiming the order payload.
+        let mut m = FormatManifest::current(Encoding::Delta, true).with_order();
+        m.version = RECORDING_FORMAT_VERSION;
+        let err = FormatManifest::from_bytes(&m.to_bytes()).unwrap_err();
+        assert!(matches!(err, QrError::Corrupt { .. }), "{err}");
     }
 
     #[test]
@@ -273,5 +338,6 @@ mod tests {
         assert_eq!(RecordingVersion::V1Legacy.to_string(), "v1");
         assert_eq!(RecordingVersion::V2Framed.number(), 2);
         assert_eq!(RecordingVersion::V3.number(), RECORDING_FORMAT_VERSION);
+        assert_eq!(RecordingVersion::V4.number(), PARTIAL_ORDER_FORMAT_VERSION);
     }
 }

@@ -32,7 +32,7 @@ pub mod recording;
 pub mod session;
 pub mod sphere;
 
-pub use format::{FormatManifest, RecordingVersion, RECORDING_FORMAT_VERSION};
+pub use format::{FormatManifest, RecordingVersion, PARTIAL_ORDER_FORMAT_VERSION, RECORDING_FORMAT_VERSION};
 pub use input_log::{InputEvent, InputLog, InputSalvage};
 pub use migrate::{migrate, CrashPoint, MigrateReport};
 pub use overhead::{OverheadBreakdown, OverheadModel};

@@ -166,13 +166,19 @@ pub fn migrate_with_crash(dir: &Path, crash: Option<CrashPoint>) -> Result<Migra
     // Strict decode: migration refuses recordings it cannot fully and
     // faithfully re-encode.
     let recording = Recording::from_parts(&parts)?;
-    if from == RecordingVersion::V3 {
+    if matches!(from, RecordingVersion::V3 | RecordingVersion::V4) {
+        // Both current generations (v4 is v3 plus the partial-order
+        // sidecar) verify in place without touching a byte.
         let manifest = FormatManifest::from_bytes(
-            parts.format.as_deref().expect("v3 detection implies format.qrv"),
+            parts.format.as_deref().ok_or_else(|| QrError::Corrupt {
+                what: "recording file set".into(),
+                offset: 0,
+                detail: format!("{from} recording is missing format.qrv"),
+            })?,
         )?;
         return Ok(MigrateReport {
             from,
-            to: RecordingVersion::V3,
+            to: from,
             changed: false,
             encoding: manifest.encoding,
             fingerprint: recording.fingerprint,
@@ -273,6 +279,7 @@ mod tests {
             fingerprint: 0xfeed_beef,
             recorder_stats: Default::default(),
             overhead: Default::default(),
+            order: None,
         }
     }
 
@@ -288,6 +295,8 @@ mod tests {
             inputs: rec.inputs.to_legacy_bytes(),
             footprints: None,
             format: None,
+            checkpoints: None,
+            order: None,
         }
     }
 

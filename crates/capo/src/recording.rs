@@ -1,13 +1,17 @@
 //! Recording configuration and the recording artifact.
 
-use crate::input_log::{InputLog, InputSalvage};
+use crate::input_log::{InputEvent, InputLog, InputSalvage};
 use crate::overhead::{OverheadBreakdown, OverheadModel};
 use qr_common::frame::{self, PayloadKind};
 use qr_common::{QrError, Result};
 use qr_cpu::CpuConfig;
 use qr_mem::TsoMode;
 use qr_os::OsConfig;
-use quickrec_core::{ChunkLog, FootprintLog, MrrConfig, RecorderStats, SalvagedPackets};
+use quickrec_core::po::{self, DeriveStats, PoEvent};
+use quickrec_core::{
+    ChunkLog, FootprintLog, MrrConfig, OrderLog, OrderMode, OrderSalvage, RecorderStats,
+    SalvagedPackets,
+};
 
 /// How much of the recording stack is active.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,6 +40,11 @@ pub struct RecordingConfig {
     pub overhead: OverheadModel,
     /// Stack activation mode.
     pub mode: RecordingMode,
+    /// How chunk ordering is persisted: the default global-timestamp
+    /// total order, or per-thread partial order with an `order.qrp`
+    /// sidecar. Recordings made in the default mode are byte-identical
+    /// to recordings made before this field existed.
+    pub order: OrderMode,
 }
 
 impl RecordingConfig {
@@ -100,6 +109,11 @@ pub struct Recording {
     pub recorder_stats: RecorderStats,
     /// Where the recording overhead went.
     pub overhead: OverheadBreakdown,
+    /// Partial-order sidecar (`order.qrp`): per-thread node counts plus
+    /// the happens-before edges that constrain replay. `None` for
+    /// total-order recordings (the default), whose ordering lives in the
+    /// chunk timestamps.
+    pub order: Option<OrderLog>,
 }
 
 impl RecordingMeta {
@@ -274,6 +288,79 @@ impl Recording {
     /// one replays from scratch, and the index can be regenerated from
     /// the logs at any time).
     pub const CHECKPOINTS_FILE: &'static str = "checkpoints.qrc";
+    /// Partial-order sidecar file name (present only for recordings made
+    /// under [`OrderMode::PartialOrder`]).
+    pub const ORDER_FILE: &'static str = "order.qrp";
+
+    /// The ordering mode this recording was made under, inferred from
+    /// the presence of the `order.qrp` sidecar.
+    pub fn order_mode(&self) -> OrderMode {
+        if self.order.is_some() { OrderMode::PartialOrder } else { OrderMode::TotalOrder }
+    }
+
+    /// Derives the partial-order log of this recording from its
+    /// timestamp-merged timeline: chunk footprints give conflict edges,
+    /// successful `SYS_SPAWN` records give spawn edges, and input events
+    /// chain the global injection order. The timestamps are consumed
+    /// here and stripped — the resulting log is timestamp-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::InvalidConfig`] when the footprint sidecar is
+    /// missing (there is no conflict evidence to derive edges from) and
+    /// [`QrError::LogDecode`] for an ambiguous timeline (duplicate
+    /// timestamps).
+    pub fn derive_order(&self) -> Result<(OrderLog, DeriveStats)> {
+        let footprints = self.footprints.as_ref().ok_or_else(|| {
+            QrError::InvalidConfig(
+                "partial-order derivation needs the footprint sidecar".into(),
+            )
+        })?;
+        let schedule = self.chunks.replay_schedule()?;
+        let mut raw: Vec<(u64, PoEvent)> = Vec::with_capacity(
+            schedule.len() + self.inputs.events().len(),
+        );
+        for packet in &schedule {
+            raw.push((
+                packet.timestamp.0,
+                PoEvent {
+                    tid: packet.tid,
+                    footprint: footprints.get(packet.timestamp),
+                    is_input: false,
+                    spawns: None,
+                },
+            ));
+        }
+        for event in self.inputs.events() {
+            let spawns = match event {
+                InputEvent::Syscall { record, .. }
+                    if record.number == qr_isa::abi::SYS_SPAWN
+                        && record.result != qr_os::kernel::EFAULT =>
+                {
+                    Some(qr_common::ThreadId(record.result))
+                }
+                _ => None,
+            };
+            raw.push((
+                event.ts().0,
+                PoEvent {
+                    tid: event.tid(),
+                    footprint: footprints.get(event.ts()),
+                    is_input: true,
+                    spawns,
+                },
+            ));
+        }
+        raw.sort_by_key(|&(ts, _)| ts);
+        if let Some(pair) = raw.windows(2).find(|pair| pair[0].0 == pair[1].0) {
+            return Err(QrError::LogDecode(format!(
+                "duplicate timeline timestamp {} — ordering is ambiguous",
+                pair[0].0
+            )));
+        }
+        let events: Vec<PoEvent> = raw.into_iter().map(|(_, ev)| ev).collect();
+        po::derive(&events)
+    }
 
     /// Serializes the recording into its per-file byte images — the
     /// exact bytes [`Recording::save`] would write to disk. Storage
@@ -287,8 +374,11 @@ impl Recording {
             fingerprint: self.fingerprint,
             console: self.console.clone(),
         };
-        let manifest =
+        let mut manifest =
             crate::format::FormatManifest::current(encoding, self.footprints.is_some());
+        if self.order.is_some() {
+            manifest = manifest.with_order();
+        }
         RecordingParts {
             meta: self.meta.to_bytes(&outcome),
             chunks: self.chunks.to_bytes(encoding),
@@ -296,6 +386,7 @@ impl Recording {
             footprints: self.footprints.as_ref().map(|f| f.to_bytes()),
             format: Some(manifest.to_bytes()),
             checkpoints: None,
+            order: self.order.as_ref().map(|o| o.to_bytes()),
         }
     }
 
@@ -322,12 +413,26 @@ impl Recording {
                     )));
                 }
             }
+            // The manifest's payload list and the actual file set must
+            // agree about the ordering sidecar in both directions.
+            let claims_order = manifest.payloads.contains(&PayloadKind::OrderLog);
+            if claims_order != parts.order.is_some() {
+                return Err(QrError::LogDecode(if claims_order {
+                    "format manifest lists an order log but order.qrp is missing".into()
+                } else {
+                    "order.qrp present but the format manifest does not list it".into()
+                }));
+            }
         }
         let (meta, outcome) = RecordingMeta::from_bytes(&parts.meta)?;
         let chunks = ChunkLog::from_bytes(&parts.chunks)?;
         let inputs = InputLog::from_bytes(&parts.inputs)?;
         let footprints = match &parts.footprints {
             Some(buf) => Some(FootprintLog::from_bytes(buf)?),
+            None => None,
+        };
+        let order = match &parts.order {
+            Some(buf) => Some(OrderLog::from_bytes(buf)?),
             None => None,
         };
         let recording = Recording {
@@ -342,6 +447,7 @@ impl Recording {
             fingerprint: outcome.fingerprint,
             recorder_stats: RecorderStats::default(),
             overhead: crate::overhead::OverheadBreakdown::default(),
+            order,
         };
         recording.check_consistency()?;
         Ok(recording)
@@ -407,6 +513,15 @@ impl Recording {
         // prefix; parallel replay checks coverage before relying on it.
         let footprints =
             parts.footprints.as_ref().map(|buf| FootprintLog::salvage_from_bytes(buf));
+        // A torn ordering sidecar degrades to its longest clean edge
+        // prefix — replay still honours every edge that survived.
+        let (order, order_salvage) = match &parts.order {
+            Some(buf) => {
+                let (log, salvage) = OrderLog::salvage_from_bytes(buf);
+                (Some(log), Some(salvage))
+            }
+            None => (None, None),
+        };
         let recording = Recording {
             chunks,
             inputs,
@@ -419,8 +534,12 @@ impl Recording {
             fingerprint: outcome.fingerprint,
             recorder_stats: RecorderStats::default(),
             overhead: crate::overhead::OverheadBreakdown::default(),
+            order,
         };
-        Ok((recording, RecoveryInfo { chunks: chunk_salvage, inputs: input_salvage }))
+        Ok((
+            recording,
+            RecoveryInfo { chunks: chunk_salvage, inputs: input_salvage, order: order_salvage },
+        ))
     }
 
     /// Integrity-checks every file of a saved recording without building
@@ -456,6 +575,13 @@ impl Recording {
         if dir.join(Self::CHECKPOINTS_FILE).exists() {
             files.push(FileCheck::run(dir, Self::CHECKPOINTS_FILE, |buf| {
                 frame::read(buf, PayloadKind::CheckpointIndex, "checkpoint index").map(|_| ())
+            }));
+        }
+        // The ordering sidecar only exists for partial-order recordings;
+        // when present it must decode strictly end to end.
+        if dir.join(Self::ORDER_FILE).exists() {
+            files.push(FileCheck::run(dir, Self::ORDER_FILE, |buf| {
+                OrderLog::from_bytes(buf).map(|_| ())
             }));
         }
         VerifyReport { files }
@@ -506,6 +632,8 @@ pub struct RecordingParts {
     /// `checkpoints.qrc` image (`None` until a checkpoint index is
     /// attached; always optional and regenerable).
     pub checkpoints: Option<Vec<u8>>,
+    /// `order.qrp` image (`None` for total-order recordings).
+    pub order: Option<Vec<u8>>,
 }
 
 impl RecordingParts {
@@ -525,6 +653,9 @@ impl RecordingParts {
         }
         if let Some(cp) = &self.checkpoints {
             out.push((Recording::CHECKPOINTS_FILE, cp.as_slice()));
+        }
+        if let Some(ord) = &self.order {
+            out.push((Recording::ORDER_FILE, ord.as_slice()));
         }
         out
     }
@@ -564,6 +695,7 @@ impl RecordingParts {
         let mut footprints = None;
         let mut format = None;
         let mut checkpoints = None;
+        let mut order = None;
         for (name, bytes) in files {
             match name.as_ref() {
                 n if n == Recording::META_FILE => meta = Some(bytes.clone()),
@@ -572,6 +704,7 @@ impl RecordingParts {
                 n if n == Recording::FOOTPRINTS_FILE => footprints = Some(bytes.clone()),
                 n if n == Recording::FORMAT_FILE => format = Some(bytes.clone()),
                 n if n == Recording::CHECKPOINTS_FILE => checkpoints = Some(bytes.clone()),
+                n if n == Recording::ORDER_FILE => order = Some(bytes.clone()),
                 other => {
                     return Err(QrError::Corrupt {
                         what: "recording file set".into(),
@@ -595,6 +728,7 @@ impl RecordingParts {
             footprints,
             format,
             checkpoints,
+            order,
         })
     }
 
@@ -627,6 +761,7 @@ impl RecordingParts {
             footprints: std::fs::read(dir.join(Recording::FOOTPRINTS_FILE)).ok(),
             format: std::fs::read(dir.join(Recording::FORMAT_FILE)).ok(),
             checkpoints: std::fs::read(dir.join(Recording::CHECKPOINTS_FILE)).ok(),
+            order: std::fs::read(dir.join(Recording::ORDER_FILE)).ok(),
         })
     }
 }
@@ -638,12 +773,17 @@ pub struct RecoveryInfo {
     pub chunks: SalvagedPackets,
     /// Input-log salvage outcome.
     pub inputs: InputSalvage,
+    /// Ordering-sidecar salvage outcome (`None` for total-order
+    /// recordings, which have no `order.qrp`).
+    pub order: Option<OrderSalvage>,
 }
 
 impl RecoveryInfo {
-    /// Whether both logs decoded completely (no corruption anywhere).
+    /// Whether every log decoded completely (no corruption anywhere).
     pub fn is_clean(&self) -> bool {
-        self.chunks.corruption.is_none() && self.inputs.corruption.is_none()
+        self.chunks.corruption.is_none()
+            && self.inputs.corruption.is_none()
+            && self.order.as_ref().is_none_or(|o| o.corruption.is_none())
     }
 }
 

@@ -236,7 +236,7 @@ impl RecordingSession {
         self.overhead.hw_stall_cycles = (0..self.machine.num_cores())
             .map(|i| self.bank.stall_cycles(CoreId(i as u8)))
             .sum();
-        let recording = Recording {
+        let mut recording = Recording {
             meta: RecordingMeta {
                 program_fingerprint: self.machine.program().fingerprint(),
                 tso_mode: self.cfg.cpu.mem.tso_mode,
@@ -253,8 +253,13 @@ impl RecordingSession {
             chunks: self.chunks,
             inputs: self.inputs,
             footprints: Some(self.footprints),
+            order: None,
         };
         recording.check_consistency()?;
+        if self.cfg.order == quickrec_core::OrderMode::PartialOrder {
+            let (log, _) = recording.derive_order()?;
+            recording.order = Some(log);
+        }
         Ok(recording)
     }
 

@@ -70,13 +70,17 @@ pub enum PayloadKind {
     /// is the seek index (keys per checkpoint), then one record per
     /// serialized checkpoint snapshot.
     CheckpointIndex,
+    /// A partial-order edge log (`order.qrp`): record 0 commits the
+    /// per-thread node counts and edge total, then one record per
+    /// happens-before edge group.
+    OrderLog,
 }
 
 impl PayloadKind {
     /// Every payload kind, in kind-byte order. The golden-trace
     /// conformance suite matches over this exhaustively: a new variant
     /// without golden-fixture coverage fails a test, not production.
-    pub const ALL: [PayloadKind; 10] = [
+    pub const ALL: [PayloadKind; 11] = [
         PayloadKind::ChunkLog,
         PayloadKind::InputLog,
         PayloadKind::Meta,
@@ -87,6 +91,7 @@ impl PayloadKind {
         PayloadKind::TraceJournal,
         PayloadKind::FormatManifest,
         PayloadKind::CheckpointIndex,
+        PayloadKind::OrderLog,
     ];
 
     /// Stable kind byte.
@@ -102,6 +107,7 @@ impl PayloadKind {
             PayloadKind::TraceJournal => 7,
             PayloadKind::FormatManifest => 8,
             PayloadKind::CheckpointIndex => 9,
+            PayloadKind::OrderLog => 10,
         }
     }
 
@@ -118,6 +124,7 @@ impl PayloadKind {
             7 => Some(PayloadKind::TraceJournal),
             8 => Some(PayloadKind::FormatManifest),
             9 => Some(PayloadKind::CheckpointIndex),
+            10 => Some(PayloadKind::OrderLog),
             _ => None,
         }
     }
@@ -135,6 +142,7 @@ impl PayloadKind {
             PayloadKind::TraceJournal => "trace journal",
             PayloadKind::FormatManifest => "format manifest",
             PayloadKind::CheckpointIndex => "checkpoint index",
+            PayloadKind::OrderLog => "order log",
         }
     }
 }
@@ -542,7 +550,8 @@ mod tests {
                 | PayloadKind::StoreManifest
                 | PayloadKind::TraceJournal
                 | PayloadKind::FormatManifest
-                | PayloadKind::CheckpointIndex => {}
+                | PayloadKind::CheckpointIndex
+                | PayloadKind::OrderLog => {}
             }
         }
         // Codes are dense from 0: everything below ALL.len() decodes,

@@ -40,6 +40,7 @@ pub mod footprint;
 pub mod log;
 pub mod mrr;
 mod obs;
+pub mod po;
 pub mod signature;
 pub mod stats;
 pub mod viz;
@@ -50,4 +51,7 @@ pub use encoding::{Encoding, SalvagedPackets, FRAME_GROUP_PACKETS};
 pub use footprint::{ChunkFootprint, FootprintLog};
 pub use log::ChunkLog;
 pub use mrr::{MrrUnit, RecorderBank};
+pub use po::{
+    DeriveStats, EdgeKind, OrderEdge, OrderLog, OrderMode, OrderSalvage, PoEvent, PoNode,
+};
 pub use stats::RecorderStats;

@@ -11,6 +11,7 @@ use qr_obs::{Counter, Histogram};
 
 use crate::chunk::TerminationReason;
 use crate::encoding::Encoding;
+use crate::po::{DeriveStats, EdgeKind};
 
 fn chunk_counters() -> &'static [Arc<Counter>; TerminationReason::ALL.len()] {
     static HANDLES: OnceLock<[Arc<Counter>; TerminationReason::ALL.len()]> = OnceLock::new();
@@ -65,4 +66,72 @@ pub(crate) fn log_serialized(encoding: Encoding, bytes: usize) {
         return;
     }
     log_byte_counters()[encoding.tag() as usize].add(bytes as u64);
+}
+
+/// `qr_core_po_edges_total{kind=...}` handles: the implicit program
+/// order plus every logged [`EdgeKind`], in a fixed label order.
+fn po_edge_counters() -> &'static [Arc<Counter>; EdgeKind::ALL.len() + 1] {
+    static HANDLES: OnceLock<[Arc<Counter>; EdgeKind::ALL.len() + 1]> = OnceLock::new();
+    HANDLES.get_or_init(|| {
+        ["program", EdgeKind::ALL[0].label(), EdgeKind::ALL[1].label(), EdgeKind::ALL[2].label()]
+            .map(|kind| {
+                qr_obs::global().counter(
+                    "qr_core_po_edges_total",
+                    "Partial-order happens-before edges derived, by kind",
+                    &[("kind", kind)],
+                )
+            })
+    })
+}
+
+/// Accounts one partial-order derivation.
+pub(crate) fn order_derived(stats: &DeriveStats) {
+    if !qr_obs::enabled() {
+        return;
+    }
+    let handles = po_edge_counters();
+    handles[0].add(stats.program_edges);
+    for (i, kind) in EdgeKind::ALL.into_iter().enumerate() {
+        let count = match kind {
+            EdgeKind::Conflict => stats.conflict_edges,
+            EdgeKind::Spawn => stats.spawn_edges,
+            EdgeKind::Input => stats.input_edges,
+        };
+        handles[i + 1].add(count);
+    }
+}
+
+/// Accounts one order-log decode that found corruption — a strict
+/// reject, or a salvage that stopped before the end of the container.
+pub(crate) fn order_rejected() {
+    static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();
+    if !qr_obs::enabled() {
+        return;
+    }
+    HANDLE
+        .get_or_init(|| {
+            qr_obs::global().counter(
+                "qr_core_po_rejects_total",
+                "Order-log decodes that found corruption (strict reject or salvage stop)",
+                &[],
+            )
+        })
+        .inc();
+}
+
+/// Publishes the size of the last serialized ordering log.
+pub(crate) fn order_serialized(bytes: usize) {
+    static HANDLE: OnceLock<Arc<qr_obs::Gauge>> = OnceLock::new();
+    if !qr_obs::enabled() {
+        return;
+    }
+    HANDLE
+        .get_or_init(|| {
+            qr_obs::global().gauge(
+                "qr_core_po_log_bytes",
+                "Serialized partial-order log size in bytes (last derivation)",
+                &[],
+            )
+        })
+        .set(bytes as i64);
 }

@@ -31,6 +31,7 @@
 //! checks the fingerprint, console and exit code against the recording.
 
 mod obs;
+pub mod order;
 pub mod outcome;
 pub mod parallel;
 pub mod races;
@@ -38,6 +39,7 @@ pub mod replayer;
 pub mod salvage;
 pub mod timetravel;
 
+pub use order::{replay_ordered, replay_ordered_and_verify};
 pub use outcome::ReplayOutcome;
 pub use parallel::{replay_parallel, replay_parallel_and_verify, ParallelReplayer};
 pub use races::{Race, RaceDetector, RaceReport};

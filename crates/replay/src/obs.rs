@@ -143,6 +143,24 @@ pub(crate) fn seek(used_index: bool) {
     }
 }
 
+/// Observes one order-log DAG reconstruction (microsecond resolution,
+/// like the other latency histograms).
+pub(crate) fn order_reconstructed(started: std::time::Instant) {
+    static HANDLE: OnceLock<Arc<Histogram>> = OnceLock::new();
+    if qr_obs::enabled() {
+        HANDLE
+            .get_or_init(|| {
+                qr_obs::global().histogram(
+                    "qr_replay_order_reconstruct_seconds",
+                    "Microseconds spent rebuilding the replay DAG from a recorded order log",
+                    &[],
+                    qr_obs::LATENCY_US,
+                )
+            })
+            .observe_since(started);
+    }
+}
+
 /// Accounts one TSO store-buffer boundary drain.
 pub(crate) fn store_buffer_drain() {
     static HANDLE: OnceLock<Arc<Counter>> = OnceLock::new();

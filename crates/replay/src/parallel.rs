@@ -108,29 +108,41 @@ pub fn replay_parallel(program: &Program, recording: &Recording, jobs: usize) ->
 
 /// One timeline node of the dependency DAG.
 #[derive(Debug)]
-struct Node {
-    kind: NodeKind,
-    tid: ThreadId,
+pub(crate) struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) tid: ThreadId,
     /// Lines to copy canonical → lane before executing (reads ∪ writes).
-    pull: Vec<LineAddr>,
+    pub(crate) pull: Vec<LineAddr>,
     /// Lines to copy lane → canonical after executing (writes).
-    push: Vec<LineAddr>,
+    pub(crate) push: Vec<LineAddr>,
 }
 
 #[derive(Debug)]
-enum NodeKind {
+pub(crate) enum NodeKind {
     Chunk(ChunkPacket),
     Input(InputEvent),
 }
 
 /// The dependency DAG over the merged timeline.
 #[derive(Debug)]
-struct Dag {
-    nodes: Vec<Node>,
+pub(crate) struct Dag {
+    pub(crate) nodes: Vec<Node>,
     /// Direct predecessors of each node (deduplicated, ascending).
-    preds: Vec<Vec<usize>>,
+    pub(crate) preds: Vec<Vec<usize>>,
     /// Direct successors of each node.
-    succs: Vec<Vec<usize>>,
+    pub(crate) succs: Vec<Vec<usize>>,
+}
+
+impl Dag {
+    /// Fills the successor lists from the predecessor lists.
+    pub(crate) fn link_succs(&mut self) {
+        self.succs = vec![Vec::new(); self.nodes.len()];
+        for (idx, p) in self.preds.iter().enumerate() {
+            for &pred in p {
+                self.succs[pred].push(idx);
+            }
+        }
+    }
 }
 
 /// A parallel replay in preparation.
@@ -203,9 +215,15 @@ impl<'a> ParallelReplayer<'a> {
     }
 }
 
-/// Builds the dependency DAG, or explains why serial fallback is needed.
+/// Builds the merged timestamp-ordered timeline as DAG nodes with their
+/// footprint pull/push sets, or explains why serial fallback is needed
+/// (no footprint sidecar, or incomplete coverage). Shared by the
+/// conflict-derived DAG below and the recorded-order DAG in
+/// [`crate::order`].
 #[allow(clippy::type_complexity)]
-fn build_dag(recording: &Recording) -> Result<std::result::Result<Dag, String>> {
+pub(crate) fn build_timeline_nodes(
+    recording: &Recording,
+) -> Result<std::result::Result<Vec<Node>, String>> {
     let Some(footprints) = &recording.footprints else {
         return Ok(Err("recording carries no footprint sidecar".into()));
     };
@@ -248,6 +266,16 @@ fn build_dag(recording: &Recording) -> Result<std::result::Result<Dag, String>> 
         };
         nodes.push(Node { kind, tid, pull, push });
     }
+    Ok(Ok(nodes))
+}
+
+/// Builds the dependency DAG, or explains why serial fallback is needed.
+#[allow(clippy::type_complexity)]
+fn build_dag(recording: &Recording) -> Result<std::result::Result<Dag, String>> {
+    let nodes = match build_timeline_nodes(recording)? {
+        Ok(nodes) => nodes,
+        Err(reason) => return Ok(Err(reason)),
+    };
 
     // Edge construction: one timestamp-ordered sweep with per-line
     // last-writer / readers-since bookkeeping plus per-thread program
@@ -302,13 +330,9 @@ fn build_dag(recording: &Recording) -> Result<std::result::Result<Dag, String>> 
         }
         preds.push(p.into_iter().collect());
     }
-    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
-    for (idx, p) in preds.iter().enumerate() {
-        for &pred in p {
-            succs[pred].push(idx);
-        }
-    }
-    Ok(Ok(Dag { nodes, preds, succs }))
+    let mut dag = Dag { nodes, preds, succs: Vec::new() };
+    dag.link_succs();
+    Ok(Ok(dag))
 }
 
 /// Per-thread replay lane: a private single-core machine plus the same
@@ -325,7 +349,7 @@ struct Lane {
 }
 
 /// Shared state of one parallel replay run.
-struct Runtime<'a> {
+pub(crate) struct Runtime<'a> {
     recording: &'a Recording,
     dag: Dag,
     jobs: usize,
@@ -347,7 +371,12 @@ struct Runtime<'a> {
 }
 
 impl<'a> Runtime<'a> {
-    fn new(program: &Program, recording: &'a Recording, dag: Dag, jobs: usize) -> Result<Runtime<'a>> {
+    pub(crate) fn new(
+        program: &Program,
+        recording: &'a Recording,
+        dag: Dag,
+        jobs: usize,
+    ) -> Result<Runtime<'a>> {
         let max_tid = dag.nodes.iter().map(|n| n.tid.0).max().unwrap_or(0);
         let num_threads = max_tid as usize + 1;
         if num_threads > 250 {
@@ -795,7 +824,7 @@ impl<'a> Runtime<'a> {
         makespan
     }
 
-    fn run(self) -> Result<ReplayOutcome> {
+    pub(crate) fn run(self) -> Result<ReplayOutcome> {
         crate::obs::run_started("parallel");
         let workers = self.jobs.min(self.dag.nodes.len()).clamp(1, 32);
         std::thread::scope(|scope| {

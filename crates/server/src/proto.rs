@@ -19,7 +19,7 @@
 use qr_common::frame::{self, PayloadKind};
 use qr_common::{crc32, varint, QrError, Result};
 use qr_replay::ReplayQuery;
-use quickrec_core::Encoding;
+use quickrec_core::{Encoding, OrderMode};
 use qr_workloads::Scale;
 use std::io::{Read, Write};
 use std::path::PathBuf;
@@ -164,6 +164,10 @@ pub enum Request {
         scale: Scale,
         /// Chunk-log encoding to store with.
         encoding: Encoding,
+        /// Ordering mode to record under. Encoded as an optional
+        /// trailing byte — total-order submissions stay byte-identical
+        /// to the pre-ordering wire format.
+        order: OrderMode,
     },
     /// Record a client-supplied PIA assembly program.
     SubmitProgram {
@@ -175,6 +179,9 @@ pub enum Request {
         cores: u32,
         /// Chunk-log encoding to store with.
         encoding: Encoding,
+        /// Ordering mode to record under (optional trailing byte; see
+        /// [`Request::SubmitWorkload`]).
+        order: OrderMode,
     },
     /// List all sessions.
     Jobs,
@@ -286,6 +293,9 @@ pub struct SessionStats {
     pub bytes_stored: u64,
     /// Simulated instructions executed for this session.
     pub instructions: u64,
+    /// Whether the session records under `--order partial` (an
+    /// `order.qrp` sidecar is part of the stored recording).
+    pub partial_order: bool,
 }
 
 /// Server-wide counters, surfaced by STATS.
@@ -443,6 +453,19 @@ impl<'a> Decoder<'a> {
         }
     }
 
+    /// Optional trailing order-mode byte: absence means total order
+    /// (the pre-ordering wire format), so old clients keep working.
+    fn order_mode(&mut self) -> Result<OrderMode> {
+        if self.off == self.buf.len() {
+            return Ok(OrderMode::TotalOrder);
+        }
+        match self.byte("order mode")? {
+            0 => Ok(OrderMode::TotalOrder),
+            1 => Ok(OrderMode::PartialOrder),
+            t => Err(corrupt(self.off as u64 - 1, format!("unknown order mode {t}"))),
+        }
+    }
+
     fn finish(self) -> Result<()> {
         if self.off != self.buf.len() {
             return Err(corrupt(
@@ -459,20 +482,28 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
     let mut out = Vec::new();
     match req {
         Request::Ping => out.push(0),
-        Request::SubmitWorkload { name, workload, threads, scale, encoding } => {
+        Request::SubmitWorkload { name, workload, threads, scale, encoding, order } => {
             out.push(1);
             put_str(&mut out, name);
             put_str(&mut out, workload);
             varint::write_u64(&mut out, u64::from(*threads));
             out.push(scale_tag(*scale));
             out.push(encoding.tag());
+            // Only partial order adds a byte, keeping default-mode
+            // submissions byte-identical to the pre-ordering format.
+            if *order == OrderMode::PartialOrder {
+                out.push(1);
+            }
         }
-        Request::SubmitProgram { name, source, cores, encoding } => {
+        Request::SubmitProgram { name, source, cores, encoding, order } => {
             out.push(2);
             put_str(&mut out, name);
             put_str(&mut out, source);
             varint::write_u64(&mut out, u64::from(*cores));
             out.push(encoding.tag());
+            if *order == OrderMode::PartialOrder {
+                out.push(1);
+            }
         }
         Request::Jobs => out.push(3),
         Request::Stats => out.push(4),
@@ -523,12 +554,14 @@ pub fn decode_request(payload: &[u8]) -> Result<Request> {
             threads: d.u32("thread count")?,
             scale: d.scale()?,
             encoding: d.encoding()?,
+            order: d.order_mode()?,
         },
         2 => Request::SubmitProgram {
             name: d.string("session name")?,
             source: d.string("program source")?,
             cores: d.u32("core count")?,
             encoding: d.encoding()?,
+            order: d.order_mode()?,
         },
         3 => Request::Jobs,
         4 => Request::Stats,
@@ -611,6 +644,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     sess.bytes_raw,
                     sess.bytes_stored,
                     sess.instructions,
+                    u64::from(sess.partial_order),
                 ] {
                     varint::write_u64(&mut out, v);
                 }
@@ -703,6 +737,7 @@ pub fn decode_response(payload: &[u8]) -> Result<Response> {
                     bytes_raw: d.u64("raw bytes")?,
                     bytes_stored: d.u64("stored bytes")?,
                     instructions: d.u64("instructions")?,
+                    partial_order: d.u64("order mode")? != 0,
                 });
             }
             Response::Stats(StatsReport {
@@ -761,12 +796,29 @@ mod tests {
                 threads: 4,
                 scale: Scale::Small,
                 encoding: Encoding::Delta,
+                order: OrderMode::TotalOrder,
+            },
+            Request::SubmitWorkload {
+                name: "s1p".into(),
+                workload: "lu".into(),
+                threads: 8,
+                scale: Scale::Test,
+                encoding: Encoding::Packed,
+                order: OrderMode::PartialOrder,
             },
             Request::SubmitProgram {
                 name: "s2".into(),
                 source: "MOV r0, 1\nEXIT".into(),
                 cores: 2,
                 encoding: Encoding::Raw,
+                order: OrderMode::TotalOrder,
+            },
+            Request::SubmitProgram {
+                name: "s2p".into(),
+                source: "HALT".into(),
+                cores: 1,
+                encoding: Encoding::Delta,
+                order: OrderMode::PartialOrder,
             },
             Request::Jobs,
             Request::Stats,
@@ -833,6 +885,7 @@ mod tests {
                     bytes_raw: 4096,
                     bytes_stored: 1024,
                     instructions: 1_000_000,
+                    partial_order: true,
                 }],
             }),
             Response::Fetched {
@@ -903,5 +956,36 @@ mod tests {
         let mut payload = encode_request(&Request::Ping);
         payload.push(0);
         assert!(decode_request(&payload).is_err());
+    }
+
+    #[test]
+    fn total_order_submits_add_no_wire_bytes() {
+        // The order field must be invisible on the wire for the default
+        // mode (old servers and pinned golden requests keep working),
+        // and exactly one byte for partial order.
+        let total = Request::SubmitProgram {
+            name: "s".into(),
+            source: "HALT".into(),
+            cores: 1,
+            encoding: Encoding::Raw,
+            order: OrderMode::TotalOrder,
+        };
+        let partial = Request::SubmitProgram {
+            name: "s".into(),
+            source: "HALT".into(),
+            cores: 1,
+            encoding: Encoding::Raw,
+            order: OrderMode::PartialOrder,
+        };
+        let total_bytes = encode_request(&total);
+        let partial_bytes = encode_request(&partial);
+        assert_eq!(partial_bytes.len(), total_bytes.len() + 1);
+        assert_eq!(&partial_bytes[..total_bytes.len()], &total_bytes[..]);
+        assert_eq!(decode_request(&total_bytes).unwrap(), total);
+        assert_eq!(decode_request(&partial_bytes).unwrap(), partial);
+        // An unknown trailing order byte is corrupt, not ignored.
+        let mut bad = total_bytes.clone();
+        bad.push(7);
+        assert!(decode_request(&bad).is_err());
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::proto::{JobInfo, JobState, SessionStats};
 use qr_workloads::Scale;
-use quickrec_core::Encoding;
+use quickrec_core::{Encoding, OrderMode};
 use std::collections::HashMap;
 use std::sync::Mutex;
 
@@ -56,6 +56,9 @@ pub struct Session {
     pub source: SessionSource,
     /// Chunk-log encoding for the stored recording.
     pub encoding: Encoding,
+    /// Ordering mode the recording job runs under (partial-order jobs
+    /// persist an `order.qrp` sidecar alongside the logs).
+    pub order: OrderMode,
     /// Current/last job kind (`record`, `replay`, `verify`, `races`).
     pub kind: String,
     /// Job lifecycle state.
@@ -135,7 +138,12 @@ impl Registry {
             out.extend(shard.values().map(|s| JobInfo {
                 id: s.id,
                 name: s.name.clone(),
-                workload: s.source.label(),
+                // Partial-order sessions are tagged so mixed-mode job
+                // lists are distinguishable at a glance.
+                workload: match s.order {
+                    OrderMode::PartialOrder => format!("{}+po", s.source.label()),
+                    OrderMode::TotalOrder => s.source.label(),
+                },
                 kind: s.kind.clone(),
                 state: s.state.clone(),
                 fingerprint: s.fingerprint,
@@ -150,7 +158,11 @@ impl Registry {
         let mut out: Vec<SessionStats> = Vec::new();
         for shard in &self.shards {
             let shard = shard.lock().expect("registry shard");
-            out.extend(shard.values().map(|s| s.stats));
+            out.extend(shard.values().map(|s| {
+                let mut stats = s.stats;
+                stats.partial_order = matches!(s.order, OrderMode::PartialOrder);
+                stats
+            }));
         }
         out.sort_by_key(|s| s.id);
         out
@@ -171,6 +183,7 @@ mod tests {
                 scale: Scale::Test,
             },
             encoding: Encoding::Delta,
+            order: OrderMode::TotalOrder,
             kind: "record".into(),
             state: JobState::Queued,
             fingerprint: 0,

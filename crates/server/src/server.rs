@@ -398,16 +398,16 @@ fn serve_connection(mut conn: Box<dyn Conn>, shared: &Arc<Shared>, pool: &Arc<Wo
 fn handle_request(request: Request, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) -> Response {
     match request {
         Request::Ping => Response::Pong,
-        Request::SubmitWorkload { name, workload, threads, scale, encoding } => {
+        Request::SubmitWorkload { name, workload, threads, scale, encoding, order } => {
             if qr_workloads::find(&workload).is_none() {
                 return Response::Error { message: format!("unknown workload `{workload}`") };
             }
             let source = SessionSource::Workload { workload, threads, scale };
-            submit_record(shared, pool, name, source, encoding)
+            submit_record(shared, pool, name, source, encoding, order)
         }
-        Request::SubmitProgram { name, source, cores, encoding } => {
+        Request::SubmitProgram { name, source, cores, encoding, order } => {
             let source = SessionSource::Program { source, cores };
-            submit_record(shared, pool, name, source, encoding)
+            submit_record(shared, pool, name, source, encoding, order)
         }
         Request::Jobs => Response::JobList(shared.registry.jobs()),
         Request::Stats => {
@@ -523,6 +523,7 @@ fn submit_record(
     name: String,
     source: SessionSource,
     encoding: Encoding,
+    order: quickrec_core::OrderMode,
 ) -> Response {
     if shared.shutdown.load(Ordering::SeqCst) {
         return Response::Error { message: "server is shutting down".into() };
@@ -533,6 +534,7 @@ fn submit_record(
         name,
         source,
         encoding,
+        order,
         kind: "record".into(),
         state: JobState::Queued,
         fingerprint: 0,
@@ -615,7 +617,9 @@ fn run_record_job(shared: &Arc<Shared>, id: u64) {
     let Some(session) = shared.registry.get(id) else { return };
     let outcome = (|| -> Result<(u64, u64, u64, u64, u64)> {
         let (program, cores) = build_program(&session.source)?;
-        let recording = record(program.clone(), RecordingConfig::with_cores(cores))?;
+        let mut cfg = RecordingConfig::with_cores(cores);
+        cfg.order = session.order;
+        let recording = record(program.clone(), cfg)?;
         if let SessionSource::Workload { workload, threads, scale } = &session.source {
             // Suite workloads are self-validating: exit code == the
             // sequential mirror's checksum.
@@ -697,7 +701,13 @@ fn run_followup_job(shared: &Arc<Shared>, id: u64, kind: &'static str) {
             "replay" => {
                 let (program, _) = build_program(&session.source)?;
                 let recording = shared.store.fetch(session.store_id)?;
-                let outcome = qr_replay::replay_and_verify(&program, &recording)?;
+                // Partial-order recordings replay under their recorded
+                // happens-before edges; total-order ones by timestamp.
+                let outcome = if recording.order.is_some() {
+                    qr_replay::replay_ordered_and_verify(&program, &recording, 1)?
+                } else {
+                    qr_replay::replay_and_verify(&program, &recording)?
+                };
                 Ok(outcome.instructions)
             }
             "races" => {

@@ -7,7 +7,7 @@ use qr_capo::{record, Recording, RecordingConfig};
 use qr_server::proto::{Endpoint, JobState, Request, Response};
 use qr_server::{Client, Server, ServerConfig};
 use qr_workloads::Scale;
-use quickrec_core::Encoding;
+use quickrec_core::{Encoding, OrderMode};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -46,6 +46,7 @@ fn submit(workload: &str) -> Request {
         threads: THREADS as u32,
         scale: Scale::Test,
         encoding: Encoding::Delta,
+        order: OrderMode::TotalOrder,
     }
 }
 

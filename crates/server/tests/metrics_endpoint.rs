@@ -6,7 +6,7 @@
 use qr_server::proto::{Endpoint, JobState, Request, Response};
 use qr_server::{Client, Server, ServerConfig};
 use qr_workloads::Scale;
-use quickrec_core::Encoding;
+use quickrec_core::{Encoding, OrderMode};
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
@@ -44,6 +44,7 @@ fn metrics_request_returns_parseable_exposition_with_all_families() {
             threads: 2,
             scale: Scale::Test,
             encoding: Encoding::Delta,
+            order: OrderMode::TotalOrder,
         })
         .expect("submit")
     else {

@@ -7,7 +7,7 @@ use qr_replay::{QueryPlan, QueryResult, ReplayQuery};
 use qr_server::proto::{Endpoint, JobState, Request, Response};
 use qr_server::{Client, Server, ServerConfig};
 use qr_workloads::Scale;
-use quickrec_core::Encoding;
+use quickrec_core::{Encoding, OrderMode};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -49,6 +49,7 @@ fn repeated_replay_ids_answer_from_the_cache_without_reexecuting() {
             threads: 2,
             scale: Scale::Test,
             encoding: Encoding::Delta,
+            order: OrderMode::TotalOrder,
         })
         .expect("submit")
     else {

@@ -340,6 +340,8 @@ mod tests {
             inputs: (0u32..5000).flat_map(|i| i.to_le_bytes()).collect(),
             footprints: None,
             format: None,
+            checkpoints: None,
+            order: None,
         }
     }
 

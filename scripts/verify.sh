@@ -71,6 +71,102 @@ grep -q '"drift": 0' "$seek_json" || {
 rm -f "$seek_json"
 echo "indexed seeks and queries byte-identical to from-scratch replay at every interval"
 
+echo "== partial order: total-order equivalence battery =="
+cargo test -q --test order_equivalence
+
+echo "== partial-order smoke: record, verify, ordered replay via the CLI =="
+order_dir=$(mktemp -d)
+cat > "$order_dir/pingpong.pasm" <<'PASM'
+; Two threads ping-ponging a flag: dense cross-thread dependency traffic.
+.data
+mailbox: .word 0
+.align 64
+flag:    .word 0
+.text
+main:
+    movi r0, 3
+    movi r1, consumer
+    movi r2, 0
+    syscall
+    mov  r6, r0
+    movi r7, 5
+produce:
+    movi r8, mailbox
+    st   r8, 0, r7
+    fence
+    movi r8, flag
+    movi r9, 1
+    st   r8, 0, r9
+    fence
+wait_ack:
+    ld   r9, r8, 0
+    bnez r9, wait_ack
+    addi r7, r7, -1
+    bnez r7, produce
+    movi r8, mailbox
+    movi r9, 0
+    st   r8, 0, r9
+    movi r8, flag
+    movi r9, 1
+    st   r8, 0, r9
+    fence
+    movi r0, 4
+    mov  r1, r6
+    syscall
+    mov  r1, r0
+    movi r0, 1
+    syscall
+consumer:
+    movi r6, 0
+    movi r7, flag
+    movi r8, mailbox
+poll:
+    ld   r9, r7, 0
+    beqz r9, poll
+    ld   r10, r8, 0
+    movi r11, 0
+    st   r7, 0, r11
+    fence
+    beqz r10, finish
+    add  r6, r6, r10
+    jmp  poll
+finish:
+    movi r0, 1
+    mov  r1, r6
+    syscall
+PASM
+./target/release/quickrec record "$order_dir/pingpong.pasm" -o "$order_dir/rec" \
+  --cores 2 --order partial | grep -q 'ordering log: partial order' || {
+  echo "record --order partial did not report an ordering log" >&2
+  exit 1
+}
+[ -f "$order_dir/rec/order.qrp" ] || {
+  echo "record --order partial wrote no order.qrp" >&2
+  exit 1
+}
+./target/release/quickrec verify "$order_dir/rec" > /dev/null
+./target/release/quickrec replay "$order_dir/pingpong.pasm" "$order_dir/rec" --jobs 2 \
+  | grep -q 'partial-order replay' || {
+  echo "replay did not reconstruct from the recorded partial order" >&2
+  exit 1
+}
+rm -rf "$order_dir"
+echo "partial-order recording round-trips through disk and replays under its edges"
+
+echo "== ordering-cost differential smoke: fingerprint drift gate (E15) =="
+order_json=$(mktemp)
+QR_BENCH_MS=50 QR_BENCH_JSON="$order_json" ./target/release/repro e15 > /dev/null
+grep -q '"drift": 0' "$order_json" || {
+  echo "E15 reported ordering drift or wrote no summary" >&2
+  exit 1
+}
+grep -q '"partial_grows_slower": true' "$order_json" || {
+  echo "E15: partial-order bytes/instr no longer grows slower than total order" >&2
+  exit 1
+}
+rm -f "$order_json"
+echo "partial-order replay fingerprints identical to total order; byte growth stays slower"
+
 echo "== fault-injection smoke: bounded mutated-recording campaign =="
 ./target/release/repro r1 --fuzz-iters 200 > /dev/null
 echo "fault-injection contract holds (200 cases, no panics, prefixes verified)"

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! quickrec run      prog.pasm [--cores N]          run natively
-//! quickrec record   prog.pasm -o DIR [--cores N] [--hw-only] [--rsw] [--trace-out F]
+//! quickrec record   prog.pasm -o DIR [--cores N] [--order M] [--hw-only] [--rsw] [--trace-out F]
 //! quickrec replay   prog.pasm DIR [--races] [--salvage] [--jobs N] [--trace-out F]
 //! quickrec verify   DIR                            log integrity check
 //! quickrec migrate  DIR                            upgrade to the current format
@@ -27,7 +27,7 @@
 
 use qr_server::proto::{Endpoint, Request, Response};
 use quickrec::workloads::Scale;
-use quickrec::{record, Encoding, Recording, RecordingConfig, RecordingMode, TsoMode};
+use quickrec::{record, Encoding, OrderMode, Recording, RecordingConfig, RecordingMode, TsoMode};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 use std::time::Duration;
@@ -76,7 +76,7 @@ fn run(args: &[String]) -> Result<(), String> {
 
 fn usage() -> String {
     "usage:\n  quickrec run      <prog.pasm> [--cores N]\n  \
-     quickrec record   <prog.pasm> -o <dir> [--cores N] [--hw-only] [--rsw] [--trace-out FILE]\n  \
+     quickrec record   <prog.pasm> -o <dir> [--cores N] [--order total|partial] [--hw-only] [--rsw] [--trace-out FILE]\n  \
      quickrec replay   <prog.pasm> <dir> [--races] [--salvage] [--jobs N] [--trace-out FILE]\n  \
      quickrec verify   <dir>\n  \
      quickrec migrate  <dir>                         upgrade a recording to the current format\n  \
@@ -86,7 +86,7 @@ fn usage() -> String {
      quickrec disasm   <prog.pasm>\n  \
      quickrec suite    [--threads N]\n  \
      quickrec serve    (--socket PATH | --tcp ADDR) [--store DIR] [--workers N] [--shards N] [--queue N]\n  \
-     quickrec submit   (--socket PATH | --tcp ADDR) (--workload NAME [--threads N] [--scale S] | <prog.pasm> [--cores N]) [--name LABEL] [--encoding E] [--no-wait]\n  \
+     quickrec submit   (--socket PATH | --tcp ADDR) (--workload NAME [--threads N] [--scale S] | <prog.pasm> [--cores N]) [--name LABEL] [--encoding E] [--order total|partial] [--no-wait]\n  \
      quickrec fetch    (--socket PATH | --tcp ADDR) <id> -o <dir>\n  \
      quickrec query    (--socket PATH | --tcp ADDR) <id> (--range A..B | --thread T | --window A..B | --before-divergence K | --reverse-step N) [--dry-run] [--max-events M] [--replay-id R]\n  \
      quickrec jobs     (--socket PATH | --tcp ADDR)\n  \
@@ -121,6 +121,7 @@ fn positional(args: &[String]) -> Vec<&String> {
             || a == "--workload"
             || a == "--scale"
             || a == "--encoding"
+            || a == "--order"
             || a == "--name"
             || a == "--timeout"
             || a == "--trace-out"
@@ -164,6 +165,14 @@ fn write_trace(path: &Path) -> Result<(), String> {
     Ok(())
 }
 
+fn order_arg(args: &[String]) -> Result<OrderMode, String> {
+    match flag_value(args, "--order").as_deref() {
+        None | Some("total") => Ok(OrderMode::TotalOrder),
+        Some("partial") => Ok(OrderMode::PartialOrder),
+        Some(v) => Err(format!("bad --order value `{v}` (total or partial)")),
+    }
+}
+
 fn cores_arg(args: &[String]) -> Result<usize, String> {
     match flag_value(args, "--cores") {
         None => Ok(4),
@@ -202,6 +211,7 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
     let trace_out = trace_out_arg(args);
     let program = load_program(path)?;
     let mut cfg = RecordingConfig::with_cores(cores_arg(args)?);
+    cfg.order = order_arg(args)?;
     if has_flag(args, "--hw-only") {
         cfg.mode = RecordingMode::HardwareOnly;
     }
@@ -233,6 +243,14 @@ fn cmd_record(args: &[String]) -> Result<(), String> {
         recording.inputs.byte_size(),
         recording.overhead.total(),
     );
+    if let Some(order) = &recording.order {
+        println!(
+            "ordering log: partial order, {} nodes, {} edges, {} bytes",
+            order.node_count(),
+            order.edges().len(),
+            order.byte_size()
+        );
+    }
     Ok(())
 }
 
@@ -302,6 +320,25 @@ fn cmd_replay(args: &[String]) -> Result<(), String> {
                 println!("  {race}");
             }
         }
+    } else if recording.order.is_some() {
+        // Partial-order recordings replay under their recorded
+        // happens-before edges; `--jobs` picks the worker count and
+        // its absence is the serial (one-worker) schedule.
+        let jobs = jobs.unwrap_or(1);
+        let _span = qr_obs::trace::global().span("replay_ordered", 0);
+        let outcome = qr_replay::replay_ordered_and_verify(&program, &recording, jobs)
+            .map_err(|e| e.to_string())?;
+        print!("{}", String::from_utf8_lossy(&outcome.console));
+        println!(
+            "replayed {} chunks, {} inputs; exit {} — verified exact",
+            outcome.chunks_replayed, outcome.inputs_injected, outcome.exit_code
+        );
+        let order = recording.order.as_ref().expect("checked above");
+        println!(
+            "partial-order replay: {jobs} job(s) under {} recorded edges over {} nodes",
+            order.edges().len(),
+            order.node_count()
+        );
     } else if let Some(jobs) = jobs {
         let _span = qr_obs::trace::global().span("replay_parallel", 0);
         let replayer =
@@ -390,6 +427,15 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         "platform: {} cores, tso {:?}, quantum {}",
         recording.meta.cpu.num_cores, recording.meta.tso_mode, recording.meta.os.quantum_cycles
     );
+    match &recording.order {
+        Some(order) => println!(
+            "order: partial ({} nodes, {} recorded edges, {} bytes)",
+            order.node_count(),
+            order.edges().len(),
+            order.byte_size()
+        ),
+        None => println!("order: total (global chunk timestamps)"),
+    }
     println!("\nchunks: {} total", recording.chunks.len());
     if !recording.chunks.is_empty() {
         for p in [50, 90, 99] {
@@ -427,6 +473,7 @@ fn cmd_timeline(args: &[String]) -> Result<(), String> {
         Some(v) => v.parse().map_err(|_| format!("bad --rows value `{v}`"))?,
     };
     let recording = Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+    println!("order mode: {}", recording.order_mode().name());
     print!("{}", quickrec_core::viz::timeline(&recording.chunks, rows));
     Ok(())
 }
@@ -435,6 +482,7 @@ fn cmd_dot(args: &[String]) -> Result<(), String> {
     let pos = positional(args);
     let [dir] = pos.as_slice() else { return Err(usage()) };
     let recording = Recording::load(Path::new(dir.as_str())).map_err(|e| e.to_string())?;
+    println!("// order mode: {}", recording.order_mode().name());
     print!("{}", quickrec_core::viz::to_dot(&recording.chunks, 400));
     Ok(())
 }
@@ -494,6 +542,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
             threads,
             scale: scale_arg(args)?,
             encoding,
+            order: order_arg(args)?,
         }
     } else {
         let pos = positional(args);
@@ -510,7 +559,7 @@ fn cmd_submit(args: &[String]) -> Result<(), String> {
                 .to_string()
         });
         let cores = u32::try_from(cores_arg(args)?).map_err(|_| "bad --cores value")?;
-        Request::SubmitProgram { name, source, cores, encoding }
+        Request::SubmitProgram { name, source, cores, encoding, order: order_arg(args)? }
     };
     let id = match client.call(&request).map_err(|e| e.to_string())? {
         Response::Submitted { id } => id,
@@ -724,13 +773,14 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
             );
             if !stats.sessions.is_empty() {
                 println!(
-                    "{:>4} {:>4} {:>4} {:>4} {:>4} {:>12} {:>12} {:>12}",
-                    "id", "rec", "rep", "ver", "rac", "raw B", "stored B", "instrs"
+                    "{:>4} {:>7} {:>4} {:>4} {:>4} {:>4} {:>12} {:>12} {:>12}",
+                    "id", "order", "rec", "rep", "ver", "rac", "raw B", "stored B", "instrs"
                 );
                 for s in &stats.sessions {
                     println!(
-                        "{:>4} {:>4} {:>4} {:>4} {:>4} {:>12} {:>12} {:>12}",
+                        "{:>4} {:>7} {:>4} {:>4} {:>4} {:>4} {:>12} {:>12} {:>12}",
                         s.id,
+                        if s.partial_order { "partial" } else { "total" },
                         s.records,
                         s.replays,
                         s.verifies,

@@ -56,18 +56,20 @@
 pub use qr_capo::{
     migrate, record, FormatManifest, InputEvent, InputLog, OverheadBreakdown, OverheadModel,
     Recording, RecordingConfig, RecordingMode, RecordingParts, RecordingSession, RecordingVersion,
-    ReplaySphere, RECORDING_FORMAT_VERSION,
+    ReplaySphere, PARTIAL_ORDER_FORMAT_VERSION, RECORDING_FORMAT_VERSION,
 };
 pub use qr_common::{CoreId, Cycle, QrError, Result, ThreadId, VirtAddr};
 pub use qr_cpu::{CpuConfig, Machine};
 pub use qr_isa::{Asm, Program};
 pub use qr_mem::{MemConfig, TsoMode};
 pub use qr_os::{run_native, OsConfig, RunOutcome};
-pub use qr_replay::{replay, replay_and_verify, replay_parallel, replay_parallel_and_verify,
+pub use qr_replay::{replay, replay_and_verify, replay_ordered, replay_ordered_and_verify,
+    replay_parallel, replay_parallel_and_verify,
     timeline_descriptors, CheckpointIndex, EventDescriptor, EventKind, ParallelReplayer,
     QueryEngine, QueryPlan, QueryResult, ReplayCheckpoint, ReplayOutcome, ReplayQuery, Replayer,
     CHECKPOINT_INDEX_VERSION};
-pub use quickrec_core::{ChunkLog, ChunkPacket, Encoding, MrrConfig, TerminationReason};
+pub use quickrec_core::{ChunkLog, ChunkPacket, Encoding, MrrConfig, OrderLog, OrderMode,
+    TerminationReason};
 
 /// The SPLASH-2-style workload suite (re-exported from [`qr_workloads`]).
 pub mod workloads {

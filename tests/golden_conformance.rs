@@ -25,8 +25,9 @@ use qr_common::frame::{self, PayloadKind};
 use qr_common::{crc32, tomlmini, varint, QrError, SplitMix64};
 use quickrec::workloads::Scale;
 use quickrec::{
-    record, replay_and_verify, CheckpointIndex, ChunkLog, Encoding, FormatManifest, Program,
-    QueryEngine, Recording, RecordingConfig, RecordingParts, RecordingVersion,
+    record, replay_and_verify, replay_ordered_and_verify, CheckpointIndex, ChunkLog, Encoding,
+    FormatManifest, OrderLog, OrderMode, Program, QueryEngine, Recording, RecordingConfig,
+    RecordingParts, RecordingVersion,
 };
 
 /// Same two-syscall program the CLI contract tests record: console
@@ -105,6 +106,22 @@ fn recording_for(name: &str) -> &'static Recording {
     &recordings().iter().find(|(n, _)| *n == name).expect("known generator").1
 }
 
+/// The generator whose partial-order recordings are checked in: `fft2`
+/// runs two real threads, so its `order.qrp` carries spawn, input and
+/// conflict edges (not just a header).
+const ORDER_GENERATOR: &str = "fft2";
+
+/// Partial-order sibling of [`recordings`]: the same seeded `fft2`
+/// execution recorded once under `--order partial`.
+fn order_recording() -> &'static Recording {
+    static CACHE: OnceLock<Recording> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let mut cfg = RecordingConfig::with_cores(2);
+        cfg.order = OrderMode::PartialOrder;
+        record(generator_program(ORDER_GENERATOR), cfg).expect("partial-order recording")
+    })
+}
+
 /// Downgrades a recording to the v1 (legacy) on-disk shape: bare `QRM1`
 /// meta, unframed chunk stream, legacy input log, no sidecars.
 fn legacy_parts(rec: &Recording, encoding: Encoding) -> RecordingParts {
@@ -117,6 +134,7 @@ fn legacy_parts(rec: &Recording, encoding: Encoding) -> RecordingParts {
         footprints: None,
         format: None,
         checkpoints: None,
+        order: None,
     }
 }
 
@@ -201,6 +219,7 @@ fn golden_wire_requests() -> Vec<qr_server::proto::Request> {
             threads: 2,
             scale: Scale::Test,
             encoding: Encoding::Delta,
+            order: OrderMode::TotalOrder,
         },
         Request::Fetch { id: 3 },
     ]
@@ -255,6 +274,29 @@ fn reject_fixtures() -> Vec<Reject> {
     varint::write_u64(&mut payload, 99);
     checkpoints_v99.record(&payload);
 
+    // A v4 manifest that does not list the order-log payload: the
+    // version/payload cross-check must refuse the contradiction.
+    let mut format_v4_no_order = frame::Writer::new(PayloadKind::FormatManifest);
+    let mut payload = Vec::new();
+    varint::write_u64(&mut payload, 4);
+    payload.push(frame::VERSION);
+    payload.push(Encoding::Raw.tag());
+    varint::write_u64(&mut payload, 0);
+    format_v4_no_order.record(&payload);
+
+    // An order log whose edge record opens with an unassigned edge-kind
+    // byte — the shape a future edge taxonomy would produce.
+    let mut order_bad_kind = frame::Writer::new(PayloadKind::OrderLog);
+    let mut payload = Vec::new();
+    varint::write_u64(&mut payload, 2); // two threads
+    varint::write_u64(&mut payload, 0); // tid 0 ..
+    varint::write_u64(&mut payload, 1); // .. one node
+    varint::write_u64(&mut payload, 1); // tid 1 ..
+    varint::write_u64(&mut payload, 1); // .. one node
+    varint::write_u64(&mut payload, 1); // one edge
+    order_bad_kind.record(&payload);
+    order_bad_kind.record(&[9]); // unassigned edge-kind byte
+
     let bare_meta =
         frame::read(&parts.meta, PayloadKind::Meta, "meta").expect("framed meta")[0].to_vec();
     let mut meta_trailing = frame::Writer::new(PayloadKind::Meta);
@@ -289,9 +331,25 @@ fn reject_fixtures() -> Vec<Reject> {
             name: "future-recording-format",
             file: "rejects/format-v99.qrv",
             decoder: "format-manifest",
-            error_contains: "recording format version 99 (newest supported 3)".to_string(),
+            error_contains: "recording format version 99 (newest supported 4)".to_string(),
             reason: "recordings from a future format generation are refused, not misread",
             bytes: format_v99.finish(),
+        },
+        Reject {
+            name: "v4-manifest-without-order-log",
+            file: "rejects/format-v4-no-order.qrv",
+            decoder: "format-manifest",
+            error_contains: "contradicts its payload list".to_string(),
+            reason: "a partial-order format version must list the order-log payload it implies",
+            bytes: format_v4_no_order.finish(),
+        },
+        Reject {
+            name: "order-unknown-edge-kind",
+            file: "rejects/order-bad-edge-kind.qrp",
+            decoder: "order-log",
+            error_contains: "unknown edge kind 9".to_string(),
+            reason: "order logs with an unassigned edge kind (a future taxonomy) are refused",
+            bytes: order_bad_kind.finish(),
         },
         Reject {
             name: "future-store-manifest",
@@ -345,6 +403,7 @@ fn run_decoder(decoder: &str, bytes: &[u8]) -> std::result::Result<(), QrError> 
         "trace" => qr_obs::trace::from_bytes(bytes).map(|_| ()),
         "wire-request" => qr_server::proto::decode_request(bytes).map(|_| ()),
         "checkpoint-index" => CheckpointIndex::from_bytes(bytes).map(|_| ()),
+        "order-log" => OrderLog::from_bytes(bytes).map(|_| ()),
         "recording" => {
             // The reject file replaces the meta of an otherwise-good
             // recording; the whole-recording decoder must refuse it.
@@ -374,7 +433,7 @@ fn maybe_regen() {
 
 fn regenerate() {
     let root = golden_root();
-    for sub in ["v3", "v1", "checkpoints", "store", "trace", "wire", "rejects"] {
+    for sub in ["v3", "v1", "order", "checkpoints", "store", "trace", "wire", "rejects"] {
         let dir = root.join(sub);
         std::fs::remove_dir_all(&dir).ok();
         std::fs::create_dir_all(&dir).expect("create fixture subdir");
@@ -433,6 +492,29 @@ fn regenerate() {
                 salvage_count(&v1.chunks, cut),
             ));
         }
+    }
+
+    // Partial-order fixtures: the same seeded fft2 execution recorded
+    // under `--order partial`, saved per encoding. The `order.qrp`
+    // bytes are a pure function of the execution, so they are pinned by
+    // CRC like every other part.
+    let order_rec = order_recording();
+    for encoding in Encoding::ALL {
+        let name = format!("{ORDER_GENERATOR}-{}", encoding.name());
+        let parts = order_rec.to_parts(encoding);
+        let dir = root.join("order").join(&name);
+        parts.save(&dir).expect("save order fixture");
+        let order = order_rec.order.as_ref().expect("partial-order recording has a log");
+        manifest.push_str(&format!(
+            "\n[[order]]\nname = \"{name}\"\ngenerator = \"{ORDER_GENERATOR}\"\n\
+             encoding = \"{}\"\npath = \"order/{name}\"\nfingerprint = \"0x{:016x}\"\n\
+             nodes = {}\nedges = {}\norder_crc = \"0x{:08x}\"\n",
+            encoding.name(),
+            order_rec.fingerprint,
+            order.node_count(),
+            order.edges().len(),
+            crc32::checksum(parts.order.as_ref().expect("order bytes")),
+        ));
     }
 
     // Checkpoint-index fixtures: full recording directories with a
@@ -594,6 +676,21 @@ fn regenerating_fixtures_is_byte_identical() {
         let encoding = encoding_named(fx.require_str("encoding").unwrap());
         let dir = golden_root().join(fx.require_str("path").unwrap());
         for (file, bytes) in rec.to_parts(encoding).files() {
+            let pinned = std::fs::read(dir.join(file)).expect("read pinned file");
+            assert_eq!(
+                bytes,
+                pinned.as_slice(),
+                "re-recording {name} no longer reproduces {file} byte-for-byte"
+            );
+        }
+    }
+    // Partial-order fixtures regenerate byte-identically too: the
+    // derived order log is a pure function of the seeded execution.
+    for fx in doc.sections_named("order") {
+        let name = fx.require_str("name").unwrap();
+        let encoding = encoding_named(fx.require_str("encoding").unwrap());
+        let dir = golden_root().join(fx.require_str("path").unwrap());
+        for (file, bytes) in order_recording().to_parts(encoding).files() {
             let pinned = std::fs::read(dir.join(file)).expect("read pinned file");
             assert_eq!(
                 bytes,
@@ -886,43 +983,110 @@ fn encodings_are_differentially_equivalent() {
 #[test]
 fn mutated_fixtures_fail_structurally_never_panic() {
     maybe_regen();
-    let dir = golden_root().join("v3/hello-packed");
-    let clean = RecordingParts::read(&dir).expect("read fixture");
-    let baseline = Recording::from_parts(&clean).expect("clean fixture decodes").fingerprint;
-    let mut rng = SplitMix64::new(0xbadf00d);
-    let files = clean.files().len();
-    for trial in 0..120 {
-        let mut parts = clean.clone();
-        let target = rng.below(files as u64) as usize;
-        {
-            let (name, _) = parts.files()[target];
-            let bytes: &mut Vec<u8> = match name {
-                "meta.qrm" => &mut parts.meta,
-                "chunks.qrl" => &mut parts.chunks,
-                "inputs.qrl" => &mut parts.inputs,
-                "footprints.qrl" => parts.footprints.as_mut().expect("fixture has footprints"),
-                "format.qrv" => parts.format.as_mut().expect("fixture has format manifest"),
-                other => panic!("unexpected part {other:?}"),
-            };
-            let bit = rng.below(bytes.len() as u64 * 8);
-            bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+    // The order fixture carries every recording part the format has —
+    // meta, chunks, inputs, footprints, format manifest AND order.qrp —
+    // so one campaign covers them all.
+    for dir in ["v3/hello-packed", "order/fft2-packed"] {
+        let dir = golden_root().join(dir);
+        let clean = RecordingParts::read(&dir).expect("read fixture");
+        let baseline = Recording::from_parts(&clean).expect("clean fixture decodes").fingerprint;
+        let mut rng = SplitMix64::new(0xbadf00d);
+        let files = clean.files().len();
+        for trial in 0..120 {
+            let mut parts = clean.clone();
+            let target = rng.below(files as u64) as usize;
+            {
+                let (name, _) = parts.files()[target];
+                let bytes: &mut Vec<u8> = match name {
+                    "meta.qrm" => &mut parts.meta,
+                    "chunks.qrl" => &mut parts.chunks,
+                    "inputs.qrl" => &mut parts.inputs,
+                    "footprints.qrl" => parts.footprints.as_mut().expect("fixture has footprints"),
+                    "format.qrv" => parts.format.as_mut().expect("fixture has format manifest"),
+                    "order.qrp" => parts.order.as_mut().expect("fixture has order log"),
+                    other => panic!("unexpected part {other:?}"),
+                };
+                let bit = rng.below(bytes.len() as u64 * 8);
+                bytes[(bit / 8) as usize] ^= 1 << (bit % 8);
+            }
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Recording::from_parts(&parts).map(|rec| rec.fingerprint)
+            }));
+            match outcome {
+                Err(_) => panic!("trial {trial}: bit flip caused a panic"),
+                // Every byte of every file sits under a frame CRC, so a
+                // flip may only surface as a structured error...
+                Ok(Err(QrError::Corrupt { .. }))
+                | Ok(Err(QrError::LogDecode(_)))
+                | Ok(Err(QrError::Unsupported(_))) => {}
+                Ok(Err(other)) => panic!("trial {trial}: unstructured failure {other:?}"),
+                // ...except a flip that only touches salvage-irrelevant
+                // padding cannot happen here: decode must not quietly
+                // produce a different execution.
+                Ok(Ok(fp)) => assert_eq!(fp, baseline, "trial {trial}: silent corruption"),
+            }
         }
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            Recording::from_parts(&parts).map(|rec| rec.fingerprint)
-        }));
-        match outcome {
-            Err(_) => panic!("trial {trial}: bit flip caused a panic"),
-            // Every byte of every v3 file sits under a frame CRC, so a
-            // flip may only surface as a structured error...
-            Ok(Err(QrError::Corrupt { .. }))
-            | Ok(Err(QrError::LogDecode(_)))
-            | Ok(Err(QrError::Unsupported(_))) => {}
-            Ok(Err(other)) => panic!("trial {trial}: unstructured failure {other:?}"),
-            // ...except a flip that only touches salvage-irrelevant
-            // padding cannot happen here: decode must not quietly
-            // produce a different execution.
-            Ok(Ok(fp)) => assert_eq!(fp, baseline, "trial {trial}: silent corruption"),
+    }
+}
+
+#[test]
+fn order_fixtures_replay_to_pinned_fingerprints() {
+    let doc = manifest_doc();
+    let sections = doc.sections_named("order");
+    assert_eq!(sections.len(), Encoding::ALL.len());
+    let program = generator_program(ORDER_GENERATOR);
+    for fx in sections {
+        let name = fx.require_str("name").unwrap();
+        let dir = golden_root().join(fx.require_str("path").unwrap());
+        let parts = RecordingParts::read(&dir).expect("read order fixture");
+        assert_eq!(RecordingVersion::detect(&parts), RecordingVersion::V4, "{name}");
+        let order_bytes = parts.order.clone().expect("fixture has order.qrp");
+        assert_eq!(
+            crc32::checksum(&order_bytes),
+            parse_hex(fx.require_str("order_crc").unwrap()) as u32,
+            "{name}: order.qrp drifted from its pinned CRC"
+        );
+        let rec = Recording::from_parts(&parts).expect("decode order fixture");
+        let order = rec.order.as_ref().expect("decoded recording carries the order log");
+        assert_eq!(order.node_count() as i64, fx.require_int("nodes").unwrap(), "{name}");
+        assert_eq!(order.edges().len() as i64, fx.require_int("edges").unwrap(), "{name}");
+
+        // The manifest must claim v4 and list the order-log payload.
+        let manifest = FormatManifest::from_bytes(parts.format.as_ref().expect("format manifest"))
+            .expect("decode manifest");
+        assert!(manifest.payloads.contains(&PayloadKind::OrderLog), "{name}");
+
+        // Serial and parallel ordered replays land on the pinned
+        // fingerprint — the conformance core of the partial-order format.
+        let pinned = parse_hex(fx.require_str("fingerprint").unwrap());
+        for jobs in [1, 2] {
+            let outcome = replay_ordered_and_verify(&program, &rec, jobs)
+                .unwrap_or_else(|e| panic!("{name}: ordered replay jobs={jobs}: {e}"));
+            assert_eq!(outcome.fingerprint, pinned, "{name} jobs={jobs}");
         }
+
+        // A truncated order.qrp salvages to a clean edge prefix, and the
+        // strict decoder refuses it.
+        let cut = order_bytes.len() * 2 / 3;
+        let (salvaged, report) = OrderLog::salvage_from_bytes(&order_bytes[..cut]);
+        assert!(report.corruption.is_some(), "{name}: truncation not reported");
+        assert!(
+            salvaged.edges().len() <= order.edges().len(),
+            "{name}: salvage invented edges"
+        );
+        assert!(
+            order.edges().starts_with(salvaged.edges()),
+            "{name}: salvage is not a clean prefix"
+        );
+        assert!(OrderLog::from_bytes(&order_bytes[..cut]).is_err(), "{name}: strict mode");
+
+        // `quickrec migrate` treats a v4 recording as current.
+        let tmp = scratch(&format!("order-{name}"));
+        copy_dir(&dir, &tmp);
+        let report = quickrec::migrate::migrate(&tmp).expect("migrate v4");
+        assert!(!report.changed, "{name}: migrate rewrote a v4 recording");
+        assert_eq!(dir_snapshot(&tmp), dir_snapshot(&dir), "{name}: migrate changed bytes");
+        std::fs::remove_dir_all(&tmp).ok();
     }
 }
 
@@ -944,6 +1108,7 @@ fn every_payload_kind_is_covered_by_a_fixture() {
             PayloadKind::TraceJournal => root.join("trace/hello.qrt"),
             PayloadKind::FormatManifest => root.join("v3/hello-raw/format.qrv"),
             PayloadKind::CheckpointIndex => root.join("checkpoints/hello-delta/checkpoints.qrc"),
+            PayloadKind::OrderLog => root.join("order/fft2-delta/order.qrp"),
         };
         let bytes = std::fs::read(&covering).unwrap_or_else(|e| {
             panic!("no golden fixture covers {}: {} ({e})", kind.name(), covering.display())

@@ -1,0 +1,142 @@
+//! Partial-order recording equivalence battery.
+//!
+//! A partial-order recording replaces the global chunk timestamps with
+//! recorded happens-before edges as the replay-ordering authority. Its
+//! correctness obligations, checked here across the whole workload
+//! suite:
+//!
+//! 1. **Fingerprint equivalence.** Replaying under the recorded partial
+//!    order — serially or on any worker count — produces the exact
+//!    outcome a total-order recording of the same seeded execution
+//!    replays to, for every chunk-log encoding round-trip.
+//! 2. **Differential discipline.** Turning partial-order recording on
+//!    changes nothing about the other logs: meta, chunks, inputs and
+//!    footprints stay byte-identical to the total-order recording;
+//!    default-mode recordings never grow an `order.qrp`.
+//! 3. **Observability neutrality.** The new ordering metrics follow the
+//!    metrics-on/off byte-identity gate like every other counter.
+
+use quickrec::workloads::{suite, Scale};
+use quickrec::{
+    record, replay, replay_ordered, replay_ordered_and_verify, ChunkLog, Encoding, OrderMode,
+    Recording, RecordingConfig, ReplayOutcome,
+};
+
+const THREADS: usize = 3;
+const CORES: usize = 4;
+
+fn config(order: OrderMode) -> RecordingConfig {
+    let mut cfg = RecordingConfig::with_cores(CORES);
+    cfg.order = order;
+    cfg
+}
+
+fn assert_equivalent(ordered: &ReplayOutcome, serial: &ReplayOutcome, context: &str) {
+    assert_eq!(ordered.fingerprint, serial.fingerprint, "fingerprint diverged: {context}");
+    assert_eq!(ordered.console, serial.console, "console diverged: {context}");
+    assert_eq!(ordered.exit_code, serial.exit_code, "exit code diverged: {context}");
+    assert_eq!(ordered.instructions, serial.instructions, "instructions diverged: {context}");
+    assert_eq!(ordered.chunks_replayed, serial.chunks_replayed, "chunk count diverged: {context}");
+    assert_eq!(ordered.inputs_injected, serial.inputs_injected, "input count diverged: {context}");
+}
+
+#[test]
+fn partial_order_replay_matches_total_order_for_every_workload_encoding_and_job_count() {
+    for spec in suite() {
+        let program = (spec.build)(THREADS, Scale::Test).expect("workload builds");
+        // The seeded execution is deterministic, so the total-order and
+        // partial-order recordings capture the same run.
+        let total = record(program.clone(), config(OrderMode::TotalOrder)).expect("total record");
+        let partial =
+            record(program.clone(), config(OrderMode::PartialOrder)).expect("partial record");
+        assert!(total.order.is_none(), "{}: total-order recording grew an order log", spec.name);
+        let order = partial.order.as_ref().expect("partial-order recording has a log");
+        assert!(order.node_count() > 0, "{}: empty order log", spec.name);
+        let serial = replay(&program, &total).expect("serial total-order replay");
+        for encoding in Encoding::ALL {
+            // Round-trip the chunk log through this encoding, as a
+            // stored recording would arrive from disk.
+            let bytes = partial.chunks.to_bytes(encoding);
+            let mut reloaded = partial.clone();
+            reloaded.chunks = ChunkLog::from_bytes(&bytes).expect("chunk log decodes");
+            for jobs in [1usize, 2, 4] {
+                let context = format!("{} / {encoding:?} / {jobs} jobs", spec.name);
+                let outcome = replay_ordered_and_verify(&program, &reloaded, jobs)
+                    .unwrap_or_else(|e| panic!("{context}: {e}"));
+                assert_equivalent(&outcome, &serial, &context);
+            }
+        }
+    }
+}
+
+#[test]
+fn partial_order_recording_changes_only_the_sidecar_and_manifest() {
+    for spec in suite() {
+        let program = (spec.build)(THREADS, Scale::Test).expect("workload builds");
+        let total = record(program.clone(), config(OrderMode::TotalOrder)).expect("total record");
+        let partial =
+            record(program, config(OrderMode::PartialOrder)).expect("partial record");
+        let total_parts = total.to_parts(Encoding::Delta);
+        let partial_parts = partial.to_parts(Encoding::Delta);
+        // Same execution, same logs: only format.qrv (version bump) and
+        // order.qrp (the new sidecar) may differ.
+        assert_eq!(total_parts.meta, partial_parts.meta, "{}: meta drifted", spec.name);
+        assert_eq!(total_parts.chunks, partial_parts.chunks, "{}: chunks drifted", spec.name);
+        assert_eq!(total_parts.inputs, partial_parts.inputs, "{}: inputs drifted", spec.name);
+        assert_eq!(
+            total_parts.footprints, partial_parts.footprints,
+            "{}: footprints drifted",
+            spec.name
+        );
+        assert!(total_parts.order.is_none(), "{}: total order grew order.qrp", spec.name);
+        assert!(partial_parts.order.is_some(), "{}: partial order lost order.qrp", spec.name);
+        assert_ne!(total_parts.format, partial_parts.format, "{}: same format version", spec.name);
+    }
+}
+
+#[test]
+fn partial_order_recordings_round_trip_through_disk() {
+    let dir = std::env::temp_dir().join(format!("quickrec-order-rt-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    let spec = quickrec::workloads::find("lu").expect("lu exists");
+    let program = (spec.build)(THREADS, Scale::Test).expect("workload builds");
+    let partial = record(program.clone(), config(OrderMode::PartialOrder)).expect("record");
+    for encoding in Encoding::ALL {
+        let enc_dir = dir.join(encoding.name());
+        partial.save(&enc_dir, encoding).expect("save");
+        assert!(enc_dir.join("order.qrp").is_file(), "order.qrp not written");
+        let loaded = Recording::load(&enc_dir).expect("load");
+        assert_eq!(loaded.order, partial.order, "{}: order log drifted", encoding.name());
+        let outcome = replay_ordered(&program, &loaded, 2).expect("ordered replay");
+        assert_eq!(outcome.fingerprint, partial.fingerprint);
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ordering_metrics_do_not_change_recorded_bytes() {
+    let spec = quickrec::workloads::find("fft").expect("fft exists");
+    let program = (spec.build)(THREADS, Scale::Test).expect("workload builds");
+    let was_enabled = qr_obs::enabled();
+
+    qr_obs::set_enabled(true);
+    let observed = record(program.clone(), config(OrderMode::PartialOrder)).expect("record");
+    let observed_replay = replay_ordered(&program, &observed, 2).expect("ordered replay");
+    qr_obs::set_enabled(false);
+    let blind = record(program.clone(), config(OrderMode::PartialOrder)).expect("record");
+    let blind_replay = replay_ordered(&program, &blind, 2).expect("ordered replay");
+    qr_obs::set_enabled(was_enabled);
+
+    assert_eq!(observed_replay.fingerprint, blind_replay.fingerprint);
+    for encoding in Encoding::ALL {
+        let on = observed.to_parts(encoding);
+        let off = blind.to_parts(encoding);
+        for ((name, on_bytes), (_, off_bytes)) in on.files().iter().zip(off.files()) {
+            assert_eq!(
+                *on_bytes, off_bytes,
+                "{}/{name}: bytes differ with metrics enabled",
+                encoding.name()
+            );
+        }
+    }
+}
