@@ -26,7 +26,7 @@ pub const ALL_IDS: [&str; 22] = [
 /// `repro all` — their numbers vary run to run, so including them would
 /// break the harness guarantee that parallel output is byte-identical
 /// to `--serial` — and must be invoked explicitly (like `cargo bench`).
-pub const WALL_CLOCK_IDS: [&str; 4] = ["e10b", "e13", "e14", "e15"];
+pub const WALL_CLOCK_IDS: [&str; 5] = ["e10b", "e13", "e14", "e15", "e16"];
 
 /// What an experiment prints after its table.
 enum Footer {
@@ -75,6 +75,7 @@ pub fn plan(id: &str) -> Option<Experiment> {
         "e13" => e13(),
         "e14" => e14(),
         "e15" => e15(),
+        "e16" => e16(),
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),
@@ -578,6 +579,8 @@ fn e10b() -> Experiment {
                 shards: workers,
                 queue_capacity: 64,
                 store_root: dir.join("store"),
+                event_workers: 2,
+                max_connections: 4096,
             };
             let handle = qr_server::Server::start(&endpoint, &config)?;
             let mut client = qr_server::Client::connect(handle.endpoint())?;
@@ -1409,6 +1412,337 @@ fn e15() -> Experiment {
             "(total order serializes every chunk's global timestamp; partial order only the \
              happens-before edges that constrain replay, so its cost tracks actual sharing, \
              not core count)",
+        ),
+    }
+}
+
+/// E16 — daemon concurrency: one `quickrecd` multiplexing a thousand
+/// live connections on a handful of event workers, with Busy
+/// backpressure under saturation and fetch results byte-identical to a
+/// sequential local recording.
+fn e16() -> Experiment {
+    let job: Job = Box::new(|cache: &BuildCache| {
+        use qr_server::proto::{Endpoint, Request, Response};
+        use qr_server::Client;
+
+        let env_count = |name: &str, default: usize| {
+            std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        let conns = env_count("QR_BENCH_CONNS", 1100).max(4);
+        let jobs = env_count("QR_BENCH_JOBS", 64).clamp(1, conns);
+        // An external daemon (spawned by verify.sh / CI) owns its own
+        // lifecycle and configuration; in-process we pick a queue the
+        // default burst must overflow so the Busy path is exercised.
+        let external = std::env::var("QR_E16_SOCKET").ok();
+        let queue_capacity = 16usize;
+        let workers = 2usize;
+
+        let dir = std::env::temp_dir().join(format!("qr-e16-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).map_err(|e| QrError::Execution {
+            detail: format!("scratch dir: {e}"),
+        })?;
+        let (endpoint, handle) = match &external {
+            Some(path) => (Endpoint::Unix(path.into()), None),
+            None => {
+                let endpoint = Endpoint::Unix(dir.join("qd.sock"));
+                let config = qr_server::ServerConfig {
+                    workers,
+                    shards: workers,
+                    queue_capacity,
+                    store_root: dir.join("store"),
+                    event_workers: 2,
+                    // Exactly the fleet size: every connection beyond
+                    // the fleet must be refused with Busy at accept.
+                    max_connections: conns,
+                };
+                let handle = qr_server::Server::start(&endpoint, &config)?;
+                (endpoint, Some(handle))
+            }
+        };
+
+        // Phase 1: open the whole fleet and keep every stream alive.
+        let started = std::time::Instant::now();
+        let mut clients = Vec::with_capacity(conns);
+        clients.push(Client::connect_with_retry(&endpoint, std::time::Duration::from_secs(10))?);
+        for _ in 1..conns {
+            clients.push(Client::connect(&endpoint)?);
+        }
+        let connect_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Phase 2: one PING round trip on every open connection — each
+        // must answer while all the others stay connected.
+        let started = std::time::Instant::now();
+        for (i, client) in clients.iter_mut().enumerate() {
+            client.ping().map_err(|e| QrError::Execution {
+                detail: format!("ping on connection {i} of {conns}: {e}"),
+            })?;
+        }
+        let ping_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Phase 3: burst RECORD submissions over distinct connections.
+        // Every one gets a framed answer: Submitted or a clean Busy.
+        let started = std::time::Instant::now();
+        let mut accepted = Vec::new();
+        let mut busy = 0usize;
+        for i in 0..jobs {
+            let client = &mut clients[i % conns];
+            match client.call(&Request::SubmitWorkload {
+                name: format!("e16-{i}"),
+                workload: "fft".into(),
+                threads: 2,
+                scale: Scale::Test,
+                encoding: Encoding::Delta,
+                order: OrderMode::TotalOrder,
+            })? {
+                Response::Submitted { id } => accepted.push(id),
+                Response::Busy { .. } => busy += 1,
+                other => {
+                    return Err(QrError::Execution {
+                        detail: format!("submission {i}: unexpected response {other:?}"),
+                    })
+                }
+            }
+        }
+        if accepted.len() + busy != jobs || accepted.is_empty() {
+            return Err(QrError::Execution {
+                detail: format!(
+                    "burst of {jobs} answered {} Submitted + {busy} Busy",
+                    accepted.len()
+                ),
+            });
+        }
+        if external.is_none() && jobs > queue_capacity + workers && busy == 0 {
+            return Err(QrError::Execution {
+                detail: format!(
+                    "a {jobs}-burst against a {queue_capacity}-deep queue never saw Busy"
+                ),
+            });
+        }
+        for &id in &accepted {
+            clients[0].wait_for(id, std::time::Duration::from_secs(600))?;
+        }
+        let jobs_ms = started.elapsed().as_secs_f64() * 1e3;
+
+        // Phase 4: fidelity gate. A sample of the daemon's recordings
+        // must be byte-identical to one sequential local recording of
+        // the same seeded workload (the daemon adds its checkpoint
+        // sidecar on top; every file the local run produces must match).
+        let spec = suite::find("fft").expect("suite member");
+        let reference =
+            record_workload_with(cache, &spec, 2, Scale::Test, RecordingConfig::with_cores(2))?;
+        let ref_dir = dir.join("reference");
+        std::fs::create_dir_all(&ref_dir).map_err(|e| QrError::Execution {
+            detail: format!("reference dir: {e}"),
+        })?;
+        reference.save(&ref_dir, Encoding::Delta)?;
+        let mut ref_files = Vec::new();
+        for entry in std::fs::read_dir(&ref_dir).map_err(|e| QrError::Execution {
+            detail: format!("reference dir: {e}"),
+        })? {
+            let entry = entry.map_err(|e| QrError::Execution { detail: e.to_string() })?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let bytes = std::fs::read(entry.path())
+                .map_err(|e| QrError::Execution { detail: format!("{name}: {e}") })?;
+            ref_files.push((name, bytes));
+        }
+
+        let mut cases = 0u64;
+        let mut drift = 0u64;
+        let mut first_drift = String::new();
+        let mut note_drift = |detail: String, drift: &mut u64| {
+            *drift += 1;
+            if first_drift.is_empty() {
+                first_drift = detail;
+            }
+        };
+        for &id in accepted.iter().take(8) {
+            cases += 1;
+            let Response::Fetched { files, fingerprint } =
+                clients[0].call(&Request::Fetch { id })?
+            else {
+                note_drift(format!("session {id}: fetch refused"), &mut drift);
+                continue;
+            };
+            if fingerprint != reference.fingerprint {
+                note_drift(
+                    format!(
+                        "session {id}: fingerprint {fingerprint:#018x} != local \
+                         {:#018x}",
+                        reference.fingerprint
+                    ),
+                    &mut drift,
+                );
+                continue;
+            }
+            for (name, bytes) in &ref_files {
+                let fetched = match files.iter().find(|(n, _)| n == name) {
+                    Some((_, fetched)) => fetched,
+                    None => {
+                        note_drift(format!("session {id}: {name} missing"), &mut drift);
+                        continue;
+                    }
+                };
+                // The daemon legitimately rewrites the format manifest
+                // to list its checkpoint sidecar; every other file must
+                // be byte-identical to the local recording.
+                if name == "format.qrv" {
+                    use qr_common::frame::PayloadKind;
+                    let mut expected = qr_capo::FormatManifest::from_bytes(bytes)?;
+                    if !expected.payloads.contains(&PayloadKind::CheckpointIndex) {
+                        expected.payloads.push(PayloadKind::CheckpointIndex);
+                        expected.payloads.sort_by_key(|k| k.code());
+                    }
+                    if fetched != &expected.to_bytes() && fetched != bytes {
+                        note_drift(
+                            format!("session {id}: {name} differs beyond the sidecar entry"),
+                            &mut drift,
+                        );
+                    }
+                } else if fetched != bytes {
+                    note_drift(
+                        format!("session {id}: {name} differs from the local bytes"),
+                        &mut drift,
+                    );
+                }
+            }
+        }
+
+        // Phase 5 (in-process only): the accept path refuses connection
+        // number max_connections+1 with a framed Busy, never a hang.
+        let mut refused = 0usize;
+        if external.is_none() {
+            for i in 0..8 {
+                match Client::connect(&endpoint) {
+                    Err(_) => refused += 1,
+                    Ok(mut extra) => match extra.ping() {
+                        Err(_) => refused += 1,
+                        Ok(()) => {
+                            return Err(QrError::Execution {
+                                detail: format!(
+                                    "overload probe {i} was served with {conns} \
+                                     connections already open (max_connections={conns})"
+                                ),
+                            })
+                        }
+                    },
+                }
+            }
+        }
+
+        // Phase 6: the event loop's own instrumentation is live.
+        let metrics = clients[0].metrics()?;
+        for family in ["qr_server_event_loop_wakeups_total", "qr_server_open_connections"] {
+            if !metrics.contains(family) {
+                return Err(QrError::Execution {
+                    detail: format!("metrics exposition is missing `{family}`"),
+                });
+            }
+        }
+
+        // Phase 7 (in-process only): hang up everywhere; the gauge must
+        // drain to exactly zero, then shut the daemon down.
+        drop(clients);
+        if let Some(handle) = handle {
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+            while handle.open_connections() != 0 {
+                if std::time::Instant::now() >= deadline {
+                    return Err(QrError::Execution {
+                        detail: format!(
+                            "open-connections gauge stuck at {} after the fleet hung up",
+                            handle.open_connections()
+                        ),
+                    });
+                }
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            handle.shutdown();
+            handle.wait();
+        }
+
+        let mut out = JobOutput::default();
+        out.rows.push(vec![
+            "connections".into(),
+            conns.to_string(),
+            "held open concurrently on one daemon".into(),
+        ]);
+        out.rows.push(vec![
+            "connect".into(),
+            format!("{connect_ms:.0} ms"),
+            format!("{:.0} conns/s", conns as f64 / (connect_ms / 1e3).max(1e-9)),
+        ]);
+        out.rows.push(vec![
+            "ping sweep".into(),
+            format!("{ping_ms:.0} ms"),
+            format!("every one of {conns} connections answered"),
+        ]);
+        out.rows.push(vec![
+            "submissions".into(),
+            jobs.to_string(),
+            format!("{} accepted, {busy} busy (all framed)", accepted.len()),
+        ]);
+        out.rows.push(vec![
+            "jobs drained".into(),
+            format!("{jobs_ms:.0} ms"),
+            format!("{} RECORD jobs to Done", accepted.len()),
+        ]);
+        out.rows.push(vec![
+            "overload probe".into(),
+            refused.to_string(),
+            if external.is_some() {
+                "skipped (external daemon)".into()
+            } else {
+                format!("refused past max_connections={conns}")
+            },
+        ]);
+        out.rows.push(vec![
+            "fidelity".into(),
+            format!("{cases} sessions"),
+            if drift == 0 { "PASS (byte-identical to local)".into() }
+            else { format!("{drift} DRIFT") },
+        ]);
+
+        // Machine-readable summary, hand-rolled JSON (no external crates).
+        let json_path =
+            std::env::var("QR_BENCH_JSON").unwrap_or_else(|_| "BENCH_daemon.json".into());
+        let json = format!(
+            "{{\n  \"experiment\": \"e16\",\n  \"connections\": {conns},\n  \
+             \"event_workers\": 2,\n  \"external_daemon\": {},\n  \
+             \"connect_ms\": {connect_ms:.1},\n  \
+             \"connects_per_sec\": {:.1},\n  \"ping_sweep_ms\": {ping_ms:.1},\n  \
+             \"submissions\": {jobs},\n  \"accepted\": {},\n  \"busy\": {busy},\n  \
+             \"refused_at_accept\": {refused},\n  \"jobs_wall_ms\": {jobs_ms:.1},\n  \
+             \"fidelity\": {{\n    \"cases\": {cases},\n    \"drift\": {drift}\n  }}\n}}\n",
+            external.is_some(),
+            conns as f64 / (connect_ms / 1e3).max(1e-9),
+            accepted.len(),
+        );
+        std::fs::write(&json_path, json).map_err(|e| QrError::Execution {
+            detail: format!("writing {json_path}: {e}"),
+        })?;
+        std::fs::remove_dir_all(&dir).ok();
+
+        if drift > 0 {
+            return Err(QrError::Execution {
+                detail: format!("fetch drift ({drift} in {cases} sessions): {first_drift}"),
+            });
+        }
+        Ok(out)
+    });
+    Experiment {
+        id: "e16",
+        title: "daemon concurrency: multiplexed sessions on the event-driven listener",
+        note: "QR_BENCH_CONNS connections (default 1100) and QR_BENCH_JOBS submissions \
+         (default 64) against one daemon; wall times vary with the host — the fidelity \
+         drift, framed-answer and accounting gates are the pass/fail signals (summary \
+         written to BENCH_daemon.json, QR_BENCH_JSON to override; QR_E16_SOCKET points \
+         at an externally spawned daemon)",
+        header: vec!["metric".into(), "value".into(), "detail".into()],
+        jobs: vec![job],
+        footer: Footer::Static(
+            "(a fixed crew of event workers multiplexes every connection with poll(2); \
+             the bounded worker pool still runs the CPU-bound jobs, so saturation shows \
+             up as clean Busy answers, not stalled connections)",
         ),
     }
 }

@@ -342,8 +342,17 @@ pub fn scan(buf: &[u8]) -> Scan<'_> {
         valid_len: 0,
     };
     if buf.len() < HEADER_LEN {
-        let kind = if is_framed(buf) { FaultKind::TruncatedHeader } else { FaultKind::BadMagic };
-        return fault(kind, buf.len().min(MAGIC.len()));
+        // A short buffer that is a proper prefix of the magic (e.g. a
+        // file torn to "QRC") is a truncated framed container, not an
+        // unframed one — `is_framed` alone can't tell, it needs all 4
+        // magic bytes.
+        let seen = buf.len().min(MAGIC.len());
+        let kind = if buf[..seen] == MAGIC[..seen] {
+            FaultKind::TruncatedHeader
+        } else {
+            FaultKind::BadMagic
+        };
+        return fault(kind, seen);
     }
     if !is_framed(buf) {
         return fault(FaultKind::BadMagic, 0);
@@ -459,6 +468,35 @@ mod tests {
         assert_eq!(scanned.records, vec![b"one".as_slice(), b"two".as_slice()]);
         assert_eq!(scanned.fault.unwrap().kind, FaultKind::TruncatedRecord);
         assert!(read(&buf[..cut], PayloadKind::ChunkLog, "test").is_err());
+    }
+
+    #[test]
+    fn short_magic_prefix_is_truncation_not_bad_magic() {
+        // A file torn to a proper prefix of the magic ("Q", "QR",
+        // "QRC") is a truncated framed container; salvage reports must
+        // not misclassify it as an unframed (corrupt-magic) one.
+        for cut in 0..MAGIC.len() {
+            let scanned = scan(&MAGIC[..cut]);
+            let fault = scanned.fault.expect("short buffer faults");
+            assert_eq!(fault.kind, FaultKind::TruncatedHeader, "cut={cut}");
+            assert_eq!(fault.offset, cut);
+        }
+        // A full magic with a missing version/kind byte is still a
+        // truncated header.
+        let scanned = scan(&MAGIC);
+        assert_eq!(scanned.fault.unwrap().kind, FaultKind::TruncatedHeader);
+    }
+
+    #[test]
+    fn short_non_magic_prefix_is_still_bad_magic() {
+        for short in [b"X".as_slice(), b"XY", b"XYZ", b"QRX", b"qrc"] {
+            let scanned = scan(short);
+            assert_eq!(
+                scanned.fault.expect("short buffer faults").kind,
+                FaultKind::BadMagic,
+                "{short:?}"
+            );
+        }
     }
 
     #[test]

@@ -55,7 +55,12 @@ impl Client {
         };
         let stream = match endpoint {
             Endpoint::Unix(path) => Stream::Unix(UnixStream::connect(path).map_err(io)?),
-            Endpoint::Tcp(addr) => Stream::Tcp(TcpStream::connect(addr).map_err(io)?),
+            Endpoint::Tcp(addr) => {
+                let stream = TcpStream::connect(addr).map_err(io)?;
+                // One request per round trip: Nagle only adds latency.
+                let _ = stream.set_nodelay(true);
+                Stream::Tcp(stream)
+            }
         };
         let mut client = Client { stream };
         proto::write_stream_header(&mut client.stream)?;
@@ -110,6 +115,25 @@ impl Client {
                 what: "wire message".into(),
                 offset: 0,
                 detail: "server closed the connection mid-exchange".into(),
+            }),
+        }
+    }
+
+    /// Round-trips a PING.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Execution`] for transport failures or any
+    /// reply that is not `Pong` (including an overloaded server's
+    /// `Busy` refusal).
+    pub fn ping(&mut self) -> Result<()> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            Response::Busy { queued } => Err(QrError::Execution {
+                detail: format!("server is saturated ({queued} queued)"),
+            }),
+            other => Err(QrError::Execution {
+                detail: format!("unexpected PING response: {other:?}"),
             }),
         }
     }

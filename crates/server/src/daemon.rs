@@ -9,12 +9,15 @@ use std::path::PathBuf;
 pub const USAGE: &str = "usage: quickrecd (--socket PATH | --tcp ADDR) [options]
 
 options:
-  --socket PATH   listen on a Unix-domain socket
-  --tcp ADDR      listen on a TCP address (host:port; port 0 picks one)
-  --store DIR     recording-store root        [default: ./qr-store]
-  --workers N     job worker threads          [default: 2]
-  --shards N      session-registry shards     [default: workers]
-  --queue N       bounded job-queue capacity  [default: 64]
+  --socket PATH      listen on a Unix-domain socket
+  --tcp ADDR         listen on a TCP address (host:port; port 0 picks one)
+  --store DIR        recording-store root           [default: ./qr-store]
+  --workers N        job worker threads             [default: 2]
+  --shards N         session-registry shards        [default: workers]
+  --queue N          bounded job-queue capacity     [default: 64]
+  --event-workers N  connection event-loop threads  [default: 2]
+  --max-conns N      open-connection cap (past it,
+                     new connections get Busy)      [default: 4096]
 
 The server runs until a client sends SHUTDOWN (`quickrec shutdown`).";
 
@@ -53,6 +56,8 @@ pub fn parse_args(args: &[String]) -> Result<(Endpoint, ServerConfig), String> {
         store_root: PathBuf::from(
             flag_value(args, "--store").unwrap_or_else(|| "qr-store".into()),
         ),
+        event_workers: parse_count(args, "--event-workers", 2)?,
+        max_connections: parse_count(args, "--max-conns", 4096)?,
     };
     Ok((endpoint, cfg))
 }
@@ -70,11 +75,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let (endpoint, cfg) = parse_args(args)?;
     let handle = Server::start(&endpoint, &cfg).map_err(|e| e.to_string())?;
     println!(
-        "quickrecd listening on {} (workers={} shards={} queue={} store={})",
+        "quickrecd listening on {} (workers={} shards={} queue={} event-workers={} \
+         max-conns={} store={})",
         handle.endpoint().describe(),
         cfg.workers,
         cfg.shards,
         cfg.queue_capacity,
+        cfg.event_workers,
+        cfg.max_connections,
         cfg.store_root.display()
     );
     // Make the announcement visible to scripts piping our stdout.

@@ -4,16 +4,19 @@
 //!
 //! The binary and library behind the daemon: a `std::net`
 //! (Unix-socket or TCP) server speaking a length-prefixed binary
-//! protocol built on `qr_common::frame` ([`proto`]), with a sharded
-//! session registry ([`registry`]), a bounded worker pool with
-//! backpressure ([`pool`]), and job execution (RECORD / REPLAY /
-//! VERIFY / RACES) over the simulator stack, persisting results into a
-//! `qr_store::RecordingStore`. Graceful shutdown drains in-flight jobs
-//! and the store's atomic commit protocol guarantees no torn entry is
-//! ever visible.
+//! protocol built on `qr_common::frame` ([`proto`]) through an
+//! event-driven nonblocking connection layer (`event`: a `poll(2)`
+//! readiness loop multiplexing thousands of connections per worker),
+//! with a sharded session registry ([`registry`]), a bounded worker
+//! pool with backpressure ([`pool`]), and job execution (RECORD /
+//! REPLAY / VERIFY / RACES) over the simulator stack, persisting
+//! results into a `qr_store::RecordingStore`. Graceful shutdown drains
+//! in-flight jobs and the store's atomic commit protocol guarantees no
+//! torn entry is ever visible.
 
 pub mod client;
 pub mod daemon;
+mod event;
 mod obs;
 pub mod pool;
 pub mod proto;

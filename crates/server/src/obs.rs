@@ -110,6 +110,50 @@ fn connection_counter() -> &'static Arc<Counter> {
     })
 }
 
+fn open_connections_gauge() -> &'static Arc<Gauge> {
+    static CELL: OnceLock<Arc<Gauge>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().gauge(
+            "qr_server_open_connections",
+            "Connections currently owned by the event loop.",
+            &[],
+        )
+    })
+}
+
+fn event_wakeup_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_server_event_loop_wakeups_total",
+            "Event-worker poll returns (readiness or timeout).",
+            &[],
+        )
+    })
+}
+
+fn event_events_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_server_event_loop_events_total",
+            "Connection readiness events handled by the event workers.",
+            &[],
+        )
+    })
+}
+
+fn event_adopted_counter() -> &'static Arc<Counter> {
+    static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        qr_obs::global().counter(
+            "qr_server_event_loop_conns_adopted_total",
+            "Connections handed from the accept loop to an event worker.",
+            &[],
+        )
+    })
+}
+
 fn accept_error_counter() -> &'static Arc<Counter> {
     static CELL: OnceLock<Arc<Counter>> = OnceLock::new();
     CELL.get_or_init(|| {
@@ -182,6 +226,36 @@ pub(crate) fn busy_rejection() {
 pub(crate) fn connection_opened() {
     if qr_obs::enabled() {
         connection_counter().inc();
+    }
+}
+
+/// Moves the open-connections gauge by `delta` (+1 on adopt, -1 on
+/// close — a delta, not a set, so several in-process servers sharing
+/// the global registry stay additive).
+pub(crate) fn connection_delta(delta: i64) {
+    if qr_obs::enabled() {
+        open_connections_gauge().add(delta);
+    }
+}
+
+/// Counts one event-worker poll return.
+pub(crate) fn event_wakeup() {
+    if qr_obs::enabled() {
+        event_wakeup_counter().inc();
+    }
+}
+
+/// Counts `n` connection readiness events handled in one poll return.
+pub(crate) fn event_events(n: usize) {
+    if qr_obs::enabled() && n > 0 {
+        event_events_counter().add(n as u64);
+    }
+}
+
+/// Counts one connection adopted by an event worker.
+pub(crate) fn event_adopted() {
+    if qr_obs::enabled() {
+        event_adopted_counter().inc();
     }
 }
 

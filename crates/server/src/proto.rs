@@ -81,6 +81,16 @@ pub fn read_stream_header<R: Read + ?Sized>(r: &mut R) -> Result<()> {
         std::io::ErrorKind::UnexpectedEof => corrupt(0, "truncated stream header".into()),
         _ => io_err("reading stream header", e),
     })?;
+    validate_stream_header(&header)
+}
+
+/// Validates an already-read 6-byte stream header (shared by the
+/// blocking reader and the nonblocking [`MessageAssembler`]).
+///
+/// # Errors
+///
+/// Returns [`QrError::Corrupt`] for a wrong magic, version or kind.
+pub fn validate_stream_header(header: &[u8; frame::HEADER_LEN]) -> Result<()> {
     if header[..4] != frame::MAGIC {
         return Err(corrupt(0, "bad stream magic".into()));
     }
@@ -119,15 +129,40 @@ pub fn write_message<W: Write + ?Sized>(w: &mut W, payload: &[u8]) -> Result<()>
 ///
 /// # Errors
 ///
-/// Returns [`QrError::Corrupt`] for truncation inside a message, an
-/// oversized length prefix or a CRC mismatch; [`QrError::Execution`]
-/// for other I/O failures.
+/// Returns [`QrError::Corrupt`] for truncation inside a message or its
+/// length prefix, an oversized length prefix or a CRC mismatch;
+/// [`QrError::Execution`] for other I/O failures.
 pub fn read_message<R: Read + ?Sized>(r: &mut R) -> Result<Option<Vec<u8>>> {
+    // Fill the 4-byte length prefix by hand: only a stream that ends
+    // *before* the first prefix byte is a clean close. A peer that dies
+    // after 1-3 prefix bytes left a torn message, which `read_exact`'s
+    // blanket UnexpectedEof would silently swallow.
     let mut len_bytes = [0u8; 4];
-    match r.read_exact(&mut len_bytes) {
-        Ok(()) => {}
-        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(io_err("reading message length", e)),
+    let mut filled = 0;
+    while filled < len_bytes.len() {
+        match r.read(&mut len_bytes[filled..]) {
+            Ok(0) => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(corrupt(
+                    filled as u64,
+                    format!("truncated message length ({filled} of 4 prefix bytes)"),
+                ));
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                if filled == 0 {
+                    return Ok(None);
+                }
+                return Err(corrupt(
+                    filled as u64,
+                    format!("truncated message length ({filled} of 4 prefix bytes)"),
+                ));
+            }
+            Err(e) => return Err(io_err("reading message length", e)),
+        }
     }
     let len = u32::from_le_bytes(len_bytes);
     if len > MAX_MESSAGE {
@@ -144,6 +179,102 @@ pub fn read_message<R: Read + ?Sized>(r: &mut R) -> Result<Option<Vec<u8>>> {
         return Err(corrupt(4, "message checksum mismatch".into()));
     }
     Ok(Some(body))
+}
+
+/// Incremental wire-stream reassembler for the nonblocking connection
+/// layer.
+///
+/// The event loop hands it whatever bytes `read(2)` produced; the
+/// assembler buffers them, validates the 6-byte stream header once,
+/// and yields complete CRC-checked message payloads as they close.
+/// It never blocks and never over-reads: a torn message simply stays
+/// pending until more bytes arrive (or [`at_message_boundary`] says
+/// the peer hung up mid-message).
+///
+/// [`at_message_boundary`]: MessageAssembler::at_message_boundary
+#[derive(Debug, Default)]
+pub struct MessageAssembler {
+    buf: Vec<u8>,
+    // Bytes of `buf` already consumed by completed header/messages;
+    // compacted lazily so byte-at-a-time feeds stay O(n).
+    pos: usize,
+    header_done: bool,
+}
+
+impl MessageAssembler {
+    /// A fresh assembler expecting the stream header first.
+    pub fn new() -> MessageAssembler {
+        MessageAssembler::default()
+    }
+
+    /// True once the peer's stream header has been validated.
+    pub fn header_done(&self) -> bool {
+        self.header_done
+    }
+
+    /// True when the stream sits exactly between messages — a peer
+    /// close observed here is clean EOF, anywhere else it tore a
+    /// header or message.
+    pub fn at_message_boundary(&self) -> bool {
+        self.header_done && self.pos == self.buf.len()
+    }
+
+    fn pending(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 && (self.pos == self.buf.len() || self.pos >= 64 * 1024) {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+
+    /// Feeds freshly-read bytes and appends every message payload that
+    /// completed to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QrError::Corrupt`] for a bad stream header, an
+    /// oversized length prefix or a CRC mismatch. A failed stream is
+    /// poisoned — callers close the connection.
+    pub fn feed(&mut self, bytes: &[u8], out: &mut Vec<Vec<u8>>) -> Result<()> {
+        self.buf.extend_from_slice(bytes);
+        if !self.header_done {
+            if self.pending().len() < frame::HEADER_LEN {
+                return Ok(());
+            }
+            let header: [u8; frame::HEADER_LEN] =
+                self.pending()[..frame::HEADER_LEN].try_into().expect("6 header bytes");
+            validate_stream_header(&header)?;
+            self.pos += frame::HEADER_LEN;
+            self.header_done = true;
+        }
+        loop {
+            let pending = self.pending();
+            if pending.len() < 4 {
+                break;
+            }
+            let len = u32::from_le_bytes(pending[..4].try_into().expect("4 prefix bytes"));
+            if len > MAX_MESSAGE {
+                return Err(corrupt(0, format!("message length {len} exceeds the wire limit")));
+            }
+            let total = 4 + len as usize + 4;
+            if pending.len() < total {
+                break;
+            }
+            let body = &pending[4..4 + len as usize];
+            let crc_bytes: [u8; 4] =
+                pending[4 + len as usize..total].try_into().expect("4 trailer bytes");
+            if crc32::checksum(body) != u32::from_le_bytes(crc_bytes) {
+                return Err(corrupt(4, "message checksum mismatch".into()));
+            }
+            out.push(body.to_vec());
+            self.pos += total;
+        }
+        self.compact();
+        Ok(())
+    }
 }
 
 /// A client-to-server command.
@@ -949,6 +1080,72 @@ mod tests {
         wire.extend_from_slice(&u32::MAX.to_le_bytes());
         let err = read_message(&mut std::io::Cursor::new(wire)).unwrap_err();
         assert!(matches!(err, QrError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn clean_close_between_messages_is_none() {
+        let empty: &[u8] = &[];
+        assert!(read_message(&mut std::io::Cursor::new(empty)).unwrap().is_none());
+    }
+
+    #[test]
+    fn torn_length_prefix_is_corrupt_not_clean_eof() {
+        // A peer that died after 1-3 prefix bytes must NOT read as a
+        // clean close: that would silently drop the torn message.
+        for cut in 1..4usize {
+            let full = 8u32.to_le_bytes();
+            let err = read_message(&mut std::io::Cursor::new(&full[..cut])).unwrap_err();
+            assert!(matches!(err, QrError::Corrupt { .. }), "cut={cut}: {err}");
+            assert!(err.to_string().contains("truncated message length"), "cut={cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn assembler_reassembles_byte_at_a_time() {
+        let mut wire = Vec::new();
+        write_stream_header(&mut wire).unwrap();
+        for req in all_requests() {
+            write_message(&mut wire, &encode_request(&req)).unwrap();
+        }
+        let mut asm = MessageAssembler::new();
+        let mut payloads = Vec::new();
+        for &b in &wire {
+            asm.feed(&[b], &mut payloads).unwrap();
+        }
+        assert!(asm.header_done());
+        assert!(asm.at_message_boundary(), "stream ends exactly between messages");
+        let seen: Vec<Request> =
+            payloads.iter().map(|p| decode_request(p).unwrap()).collect();
+        assert_eq!(seen, all_requests());
+    }
+
+    #[test]
+    fn assembler_flags_torn_tails_and_bad_streams() {
+        // Torn mid-message: not at a boundary, no payload surfaced.
+        let mut wire = Vec::new();
+        write_stream_header(&mut wire).unwrap();
+        write_message(&mut wire, &encode_request(&Request::Ping)).unwrap();
+        wire.truncate(wire.len() - 3);
+        let mut asm = MessageAssembler::new();
+        let mut payloads = Vec::new();
+        asm.feed(&wire, &mut payloads).unwrap();
+        assert!(payloads.is_empty());
+        assert!(!asm.at_message_boundary());
+
+        // Wrong magic in the stream header poisons the stream.
+        let mut asm = MessageAssembler::new();
+        let err = asm.feed(b"XXXXXX", &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("bad stream magic"), "{err}");
+
+        // A flipped payload byte fails the CRC.
+        let mut wire = Vec::new();
+        write_stream_header(&mut wire).unwrap();
+        write_message(&mut wire, &encode_request(&Request::Ping)).unwrap();
+        let corrupt_at = frame::HEADER_LEN + 4;
+        wire[corrupt_at] ^= 0xff;
+        let mut asm = MessageAssembler::new();
+        let err = asm.feed(&wire, &mut Vec::new()).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
     }
 
     #[test]

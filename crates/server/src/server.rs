@@ -1,10 +1,14 @@
 //! The `quickrecd` daemon: accept loop, job execution, shutdown.
 //!
-//! One OS thread per connection speaks the wire protocol
-//! ([`crate::proto`]); RECORD/REPLAY/VERIFY/RACES jobs run on the
-//! bounded [`WorkerPool`] (a full queue answers `Busy` — backpressure
-//! instead of unbounded buffering); sessions live in the sharded
-//! [`Registry`]; recordings land in a `qr_store::RecordingStore`.
+//! The accept loop hands every connection to the event-driven
+//! nonblocking layer ([`crate::event`]): N event workers each
+//! multiplex thousands of connections over a `poll(2)` readiness loop,
+//! speaking the wire protocol ([`crate::proto`]) through incremental
+//! per-connection state machines. RECORD/REPLAY/VERIFY/RACES jobs (and
+//! offloaded QUERY requests) run on the bounded [`WorkerPool`] (a full
+//! queue answers `Busy` — backpressure instead of unbounded
+//! buffering); sessions live in the sharded [`Registry`]; recordings
+//! land in a `qr_store::RecordingStore`.
 //!
 //! Shutdown (a `SHUTDOWN` message or [`ServerHandle::shutdown`]) stops
 //! the accept loop, drains open connections and every queued job, then
@@ -12,6 +16,7 @@
 //! rename with the manifest written last, there is no instant at which
 //! killing or draining the server can leave a torn entry visible.
 
+use crate::event::{self, NbStream, Router};
 use crate::pool::WorkerPool;
 use crate::proto::{
     self, Endpoint, JobState, Request, Response, SessionStats, StatsReport,
@@ -23,12 +28,12 @@ use qr_isa::Program;
 use qr_replay::{QueryEngine, ReplayQuery};
 use qr_store::RecordingStore;
 use quickrec_core::Encoding;
-use std::io::{Read, Write};
+use std::io::Write;
 use std::net::TcpListener;
 use std::os::unix::net::UnixListener;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Tunables for one server instance.
@@ -42,40 +47,57 @@ pub struct ServerConfig {
     pub queue_capacity: usize,
     /// Recording-store root directory.
     pub store_root: PathBuf,
+    /// Event-loop threads multiplexing connections.
+    pub event_workers: usize,
+    /// Open-connection cap; a connection accepted past it is answered
+    /// with a best-effort `Busy` and dropped.
+    pub max_connections: usize,
 }
 
 impl ServerConfig {
     /// A config with `workers` workers and matching shard count,
     /// storing under `store_root`.
     pub fn new(workers: usize, store_root: PathBuf) -> ServerConfig {
-        ServerConfig { workers, shards: workers, queue_capacity: 64, store_root }
+        ServerConfig {
+            workers,
+            shards: workers,
+            queue_capacity: 64,
+            store_root,
+            event_workers: 2,
+            max_connections: 4096,
+        }
     }
 }
 
 /// Server-wide monotonic counters (the STATS globals).
 #[derive(Debug, Default)]
-struct Counters {
-    accepted: AtomicU64,
-    rejected_busy: AtomicU64,
-    completed: AtomicU64,
-    failed: AtomicU64,
-    connections: AtomicU64,
+pub(crate) struct Counters {
+    pub(crate) accepted: AtomicU64,
+    pub(crate) rejected_busy: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) connections: AtomicU64,
 }
 
-struct Shared {
-    registry: Registry,
-    store: RecordingStore,
-    counters: Counters,
-    shutdown: AtomicBool,
+pub(crate) struct Shared {
+    pub(crate) registry: Registry,
+    pub(crate) store: RecordingStore,
+    pub(crate) counters: Counters,
+    pub(crate) shutdown: AtomicBool,
     next_session: AtomicU64,
-    /// Open connection count + condvar signalled when it reaches zero
-    /// (shutdown drains on this instead of polling).
-    connections: Mutex<usize>,
-    connections_idle: Condvar,
+    /// Connections currently owned by an event worker; the accept loop
+    /// increments on adopt, the owning worker decrements on close, and
+    /// the overload-refusal path touches it not at all — every exit
+    /// path balances.
+    pub(crate) open_connections: AtomicUsize,
+    /// Routes accepted sockets and offload completions to the event
+    /// workers (and wakes them on shutdown).
+    pub(crate) router: Router,
     /// The bound endpoint; shutdown dials it to wake the blocking
     /// accept loop.
     endpoint: Endpoint,
     workers: usize,
+    max_connections: usize,
 }
 
 /// Namespace for [`Server::start`].
@@ -92,29 +114,44 @@ impl Server {
         let store = RecordingStore::open(&cfg.store_root)?;
         let listener = Listener::bind(endpoint)?;
         let bound = listener.local_endpoint(endpoint);
+        let (router, wake_rxs) = Router::new(cfg.event_workers.max(1)).map_err(|e| {
+            QrError::Execution { detail: format!("creating event-worker wake pipes: {e}") }
+        })?;
         let shared = Arc::new(Shared {
             registry: Registry::new(cfg.shards.max(1)),
             store,
             counters: Counters::default(),
             shutdown: AtomicBool::new(false),
             next_session: AtomicU64::new(1),
-            connections: Mutex::new(0),
-            connections_idle: Condvar::new(),
+            open_connections: AtomicUsize::new(0),
+            router,
             endpoint: bound.clone(),
             workers: cfg.workers.max(1),
+            max_connections: cfg.max_connections.max(1),
         });
         let pool = Arc::new(WorkerPool::new(cfg.workers, cfg.queue_capacity));
+        let spawn_err = |what: &str, e: std::io::Error| QrError::Execution {
+            detail: format!("spawning {what} thread: {e}"),
+        };
+        let mut events = Vec::with_capacity(wake_rxs.len());
+        for (worker, wake_rx) in wake_rxs.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let pool = Arc::clone(&pool);
+            let handle = std::thread::Builder::new()
+                .name(format!("qr-event-{worker}"))
+                .spawn(move || event::worker_loop(worker, wake_rx, shared, pool))
+                .map_err(|e| spawn_err("event-worker", e))?;
+            events.push(handle);
+        }
         let accept = {
             let shared = Arc::clone(&shared);
             let pool = Arc::clone(&pool);
             std::thread::Builder::new()
                 .name("qr-accept".into())
                 .spawn(move || accept_loop(&listener, &shared, &pool))
-                .map_err(|e| QrError::Execution {
-                    detail: format!("spawning accept thread: {e}"),
-                })?
+                .map_err(|e| spawn_err("accept", e))?
         };
-        Ok(ServerHandle { shared, pool, accept: Some(accept), endpoint: bound })
+        Ok(ServerHandle { shared, pool, accept: Some(accept), events, endpoint: bound })
     }
 }
 
@@ -125,6 +162,7 @@ pub struct ServerHandle {
     shared: Arc<Shared>,
     pool: Arc<WorkerPool>,
     accept: Option<std::thread::JoinHandle<()>>,
+    events: Vec<std::thread::JoinHandle<()>>,
     endpoint: Endpoint,
 }
 
@@ -135,38 +173,32 @@ impl ServerHandle {
         &self.endpoint
     }
 
+    /// Connections currently owned by the event workers (must drain to
+    /// zero once every client hangs up — the regression gate for gauge
+    /// drift).
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_connections.load(Ordering::SeqCst)
+    }
+
     /// Requests shutdown (idempotent; returns immediately).
     pub fn shutdown(&self) {
         request_shutdown(&self.shared);
     }
 
-    /// Blocks until the accept loop has stopped, open connections have
-    /// drained, and every queued job has finished.
+    /// Blocks until the accept loop has stopped, the event workers
+    /// have drained their connections, and every queued job has
+    /// finished.
     pub fn wait(mut self) {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
         let drain_start = crate::obs::clock();
-        // Connections observe the shutdown flag through their read
-        // timeout and signal the condvar as they finish; the deadline
-        // is a backstop against a peer stuck mid-exchange.
-        let deadline = std::time::Instant::now() + Duration::from_secs(30);
-        let mut count =
-            self.shared.connections.lock().unwrap_or_else(PoisonError::into_inner);
-        while *count > 0 {
-            let Some(remaining) =
-                deadline.checked_duration_since(std::time::Instant::now())
-            else {
-                break;
-            };
-            count = self
-                .shared
-                .connections_idle
-                .wait_timeout(count, remaining)
-                .unwrap_or_else(PoisonError::into_inner)
-                .0;
+        // Event workers flush pending responses and wait for in-flight
+        // offloaded queries (their own 30s deadline bounds peers stuck
+        // mid-exchange), so they must join before the pool drains.
+        for handle in self.events.drain(..) {
+            let _ = handle.join();
         }
-        drop(count);
         self.pool.drain();
         crate::obs::drain_finished(drain_start);
         if let Endpoint::Unix(path) = &self.endpoint {
@@ -175,12 +207,13 @@ impl ServerHandle {
     }
 }
 
-/// Sets the shutdown flag and wakes the accept loop: it blocks in
-/// `accept()`, so a throwaway connection to our own endpoint makes it
-/// return and observe the flag. Idempotent.
-fn request_shutdown(shared: &Shared) {
+/// Sets the shutdown flag and wakes everything that blocks: the accept
+/// loop (blocked in `accept()`, woken by a throwaway connection to our
+/// own endpoint) and the event workers (parked in `poll`, woken through
+/// their mailboxes). Idempotent.
+pub(crate) fn request_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
-        return; // already requested; the accept loop is already waking
+        return; // already requested; everyone is already waking
     }
     match &shared.endpoint {
         Endpoint::Unix(path) => {
@@ -190,40 +223,10 @@ fn request_shutdown(shared: &Shared) {
             let _ = std::net::TcpStream::connect(addr);
         }
     }
-}
-
-fn connection_started(shared: &Shared) {
-    *shared.connections.lock().unwrap_or_else(PoisonError::into_inner) += 1;
-}
-
-fn connection_finished(shared: &Shared) {
-    let mut count = shared.connections.lock().unwrap_or_else(PoisonError::into_inner);
-    *count = count.saturating_sub(1);
-    let idle = *count == 0;
-    drop(count);
-    if idle {
-        shared.connections_idle.notify_all();
-    }
+    shared.router.wake_all();
 }
 
 // ---- transport -------------------------------------------------------
-
-/// One accepted connection: both socket families, unified.
-trait Conn: Read + Write + Send {
-    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()>;
-}
-
-impl Conn for std::net::TcpStream {
-    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
-        std::net::TcpStream::set_read_timeout(self, d)
-    }
-}
-
-impl Conn for std::os::unix::net::UnixStream {
-    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
-        std::os::unix::net::UnixStream::set_read_timeout(self, d)
-    }
-}
 
 enum Listener {
     Unix(UnixListener),
@@ -261,38 +264,60 @@ impl Listener {
     }
 
     /// Blocking accept; [`request_shutdown`] unblocks it with a
-    /// throwaway connection.
-    fn accept(&self) -> std::io::Result<Box<dyn Conn>> {
+    /// throwaway connection. The stream comes back already switched to
+    /// nonblocking mode, ready for an event worker.
+    fn accept(&self) -> std::io::Result<Box<dyn NbStream>> {
         match self {
             Listener::Unix(listener) => {
-                listener.accept().map(|(stream, _)| Box::new(stream) as Box<dyn Conn>)
+                let (stream, _) = listener.accept()?;
+                stream.set_nonblocking(true)?;
+                Ok(Box::new(stream))
             }
             Listener::Tcp(listener) => {
-                listener.accept().map(|(stream, _)| Box::new(stream) as Box<dyn Conn>)
+                let (stream, _) = listener.accept()?;
+                stream.set_nonblocking(true)?;
+                let _ = stream.set_nodelay(true);
+                Ok(Box::new(stream))
             }
         }
     }
 }
 
+/// Tells an over-limit peer the daemon is saturated: a best-effort
+/// single nonblocking write of the stream header plus a framed `Busy`,
+/// then the connection drops. The peer sees a structured refusal, not
+/// a silent hangup.
+fn refuse_overloaded(mut stream: Box<dyn NbStream>, queued: usize) {
+    let mut bytes = Vec::with_capacity(32);
+    let _ = proto::write_stream_header(&mut bytes);
+    let _ = proto::write_message(
+        &mut bytes,
+        &proto::encode_response(&Response::Busy { queued: queued as u32 }),
+    );
+    let _ = stream.write(&bytes);
+}
+
 fn accept_loop(listener: &Listener, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) {
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok(conn) => {
+            Ok(stream) => {
                 if shared.shutdown.load(Ordering::SeqCst) {
                     break; // the shutdown wake-up connection (or a raced client)
                 }
                 shared.counters.connections.fetch_add(1, Ordering::SeqCst);
                 crate::obs::connection_opened();
-                connection_started(shared);
-                let conn_shared = Arc::clone(shared);
-                let conn_pool = Arc::clone(pool);
-                let spawned = std::thread::Builder::new().name("qr-conn".into()).spawn(move || {
-                    serve_connection(conn, &conn_shared, &conn_pool);
-                    connection_finished(&conn_shared);
-                });
-                if spawned.is_err() {
-                    connection_finished(shared);
+                // Over the connection cap: refuse with a structured
+                // Busy instead of dropping silently. The open gauge is
+                // never incremented on this path, so it stays balanced.
+                if shared.open_connections.load(Ordering::SeqCst) >= shared.max_connections {
+                    shared.counters.rejected_busy.fetch_add(1, Ordering::SeqCst);
+                    crate::obs::busy_rejection();
+                    refuse_overloaded(stream, pool.queued());
+                    continue;
                 }
+                shared.open_connections.fetch_add(1, Ordering::SeqCst);
+                crate::obs::connection_delta(1);
+                shared.router.adopt(stream);
             }
             Err(e) => {
                 // Accept failures (EMFILE, transient resets) are
@@ -310,92 +335,13 @@ fn accept_loop(listener: &Listener, shared: &Arc<Shared>, pool: &Arc<WorkerPool>
     }
 }
 
-/// Wraps a connection so blocked reads periodically observe the
-/// shutdown flag: a timeout with the flag set reads as end-of-stream,
-/// unblocking the handler.
-struct ShutdownAwareReader<'a> {
-    conn: &'a mut dyn Conn,
-    shutdown: &'a AtomicBool,
-}
-
-impl Read for ShutdownAwareReader<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            match self.conn.read(buf) {
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
-                {
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        return Ok(0);
-                    }
-                }
-                other => return other,
-            }
-        }
-    }
-}
-
-fn serve_connection(mut conn: Box<dyn Conn>, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) {
-    let _ = conn.set_read_timeout(Some(Duration::from_millis(200)));
-    if proto::write_stream_header(conn.as_mut()).is_err() {
-        return;
-    }
-    {
-        let mut reader =
-            ShutdownAwareReader { conn: conn.as_mut(), shutdown: &shared.shutdown };
-        if proto::read_stream_header(&mut reader).is_err() {
-            return;
-        }
-    }
-    loop {
-        let payload = {
-            let mut reader =
-                ShutdownAwareReader { conn: conn.as_mut(), shutdown: &shared.shutdown };
-            match proto::read_message(&mut reader) {
-                Ok(Some(payload)) => payload,
-                Ok(None) => return, // clean EOF (or shutdown)
-                Err(e) => {
-                    // Malformed stream: answer with a structured error
-                    // (best effort) and hang up.
-                    let resp = Response::Error { message: e.to_string() };
-                    let _ =
-                        proto::write_message(conn.as_mut(), &proto::encode_response(&resp));
-                    return;
-                }
-            }
-        };
-        let response = match proto::decode_request(&payload) {
-            Ok(request) => {
-                let is_shutdown = matches!(request, Request::Shutdown);
-                let kind = crate::obs::request_index(&request);
-                let start = crate::obs::clock();
-                let _span = qr_obs::trace::global().span(crate::obs::kind_label(&request), 0);
-                let response = handle_request(request, shared, pool);
-                crate::obs::request_handled(kind, start);
-                if is_shutdown {
-                    let _ = proto::write_message(
-                        conn.as_mut(),
-                        &proto::encode_response(&response),
-                    );
-                    request_shutdown(shared);
-                    return;
-                }
-                response
-            }
-            Err(e) => Response::Error { message: e.to_string() },
-        };
-        if proto::write_message(conn.as_mut(), &proto::encode_response(&response)).is_err() {
-            return;
-        }
-    }
-}
-
 // ---- request handling ------------------------------------------------
 
-fn handle_request(request: Request, shared: &Arc<Shared>, pool: &Arc<WorkerPool>) -> Response {
+pub(crate) fn handle_request(
+    request: Request,
+    shared: &Arc<Shared>,
+    pool: &Arc<WorkerPool>,
+) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::SubmitWorkload { name, workload, threads, scale, encoding, order } => {
@@ -453,8 +399,9 @@ fn handle_request(request: Request, shared: &Arc<Shared>, pool: &Arc<WorkerPool>
 /// tail, large enough that the sidecar stays a fraction of the log.
 const CHECKPOINT_INTERVAL: usize = 25;
 
-/// Answers a QUERY synchronously on the connection thread: queries are
-/// reads over an immutable store entry, so they bypass the job queue.
+/// Answers a QUERY: a read over an immutable store entry that replays
+/// instructions, so the event layer offloads it to the worker pool
+/// rather than stalling a multiplexed connection.
 fn handle_query(
     shared: &Arc<Shared>,
     id: u64,

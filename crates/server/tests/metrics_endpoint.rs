@@ -24,6 +24,8 @@ fn start(dir: &std::path::Path) -> qr_server::ServerHandle {
         shards: 2,
         queue_capacity: 8,
         store_root: dir.join("store"),
+        event_workers: 2,
+        max_connections: 256,
     };
     Server::start(&endpoint, &config).expect("start server")
 }
@@ -66,6 +68,10 @@ fn metrics_request_returns_parseable_exposition_with_all_families() {
         "qr_server_requests_total",
         "qr_server_request_latency_us",
         "qr_server_connections_total",
+        "qr_server_open_connections",
+        "qr_server_event_loop_wakeups_total",
+        "qr_server_event_loop_events_total",
+        "qr_server_event_loop_conns_adopted_total",
         "qr_recorder_chunks_total",
         "qr_recorder_chunk_size_insns",
         "qr_recorder_log_bytes_total",

@@ -21,7 +21,14 @@ fn scratch(tag: &str) -> PathBuf {
 fn start(dir: &std::path::Path) -> qr_server::ServerHandle {
     let endpoint = Endpoint::Unix(dir.join("qd.sock"));
     let config =
-        ServerConfig { workers: 2, shards: 2, queue_capacity: 8, store_root: dir.join("store") };
+        ServerConfig {
+            workers: 2,
+            shards: 2,
+            queue_capacity: 8,
+            store_root: dir.join("store"),
+            event_workers: 2,
+            max_connections: 256,
+        };
     Server::start(&endpoint, &config).expect("start server")
 }
 

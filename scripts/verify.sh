@@ -20,12 +20,17 @@ cargo test -q --test golden_conformance
 echo "== migrate smoke: legacy golden fixture upgrades and verifies =="
 migrate_dir=$(mktemp -d)
 cp tests/golden/v1/hello-delta/* "$migrate_dir"
-./target/release/quickrec migrate "$migrate_dir" | grep -q 'migrated v1 -> v3' || {
+# Capture-then-grep everywhere a command feeds grep -q: under pipefail
+# an early-exiting grep breaks the writer's pipe mid-print and fails
+# the pipeline even though the match succeeded.
+migrate_out=$(./target/release/quickrec migrate "$migrate_dir")
+grep -q 'migrated v1 -> v3' <<< "$migrate_out" || {
   echo "migrate did not report a v1 -> v3 upgrade" >&2
   exit 1
 }
 ./target/release/quickrec verify "$migrate_dir" > /dev/null
-./target/release/quickrec migrate "$migrate_dir" | grep -q 'nothing to do' || {
+migrate_out=$(./target/release/quickrec migrate "$migrate_dir")
+grep -q 'nothing to do' <<< "$migrate_out" || {
   echo "second migrate was not a no-op" >&2
   exit 1
 }
@@ -135,8 +140,9 @@ finish:
     mov  r1, r6
     syscall
 PASM
-./target/release/quickrec record "$order_dir/pingpong.pasm" -o "$order_dir/rec" \
-  --cores 2 --order partial | grep -q 'ordering log: partial order' || {
+record_out=$(./target/release/quickrec record "$order_dir/pingpong.pasm" -o "$order_dir/rec" \
+  --cores 2 --order partial)
+grep -q 'ordering log: partial order' <<< "$record_out" || {
   echo "record --order partial did not report an ordering log" >&2
   exit 1
 }
@@ -145,8 +151,8 @@ PASM
   exit 1
 }
 ./target/release/quickrec verify "$order_dir/rec" > /dev/null
-./target/release/quickrec replay "$order_dir/pingpong.pasm" "$order_dir/rec" --jobs 2 \
-  | grep -q 'partial-order replay' || {
+replay_out=$(./target/release/quickrec replay "$order_dir/pingpong.pasm" "$order_dir/rec" --jobs 2)
+grep -q 'partial-order replay' <<< "$replay_out" || {
   echo "replay did not reconstruct from the recorded partial order" >&2
   exit 1
 }
@@ -193,15 +199,16 @@ fi
 # Time-travel queries against the session just recorded: a dry run
 # prints the plan, a real query executes, and repeating its replay id
 # must answer from the idempotence cache.
-./target/release/quickrec query --socket "$smoke_dir/qd.sock" 1 --range 0..2 --dry-run \
-  | grep -q '^plan:' || {
+plan_out=$(./target/release/quickrec query --socket "$smoke_dir/qd.sock" 1 --range 0..2 --dry-run)
+grep -q '^plan:' <<< "$plan_out" || {
   echo "query --dry-run did not print a plan" >&2
   exit 1
 }
 ./target/release/quickrec query --socket "$smoke_dir/qd.sock" 1 \
   --reverse-step 2 --replay-id 7 > /dev/null
-./target/release/quickrec query --socket "$smoke_dir/qd.sock" 1 \
-  --reverse-step 2 --replay-id 7 | grep -q 'idempotence cache' || {
+repeat_out=$(./target/release/quickrec query --socket "$smoke_dir/qd.sock" 1 \
+  --reverse-step 2 --replay-id 7)
+grep -q 'idempotence cache' <<< "$repeat_out" || {
   echo "repeated replay id was not served from the cache" >&2
   exit 1
 }
@@ -234,5 +241,45 @@ if [ -e "$smoke_dir/qd.sock" ]; then
   exit 1
 fi
 echo "daemon round trip verified (recorded via the service, fetched, verified locally)"
+
+echo "== daemon concurrency smoke: E16 quick mode against a live daemon =="
+e16_dir=$(mktemp -d)
+e16_json=$(mktemp)
+trap 'rm -f "$serial" "$parallel" "$e16_json"; rm -rf "$smoke_dir" "$e16_dir"' EXIT
+./target/release/quickrec serve --socket "$e16_dir/qd.sock" --store "$e16_dir/store" \
+  --workers 2 --event-workers 2 --max-conns 512 > "$e16_dir/serve.log" 2>&1 &
+e16_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$e16_dir/qd.sock" ] && break
+  sleep 0.1
+done
+if ! [ -S "$e16_dir/qd.sock" ]; then
+  echo "E16 daemon socket never appeared; serve log follows" >&2
+  cat "$e16_dir/serve.log" >&2
+  exit 1
+fi
+QR_BENCH_CONNS=128 QR_BENCH_JOBS=8 QR_E16_SOCKET="$e16_dir/qd.sock" \
+  QR_BENCH_JSON="$e16_json" ./target/release/repro e16 > /dev/null
+grep -q '"drift": 0' "$e16_json" || {
+  echo "E16 reported fetch drift against a live daemon, or wrote no summary" >&2
+  exit 1
+}
+# The event loop's own families must be live on the daemon the fleet
+# just exercised.
+./target/release/quickrec stats --socket "$e16_dir/qd.sock" --metrics > "$e16_dir/metrics.txt"
+for family in qr_server_event_loop_wakeups_total qr_server_event_loop_events_total \
+              qr_server_event_loop_conns_adopted_total qr_server_open_connections; do
+  if ! grep -q "^$family" "$e16_dir/metrics.txt"; then
+    echo "metrics exposition is missing event-loop family $family" >&2
+    exit 1
+  fi
+done
+./target/release/quickrec shutdown --socket "$e16_dir/qd.sock" > /dev/null
+wait "$e16_pid"
+if [ -e "$e16_dir/qd.sock" ]; then
+  echo "E16 daemon shutdown left a stale socket behind" >&2
+  exit 1
+fi
+echo "128 multiplexed connections served by the live daemon; fetches byte-identical"
 
 echo "== verify OK =="
